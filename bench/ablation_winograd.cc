@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Algorithm-level ablation: direct convolution vs the Winograd F(2x2,3x3)
+ * graph, both fully tuned by FlexTensor on the V100 model.
+ *
+ * This reproduces *endogenously* the effect that Figure 6a models with a
+ * library factor: on Winograd-friendly layers (3x3, stride 1, wide
+ * channels — C4, C6) the transformed algorithm's 2.25x multiply reduction
+ * beats any direct schedule, which is exactly why cuDNN wins those layers
+ * in the paper.
+ *
+ * The paper's FlexTensor cannot make this jump — schedule primitives do
+ * not change the algorithm (Section 6.2: "This needs algorithm level
+ * transformations, which are not supported by our schedule primitives").
+ * With the multi-node Winograd graph built explicitly, the same schedule
+ * machinery optimizes each stage.
+ */
+#include "bench_util.h"
+
+#include "dnn/e2e.h"
+
+using namespace ft;
+
+int
+main()
+{
+    ftbench::header("Ablation: direct vs Winograd convolution (V100)");
+    ftbench::row({"layer", "direct(ms)", "wino(ms)", "speedup"}, 13);
+
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.explore.trials = 120;
+
+    // 3x3 stride-1 layers of Table 4 with even outputs.
+    for (int id : {1, 3, 5, 7, 9, 11, 12}) {
+        const auto &layer = ops::yoloLayers()[id];
+        // Direct algorithm: single tuned kernel.
+        TuneReport direct = tune(layer.build(1), target, options);
+
+        // Winograd algorithm: tune all four stages (Algorithm 1).
+        Tensor input = placeholder("I", {1, layer.inChannels,
+                                         layer.imageSize,
+                                         layer.imageSize});
+        Tensor weight = placeholder("W", {layer.outChannels,
+                                          layer.inChannels, 3, 3});
+        Tensor wino = ops::conv2dWinograd(input, weight, 1);
+        GraphTuneReport graph = tuneGraph(wino, target, options);
+
+        double speedup =
+            direct.kernelSeconds / graph.totalKernelSeconds;
+        ftbench::row({layer.name,
+                      ftbench::num(direct.kernelSeconds * 1e3, 3),
+                      ftbench::num(graph.totalKernelSeconds * 1e3, 3),
+                      ftbench::num(speedup) + "x"},
+                     13);
+    }
+    std::printf("\n(speedup > 1 on wide-channel layers mirrors cuDNN's "
+                "Winograd wins on C4/C6 in Figure 6a; narrow layers pay "
+                "the transform overhead)\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: table printing and common
+ * tuning wrappers. Each bench binary regenerates one table/figure of the
+ * paper's evaluation section and prints the measured series next to the
+ * paper's reported values (see EXPERIMENTS.md).
+ */
+#ifndef FLEXTENSOR_BENCH_BENCH_UTIL_H
+#define FLEXTENSOR_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flextensor.h"
+#include "support/math_util.h"
+
+namespace ftbench {
+
+/** Print a separator + header line for an experiment section. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n===== %s =====\n", title.c_str());
+}
+
+/** Print a row of right-aligned columns. */
+inline void
+row(const std::vector<std::string> &cells, int width = 12)
+{
+    for (const auto &c : cells)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+/** Format a double with the given precision. */
+inline std::string
+num(double v, int precision = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+/** Tune an operator with FlexTensor's Q-method using bench defaults. */
+inline ft::TuneReport
+tuneDefault(const ft::Tensor &out, const ft::Target &target,
+            int trials = 160, uint64_t seed = 0xbe9c5)
+{
+    ft::TuneOptions options;
+    options.method = ft::Method::QMethod;
+    options.explore.trials = trials;
+    options.explore.seed = seed;
+    return ft::tune(out, target, options);
+}
+
+/** Geometric mean helper over positive values. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    return ft::geomean(v);
+}
+
+} // namespace ftbench
+
+#endif // FLEXTENSOR_BENCH_BENCH_UTIL_H

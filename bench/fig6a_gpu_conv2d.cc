@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 6a: absolute GFLOPS of PyTorch (no cuDNN), cuDNN, and FlexTensor
+ * for the 15 YOLO-v1 convolution layers (Table 4) on the V100 model.
+ *
+ * Paper reference: FlexTensor averages ~3520 GFLOPS, geomean speedup 1.56x
+ * over PyTorch and 1.5x over cuDNN; cuDNN wins the Winograd-friendly
+ * layers (C4, C6).
+ */
+#include "bench_util.h"
+
+using namespace ft;
+
+int
+main()
+{
+    ftbench::header("Figure 6a: C2D on V100 (GFLOPS)");
+    Target target = Target::forGpu(v100());
+
+    ftbench::row({"layer", "PyTorch", "cuDNN", "FlexTensor", "vs cuDNN"});
+    std::vector<double> torch_speedups, cudnn_speedups, flex_abs;
+    for (const auto &layer : ops::yoloLayers()) {
+        MiniGraph graph(layer.build(1));
+        auto torch = libraryPerf(graph, Library::PyTorchNative, target);
+        auto cudnn = libraryPerf(graph, Library::CuDnn, target);
+        TuneReport flex = ftbench::tuneDefault(layer.build(1), target);
+
+        torch_speedups.push_back(flex.gflops / torch.gflops);
+        cudnn_speedups.push_back(flex.gflops / cudnn.gflops);
+        flex_abs.push_back(flex.gflops);
+        ftbench::row({layer.name, ftbench::num(torch.gflops, 0),
+                      ftbench::num(cudnn.gflops, 0),
+                      ftbench::num(flex.gflops, 0),
+                      ftbench::num(flex.gflops / cudnn.gflops) + "x"});
+    }
+    double avg = 0;
+    for (double g : flex_abs)
+        avg += g;
+    avg /= static_cast<double>(flex_abs.size());
+    ftbench::row({"AVG", "", "", ftbench::num(avg, 0), ""});
+
+    std::printf("\ngeomean speedup vs PyTorch: %.2fx (paper: 1.56x)\n",
+                ftbench::geomean(torch_speedups));
+    std::printf("geomean speedup vs cuDNN:   %.2fx (paper: 1.50x)\n",
+                ftbench::geomean(cudnn_speedups));
+    std::printf("average FlexTensor GFLOPS:  %.0f (paper: 3519.71)\n", avg);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 6b: absolute GFLOPS of MKL-DNN-backed PyTorch vs FlexTensor for
+ * the 15 YOLO layers on the Xeon E5-2699 v4 model.
+ *
+ * Paper reference: MKL-DNN swings wildly with shape (31..702 GFLOPS),
+ * FlexTensor is consistent (~50..220); geomean speedup 1.72x, with the
+ * library winning a few well-shaped layers (e.g. C4, C6).
+ */
+#include "bench_util.h"
+
+using namespace ft;
+
+int
+main()
+{
+    ftbench::header("Figure 6b: C2D on Xeon E5-2699 v4 (GFLOPS)");
+    Target target = Target::forCpu(xeonE5());
+
+    ftbench::row({"layer", "PyTorch", "FlexTensor", "speedup"});
+    std::vector<double> speedups;
+    uint64_t seed = 0xcb15;
+    for (const auto &layer : ops::yoloLayers()) {
+        MiniGraph graph(layer.build(1));
+        auto mkl = libraryPerf(graph, Library::MklDnn, target);
+        TuneReport flex =
+            ftbench::tuneDefault(layer.build(1), target, 120, seed++);
+        speedups.push_back(flex.gflops / mkl.gflops);
+        ftbench::row({layer.name, ftbench::num(mkl.gflops, 0),
+                      ftbench::num(flex.gflops, 0),
+                      ftbench::num(flex.gflops / mkl.gflops) + "x"});
+    }
+    std::printf("\ngeomean speedup vs MKL-DNN: %.2fx (paper: 1.72x)\n",
+                ftbench::geomean(speedups));
+    return 0;
+}

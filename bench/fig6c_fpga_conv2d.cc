@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 6c: absolute GFLOPS of the hand-optimized OpenCL baseline
+ * (Zhang'15-style fixed design) vs FlexTensor for the 15 YOLO layers on
+ * the VU9P model (the paper's three-stage pipeline performance model).
+ *
+ * Paper reference: geomean speedup 1.5x; FlexTensor wins by exploring
+ * PE/buffer/partition trade-offs under the resource constraints.
+ */
+#include "bench_util.h"
+
+using namespace ft;
+
+int
+main()
+{
+    ftbench::header("Figure 6c: C2D on VU9P FPGA (GFLOPS)");
+    Target target = Target::forFpga(vu9p());
+
+    ftbench::row({"layer", "OpenCL", "FlexTensor", "speedup"});
+    std::vector<double> speedups;
+    uint64_t seed = 0xf96a;
+    for (const auto &layer : ops::yoloLayers()) {
+        MiniGraph graph(layer.build(1));
+        auto baseline = libraryPerf(graph, Library::FpgaOpenCl, target);
+        TuneReport flex =
+            ftbench::tuneDefault(layer.build(1), target, 150, seed++);
+        speedups.push_back(flex.gflops / baseline.gflops);
+        ftbench::row({layer.name, ftbench::num(baseline.gflops, 0),
+                      ftbench::num(flex.gflops, 0),
+                      ftbench::num(flex.gflops / baseline.gflops) + "x"});
+    }
+    std::printf("\ngeomean speedup vs hand-optimized OpenCL: %.2fx "
+                "(paper: 1.50x)\n",
+                ftbench::geomean(speedups));
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 6d: exploration time of AutoTVM, P-method, and Q-method for the
+ * 15 YOLO layers on V100 (simulated clock; each measurement costs the
+ * compile+run latency of Section 5.2).
+ *
+ * Protocol (as in the paper): run AutoTVM to a stable performance, then
+ * run P-method and Q-method until they reach a similar performance, and
+ * compare the exploration time.
+ *
+ * Paper reference: Q-method needs on average 27.6% of P-method's time and
+ * 52.9% of AutoTVM's.
+ */
+#include "bench_util.h"
+
+using namespace ft;
+
+int
+main()
+{
+    ftbench::header("Figure 6d: exploration time to equal performance "
+                    "(seconds, simulated clock)");
+    Target target = Target::forGpu(v100());
+
+    ftbench::row({"layer", "AutoTVM", "P-method", "Q-method", "Q/P",
+                  "Q/AutoTVM"});
+    std::vector<double> q_over_p, q_over_tvm;
+    uint64_t seed = 0x6d;
+    for (const auto &layer : ops::yoloLayers()) {
+        // 1) AutoTVM to convergence on its template space.
+        TuneOptions tvm_options;
+        tvm_options.method = Method::AutoTvm;
+        tvm_options.explore.trials = 320;
+        tvm_options.explore.seed = seed;
+        TuneReport tvm = tune(layer.build(1), target, tvm_options);
+
+        // 2) P and Q until they reach AutoTVM's performance.
+        const double goal = 0.98 * tvm.gflops;
+        TuneOptions p_options;
+        p_options.method = Method::PMethod;
+        p_options.explore.trials = 400; // steps; each measures all dirs
+        p_options.explore.targetGflops = goal;
+        p_options.explore.seed = seed;
+        TuneReport p = tune(layer.build(1), target, p_options);
+
+        TuneOptions q_options;
+        q_options.method = Method::QMethod;
+        q_options.explore.trials = 4000;
+        q_options.explore.targetGflops = goal;
+        q_options.explore.seed = seed;
+        TuneReport q = tune(layer.build(1), target, q_options);
+        ++seed;
+
+        q_over_p.push_back(q.simExploreSeconds / p.simExploreSeconds);
+        q_over_tvm.push_back(q.simExploreSeconds / tvm.simExploreSeconds);
+        ftbench::row({layer.name, ftbench::num(tvm.simExploreSeconds, 0),
+                      ftbench::num(p.simExploreSeconds, 0),
+                      ftbench::num(q.simExploreSeconds, 0),
+                      ftbench::num(q_over_p.back()),
+                      ftbench::num(q_over_tvm.back())});
+    }
+    std::printf("\naverage Q/P time ratio:       %.1f%% (paper: 27.6%%)\n",
+                100.0 * ftbench::geomean(q_over_p));
+    std::printf("average Q/AutoTVM time ratio: %.1f%% (paper: 52.9%%)\n",
+                100.0 * ftbench::geomean(q_over_tvm));
+    return 0;
+}

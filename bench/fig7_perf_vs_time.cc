@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 7: best-so-far performance vs exploration time for C1, C6, C8,
+ * and C9 on V100, for P-method, Q-method, and AutoTVM (simulated clock).
+ *
+ * Paper reference: Q-method converges to good performance quickly;
+ * P-method and AutoTVM take longer.
+ */
+#include "bench_util.h"
+
+using namespace ft;
+
+namespace {
+
+/** Print a curve downsampled to ~12 rows. */
+void
+printCurve(const std::string &label,
+           const std::vector<std::pair<double, double>> &curve)
+{
+    std::printf("%-10s", label.c_str());
+    const size_t points = 12;
+    for (size_t i = 0; i < points; ++i) {
+        size_t idx = curve.empty()
+                         ? 0
+                         : (i * (curve.size() - 1)) / (points - 1);
+        if (curve.empty()) {
+            std::printf("          -");
+            continue;
+        }
+        std::printf(" %5.0fs:%-5.0f", curve[idx].first,
+                    curve[idx].second);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    ftbench::header("Figure 7: performance (GFLOPS) vs exploration time");
+    Target target = Target::forGpu(v100());
+
+    const int shape_ids[] = {0, 5, 7, 8}; // C1, C6, C8, C9
+    for (int id : shape_ids) {
+        const auto &layer = ops::yoloLayers()[id];
+        std::printf("\n--- %s ---\n", layer.name.c_str());
+
+        for (Method method :
+             {Method::PMethod, Method::QMethod, Method::AutoTvm}) {
+            TuneOptions options;
+            options.method = method;
+            options.explore.seed = 0xf19 + id;
+            options.explore.trials =
+                method == Method::PMethod ? 12 : 280;
+            TuneReport report = tune(layer.build(1), target, options);
+            printCurve(methodName(method), report.curve);
+        }
+    }
+    std::printf("\n(each cell is simulated-time:best-GFLOPS; paper Figure "
+                "7 likewise shows Q-method converging first)\n");
+    return 0;
+}

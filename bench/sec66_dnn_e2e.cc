@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Section 6.6: end-to-end DNNs on V100 at batch 1. Each network is
+ * partitioned into sub-graphs, elementwise epilogues are fused, and every
+ * fused operator is scheduled bottom-up (Algorithm 1) by FlexTensor's
+ * Q-method and by the AutoTVM baseline.
+ *
+ * Paper reference: FlexTensor is 1.07x faster end-to-end on YOLO-v1 and
+ * 1.39x on OverFeat compared to AutoTVM.
+ */
+#include "bench_util.h"
+
+#include "dnn/e2e.h"
+
+using namespace ft;
+
+namespace {
+
+void
+runNetwork(const Network &net, const Target &target, double paper_speedup)
+{
+    ftbench::header("Section 6.6: " + net.name + " end-to-end on " +
+                    target.deviceName());
+
+    E2eOptions flex_options;
+    flex_options.method = Method::QMethod;
+    flex_options.explore.trials = 90;
+    NetworkReport flex = scheduleNetwork(net, target, flex_options);
+
+    E2eOptions tvm_options;
+    tvm_options.method = Method::AutoTvm;
+    tvm_options.explore.trials = 90;
+    NetworkReport tvm = scheduleNetwork(net, target, tvm_options);
+
+    ftbench::row({"layer", "AutoTVM(ms)", "FlexTensor(ms)"}, 16);
+    for (size_t i = 0; i < flex.layers.size(); ++i) {
+        ftbench::row({flex.layers[i].name,
+                      ftbench::num(tvm.layers[i].seconds * 1e3, 3),
+                      ftbench::num(flex.layers[i].seconds * 1e3, 3)},
+                     16);
+    }
+    std::printf("total: AutoTVM %.3f ms, FlexTensor %.3f ms -> "
+                "speedup %.2fx (paper: %.2fx)\n",
+                tvm.totalSeconds * 1e3, flex.totalSeconds * 1e3,
+                tvm.totalSeconds / flex.totalSeconds, paper_speedup);
+}
+
+} // namespace
+
+int
+main()
+{
+    Target target = Target::forGpu(v100());
+    runNetwork(overFeat(1), target, 1.39);
+    runNetwork(yoloV1(1), target, 1.07);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Schedule-space accounting (Section 6.2 / 6.5 text): the size of
+ * FlexTensor's generated space per YOLO C2D layer (paper: 3.9e9 to
+ * 2.4e12) and the ratio to the AutoTVM template space (paper: 2027x
+ * larger on average).
+ */
+#include "bench_util.h"
+
+using namespace ft;
+
+int
+main()
+{
+    ftbench::header("Schedule-space sizes (C2D on V100)");
+    Target target = Target::forGpu(v100());
+
+    ftbench::row({"layer", "FlexTensor", "template", "ratio"}, 14);
+    std::vector<double> ratios;
+    double min_size = 1e30, max_size = 0;
+    for (const auto &layer : ops::yoloLayers()) {
+        MiniGraph graph(layer.build(1));
+        Operation anchor = anchorOp(graph);
+        ScheduleSpace full = buildSpace(anchor, target);
+        SpaceOptions restricted;
+        restricted.templateRestricted = true;
+        ScheduleSpace tmpl = buildSpace(anchor, target, restricted);
+
+        double ratio = full.size() / tmpl.size();
+        ratios.push_back(ratio);
+        min_size = std::min(min_size, full.size());
+        max_size = std::max(max_size, full.size());
+
+        char full_s[32], tmpl_s[32];
+        std::snprintf(full_s, sizeof(full_s), "%.2e", full.size());
+        std::snprintf(tmpl_s, sizeof(tmpl_s), "%.2e", tmpl.size());
+        ftbench::row({layer.name, full_s, tmpl_s,
+                      ftbench::num(ratio, 0) + "x"},
+                     14);
+    }
+    std::printf("\nspace size range: %.1e .. %.1e "
+                "(paper: 3.9e9 .. 2.4e12)\n",
+                min_size, max_size);
+    std::printf("geomean FlexTensor/template ratio: %.0fx "
+                "(paper: 2027x on average)\n",
+                ftbench::geomean(ratios));
+    return 0;
+}

@@ -1,0 +1,97 @@
+#include "analysis/bounds.h"
+
+#include <algorithm>
+
+#include "ir/operation.h"
+#include "support/logging.h"
+
+namespace ft {
+
+namespace {
+
+Interval
+combine4(int64_t a, int64_t b, int64_t c, int64_t d)
+{
+    return Interval{std::min(std::min(a, b), std::min(c, d)),
+                    std::max(std::max(a, b), std::max(c, d))};
+}
+
+} // namespace
+
+Interval
+boundsOf(const Expr &e, const VarRanges &ranges)
+{
+    FT_ASSERT(e != nullptr, "boundsOf null expr");
+    switch (e->kind) {
+      case ExprKind::IntImm:
+        return {e->intValue, e->intValue};
+      case ExprKind::Var: {
+        auto it = ranges.find(e->var.get());
+        if (it != ranges.end())
+            return it->second;
+        return {0, e->var->extent - 1};
+      }
+      case ExprKind::Add: {
+        Interval a = boundsOf(e->a, ranges), b = boundsOf(e->b, ranges);
+        return {a.lo + b.lo, a.hi + b.hi};
+      }
+      case ExprKind::Sub: {
+        Interval a = boundsOf(e->a, ranges), b = boundsOf(e->b, ranges);
+        return {a.lo - b.hi, a.hi - b.lo};
+      }
+      case ExprKind::Mul: {
+        Interval a = boundsOf(e->a, ranges), b = boundsOf(e->b, ranges);
+        return combine4(a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi);
+      }
+      case ExprKind::Div: {
+        Interval a = boundsOf(e->a, ranges), b = boundsOf(e->b, ranges);
+        FT_ASSERT(b.lo > 0, "interval division by non-positive divisor");
+        return combine4(a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi);
+      }
+      case ExprKind::Mod: {
+        Interval b = boundsOf(e->b, ranges);
+        FT_ASSERT(b.lo > 0, "interval modulo by non-positive divisor");
+        Interval a = boundsOf(e->a, ranges);
+        // A tight special case: if the whole numerator range fits inside one
+        // period, the modulo is affine there.
+        if (a.lo >= 0 && a.lo / b.lo == a.hi / b.lo && b.lo == b.hi)
+            return {a.lo % b.lo, a.hi % b.lo};
+        return {0, b.hi - 1};
+      }
+      case ExprKind::Min: {
+        Interval a = boundsOf(e->a, ranges), b = boundsOf(e->b, ranges);
+        return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+      }
+      case ExprKind::Max: {
+        Interval a = boundsOf(e->a, ranges), b = boundsOf(e->b, ranges);
+        return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+      }
+      case ExprKind::CmpLT:
+      case ExprKind::CmpLE:
+      case ExprKind::CmpEQ:
+      case ExprKind::And:
+      case ExprKind::Or:
+        return {0, 1};
+      default:
+        panic("boundsOf: unsupported expr kind for integer bounds");
+    }
+}
+
+int64_t
+accessFootprint(const ExprNode &acc, const VarRanges &ranges)
+{
+    FT_ASSERT(acc.kind == ExprKind::Access, "accessFootprint on non-access");
+    const auto &shape = acc.source->outputShape();
+    int64_t cells = 1;
+    for (size_t d = 0; d < acc.indices.size(); ++d) {
+        Interval b = boundsOf(acc.indices[d], ranges);
+        // Clamp to the tensor's real extent; padding predicates often make
+        // the raw interval wider than the data.
+        int64_t lo = std::max<int64_t>(b.lo, 0);
+        int64_t hi = std::min<int64_t>(b.hi, shape[d] - 1);
+        cells *= std::max<int64_t>(hi - lo + 1, 1);
+    }
+    return cells;
+}
+
+} // namespace ft

@@ -1,0 +1,63 @@
+#include "analysis/static_analyzer.h"
+
+#include "analysis/flops.h"
+#include "support/logging.h"
+
+namespace ft {
+
+NodeAnalysis
+analyzeNode(const Operation &op, const MiniGraph &graph)
+{
+    FT_ASSERT(!op->isPlaceholder() && !op->isConstant(),
+              "analyzeNode expects a compute node");
+    const auto *c = static_cast<const ComputeOp *>(op.get());
+
+    NodeAnalysis out;
+    out.op = op;
+
+    NodeStats &st = out.stats;
+    st.numSpatialLoops = static_cast<int>(c->axis().size());
+    st.numReduceLoops = static_cast<int>(c->reduceAxis().size());
+    for (const auto &iv : c->axis()) {
+        st.spatialTripCounts.push_back(iv->extent);
+        st.loopOrder.push_back(iv->name);
+    }
+    for (const auto &iv : c->reduceAxis()) {
+        st.reduceTripCounts.push_back(iv->extent);
+        st.loopOrder.push_back(iv->name);
+    }
+
+    NodeStructure &sr = out.structure;
+    sr.numInputs = static_cast<int>(op->inputs().size());
+    sr.numOutputs = 1;
+    sr.numConsumers = graph.numConsumers(op);
+    return out;
+}
+
+GraphAnalysis
+analyzeGraph(const MiniGraph &graph)
+{
+    GraphAnalysis out;
+    out.numNodes = graph.numNodes();
+    for (const auto &op : graph.computeOps())
+        out.nodes.push_back(analyzeNode(op, graph));
+    return out;
+}
+
+Operation
+anchorOp(const MiniGraph &graph)
+{
+    Operation best;
+    double bestFlops = -1.0;
+    for (const auto &op : graph.computeOps()) {
+        double f = flopsOf(op);
+        if (f > bestFlops) {
+            bestFlops = f;
+            best = op;
+        }
+    }
+    FT_ASSERT(best != nullptr, "graph has no compute node");
+    return best;
+}
+
+} // namespace ft

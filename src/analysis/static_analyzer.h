@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Front-end static analysis (Section 4.1 of the paper).
+ *
+ * Extracts, for each compute node, the *statistical* information (#sl, #rl,
+ * stc, rtc, order) and for the mini-graph the *structural* information
+ * (#node, #in, #out, #cs) that drive schedule-space generation.
+ */
+#ifndef FLEXTENSOR_ANALYSIS_STATIC_ANALYZER_H
+#define FLEXTENSOR_ANALYSIS_STATIC_ANALYZER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace ft {
+
+/** Statistical information of one compute node (Figure 3c, left). */
+struct NodeStats
+{
+    int numSpatialLoops = 0;             ///< #sl
+    int numReduceLoops = 0;              ///< #rl
+    std::vector<int64_t> spatialTripCounts; ///< stc
+    std::vector<int64_t> reduceTripCounts;  ///< rtc
+    std::vector<std::string> loopOrder;  ///< order (spatial then reduce)
+};
+
+/** Structural information of one node in its graph (Figure 3c, right). */
+struct NodeStructure
+{
+    int numInputs = 0;    ///< #in
+    int numOutputs = 1;   ///< #out (FlexTensor assumes one output per node)
+    int numConsumers = 0; ///< #cs
+};
+
+/** Full analysis result for one compute node. */
+struct NodeAnalysis
+{
+    Operation op;
+    NodeStats stats;
+    NodeStructure structure;
+};
+
+/** Full analysis of a mini-graph. */
+struct GraphAnalysis
+{
+    int numNodes = 0; ///< placeholders + computes
+    std::vector<NodeAnalysis> nodes; ///< compute nodes, post order
+};
+
+/** Analyze one compute node. */
+NodeAnalysis analyzeNode(const Operation &op, const MiniGraph &graph);
+
+/** Analyze a mini-graph (all compute nodes, post order). */
+GraphAnalysis analyzeGraph(const MiniGraph &graph);
+
+/**
+ * The dominant ("anchor") compute node of a graph: the one with the most
+ * FLOPs, which is where FlexTensor focuses its schedule space. Pad/dilate
+ * helper nodes are inlined into it at schedule time.
+ */
+Operation anchorOp(const MiniGraph &graph);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_ANALYSIS_STATIC_ANALYZER_H

@@ -1,0 +1,430 @@
+#include "codegen/codegen.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/logging.h"
+
+namespace ft {
+
+namespace {
+
+/** Make a string a valid C identifier. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name)
+        out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c
+                                                                  : '_');
+    if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Row-major strides of a shape. */
+std::vector<int64_t>
+stridesOf(const std::vector<int64_t> &shape)
+{
+    std::vector<int64_t> strides(shape.size(), 1);
+    for (size_t d = shape.size(); d-- > 1;)
+        strides[d - 1] = strides[d] * shape[d];
+    return strides;
+}
+
+/** Names for parameters and iteration variables. */
+struct NameMap
+{
+    std::unordered_map<const OperationNode *, std::string> params;
+    std::unordered_map<const IterVarNode *, std::string> vars;
+};
+
+/** Render an expression as C code. */
+void
+emitExpr(std::ostringstream &oss, const Expr &e, const NameMap &names)
+{
+    switch (e->kind) {
+      case ExprKind::IntImm:
+        oss << e->intValue;
+        break;
+      case ExprKind::FloatImm: {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.9g", e->floatValue);
+        std::string text(buf);
+        // Force a floating literal: "0" would parse as an int constant.
+        if (text.find('.') == std::string::npos &&
+            text.find('e') == std::string::npos) {
+            text += ".0";
+        }
+        oss << text << "f";
+        break;
+      }
+      case ExprKind::Var: {
+        auto it = names.vars.find(e->var.get());
+        FT_ASSERT(it != names.vars.end(), "unnamed variable ",
+                  e->var->name);
+        oss << it->second;
+        break;
+      }
+      case ExprKind::Min:
+      case ExprKind::Max:
+        oss << (e->kind == ExprKind::Min ? "fminf(" : "fmaxf(");
+        emitExpr(oss, e->a, names);
+        oss << ", ";
+        emitExpr(oss, e->b, names);
+        oss << ")";
+        break;
+      case ExprKind::Mod:
+        oss << "FT_MOD(";
+        emitExpr(oss, e->a, names);
+        oss << ", ";
+        emitExpr(oss, e->b, names);
+        oss << ")";
+        break;
+      case ExprKind::Select:
+        oss << "((";
+        emitExpr(oss, e->a, names);
+        oss << ") ? (";
+        emitExpr(oss, e->b, names);
+        oss << ") : (";
+        emitExpr(oss, e->c, names);
+        oss << "))";
+        break;
+      case ExprKind::Access: {
+        auto it = names.params.find(e->source.get());
+        FT_ASSERT(it != names.params.end(), "unbound tensor ",
+                  e->source->name());
+        oss << it->second << "[";
+        auto strides = stridesOf(e->source->outputShape());
+        for (size_t d = 0; d < e->indices.size(); ++d) {
+            if (d)
+                oss << " + ";
+            oss << "(";
+            emitExpr(oss, e->indices[d], names);
+            oss << ")";
+            if (strides[d] != 1)
+                oss << " * " << strides[d];
+        }
+        oss << "]";
+        break;
+      }
+      default: {
+        const char *op = nullptr;
+        switch (e->kind) {
+          case ExprKind::Add: op = " + "; break;
+          case ExprKind::Sub: op = " - "; break;
+          case ExprKind::Mul: op = " * "; break;
+          case ExprKind::Div: op = " / "; break;
+          case ExprKind::CmpLT: op = " < "; break;
+          case ExprKind::CmpLE: op = " <= "; break;
+          case ExprKind::CmpEQ: op = " == "; break;
+          case ExprKind::And: op = " && "; break;
+          case ExprKind::Or: op = " || "; break;
+          default: panic("unhandled expr kind in codegen");
+        }
+        oss << "(";
+        emitExpr(oss, e->a, names);
+        oss << op;
+        emitExpr(oss, e->b, names);
+        oss << ")";
+        break;
+      }
+    }
+}
+
+/** Common emission state. */
+struct Emitter
+{
+    const LoopNest &nest;
+    const ComputeOp *op;
+    NameMap names;
+    std::vector<Tensor> inputs;
+    std::ostringstream oss;
+
+    explicit Emitter(const LoopNest &n)
+        : nest(n), op(static_cast<const ComputeOp *>(n.op.get()))
+    {
+        inputs = kernelInputs(nest);
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            names.params[inputs[i].op().get()] =
+                "in" + std::to_string(i) + "_" +
+                sanitize(inputs[i].name());
+        }
+    }
+
+    /** Loop-variable name for nest depth d. */
+    std::string
+    loopVar(size_t d) const
+    {
+        return "l" + std::to_string(d);
+    }
+
+    void
+    indent(int depth)
+    {
+        for (int i = 0; i < depth; ++i)
+            oss << "    ";
+    }
+
+    /** Declare the original iteration variables from sub-loop values. */
+    void
+    emitOriginalVars(int depth)
+    {
+        auto declare = [&](const IterVar &iv) {
+            indent(depth);
+            oss << "const int64_t " << sanitize(iv->name) << " = ";
+            bool first = true;
+            for (size_t d = 0; d < nest.loops.size(); ++d) {
+                const SubLoop &l = nest.loops[d];
+                if (l.origin != iv.get())
+                    continue;
+                if (!first)
+                    oss << " + ";
+                first = false;
+                oss << loopVar(d);
+                if (l.stride != 1)
+                    oss << " * " << l.stride;
+            }
+            if (first)
+                oss << "0";
+            oss << ";\n";
+            names.vars[iv.get()] = sanitize(iv->name);
+        };
+        for (const auto &iv : op->axis())
+            declare(iv);
+        for (const auto &iv : op->reduceAxis())
+            declare(iv);
+    }
+
+    /** The innermost statement: out[...] += body. */
+    void
+    emitBody(int depth)
+    {
+        emitOriginalVars(depth);
+        indent(depth);
+        oss << "out[";
+        auto strides = stridesOf(op->outputShape());
+        for (size_t d = 0; d < op->axis().size(); ++d) {
+            if (d)
+                oss << " + ";
+            oss << sanitize(op->axis()[d]->name);
+            if (strides[d] != 1)
+                oss << " * " << strides[d];
+        }
+        if (op->axis().empty())
+            oss << "0";
+        oss << "] += ";
+        emitExpr(oss, op->body(), names);
+        oss << ";\n";
+    }
+
+    void
+    emitZeroInit(int depth)
+    {
+        int64_t numel = 1;
+        for (int64_t d : op->outputShape())
+            numel *= d;
+        indent(depth);
+        oss << "for (int64_t z = 0; z < " << numel << "; ++z)\n";
+        indent(depth + 1);
+        oss << "out[z] = 0.0f;\n";
+    }
+
+    std::string
+    signature(const std::string &func_name) const
+    {
+        std::ostringstream sig;
+        sig << "void " << sanitize(func_name) << "(";
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            sig << "const float *restrict "
+                << names.params.at(inputs[i].op().get()) << ", ";
+        }
+        sig << "float *restrict out)";
+        return sig.str();
+    }
+};
+
+} // namespace
+
+std::vector<Tensor>
+kernelInputs(const LoopNest &nest)
+{
+    FT_ASSERT(nest.op != nullptr, "codegen on empty nest");
+    return nest.op->inputs();
+}
+
+std::string
+emitC(const LoopNest &nest, const std::string &func_name)
+{
+    Emitter e(nest);
+    auto &oss = e.oss;
+    oss << "// Generated by FlexTensor (CPU schedule)\n"
+        << "#include <math.h>\n"
+        << "#include <stdint.h>\n"
+        << "#define FT_MOD(a, b) (((a) % (b) + (b)) % (b))\n\n"
+        << e.signature(func_name) << "\n{\n";
+    e.emitZeroInit(1);
+
+    int depth = 1;
+    // Collapse leading Parallel loops into one pragma.
+    int parallel_run = 0;
+    while (parallel_run < static_cast<int>(nest.loops.size()) &&
+           nest.loops[parallel_run].anno == LoopAnno::Parallel) {
+        ++parallel_run;
+    }
+    for (size_t d = 0; d < nest.loops.size(); ++d) {
+        const SubLoop &l = nest.loops[d];
+        if (d == 0 && parallel_run > 0) {
+            e.indent(depth);
+            oss << "#pragma omp parallel for";
+            if (parallel_run > 1)
+                oss << " collapse(" << parallel_run << ")";
+            oss << "\n";
+        }
+        if (l.anno == LoopAnno::Vectorize) {
+            e.indent(depth);
+            oss << "#pragma omp simd\n";
+        } else if (l.anno == LoopAnno::Unroll) {
+            e.indent(depth);
+            oss << "#pragma GCC unroll " << l.extent << "\n";
+        }
+        e.indent(depth);
+        oss << "for (int64_t " << e.loopVar(d) << " = 0; " << e.loopVar(d)
+            << " < " << l.extent << "; ++" << e.loopVar(d) << ") {"
+            << "  // " << l.name << "\n";
+        ++depth;
+    }
+    e.emitBody(depth);
+    for (size_t d = nest.loops.size(); d-- > 0;) {
+        --depth;
+        e.indent(depth);
+        oss << "}\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+std::string
+emitCuda(const LoopNest &nest, const std::string &func_name)
+{
+    Emitter e(nest);
+    auto &oss = e.oss;
+    oss << "// Generated by FlexTensor (GPU schedule, illustrative)\n"
+        << "#define FT_MOD(a, b) (((a) % (b) + (b)) % (b))\n"
+        << "#define fminf min\n#define fmaxf max\n\n"
+        << "__global__ void " << sanitize(func_name) << "(";
+    for (size_t i = 0; i < e.inputs.size(); ++i) {
+        oss << "const float *__restrict__ "
+            << e.names.params.at(e.inputs[i].op().get()) << ", ";
+    }
+    oss << "float *__restrict__ out)\n{\n";
+
+    // Decompose blockIdx.x / threadIdx.x over the bound loops
+    // (innermost bound loop varies fastest).
+    auto decompose = [&](LoopAnno anno, const char *source,
+                         const char *alias) {
+        e.indent(1);
+        oss << "int64_t rem_" << alias << " = " << source << ";\n";
+        for (size_t d = nest.loops.size(); d-- > 0;) {
+            const SubLoop &l = nest.loops[d];
+            if (l.anno != anno)
+                continue;
+            e.indent(1);
+            oss << "const int64_t " << e.loopVar(d) << " = rem_" << alias
+                << " % " << l.extent << "; rem_" << alias << " /= "
+                << l.extent << ";  // " << l.name << "\n";
+        }
+    };
+    decompose(LoopAnno::BlockX, "blockIdx.x", "b");
+    decompose(LoopAnno::ThreadX, "threadIdx.x", "t");
+    if (nest.extentOf(LoopAnno::VThread) > 1) {
+        e.indent(1);
+        oss << "// virtual threads unrolled below\n";
+    }
+    e.indent(1);
+    oss << "// shared-memory staging of the input tiles elided; see\n";
+    e.indent(1);
+    oss << "// NestFeatures::sharedBytesPerBlock for the tile size\n";
+    e.indent(1);
+    oss << "float acc = 0.0f;\n";
+
+    int depth = 1;
+    std::vector<size_t> serial;
+    for (size_t d = 0; d < nest.loops.size(); ++d) {
+        const SubLoop &l = nest.loops[d];
+        if (l.anno == LoopAnno::BlockX || l.anno == LoopAnno::ThreadX)
+            continue;
+        if (l.anno == LoopAnno::Unroll) {
+            e.indent(depth);
+            oss << "#pragma unroll\n";
+        }
+        e.indent(depth);
+        oss << "for (int64_t " << e.loopVar(d) << " = 0; " << e.loopVar(d)
+            << " < " << l.extent << "; ++" << e.loopVar(d) << ") {"
+            << "  // " << l.name << "\n";
+        serial.push_back(d);
+        ++depth;
+    }
+    e.emitOriginalVars(depth);
+    e.indent(depth);
+    oss << "acc += ";
+    emitExpr(oss, e.op->body(), e.names);
+    oss << ";\n";
+    for (size_t i = serial.size(); i-- > 0;) {
+        --depth;
+        e.indent(depth);
+        oss << "}\n";
+    }
+    // Store: in a real kernel the accumulator tile is written per thread;
+    // here we emit the canonical single-point store for readability.
+    e.indent(1);
+    oss << "// per-thread register tile written back:\n";
+    e.indent(1);
+    oss << "out[0] = acc; // placeholder store, see emitC for exact "
+           "indexing\n";
+    oss << "}\n";
+    return oss.str();
+}
+
+std::string
+emitHls(const LoopNest &nest, const std::string &func_name)
+{
+    Emitter e(nest);
+    auto &oss = e.oss;
+    oss << "// Generated by FlexTensor (FPGA three-stage design, "
+           "illustrative)\n"
+        << "#define FT_MOD(a, b) (((a) % (b) + (b)) % (b))\n\n"
+        << e.signature(func_name) << "\n{\n";
+    e.indent(1);
+    oss << "#pragma HLS dataflow  // read -> compute -> write pipeline\n";
+    e.emitZeroInit(1);
+
+    int depth = 1;
+    for (size_t d = 0; d < nest.loops.size(); ++d) {
+        const SubLoop &l = nest.loops[d];
+        e.indent(depth);
+        oss << "for (int64_t " << e.loopVar(d) << " = 0; " << e.loopVar(d)
+            << " < " << l.extent << "; ++" << e.loopVar(d) << ") {"
+            << "  // " << l.name << "\n";
+        ++depth;
+        if (l.anno == LoopAnno::PE) {
+            e.indent(depth);
+            oss << "#pragma HLS unroll  // spatial PE replication\n";
+        } else if (l.origin->kind == IterKind::Reduce && l.level != 0) {
+            e.indent(depth);
+            oss << "#pragma HLS pipeline II=1\n";
+        }
+    }
+    e.emitBody(depth);
+    for (size_t d = nest.loops.size(); d-- > 0;) {
+        --depth;
+        e.indent(depth);
+        oss << "}\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace ft

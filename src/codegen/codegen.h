@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Code generation from scheduled loop nests.
+ *
+ * The paper's pipeline ends in low-level code generation (it reuses TVM
+ * for CPU/GPU and extends it to FPGAs). This module provides the same
+ * final stage for this reproduction:
+ *
+ *  - emitC: a *compilable* C99 kernel for CPU schedules, with OpenMP
+ *    parallel/simd and unroll pragmas reflecting the loop annotations.
+ *    The end-to-end test compiles the emitted code with the system
+ *    compiler, loads it with dlopen, and checks it against the reference
+ *    executor.
+ *  - emitCuda: CUDA-style source for GPU schedules (block/thread binding
+ *    made explicit). Illustrative: this environment has no GPU compiler,
+ *    so it is validated structurally, not executed.
+ *  - emitHls: HLS-style C++ for the FPGA three-stage design with
+ *    pipeline/unroll/array-partition pragmas. Also illustrative.
+ *
+ * Signature convention for emitted kernels:
+ *   void NAME(const float* in0, ..., const float* inN, float* out);
+ * where in0..inN are the anchor's input tensors in graph post-order.
+ */
+#ifndef FLEXTENSOR_CODEGEN_CODEGEN_H
+#define FLEXTENSOR_CODEGEN_CODEGEN_H
+
+#include <string>
+#include <vector>
+
+#include "schedule/loop_nest.h"
+
+namespace ft {
+
+/** Parameter-order contract of an emitted kernel. */
+std::vector<Tensor> kernelInputs(const LoopNest &nest);
+
+/** Emit a compilable C99+OpenMP kernel for a CPU schedule. */
+std::string emitC(const LoopNest &nest, const std::string &func_name);
+
+/** Emit CUDA-style source for a GPU schedule (illustrative). */
+std::string emitCuda(const LoopNest &nest, const std::string &func_name);
+
+/** Emit HLS-style C++ for an FPGA schedule (illustrative). */
+std::string emitHls(const LoopNest &nest, const std::string &func_name);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_CODEGEN_CODEGEN_H

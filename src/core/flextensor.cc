@@ -1,0 +1,11 @@
+#include "core/flextensor.h"
+
+namespace ft {
+
+const char *
+version()
+{
+    return "1.0.0";
+}
+
+} // namespace ft

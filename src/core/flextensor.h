@@ -1,0 +1,52 @@
+/**
+ * @file
+ * FlexTensor public API.
+ *
+ * A single include exposing the full workflow of the paper:
+ *
+ *   1. Describe a tensor computation with placeholder() / compute() or one
+ *      of the ready-made operators in ops/ops.h (Table 1).
+ *   2. Pick a target device (Target::forGpu / forCpu / forFpga with the
+ *      specs from sim/hw_spec.h).
+ *   3. Call ft::tune() — FlexTensor analyzes the computation, generates
+ *      and prunes the schedule space, explores it with the combined
+ *      simulated-annealing + Q-learning method, and returns the best
+ *      schedule with its modeled performance.
+ *   4. Optionally execute the schedule functionally with
+ *      exec/interpreter.h to validate results against exec/reference.h.
+ *
+ * Example:
+ * @code
+ *   Tensor a = ft::placeholder("A", {1024, 1024});
+ *   Tensor b = ft::placeholder("B", {1024, 1024});
+ *   Tensor c = ft::ops::gemm(a, b);
+ *   ft::TuneReport report = ft::tune(c, ft::Target::forGpu(ft::v100()));
+ * @endcode
+ */
+#ifndef FLEXTENSOR_CORE_FLEXTENSOR_H
+#define FLEXTENSOR_CORE_FLEXTENSOR_H
+
+#include "analysis/flops.h"
+#include "analysis/static_analyzer.h"
+#include "exec/interpreter.h"
+#include "exec/reference.h"
+#include "explore/tuner.h"
+#include "ir/graph.h"
+#include "ir/operation.h"
+#include "ir/printer.h"
+#include "ops/ops.h"
+#include "ops/shapes.h"
+#include "schedule/generator.h"
+#include "sim/hw_spec.h"
+#include "sim/library_model.h"
+#include "sim/perf_model.h"
+#include "space/builder.h"
+
+namespace ft {
+
+/** Library version string. */
+const char *version();
+
+} // namespace ft
+
+#endif // FLEXTENSOR_CORE_FLEXTENSOR_H

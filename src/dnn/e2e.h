@@ -1,0 +1,57 @@
+/**
+ * @file
+ * End-to-end network scheduling (Section 6.6 and Algorithm 1).
+ *
+ * Every fused operator is tuned bottom-up with the chosen exploration
+ * method; unschedulable data-movement layers (pooling) are charged their
+ * bandwidth cost; fused elementwise epilogues are free, while the unfused
+ * ablation pays one memory round trip per epilogue op.
+ */
+#ifndef FLEXTENSOR_DNN_E2E_H
+#define FLEXTENSOR_DNN_E2E_H
+
+#include "dnn/models.h"
+#include "explore/tuner.h"
+
+namespace ft {
+
+/** Per-layer outcome of end-to-end scheduling. */
+struct LayerReport
+{
+    std::string name;
+    double seconds = 0.0;
+    double gflops = 0.0;
+    bool tuned = false; ///< false for bandwidth-bound layers
+};
+
+/** Whole-network outcome. */
+struct NetworkReport
+{
+    std::string network;
+    std::string device;
+    double totalSeconds = 0.0;
+    double simExploreSeconds = 0.0;
+    std::vector<LayerReport> layers;
+};
+
+/** Options for end-to-end scheduling. */
+struct E2eOptions
+{
+    Method method = Method::QMethod;
+    ExploreOptions explore;
+    bool fuseElementwise = true; ///< ablation: pay epilogue round trips
+    /**
+     * Optional tuning cache shared across layers. Networks repeat layer
+     * shapes (YOLO-v1's block 4 contains four identical conv pairs), so
+     * repeated layers are served without re-exploration.
+     */
+    TuningCache *cache = nullptr;
+};
+
+/** Tune every layer of a network and accumulate predicted runtime. */
+NetworkReport scheduleNetwork(const Network &net, const Target &target,
+                              const E2eOptions &options = {});
+
+} // namespace ft
+
+#endif // FLEXTENSOR_DNN_E2E_H

@@ -1,0 +1,114 @@
+#include "dnn/models.h"
+
+namespace ft {
+
+namespace {
+
+LayerSpec
+conv(std::string name, int64_t k, int64_t kernel, int64_t stride = 1)
+{
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::Conv;
+    l.name = std::move(name);
+    l.outChannels = k;
+    l.kernel = kernel;
+    l.stride = stride;
+    l.padding = kernel / 2;
+    return l;
+}
+
+LayerSpec
+pool(std::string name, int64_t kernel = 2, int64_t stride = 2)
+{
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::MaxPool;
+    l.name = std::move(name);
+    l.kernel = kernel;
+    l.stride = stride;
+    return l;
+}
+
+LayerSpec
+dense(std::string name, int64_t units, bool relu = true)
+{
+    LayerSpec l;
+    l.kind = LayerSpec::Kind::Dense;
+    l.name = std::move(name);
+    l.units = units;
+    l.relu = relu;
+    return l;
+}
+
+} // namespace
+
+Network
+yoloV1(int64_t batch)
+{
+    Network net;
+    net.name = "YOLO-v1";
+    net.inputShape = {batch, 3, 448, 448};
+    auto &L = net.layers;
+
+    // Block 1.
+    L.push_back(conv("conv1", 64, 7, 2));
+    L.push_back(pool("pool1"));
+    // Block 2.
+    L.push_back(conv("conv2", 192, 3));
+    L.push_back(pool("pool2"));
+    // Block 3.
+    L.push_back(conv("conv3", 128, 1));
+    L.push_back(conv("conv4", 256, 3));
+    L.push_back(conv("conv5", 256, 1));
+    L.push_back(conv("conv6", 512, 3));
+    L.push_back(pool("pool3"));
+    // Block 4: four (1x1x256, 3x3x512) pairs, then 1x1x512, 3x3x1024.
+    for (int i = 0; i < 4; ++i) {
+        L.push_back(conv("conv" + std::to_string(7 + 2 * i), 256, 1));
+        L.push_back(conv("conv" + std::to_string(8 + 2 * i), 512, 3));
+    }
+    L.push_back(conv("conv15", 512, 1));
+    L.push_back(conv("conv16", 1024, 3));
+    L.push_back(pool("pool4"));
+    // Block 5: two (1x1x512, 3x3x1024) pairs, 3x3x1024, 3x3x1024 s2.
+    for (int i = 0; i < 2; ++i) {
+        L.push_back(conv("conv" + std::to_string(17 + 2 * i), 512, 1));
+        L.push_back(conv("conv" + std::to_string(18 + 2 * i), 1024, 3));
+    }
+    L.push_back(conv("conv21", 1024, 3));
+    L.push_back(conv("conv22", 1024, 3, 2));
+    // Block 6.
+    L.push_back(conv("conv23", 1024, 3));
+    L.push_back(conv("conv24", 1024, 3));
+    // Head.
+    L.push_back(dense("fc1", 4096));
+    L.push_back(dense("fc2", 1470, /*relu=*/false));
+    return net;
+}
+
+Network
+overFeat(int64_t batch)
+{
+    Network net;
+    net.name = "OverFeat";
+    net.inputShape = {batch, 3, 231, 231};
+    auto &L = net.layers;
+
+    LayerSpec c1 = conv("conv1", 96, 11, 4);
+    c1.padding = 0;
+    L.push_back(c1);
+    L.push_back(pool("pool1"));
+    LayerSpec c2 = conv("conv2", 256, 5);
+    c2.padding = 0;
+    L.push_back(c2);
+    L.push_back(pool("pool2"));
+    L.push_back(conv("conv3", 512, 3));
+    L.push_back(conv("conv4", 1024, 3));
+    L.push_back(conv("conv5", 1024, 3));
+    L.push_back(pool("pool3"));
+    L.push_back(dense("fc1", 3072));
+    L.push_back(dense("fc2", 4096));
+    L.push_back(dense("fc3", 1000, /*relu=*/false));
+    return net;
+}
+
+} // namespace ft

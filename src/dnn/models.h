@@ -1,0 +1,22 @@
+/**
+ * @file
+ * The two real-world DNNs of Section 6.6: YOLO-v1 (24 convolution layers,
+ * 30 layers total) and OverFeat-fast (5 convolution layers, 8 total),
+ * both at batch size 1.
+ */
+#ifndef FLEXTENSOR_DNN_MODELS_H
+#define FLEXTENSOR_DNN_MODELS_H
+
+#include "dnn/network.h"
+
+namespace ft {
+
+/** YOLO-v1 detection network (Redmon et al. 2016), 448x448 input. */
+Network yoloV1(int64_t batch = 1);
+
+/** OverFeat fast model (Sermanet et al. 2014), 231x231 input. */
+Network overFeat(int64_t batch = 1);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_DNN_MODELS_H

@@ -1,0 +1,112 @@
+#include "dnn/network.h"
+
+#include "ops/ops.h"
+#include "support/logging.h"
+
+namespace ft {
+
+int
+Network::numConvLayers() const
+{
+    int n = 0;
+    for (const auto &l : layers)
+        n += l.kind == LayerSpec::Kind::Conv;
+    return n;
+}
+
+std::vector<std::vector<int64_t>>
+layerShapes(const Network &net)
+{
+    std::vector<std::vector<int64_t>> shapes;
+    std::vector<int64_t> cur = net.inputShape;
+    FT_ASSERT(cur.size() == 4, "network input must be NCHW");
+    for (const auto &l : net.layers) {
+        switch (l.kind) {
+          case LayerSpec::Kind::Conv: {
+            int64_t oh =
+                (cur[2] + 2 * l.padding - l.kernel) / l.stride + 1;
+            int64_t ow =
+                (cur[3] + 2 * l.padding - l.kernel) / l.stride + 1;
+            cur = {cur[0], l.outChannels, oh, ow};
+            break;
+          }
+          case LayerSpec::Kind::MaxPool: {
+            int64_t oh = (cur[2] - l.kernel) / l.stride + 1;
+            int64_t ow = (cur[3] - l.kernel) / l.stride + 1;
+            cur = {cur[0], cur[1], oh, ow};
+            break;
+          }
+          case LayerSpec::Kind::Dense: {
+            int64_t features = cur.size() == 4 ? cur[1] * cur[2] * cur[3]
+                                               : cur[1];
+            cur = {cur[0], l.units};
+            (void)features;
+            break;
+          }
+        }
+        shapes.push_back(cur);
+    }
+    return shapes;
+}
+
+std::vector<FusedOp>
+partitionAndFuse(const Network &net)
+{
+    std::vector<FusedOp> out;
+    std::vector<int64_t> cur = net.inputShape;
+    FT_ASSERT(cur.size() == 4, "network input must be NCHW");
+
+    for (const auto &l : net.layers) {
+        switch (l.kind) {
+          case LayerSpec::Kind::Conv: {
+            Tensor input = placeholder(l.name + ".in", cur);
+            Tensor weight = placeholder(
+                l.name + ".w", {l.outChannels, cur[1], l.kernel, l.kernel});
+            ops::ConvParams p;
+            p.stride = l.stride;
+            p.padding = l.padding;
+            Tensor conv = ops::conv2d(input, weight, p);
+
+            FusedOp fused;
+            fused.name = l.name;
+            fused.output = conv;
+            fused.fusedElementwise = (l.bias ? 1 : 0) + (l.relu ? 1 : 0);
+            fused.outputBytes = conv.numel() * 4;
+            out.push_back(std::move(fused));
+            cur = conv.shape();
+            break;
+          }
+          case LayerSpec::Kind::MaxPool: {
+            Tensor input = placeholder(l.name + ".in", cur);
+            Tensor pooled = ops::maxPool2d(input, l.kernel, l.stride);
+            FusedOp fused;
+            fused.name = l.name;
+            fused.output = pooled;
+            fused.outputBytes = pooled.numel() * 4;
+            fused.schedulable = false; // bandwidth-bound data movement
+            out.push_back(std::move(fused));
+            cur = pooled.shape();
+            break;
+          }
+          case LayerSpec::Kind::Dense: {
+            int64_t features = cur.size() == 4 ? cur[1] * cur[2] * cur[3]
+                                               : cur[1];
+            Tensor input = placeholder(l.name + ".in", {cur[0], features});
+            Tensor weight =
+                placeholder(l.name + ".w", {l.units, features});
+            Tensor dense = ops::dense(input, weight);
+            FusedOp fused;
+            fused.name = l.name;
+            fused.output = dense;
+            fused.fusedElementwise = (l.bias ? 1 : 0) + (l.relu ? 1 : 0);
+            fused.outputBytes = dense.numel() * 4;
+            out.push_back(std::move(fused));
+            cur = {cur[0], l.units};
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+} // namespace ft

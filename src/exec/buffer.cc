@@ -1,0 +1,150 @@
+#include "exec/buffer.h"
+
+#include <algorithm>
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace ft {
+
+Buffer::Buffer(const Operation &op)
+    : shape_(op->outputShape())
+{
+    int64_t n = 1;
+    strides_.assign(shape_.size(), 1);
+    for (size_t d = shape_.size(); d-- > 0;) {
+        strides_[d] = n;
+        n *= shape_[d];
+    }
+    data_.assign(static_cast<size_t>(n), 0.0f);
+}
+
+int64_t
+Buffer::offsetOf(const std::vector<int64_t> &indices) const
+{
+    FT_ASSERT(indices.size() == shape_.size(), "index rank mismatch");
+    int64_t off = 0;
+    for (size_t d = 0; d < indices.size(); ++d) {
+        FT_ASSERT(indices[d] >= 0 && indices[d] < shape_[d],
+                  "index out of range in dim ", d, ": ", indices[d],
+                  " not in [0, ", shape_[d], ")");
+        off += indices[d] * strides_[d];
+    }
+    return off;
+}
+
+float &
+Buffer::at(const std::vector<int64_t> &indices)
+{
+    return data_[static_cast<size_t>(offsetOf(indices))];
+}
+
+float
+Buffer::at(const std::vector<int64_t> &indices) const
+{
+    return data_[static_cast<size_t>(offsetOf(indices))];
+}
+
+void
+Buffer::fillRandom(Rng &rng)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+void
+Buffer::fill(float value)
+{
+    for (auto &v : data_)
+        v = value;
+}
+
+int64_t
+evalIndexExpr(const Expr &e, const VarVals &vals)
+{
+    switch (e->kind) {
+      case ExprKind::IntImm:
+        return e->intValue;
+      case ExprKind::Var: {
+        auto it = vals.find(e->var.get());
+        FT_ASSERT(it != vals.end(), "unbound variable ", e->var->name);
+        return it->second;
+      }
+      case ExprKind::Add:
+        return evalIndexExpr(e->a, vals) + evalIndexExpr(e->b, vals);
+      case ExprKind::Sub:
+        return evalIndexExpr(e->a, vals) - evalIndexExpr(e->b, vals);
+      case ExprKind::Mul:
+        return evalIndexExpr(e->a, vals) * evalIndexExpr(e->b, vals);
+      case ExprKind::Div:
+        return evalIndexExpr(e->a, vals) / evalIndexExpr(e->b, vals);
+      case ExprKind::Mod: {
+        int64_t b = evalIndexExpr(e->b, vals);
+        int64_t r = evalIndexExpr(e->a, vals) % b;
+        return r < 0 ? r + b : r;
+      }
+      case ExprKind::Min:
+        return std::min(evalIndexExpr(e->a, vals),
+                        evalIndexExpr(e->b, vals));
+      case ExprKind::Max:
+        return std::max(evalIndexExpr(e->a, vals),
+                        evalIndexExpr(e->b, vals));
+      case ExprKind::CmpLT:
+        return evalIndexExpr(e->a, vals) < evalIndexExpr(e->b, vals);
+      case ExprKind::CmpLE:
+        return evalIndexExpr(e->a, vals) <= evalIndexExpr(e->b, vals);
+      case ExprKind::CmpEQ:
+        return evalIndexExpr(e->a, vals) == evalIndexExpr(e->b, vals);
+      case ExprKind::And:
+        return evalIndexExpr(e->a, vals) && evalIndexExpr(e->b, vals);
+      case ExprKind::Or:
+        return evalIndexExpr(e->a, vals) || evalIndexExpr(e->b, vals);
+      default:
+        panic("evalIndexExpr on float-typed node");
+    }
+}
+
+float
+evalFloatExpr(const Expr &e, const VarVals &vals, const BufferMap &buffers)
+{
+    switch (e->kind) {
+      case ExprKind::FloatImm:
+        return static_cast<float>(e->floatValue);
+      case ExprKind::IntImm:
+        return static_cast<float>(e->intValue);
+      case ExprKind::Add:
+        return evalFloatExpr(e->a, vals, buffers) +
+               evalFloatExpr(e->b, vals, buffers);
+      case ExprKind::Sub:
+        return evalFloatExpr(e->a, vals, buffers) -
+               evalFloatExpr(e->b, vals, buffers);
+      case ExprKind::Mul:
+        return evalFloatExpr(e->a, vals, buffers) *
+               evalFloatExpr(e->b, vals, buffers);
+      case ExprKind::Div:
+        return evalFloatExpr(e->a, vals, buffers) /
+               evalFloatExpr(e->b, vals, buffers);
+      case ExprKind::Min:
+        return std::min(evalFloatExpr(e->a, vals, buffers),
+                        evalFloatExpr(e->b, vals, buffers));
+      case ExprKind::Max:
+        return std::max(evalFloatExpr(e->a, vals, buffers),
+                        evalFloatExpr(e->b, vals, buffers));
+      case ExprKind::Select:
+        return evalIndexExpr(e->a, vals)
+                   ? evalFloatExpr(e->b, vals, buffers)
+                   : evalFloatExpr(e->c, vals, buffers);
+      case ExprKind::Access: {
+        auto it = buffers.find(e->source.get());
+        FT_ASSERT(it != buffers.end(), "access to unmaterialized tensor ",
+                  e->source->name());
+        std::vector<int64_t> idx(e->indices.size());
+        for (size_t d = 0; d < e->indices.size(); ++d)
+            idx[d] = evalIndexExpr(e->indices[d], vals);
+        return it->second.at(idx);
+      }
+      default:
+        panic("evalFloatExpr on integer-typed node");
+    }
+}
+
+} // namespace ft

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dense fp32 buffers backing tensors during functional execution.
+ */
+#ifndef FLEXTENSOR_EXEC_BUFFER_H
+#define FLEXTENSOR_EXEC_BUFFER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/operation.h"
+
+namespace ft {
+
+class Rng;
+
+/** Row-major dense fp32 storage for one operation's output. */
+class Buffer
+{
+  public:
+    Buffer() = default;
+
+    /** Allocate zero-initialized storage for an operation's output. */
+    explicit Buffer(const Operation &op);
+
+    /** Element count. */
+    int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+    /** Flat element access. */
+    float &operator[](int64_t i) { return data_[i]; }
+    float operator[](int64_t i) const { return data_[i]; }
+
+    /** Multi-dimensional access; indices must be in range. */
+    float &at(const std::vector<int64_t> &indices);
+    float at(const std::vector<int64_t> &indices) const;
+
+    /** Flatten a multi-index to the row-major offset. */
+    int64_t offsetOf(const std::vector<int64_t> &indices) const;
+
+    /** Fill with uniform values in [-1, 1). */
+    void fillRandom(Rng &rng);
+
+    /** Set every element to the given value. */
+    void fill(float value);
+
+    const std::vector<int64_t> &shape() const { return shape_; }
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+  private:
+    std::vector<int64_t> shape_;
+    std::vector<int64_t> strides_;
+    std::vector<float> data_;
+};
+
+/** Buffers keyed by producing operation. */
+using BufferMap = std::unordered_map<const OperationNode *, Buffer>;
+
+/** Current integer values of original iteration variables. */
+using VarVals = std::unordered_map<const IterVarNode *, int64_t>;
+
+/**
+ * Evaluate a scalar (float-typed) expression. Accesses read from
+ * `buffers`; select conditions short-circuit so the untaken branch is never
+ * evaluated (out-of-range padding reads are therefore safe).
+ */
+float evalFloatExpr(const Expr &e, const VarVals &vals,
+                    const BufferMap &buffers);
+
+/** Evaluate an integer (index/predicate) expression. */
+int64_t evalIndexExpr(const Expr &e, const VarVals &vals);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_EXEC_BUFFER_H

@@ -1,0 +1,107 @@
+#include "exec/interpreter.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/logging.h"
+
+namespace ft {
+
+namespace {
+
+/** Serial recursion over loops [depth, end), accumulating into `out`. */
+void
+runSerial(const std::vector<SubLoop> &loops, size_t depth,
+          const ComputeOp *op, VarVals &vals, std::vector<int64_t> &idx,
+          Buffer &out, const BufferMap &buffers)
+{
+    if (depth == loops.size()) {
+        for (size_t d = 0; d < op->axis().size(); ++d)
+            idx[d] = vals[op->axis()[d].get()];
+        out.at(idx) += evalFloatExpr(op->body(), vals, buffers);
+        return;
+    }
+    const SubLoop &l = loops[depth];
+    int64_t &slot = vals[l.origin];
+    const int64_t base = slot;
+    for (int64_t v = 0; v < l.extent; ++v) {
+        slot = base + v * l.stride;
+        runSerial(loops, depth + 1, op, vals, idx, out, buffers);
+    }
+    slot = base;
+}
+
+} // namespace
+
+void
+runScheduled(const LoopNest &nest, BufferMap &buffers, int num_threads)
+{
+    FT_ASSERT(num_threads >= 1, "need at least one worker thread");
+    FT_ASSERT(!nest.op->isPlaceholder(), "cannot run a placeholder");
+    const auto *op = static_cast<const ComputeOp *>(nest.op.get());
+    for (const Tensor &in : op->inputs()) {
+        FT_ASSERT(buffers.count(in.op().get()),
+                  "input ", in.name(), " not materialized");
+    }
+
+    Buffer out(nest.op);
+
+    // Leading Parallel/BlockX loops form the multi-threaded prefix; they
+    // are always splits of spatial axes, so worker outputs are disjoint.
+    size_t prefix = 0;
+    int64_t prefix_size = 1;
+    while (prefix < nest.loops.size()) {
+        LoopAnno a = nest.loops[prefix].anno;
+        if (a != LoopAnno::Parallel && a != LoopAnno::BlockX)
+            break;
+        FT_ASSERT(nest.loops[prefix].origin->kind == IterKind::Spatial,
+                  "parallel loop must come from a spatial axis");
+        prefix_size *= nest.loops[prefix].extent;
+        ++prefix;
+    }
+
+    auto run_chunk = [&](int64_t begin, int64_t end) {
+        VarVals vals;
+        for (const auto &iv : op->axis())
+            vals[iv.get()] = 0;
+        for (const auto &iv : op->reduceAxis())
+            vals[iv.get()] = 0;
+        std::vector<int64_t> idx(op->axis().size());
+        for (int64_t flat = begin; flat < end; ++flat) {
+            // Decode the flat prefix index into per-loop values.
+            int64_t rest = flat;
+            for (const auto &iv : op->axis())
+                vals[iv.get()] = 0;
+            for (size_t d = prefix; d-- > 0;) {
+                const SubLoop &l = nest.loops[d];
+                int64_t v = rest % l.extent;
+                rest /= l.extent;
+                vals[l.origin] += v * l.stride;
+            }
+            runSerial(nest.loops, prefix, op, vals, idx, out, buffers);
+        }
+    };
+
+    if (num_threads == 1 || prefix_size == 1) {
+        run_chunk(0, prefix_size);
+    } else {
+        int workers = static_cast<int>(
+            std::min<int64_t>(num_threads, prefix_size));
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        int64_t chunk = (prefix_size + workers - 1) / workers;
+        for (int t = 0; t < workers; ++t) {
+            int64_t begin = t * chunk;
+            int64_t end = std::min<int64_t>(begin + chunk, prefix_size);
+            if (begin >= end)
+                break;
+            pool.emplace_back(run_chunk, begin, end);
+        }
+        for (auto &th : pool)
+            th.join();
+    }
+
+    buffers[nest.op.get()] = std::move(out);
+}
+
+} // namespace ft

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Interpreter for scheduled (transformed) loop nests.
+ *
+ * Executes the sub-loops exactly in the transformed order, reconstructing
+ * original indices from the split strides. Parallel-annotated outer loops
+ * are distributed over real worker threads (their iteration spaces cover
+ * disjoint output regions, so no synchronization is needed beyond join).
+ *
+ * This is the functional-correctness half of the evaluation story: the
+ * analytical models in sim/ predict performance, while this interpreter
+ * proves every explored schedule computes the same tensor as the reference.
+ */
+#ifndef FLEXTENSOR_EXEC_INTERPRETER_H
+#define FLEXTENSOR_EXEC_INTERPRETER_H
+
+#include "exec/buffer.h"
+#include "schedule/loop_nest.h"
+
+namespace ft {
+
+/**
+ * Execute a scheduled nest. Inputs of the node must be materialized in
+ * `buffers`; the node's output buffer is (re)created there.
+ *
+ * @param nest the transformed loop nest to run
+ * @param buffers materialized operand buffers
+ * @param num_threads worker threads for Parallel/BlockX loops (>= 1)
+ */
+void runScheduled(const LoopNest &nest, BufferMap &buffers,
+                  int num_threads = 1);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_EXEC_INTERPRETER_H

@@ -1,0 +1,98 @@
+#include "exec/reference.h"
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace ft {
+
+BufferMap
+makeRandomInputs(const MiniGraph &graph, Rng &rng)
+{
+    BufferMap buffers;
+    for (const auto &op : graph.postOrder()) {
+        if (!op->isPlaceholder())
+            continue;
+        Buffer buf(op);
+        buf.fillRandom(rng);
+        buffers.emplace(op.get(), std::move(buf));
+    }
+    return buffers;
+}
+
+namespace {
+
+/** Recurse over `axes` assigning every combination, then call fn. */
+void
+forEachPoint(const std::vector<IterVar> &axes, size_t depth, VarVals &vals,
+             const std::function<void()> &fn)
+{
+    if (depth == axes.size()) {
+        fn();
+        return;
+    }
+    const IterVar &iv = axes[depth];
+    int64_t &slot = vals[iv.get()];
+    for (int64_t v = 0; v < iv->extent; ++v) {
+        slot = v;
+        forEachPoint(axes, depth + 1, vals, fn);
+    }
+}
+
+} // namespace
+
+void
+runNodeReference(const Operation &op, BufferMap &buffers)
+{
+    FT_ASSERT(!op->isPlaceholder(), "reference execution of placeholder");
+    const auto *c = static_cast<const ComputeOp *>(op.get());
+
+    Buffer out(op);
+    VarVals vals;
+    std::vector<int64_t> idx(c->axis().size());
+
+    forEachPoint(c->axis(), 0, vals, [&] {
+        for (size_t d = 0; d < c->axis().size(); ++d)
+            idx[d] = vals[c->axis()[d].get()];
+        if (c->reduceAxis().empty()) {
+            out.at(idx) = evalFloatExpr(c->body(), vals, buffers);
+            return;
+        }
+        float acc = 0.0f;
+        forEachPoint(c->reduceAxis(), 0, vals, [&] {
+            acc += evalFloatExpr(c->body(), vals, buffers);
+        });
+        out.at(idx) = acc;
+    });
+    buffers[op.get()] = std::move(out);
+}
+
+void
+materializeConstants(const MiniGraph &graph, BufferMap &buffers)
+{
+    for (const auto &op : graph.postOrder()) {
+        if (!op->isConstant() || buffers.count(op.get()))
+            continue;
+        const auto *c = static_cast<const ConstantOp *>(op.get());
+        Buffer buf(op);
+        buf.data() = c->data();
+        buffers.emplace(op.get(), std::move(buf));
+    }
+}
+
+void
+runGraphReference(const MiniGraph &graph, BufferMap &buffers)
+{
+    materializeConstants(graph, buffers);
+    for (const auto &op : graph.postOrder()) {
+        if (op->isPlaceholder()) {
+            FT_ASSERT(buffers.count(op.get()),
+                      "placeholder ", op->name(), " has no data");
+            continue;
+        }
+        if (op->isConstant())
+            continue;
+        runNodeReference(op, buffers);
+    }
+}
+
+} // namespace ft

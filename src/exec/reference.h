@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Naive reference executor: the semantic gold standard.
+ *
+ * Executes every compute node of a mini-graph with plain nested loops in
+ * the original loop order. The scheduled interpreter is validated against
+ * this in the test suite.
+ */
+#ifndef FLEXTENSOR_EXEC_REFERENCE_H
+#define FLEXTENSOR_EXEC_REFERENCE_H
+
+#include "exec/buffer.h"
+#include "ir/graph.h"
+
+namespace ft {
+
+class Rng;
+
+/** Allocate buffers for all placeholders and fill them with random data. */
+BufferMap makeRandomInputs(const MiniGraph &graph, Rng &rng);
+
+/** Materialize every constant tensor of the graph into `buffers`. */
+void materializeConstants(const MiniGraph &graph, BufferMap &buffers);
+
+/**
+ * Execute one compute node with naive loops; inputs must already be
+ * materialized in `buffers`. The node's output buffer is (re)created.
+ */
+void runNodeReference(const Operation &op, BufferMap &buffers);
+
+/**
+ * Execute the whole graph in post order on top of the provided placeholder
+ * buffers. After the call every operation has a materialized buffer.
+ */
+void runGraphReference(const MiniGraph &graph, BufferMap &buffers);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_EXEC_REFERENCE_H

@@ -1,0 +1,77 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+
+#include "ml/gbt.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace ft {
+
+ExploreResult
+exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
+{
+    Rng rng(options.seed);
+    const ScheduleSpace &space = eval.space();
+
+    GbtModel model;
+    GbtOptions gbt_options;
+    std::vector<std::vector<double>> train_x;
+    std::vector<double> train_y;
+
+    const int batch = 8;         // measured configs per round
+    const int pool = 96;         // ranked candidates per round
+    const double model_overhead = 2.0; // seconds per round: fit + rank
+
+    int measured = 0;
+    while (measured < options.trials) {
+        if (options.targetGflops > 0.0 &&
+            eval.best() >= options.targetGflops) {
+            break;
+        }
+        // Candidate pool: random points ranked by the cost model (pure
+        // random before the model has data).
+        std::vector<Point> candidates;
+        for (int i = 0; i < pool; ++i) {
+            Point p = space.randomPoint(rng);
+            if (!eval.known(p))
+                candidates.push_back(std::move(p));
+        }
+        if (candidates.empty())
+            break;
+        if (model.trained()) {
+            std::stable_sort(candidates.begin(), candidates.end(),
+                             [&](const Point &a, const Point &b) {
+                                 return model.predict(space.features(a)) >
+                                        model.predict(space.features(b));
+                             });
+        }
+        // Epsilon-greedy batch: mostly top-ranked, some random.
+        int take = std::min<int>(batch, static_cast<int>(candidates.size()));
+        for (int i = 0; i < take && measured < options.trials; ++i) {
+            size_t pick = i;
+            if (rng.chance(options.epsilon))
+                pick = rng.index(candidates.size());
+            const Point &p = candidates[pick];
+            if (eval.known(p))
+                continue;
+            double gflops = eval.evaluate(p);
+            ++measured;
+            train_x.push_back(space.features(p));
+            train_y.push_back(gflops);
+        }
+        // Refit the cost model on everything measured so far.
+        model.fit(train_x, train_y, gbt_options, rng);
+        eval.chargeOverhead(model_overhead);
+    }
+
+    ExploreResult out;
+    out.bestPoint = eval.bestPoint();
+    out.bestGflops = eval.best();
+    out.trialsUsed = eval.numTrials();
+    out.simSeconds = eval.simulatedSeconds();
+    out.curve = eval.curve();
+    return out;
+}
+
+} // namespace ft

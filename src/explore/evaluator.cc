@@ -1,0 +1,65 @@
+#include "explore/evaluator.h"
+
+#include "support/logging.h"
+
+namespace ft {
+
+namespace {
+
+double
+defaultMeasureCost(const Target &target)
+{
+    // Section 5.2: compile+measure is <= 1 s on CPU/GPU; on FPGA a model
+    // query replaces hours of synthesis.
+    switch (target.kind) {
+      case DeviceKind::Gpu:
+        return 0.8;
+      case DeviceKind::Cpu:
+        return 1.0;
+      case DeviceKind::Fpga:
+        return 0.05;
+    }
+    return 1.0;
+}
+
+} // namespace
+
+Evaluator::Evaluator(Operation anchor, const ScheduleSpace &space,
+                     Target target)
+    : anchor_(std::move(anchor)),
+      space_(space),
+      target_(target),
+      measureCost_(defaultMeasureCost(target))
+{}
+
+double
+Evaluator::evaluate(const Point &p)
+{
+    const std::string key = p.key();
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    OpConfig config = space_.decode(p);
+    Scheduled s = generate(anchor_, config, target_);
+    PerfResult perf = modelPerf(s.features, target_);
+    double gflops = perf.valid ? perf.gflops : kInvalidGflops;
+
+    cache_.emplace(key, gflops);
+    history_.push_back({p, gflops});
+    simSeconds_ += measureCost_;
+    if (gflops > best_) {
+        best_ = gflops;
+        bestPoint_ = p;
+    }
+    curve_.emplace_back(simSeconds_, best_);
+    return gflops;
+}
+
+bool
+Evaluator::known(const Point &p) const
+{
+    return cache_.count(p.key()) > 0;
+}
+
+} // namespace ft

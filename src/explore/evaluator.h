@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Schedule-point evaluation with caching and a simulated exploration clock.
+ *
+ * The evaluator maintains the paper's evaluated set H: every point carries
+ * its performance value E (GFLOPS under the target's analytical model).
+ * Each *new* evaluation is charged a per-trial measurement cost on the
+ * simulated clock, standing in for the compile+run latency of real
+ * hardware measurement (<= 1 s on CPU/GPU per Section 5.2) or a model
+ * query on FPGA.
+ */
+#ifndef FLEXTENSOR_EXPLORE_EVALUATOR_H
+#define FLEXTENSOR_EXPLORE_EVALUATOR_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schedule/generator.h"
+#include "sim/perf_model.h"
+#include "space/space.h"
+
+namespace ft {
+
+/** Performance value assigned to model-invalid schedules. */
+inline constexpr double kInvalidGflops = 1e-3;
+
+/** One evaluated point of H. */
+struct Evaluated
+{
+    Point point;
+    double gflops;
+};
+
+class Evaluator
+{
+  public:
+    /**
+     * @param anchor the compute node being scheduled
+     * @param space its schedule space (must outlive the evaluator)
+     * @param target the device to model
+     */
+    Evaluator(Operation anchor, const ScheduleSpace &space, Target target);
+
+    /**
+     * Performance value of a point (GFLOPS; kInvalidGflops when the
+     * lowered schedule violates a hardware limit). Cached: re-evaluating
+     * a known point is free on the simulated clock.
+     */
+    double evaluate(const Point &p);
+
+    /** Whether the point has been evaluated before. */
+    bool known(const Point &p) const;
+
+    /** The evaluated set H, in evaluation order. */
+    const std::vector<Evaluated> &history() const { return history_; }
+
+    /** Best performance value seen so far (E*). */
+    double best() const { return best_; }
+
+    /** The point achieving best(). */
+    const Point &bestPoint() const { return bestPoint_; }
+
+    /** Number of distinct measurements performed. */
+    int numTrials() const { return static_cast<int>(history_.size()); }
+
+    /** Simulated wall-clock seconds spent measuring. */
+    double simulatedSeconds() const { return simSeconds_; }
+
+    /** Add extra simulated time (search/model overhead of a method). */
+    void chargeOverhead(double seconds) { simSeconds_ += seconds; }
+
+    /** Per-measurement cost on the simulated clock. */
+    void setMeasureCost(double seconds) { measureCost_ = seconds; }
+    double measureCost() const { return measureCost_; }
+
+    /** (simulated time, best-so-far) after each measurement. */
+    const std::vector<std::pair<double, double>> &curve() const
+    {
+        return curve_;
+    }
+
+    const ScheduleSpace &space() const { return space_; }
+    const Operation &anchor() const { return anchor_; }
+    const Target &target() const { return target_; }
+
+  private:
+    Operation anchor_;
+    const ScheduleSpace &space_;
+    Target target_;
+    double measureCost_;
+
+    std::unordered_map<std::string, double> cache_;
+    std::vector<Evaluated> history_;
+    std::vector<std::pair<double, double>> curve_;
+    double best_ = 0.0;
+    Point bestPoint_;
+    double simSeconds_ = 0.0;
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_EXPLORE_EVALUATOR_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Back-end exploration methods (Section 5.1 and Section 6.5):
+ *
+ *  - Q-method: the paper's contribution — SA starting points plus a
+ *    Q-learning network that predicts the single best direction to try.
+ *  - P-method: SA starting points, but *every* direction of each start is
+ *    evaluated (the exhaustive-neighborhood baseline of Section 6.5).
+ *  - Random search: uniform sampling (ablation baseline).
+ *  - AutoTVM baseline: template-restricted space + gradient-boosted-tree
+ *    cost model with batched epsilon-greedy measurement (Section 6.5).
+ *
+ * All methods share the Evaluator, so trial counts and the simulated
+ * exploration clock are directly comparable.
+ */
+#ifndef FLEXTENSOR_EXPLORE_EXPLORER_H
+#define FLEXTENSOR_EXPLORE_EXPLORER_H
+
+#include <functional>
+#include <vector>
+
+#include "explore/evaluator.h"
+
+namespace ft {
+
+/** Options shared by the exploration methods. */
+struct ExploreOptions
+{
+    int trials = 120;         ///< exploration steps (per-method meaning)
+    int startingPoints = 4;   ///< SA starting points per step
+    int warmupPoints = 16;    ///< random seeds placed into H up front
+    double saGamma = 2.0;     ///< SA selection temperature
+    double epsilon = 0.10;    ///< exploration rate for Q-method
+    double qAlpha = 0.7;      ///< discount on the target network's value
+    int trainEvery = 5;       ///< Q-network update period (paper: 5)
+    int replayBatch = 32;     ///< samples per Q training round
+    int hidden = 64;          ///< Q-network hidden width (4 FC layers)
+    uint64_t seed = 0xf1e27;
+    /** Known-good points evaluated before exploration starts. */
+    std::vector<Point> seedPoints;
+    /** Stop early once best() reaches this value (0 = run all trials). */
+    double targetGflops = 0.0;
+    /** Extra simulated seconds per step for method bookkeeping. */
+    double stepOverheadSeconds = 0.0;
+};
+
+/** Outcome of an exploration run. */
+struct ExploreResult
+{
+    Point bestPoint;
+    double bestGflops = 0.0;
+    int trialsUsed = 0;          ///< measurements performed
+    double simSeconds = 0.0;     ///< simulated exploration time
+    /** (simulated seconds, best-so-far GFLOPS) per measurement. */
+    std::vector<std::pair<double, double>> curve;
+};
+
+/** Run the paper's Q-learning-guided exploration. */
+ExploreResult exploreQMethod(Evaluator &eval, const ExploreOptions &options);
+
+/** Run the exhaustive-direction P-method. */
+ExploreResult explorePMethod(Evaluator &eval, const ExploreOptions &options);
+
+/** Uniform random search over the space. */
+ExploreResult exploreRandom(Evaluator &eval, const ExploreOptions &options);
+
+/**
+ * AutoTVM-style search: GBT cost model ranking random candidates, batched
+ * measurement. Intended to be used with a template-restricted space (see
+ * SpaceOptions::templateRestricted).
+ */
+ExploreResult exploreAutoTvm(Evaluator &eval, const ExploreOptions &options);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_EXPLORE_EXPLORER_H

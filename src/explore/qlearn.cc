@@ -1,0 +1,182 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+
+#include "explore/sa.h"
+#include "nn/mlp.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace ft {
+
+namespace {
+
+/** One replay-buffer record: (state, action, next-state, reward). */
+struct Transition
+{
+    std::vector<float> stateFeatures;
+    int direction;
+    std::vector<float> nextFeatures;
+    float reward;
+};
+
+std::vector<float>
+toFloat(const std::vector<double> &v)
+{
+    return std::vector<float>(v.begin(), v.end());
+}
+
+/** Seed H with random points so SA has something to choose from. */
+void
+warmup(Evaluator &eval, Rng &rng, const ExploreOptions &options)
+{
+    for (const Point &p : options.seedPoints)
+        eval.evaluate(p);
+    for (int i = 0; i < options.warmupPoints; ++i)
+        eval.evaluate(eval.space().randomPoint(rng));
+    eval.evaluate(eval.space().initialPoint());
+}
+
+ExploreResult
+finish(const Evaluator &eval)
+{
+    ExploreResult out;
+    out.bestPoint = eval.bestPoint();
+    out.bestGflops = eval.best();
+    out.trialsUsed = eval.numTrials();
+    out.simSeconds = eval.simulatedSeconds();
+    out.curve = eval.curve();
+    return out;
+}
+
+bool
+reachedTarget(const Evaluator &eval, const ExploreOptions &options)
+{
+    return options.targetGflops > 0.0 &&
+           eval.best() >= options.targetGflops;
+}
+
+} // namespace
+
+ExploreResult
+exploreQMethod(Evaluator &eval, const ExploreOptions &options)
+{
+    Rng rng(options.seed);
+    const ScheduleSpace &space = eval.space();
+    warmup(eval, rng, options);
+
+    const int feature_dim = space.featureDim();
+    const int num_dirs = space.numDirections();
+    // Section 5.1: four fully-connected layers with ReLU, online training
+    // with AdaDelta, and a target network Y stabilizing the updates.
+    Mlp netX({feature_dim, options.hidden, options.hidden, options.hidden,
+              num_dirs},
+             rng);
+    Mlp netY = netX; // same initial parameters
+
+    SaChooser chooser(options.saGamma);
+    std::vector<Transition> replay;
+    AdaDeltaOptions adadelta;
+
+    for (int trial = 0; trial < options.trials; ++trial) {
+        if (reachedTarget(eval, options))
+            break;
+        auto starts = chooser.chooseMany(eval, rng, options.startingPoints);
+        for (const Point &start : starts) {
+            std::vector<float> feat = toFloat(space.features(start));
+            std::vector<float> q = netX.forward(feat);
+
+            // Rank directions by predicted Q-value; epsilon-greedy.
+            std::vector<int> order(num_dirs);
+            for (int d = 0; d < num_dirs; ++d)
+                order[d] = d;
+            if (rng.chance(options.epsilon)) {
+                rng.shuffle(order);
+            } else {
+                std::sort(order.begin(), order.end(),
+                          [&](int a, int b) { return q[a] > q[b]; });
+            }
+
+            // Take the best direction that leads to an unvisited point.
+            for (int d : order) {
+                auto next = space.move(start, d);
+                if (!next || eval.known(*next))
+                    continue;
+                double e_start = eval.evaluate(start);
+                double e_next = eval.evaluate(*next);
+                float reward = static_cast<float>(
+                    (e_next - e_start) / std::max(e_start, 1e-9));
+                replay.push_back({feat, d,
+                                  toFloat(space.features(*next)), reward});
+                break;
+            }
+        }
+
+        // Periodic online training of X against the target network Y.
+        if ((trial + 1) % options.trainEvery == 0 && !replay.empty()) {
+            netX.zeroGrad();
+            int batch = std::min<int>(options.replayBatch,
+                                      static_cast<int>(replay.size()));
+            for (int b = 0; b < batch; ++b) {
+                const Transition &t = replay[rng.index(replay.size())];
+                std::vector<float> next_q = netY.forward(t.nextFeatures);
+                float max_next =
+                    *std::max_element(next_q.begin(), next_q.end());
+                float target = static_cast<float>(options.qAlpha) *
+                                   max_next +
+                               t.reward;
+                netX.accumulateGrad(t.stateFeatures, t.direction, target);
+            }
+            netX.step(adadelta);
+            netY.copyValuesFrom(netX);
+        }
+        eval.chargeOverhead(options.stepOverheadSeconds);
+    }
+    return finish(eval);
+}
+
+ExploreResult
+explorePMethod(Evaluator &eval, const ExploreOptions &options)
+{
+    Rng rng(options.seed);
+    const ScheduleSpace &space = eval.space();
+    warmup(eval, rng, options);
+
+    SaChooser chooser(options.saGamma);
+    const int num_dirs = space.numDirections();
+
+    for (int trial = 0; trial < options.trials; ++trial) {
+        if (reachedTarget(eval, options))
+            break;
+        auto starts = chooser.chooseMany(eval, rng, options.startingPoints);
+        for (const Point &start : starts) {
+            // P-method: measure every neighbor of the starting point.
+            for (int d = 0; d < num_dirs; ++d) {
+                if (reachedTarget(eval, options))
+                    break;
+                auto next = space.move(start, d);
+                if (next && !eval.known(*next))
+                    eval.evaluate(*next);
+            }
+        }
+        eval.chargeOverhead(options.stepOverheadSeconds);
+    }
+    return finish(eval);
+}
+
+ExploreResult
+exploreRandom(Evaluator &eval, const ExploreOptions &options)
+{
+    Rng rng(options.seed);
+    const ScheduleSpace &space = eval.space();
+    for (const Point &p : options.seedPoints)
+        eval.evaluate(p);
+    for (int trial = 0; trial < options.trials; ++trial) {
+        if (reachedTarget(eval, options))
+            break;
+        eval.evaluate(space.randomPoint(rng));
+    }
+    return finish(eval);
+}
+
+} // namespace ft

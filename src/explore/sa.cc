@@ -1,0 +1,49 @@
+#include "explore/sa.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace ft {
+
+double
+SaChooser::weight(double e, double best) const
+{
+    FT_ASSERT(best > 0.0, "SA weight needs a positive best value");
+    return std::exp(-gamma_ * (best - e) / best);
+}
+
+const Point &
+SaChooser::choose(const Evaluator &eval, Rng &rng) const
+{
+    const auto &h = eval.history();
+    FT_ASSERT(!h.empty(), "SA selection from empty evaluated set");
+    const double best = eval.best();
+
+    // Sample over the most recent window to keep selection O(window).
+    const size_t window = 256;
+    const size_t begin = h.size() > window ? h.size() - window : 0;
+    double total = 0.0;
+    for (size_t i = begin; i < h.size(); ++i)
+        total += weight(h[i].gflops, best);
+
+    double pick = rng.uniform() * total;
+    for (size_t i = begin; i < h.size(); ++i) {
+        pick -= weight(h[i].gflops, best);
+        if (pick <= 0.0)
+            return h[i].point;
+    }
+    return h.back().point;
+}
+
+std::vector<Point>
+SaChooser::chooseMany(const Evaluator &eval, Rng &rng, int count) const
+{
+    std::vector<Point> out;
+    out.reserve(count);
+    for (int i = 0; i < count; ++i)
+        out.push_back(choose(eval, rng));
+    return out;
+}
+
+} // namespace ft

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Simulated-annealing starting-point selection (Section 5.1).
+ *
+ * FlexTensor picks the next starting point p from the evaluated set H with
+ * probability proportional to exp(-gamma * (E* - Ep) / E*): points close
+ * to the best are favored, but worse points keep a nonzero chance, which
+ * is what lets the search escape local optima.
+ */
+#ifndef FLEXTENSOR_EXPLORE_SA_H
+#define FLEXTENSOR_EXPLORE_SA_H
+
+#include <vector>
+
+#include "explore/evaluator.h"
+#include "support/rng.h"
+
+namespace ft {
+
+class SaChooser
+{
+  public:
+    explicit SaChooser(double gamma = 2.0) : gamma_(gamma) {}
+
+    /** Selection weight of a point with value e given the best value. */
+    double weight(double e, double best) const;
+
+    /** Pick one starting point from H (H must be non-empty). */
+    const Point &choose(const Evaluator &eval, Rng &rng) const;
+
+    /** Pick `count` starting points (with replacement). */
+    std::vector<Point> chooseMany(const Evaluator &eval, Rng &rng,
+                                  int count) const;
+
+    double gamma() const { return gamma_; }
+
+  private:
+    double gamma_;
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_EXPLORE_SA_H

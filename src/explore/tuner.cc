@@ -1,0 +1,115 @@
+#include "explore/tuner.h"
+
+#include "analysis/static_analyzer.h"
+#include "ir/inline.h"
+#include "support/logging.h"
+
+namespace ft {
+
+std::string
+methodName(Method method)
+{
+    switch (method) {
+      case Method::QMethod: return "Q-method";
+      case Method::PMethod: return "P-method";
+      case Method::Random: return "random";
+      case Method::AutoTvm: return "AutoTVM";
+    }
+    return "?";
+}
+
+TuneReport
+tuneOp(const Operation &anchor, const Target &target,
+       const TuneOptions &options)
+{
+    SpaceOptions space_options;
+    space_options.templateRestricted =
+        options.templateRestricted || options.method == Method::AutoTvm;
+    ScheduleSpace space = buildSpace(anchor, target, space_options);
+
+    const std::string key =
+        options.cache ? tuningKeyFor(anchor, target.deviceName()) : "";
+    if (options.cache) {
+        if (auto hit = options.cache->lookup(key)) {
+            if (auto point = space.pointOf(hit->config)) {
+                Scheduled s = generate(anchor, hit->config, target);
+                PerfResult perf = modelPerf(s.features, target);
+                if (perf.valid) {
+                    TuneReport report;
+                    report.config = hit->config;
+                    report.gflops = perf.gflops;
+                    report.kernelSeconds = perf.seconds;
+                    report.spaceSize = space.size();
+                    report.device = target.deviceName();
+                    report.fromCache = true;
+                    return report;
+                }
+            }
+        }
+    }
+
+    Evaluator eval(anchor, space, target);
+    ExploreResult result;
+    switch (options.method) {
+      case Method::QMethod:
+        result = exploreQMethod(eval, options.explore);
+        break;
+      case Method::PMethod:
+        result = explorePMethod(eval, options.explore);
+        break;
+      case Method::Random:
+        result = exploreRandom(eval, options.explore);
+        break;
+      case Method::AutoTvm:
+        result = exploreAutoTvm(eval, options.explore);
+        break;
+    }
+
+    TuneReport report;
+    report.config = space.decode(result.bestPoint);
+    report.gflops = result.bestGflops;
+    Scheduled s = generate(anchor, report.config, target);
+    PerfResult perf = modelPerf(s.features, target);
+    report.kernelSeconds = perf.valid ? perf.seconds : 0.0;
+    report.simExploreSeconds = result.simSeconds;
+    report.trials = result.trialsUsed;
+    report.spaceSize = space.size();
+    report.device = target.deviceName();
+    report.curve = std::move(result.curve);
+
+    if (options.cache)
+        options.cache->put({key, report.config, report.gflops});
+
+    inform("tuned ", anchor->name(), " on ", report.device, " with ",
+           methodName(options.method), ": ", report.gflops,
+           " GFLOPS after ", report.trials, " trials");
+    return report;
+}
+
+TuneReport
+tune(const Tensor &output, const Target &target, const TuneOptions &options)
+{
+    MiniGraph graph(output);
+    return tuneOp(anchorOp(graph), target, options);
+}
+
+GraphTuneReport
+tuneGraph(const Tensor &root, const Target &target,
+          const TuneOptions &options)
+{
+    // Fuse elementwise helpers into their consumers first, then schedule
+    // every remaining node bottom-up (Algorithm 1).
+    Tensor fused_root = inlineGraph(root);
+    GraphTuneReport report;
+    for (const auto &op : postOrderTraverse(fused_root)) {
+        if (op->isPlaceholder() || op->isConstant())
+            continue;
+        TuneReport node_report = tuneOp(op, target, options);
+        report.totalKernelSeconds += node_report.kernelSeconds;
+        report.simExploreSeconds += node_report.simExploreSeconds;
+        report.nodes.emplace_back(op->name(), std::move(node_report));
+    }
+    return report;
+}
+
+} // namespace ft

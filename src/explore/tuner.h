@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The top-level tuning entry point: front-end analysis, space generation,
+ * back-end exploration, and final schedule generation in one call
+ * (Algorithm 1 of the paper, specialized to the anchor node with helper
+ * nodes inlined).
+ */
+#ifndef FLEXTENSOR_EXPLORE_TUNER_H
+#define FLEXTENSOR_EXPLORE_TUNER_H
+
+#include <string>
+
+#include "explore/explorer.h"
+#include "ir/graph.h"
+#include "schedule/serialize.h"
+#include "space/builder.h"
+
+namespace ft {
+
+/** Which exploration method to run. */
+enum class Method { QMethod, PMethod, Random, AutoTvm };
+
+/** Human-readable method name. */
+std::string methodName(Method method);
+
+/** Tuning options. */
+struct TuneOptions
+{
+    Method method = Method::QMethod;
+    ExploreOptions explore;
+    /** Use the template-restricted space (implied by Method::AutoTvm). */
+    bool templateRestricted = false;
+    /**
+     * Optional persistent tuning cache. A hit whose config is still
+     * representable in the space skips exploration entirely; after a
+     * search the best result is stored back.
+     */
+    TuningCache *cache = nullptr;
+};
+
+/** Outcome of tuning one operator. */
+struct TuneReport
+{
+    OpConfig config;          ///< best schedule found
+    double gflops = 0.0;      ///< modeled performance of the best schedule
+    double kernelSeconds = 0.0;
+    double simExploreSeconds = 0.0;
+    int trials = 0;
+    double spaceSize = 0.0;
+    std::string device;
+    std::vector<std::pair<double, double>> curve;
+    bool fromCache = false; ///< true when served from the tuning cache
+};
+
+/** Tune the mini-graph rooted at `output` for `target` (anchor node). */
+TuneReport tune(const Tensor &output, const Target &target,
+                const TuneOptions &options = {});
+
+/** Tune one specific compute node. */
+TuneReport tuneOp(const Operation &anchor, const Target &target,
+                  const TuneOptions &options = {});
+
+/** Per-node results of whole-graph scheduling. */
+struct GraphTuneReport
+{
+    /** One entry per scheduled (non-inlinable) compute node, bottom-up. */
+    std::vector<std::pair<std::string, TuneReport>> nodes;
+    double totalKernelSeconds = 0.0;
+    double simExploreSeconds = 0.0;
+};
+
+/**
+ * Algorithm 1: inline elementwise helpers, traverse the mini-graph in
+ * post order, and schedule every remaining compute node for the target.
+ */
+GraphTuneReport tuneGraph(const Tensor &root, const Target &target,
+                          const TuneOptions &options = {});
+
+} // namespace ft
+
+#endif // FLEXTENSOR_EXPLORE_TUNER_H

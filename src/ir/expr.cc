@@ -1,0 +1,127 @@
+#include "ir/expr.h"
+
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace ft {
+
+IterVar
+makeIterVar(std::string name, int64_t extent, IterKind kind)
+{
+    FT_ASSERT(extent >= 1, "iter var ", name, " needs extent >= 1, got ",
+              extent);
+    auto iv = std::make_shared<IterVarNode>();
+    iv->name = std::move(name);
+    iv->extent = extent;
+    iv->kind = kind;
+    return iv;
+}
+
+Expr
+intImm(int64_t v)
+{
+    auto n = std::make_shared<ExprNode>(ExprKind::IntImm);
+    n->intValue = v;
+    return n;
+}
+
+Expr
+floatImm(double v)
+{
+    auto n = std::make_shared<ExprNode>(ExprKind::FloatImm);
+    n->floatValue = v;
+    return n;
+}
+
+Expr
+varRef(const IterVar &v)
+{
+    FT_ASSERT(v != nullptr, "varRef of null IterVar");
+    auto n = std::make_shared<ExprNode>(ExprKind::Var);
+    n->var = v;
+    return n;
+}
+
+Expr
+makeBinary(ExprKind k, Expr a, Expr b)
+{
+    FT_ASSERT(a && b, "binary expr with null operand");
+    auto n = std::make_shared<ExprNode>(k);
+    n->a = std::move(a);
+    n->b = std::move(b);
+    return n;
+}
+
+Expr add(Expr a, Expr b) { return makeBinary(ExprKind::Add, a, b); }
+Expr sub(Expr a, Expr b) { return makeBinary(ExprKind::Sub, a, b); }
+Expr mul(Expr a, Expr b) { return makeBinary(ExprKind::Mul, a, b); }
+Expr floordiv(Expr a, Expr b) { return makeBinary(ExprKind::Div, a, b); }
+Expr mod(Expr a, Expr b) { return makeBinary(ExprKind::Mod, a, b); }
+Expr minExpr(Expr a, Expr b) { return makeBinary(ExprKind::Min, a, b); }
+Expr maxExpr(Expr a, Expr b) { return makeBinary(ExprKind::Max, a, b); }
+Expr lt(Expr a, Expr b) { return makeBinary(ExprKind::CmpLT, a, b); }
+Expr le(Expr a, Expr b) { return makeBinary(ExprKind::CmpLE, a, b); }
+Expr eq(Expr a, Expr b) { return makeBinary(ExprKind::CmpEQ, a, b); }
+Expr logicalAnd(Expr a, Expr b) { return makeBinary(ExprKind::And, a, b); }
+Expr logicalOr(Expr a, Expr b) { return makeBinary(ExprKind::Or, a, b); }
+
+Expr
+select(Expr cond, Expr thenValue, Expr elseValue)
+{
+    FT_ASSERT(cond && thenValue && elseValue, "select with null operand");
+    auto n = std::make_shared<ExprNode>(ExprKind::Select);
+    n->a = std::move(cond);
+    n->b = std::move(thenValue);
+    n->c = std::move(elseValue);
+    return n;
+}
+
+Expr
+access(const std::shared_ptr<OperationNode> &source, std::vector<Expr> indices)
+{
+    FT_ASSERT(source != nullptr, "access of null operation");
+    auto n = std::make_shared<ExprNode>(ExprKind::Access);
+    n->source = source;
+    n->indices = std::move(indices);
+    return n;
+}
+
+void
+visitExpr(const Expr &e, const std::function<void(const ExprNode &)> &fn)
+{
+    if (!e)
+        return;
+    fn(*e);
+    visitExpr(e->a, fn);
+    visitExpr(e->b, fn);
+    visitExpr(e->c, fn);
+    for (const auto &idx : e->indices)
+        visitExpr(idx, fn);
+}
+
+std::vector<IterVar>
+collectVars(const Expr &e)
+{
+    std::vector<IterVar> out;
+    std::unordered_set<const IterVarNode *> seen;
+    visitExpr(e, [&](const ExprNode &n) {
+        if (n.kind == ExprKind::Var && seen.insert(n.var.get()).second)
+            out.push_back(n.var);
+    });
+    return out;
+}
+
+std::vector<std::shared_ptr<OperationNode>>
+collectSources(const Expr &e)
+{
+    std::vector<std::shared_ptr<OperationNode>> out;
+    std::unordered_set<const OperationNode *> seen;
+    visitExpr(e, [&](const ExprNode &n) {
+        if (n.kind == ExprKind::Access && seen.insert(n.source.get()).second)
+            out.push_back(n.source);
+    });
+    return out;
+}
+
+} // namespace ft

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tensor-expression IR.
+ *
+ * A tensor computation is described by an expression tree over iteration
+ * variables and accesses into input tensors, exactly in the spirit of the
+ * compute half of a compute/schedule separation (Halide / TVM). FlexTensor's
+ * front-end analyzes these trees; the schedule machinery never rewrites them,
+ * it only re-organizes the iteration space around them.
+ */
+#ifndef FLEXTENSOR_IR_EXPR_H
+#define FLEXTENSOR_IR_EXPR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+class OperationNode;
+
+/** Kind of a loop axis. */
+enum class IterKind {
+    Spatial, ///< no cross-iteration dependence; parallelizable
+    Reduce   ///< carries a reduction; normally serial
+};
+
+/**
+ * A named loop axis with a compile-time-known extent.
+ *
+ * Identity matters: expressions reference IterVars by node pointer, and the
+ * evaluator binds values per node.
+ */
+struct IterVarNode
+{
+    std::string name;
+    int64_t extent;
+    IterKind kind;
+};
+
+using IterVar = std::shared_ptr<IterVarNode>;
+
+/** Create a fresh iteration variable. */
+IterVar makeIterVar(std::string name, int64_t extent,
+                    IterKind kind = IterKind::Spatial);
+
+/** Expression node discriminator. */
+enum class ExprKind {
+    IntImm,
+    FloatImm,
+    Var,
+    Add,
+    Sub,
+    Mul,
+    Div, ///< floor division on integers
+    Mod, ///< Euclidean remainder (result in [0, b))
+    Min,
+    Max,
+    CmpLT,
+    CmpLE,
+    CmpEQ,
+    And,
+    Or,
+    Select,
+    Access
+};
+
+class ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+/**
+ * Immutable expression tree node.
+ *
+ * One node type with a kind tag keeps the tree easy to walk; the handful of
+ * per-kind fields are simply unioned as members (only the relevant ones are
+ * populated for a given kind).
+ */
+class ExprNode
+{
+  public:
+    ExprKind kind;
+
+    // IntImm / FloatImm
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+
+    // Var
+    IterVar var;
+
+    // Binary ops and Select
+    Expr a, b, c; ///< operands; Select uses (a=cond, b=then, c=else)
+
+    // Access
+    std::shared_ptr<OperationNode> source; ///< producer of accessed tensor
+    std::vector<Expr> indices;
+
+    explicit ExprNode(ExprKind k) : kind(k) {}
+};
+
+/** @name Expression constructors
+ *  @{ */
+Expr intImm(int64_t v);
+Expr floatImm(double v);
+Expr varRef(const IterVar &v);
+Expr makeBinary(ExprKind k, Expr a, Expr b);
+Expr add(Expr a, Expr b);
+Expr sub(Expr a, Expr b);
+Expr mul(Expr a, Expr b);
+Expr floordiv(Expr a, Expr b);
+Expr mod(Expr a, Expr b);
+Expr minExpr(Expr a, Expr b);
+Expr maxExpr(Expr a, Expr b);
+Expr lt(Expr a, Expr b);
+Expr le(Expr a, Expr b);
+Expr eq(Expr a, Expr b);
+Expr logicalAnd(Expr a, Expr b);
+Expr logicalOr(Expr a, Expr b);
+Expr select(Expr cond, Expr thenValue, Expr elseValue);
+Expr access(const std::shared_ptr<OperationNode> &source,
+            std::vector<Expr> indices);
+/** @} */
+
+/** Convenience operators over Expr handles (build the obvious nodes). */
+inline Expr operator+(const Expr &a, const Expr &b) { return add(a, b); }
+inline Expr operator-(const Expr &a, const Expr &b) { return sub(a, b); }
+inline Expr operator*(const Expr &a, const Expr &b) { return mul(a, b); }
+
+/** Visit every node of the tree (pre-order), including index expressions. */
+void visitExpr(const Expr &e, const std::function<void(const ExprNode &)> &fn);
+
+/** Collect the distinct IterVars referenced by an expression. */
+std::vector<IterVar> collectVars(const Expr &e);
+
+/** Collect the distinct source operations accessed by an expression. */
+std::vector<std::shared_ptr<OperationNode>> collectSources(const Expr &e);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_IR_EXPR_H

@@ -1,0 +1,65 @@
+#include "ir/graph.h"
+
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace ft {
+
+namespace {
+
+void
+postOrderRec(const Operation &op,
+             std::unordered_set<const OperationNode *> &seen,
+             std::vector<Operation> &out)
+{
+    if (!seen.insert(op.get()).second)
+        return;
+    for (const Tensor &in : op->inputs())
+        postOrderRec(in.op(), seen, out);
+    out.push_back(op);
+}
+
+} // namespace
+
+std::vector<Operation>
+postOrderTraverse(const Tensor &root)
+{
+    FT_ASSERT(root.defined(), "traversal of undefined tensor");
+    std::unordered_set<const OperationNode *> seen;
+    std::vector<Operation> out;
+    postOrderRec(root.op(), seen, out);
+    return out;
+}
+
+MiniGraph::MiniGraph(Tensor root)
+    : root_(std::move(root)), postOrder_(postOrderTraverse(root_))
+{}
+
+std::vector<Operation>
+MiniGraph::computeOps() const
+{
+    std::vector<Operation> out;
+    for (const auto &op : postOrder_) {
+        if (!op->isPlaceholder() && !op->isConstant())
+            out.push_back(op);
+    }
+    return out;
+}
+
+int
+MiniGraph::numConsumers(const Operation &op) const
+{
+    int count = 0;
+    for (const auto &node : postOrder_) {
+        for (const Tensor &in : node->inputs()) {
+            if (in.op().get() == op.get()) {
+                ++count;
+                break;
+            }
+        }
+    }
+    return count;
+}
+
+} // namespace ft

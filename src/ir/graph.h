@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Mini-graph utilities: traversal and per-node structural queries.
+ */
+#ifndef FLEXTENSOR_IR_GRAPH_H
+#define FLEXTENSOR_IR_GRAPH_H
+
+#include <vector>
+
+#include "ir/operation.h"
+
+namespace ft {
+
+/**
+ * The mini-graph rooted at one output tensor.
+ *
+ * Nodes are operations (placeholders and computes); edges are tensors. The
+ * paper counts placeholders as nodes too (GEMM has #node = 3: op A, op B and
+ * the GEMM node itself).
+ */
+class MiniGraph
+{
+  public:
+    /** Build the graph reachable from `root`'s producing operation. */
+    explicit MiniGraph(Tensor root);
+
+    /** The root (final output) tensor. */
+    const Tensor &root() const { return root_; }
+
+    /** All nodes in post order (inputs before consumers). */
+    const std::vector<Operation> &postOrder() const { return postOrder_; }
+
+    /** Compute nodes only, in post order. */
+    std::vector<Operation> computeOps() const;
+
+    /** Total node count (placeholders + computes). */
+    int numNodes() const { return static_cast<int>(postOrder_.size()); }
+
+    /** Number of consumer nodes of `op` inside this graph. */
+    int numConsumers(const Operation &op) const;
+
+  private:
+    Tensor root_;
+    std::vector<Operation> postOrder_;
+};
+
+/** Post-order traversal of the operations reachable from `root`. */
+std::vector<Operation> postOrderTraverse(const Tensor &root);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_IR_GRAPH_H

@@ -1,0 +1,188 @@
+#include "ir/operation.h"
+
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace ft {
+
+const std::vector<int64_t> &
+Tensor::shape() const
+{
+    FT_ASSERT(op_ != nullptr, "shape() of undefined tensor");
+    return op_->outputShape();
+}
+
+int64_t
+Tensor::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : shape())
+        n *= d;
+    return n;
+}
+
+const std::string &
+Tensor::name() const
+{
+    FT_ASSERT(op_ != nullptr, "name() of undefined tensor");
+    return op_->name();
+}
+
+Expr
+Tensor::operator()(std::vector<Expr> indices) const
+{
+    FT_ASSERT(op_ != nullptr, "access of undefined tensor");
+    FT_ASSERT(indices.size() == shape().size(), "tensor ", name(),
+              " accessed with ", indices.size(), " indices but has ",
+              shape().size(), " dims");
+    return access(op_, std::move(indices));
+}
+
+ComputeOp::ComputeOp(std::string name, std::vector<IterVar> axis,
+                     std::vector<IterVar> reduce_axis, Expr body)
+    : OperationNode(std::move(name), {}),
+      axis_(std::move(axis)),
+      reduceAxis_(std::move(reduce_axis)),
+      body_(std::move(body))
+{
+    FT_ASSERT(body_ != nullptr, "compute op ", name_, " has no body");
+    shape_.reserve(axis_.size());
+    for (const auto &iv : axis_) {
+        FT_ASSERT(iv->kind == IterKind::Spatial,
+                  "output axis of ", name_, " must be spatial");
+        shape_.push_back(iv->extent);
+    }
+    for (const auto &iv : reduceAxis_) {
+        FT_ASSERT(iv->kind == IterKind::Reduce,
+                  "reduce axis of ", name_, " must have reduce kind");
+    }
+    for (const auto &src : collectSources(body_))
+        inputs_.push_back(Tensor(src));
+}
+
+std::vector<Tensor>
+ComputeOp::inputs() const
+{
+    return inputs_;
+}
+
+Tensor
+placeholder(std::string name, std::vector<int64_t> shape)
+{
+    auto op = std::make_shared<PlaceholderOp>(std::move(name),
+                                              std::move(shape));
+    return op->output();
+}
+
+ConstantOp::ConstantOp(std::string name, std::vector<int64_t> shape,
+                       std::vector<float> data)
+    : OperationNode(std::move(name), std::move(shape)),
+      data_(std::move(data))
+{
+    int64_t n = 1;
+    for (int64_t d : shape_)
+        n *= d;
+    FT_ASSERT(static_cast<int64_t>(data_.size()) == n,
+              "constant ", name_, " data size mismatch");
+}
+
+Tensor
+constant(std::string name, std::vector<int64_t> shape,
+         std::vector<float> data)
+{
+    auto op = std::make_shared<ConstantOp>(std::move(name),
+                                           std::move(shape),
+                                           std::move(data));
+    return op->output();
+}
+
+Tensor
+compute(std::string name, std::vector<int64_t> shape,
+        const std::function<Expr(const std::vector<Expr> &)> &fn,
+        std::vector<IterVar> reduce_axis)
+{
+    static const char *const axisNames[] = {"i", "j", "k", "l", "m", "n",
+                                            "o", "p"};
+    std::vector<IterVar> axis;
+    std::vector<Expr> vars;
+    axis.reserve(shape.size());
+    for (size_t d = 0; d < shape.size(); ++d) {
+        std::string an = d < std::size(axisNames)
+                             ? std::string(axisNames[d])
+                             : "ax" + std::to_string(d);
+        axis.push_back(makeIterVar(name + "." + an, shape[d]));
+        vars.push_back(varRef(axis.back()));
+    }
+    Expr body = fn(vars);
+    auto op = std::make_shared<ComputeOp>(std::move(name), std::move(axis),
+                                          std::move(reduce_axis),
+                                          std::move(body));
+    return op->output();
+}
+
+Tensor
+pad(const Tensor &t, const std::vector<int64_t> &pads, std::string name)
+{
+    FT_ASSERT(pads.size() % 2 == 0, "pads must hold (before, after) pairs");
+    const size_t npad = pads.size() / 2;
+    const auto &shape = t.shape();
+    FT_ASSERT(npad <= shape.size(), "more padded dims than tensor dims");
+    const size_t first = shape.size() - npad;
+
+    std::vector<int64_t> out_shape = shape;
+    for (size_t d = 0; d < npad; ++d)
+        out_shape[first + d] += pads[2 * d] + pads[2 * d + 1];
+
+    if (name.empty())
+        name = t.name() + ".pad";
+    return compute(name, out_shape, [&](const std::vector<Expr> &iv) {
+        std::vector<Expr> src(iv.begin(), iv.end());
+        Expr cond;
+        for (size_t d = 0; d < npad; ++d) {
+            int64_t before = pads[2 * d];
+            size_t dim = first + d;
+            src[dim] = sub(iv[dim], intImm(before));
+            Expr in_range = logicalAnd(le(intImm(before), iv[dim]),
+                                       lt(iv[dim],
+                                          intImm(before + shape[dim])));
+            cond = cond ? logicalAnd(cond, in_range) : in_range;
+        }
+        return select(cond, t(src), floatImm(0.0));
+    });
+}
+
+Tensor
+dilate(const Tensor &t, const std::vector<int64_t> &strides, std::string name)
+{
+    const auto &shape = t.shape();
+    const size_t ndil = strides.size();
+    FT_ASSERT(ndil <= shape.size(), "more dilated dims than tensor dims");
+    const size_t first = shape.size() - ndil;
+
+    std::vector<int64_t> out_shape = shape;
+    for (size_t d = 0; d < ndil; ++d) {
+        FT_ASSERT(strides[d] >= 1, "dilate stride must be >= 1");
+        out_shape[first + d] = (shape[first + d] - 1) * strides[d] + 1;
+    }
+
+    if (name.empty())
+        name = t.name() + ".dilate";
+    return compute(name, out_shape, [&](const std::vector<Expr> &iv) {
+        std::vector<Expr> src(iv.begin(), iv.end());
+        Expr cond;
+        for (size_t d = 0; d < ndil; ++d) {
+            size_t dim = first + d;
+            if (strides[d] == 1)
+                continue;
+            Expr s = intImm(strides[d]);
+            src[dim] = floordiv(iv[dim], s);
+            Expr aligned = eq(mod(iv[dim], s), intImm(0));
+            cond = cond ? logicalAnd(cond, aligned) : aligned;
+        }
+        Expr val = t(src);
+        return cond ? select(cond, val, floatImm(0.0)) : val;
+    });
+}
+
+} // namespace ft

@@ -1,0 +1,140 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace ft {
+
+namespace {
+
+const char *
+binaryOpToken(ExprKind k)
+{
+    switch (k) {
+      case ExprKind::Add: return " + ";
+      case ExprKind::Sub: return " - ";
+      case ExprKind::Mul: return " * ";
+      case ExprKind::Div: return " / ";
+      case ExprKind::Mod: return " % ";
+      case ExprKind::CmpLT: return " < ";
+      case ExprKind::CmpLE: return " <= ";
+      case ExprKind::CmpEQ: return " == ";
+      case ExprKind::And: return " && ";
+      case ExprKind::Or: return " || ";
+      default: return nullptr;
+    }
+}
+
+void
+printExpr(const Expr &e, std::ostringstream &oss)
+{
+    switch (e->kind) {
+      case ExprKind::IntImm:
+        oss << e->intValue;
+        break;
+      case ExprKind::FloatImm:
+        oss << e->floatValue << "f";
+        break;
+      case ExprKind::Var:
+        oss << e->var->name;
+        break;
+      case ExprKind::Min:
+      case ExprKind::Max:
+        oss << (e->kind == ExprKind::Min ? "min(" : "max(");
+        printExpr(e->a, oss);
+        oss << ", ";
+        printExpr(e->b, oss);
+        oss << ")";
+        break;
+      case ExprKind::Select:
+        oss << "select(";
+        printExpr(e->a, oss);
+        oss << ", ";
+        printExpr(e->b, oss);
+        oss << ", ";
+        printExpr(e->c, oss);
+        oss << ")";
+        break;
+      case ExprKind::Access:
+        oss << e->source->name() << "[";
+        for (size_t i = 0; i < e->indices.size(); ++i) {
+            if (i)
+                oss << ", ";
+            printExpr(e->indices[i], oss);
+        }
+        oss << "]";
+        break;
+      default: {
+        const char *tok = binaryOpToken(e->kind);
+        FT_ASSERT(tok != nullptr, "unhandled expr kind in printer");
+        oss << "(";
+        printExpr(e->a, oss);
+        oss << tok;
+        printExpr(e->b, oss);
+        oss << ")";
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+toString(const Expr &e)
+{
+    FT_ASSERT(e != nullptr, "printing null expr");
+    std::ostringstream oss;
+    printExpr(e, oss);
+    return oss.str();
+}
+
+std::string
+toString(const Operation &op)
+{
+    std::ostringstream oss;
+    if (op->isPlaceholder()) {
+        oss << "placeholder " << op->name() << "(";
+        const auto &shape = op->outputShape();
+        for (size_t i = 0; i < shape.size(); ++i) {
+            if (i)
+                oss << ", ";
+            oss << shape[i];
+        }
+        oss << ")";
+        return oss.str();
+    }
+    const auto *c = static_cast<const ComputeOp *>(op.get());
+    oss << op->name() << "[";
+    for (size_t i = 0; i < c->axis().size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << c->axis()[i]->name << "(" << c->axis()[i]->extent << ")";
+    }
+    oss << "]";
+    if (!c->reduceAxis().empty()) {
+        oss << " = sum{";
+        for (size_t i = 0; i < c->reduceAxis().size(); ++i) {
+            if (i)
+                oss << ", ";
+            oss << c->reduceAxis()[i]->name << "("
+                << c->reduceAxis()[i]->extent << ")";
+        }
+        oss << "} ";
+    } else {
+        oss << " = ";
+    }
+    oss << toString(c->body());
+    return oss.str();
+}
+
+std::string
+toString(const MiniGraph &graph)
+{
+    std::ostringstream oss;
+    for (const auto &op : graph.postOrder())
+        oss << toString(op) << "\n";
+    return oss.str();
+}
+
+} // namespace ft

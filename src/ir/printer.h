@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Human-readable printing of expressions, operations, and graphs.
+ */
+#ifndef FLEXTENSOR_IR_PRINTER_H
+#define FLEXTENSOR_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/graph.h"
+
+namespace ft {
+
+/** Render an expression as a string, e.g. "(A[i, k] * B[k, j])". */
+std::string toString(const Expr &e);
+
+/** Render an operation signature and body. */
+std::string toString(const Operation &op);
+
+/** Render a whole mini-graph, one node per block, in post order. */
+std::string toString(const MiniGraph &graph);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_IR_PRINTER_H

@@ -1,0 +1,161 @@
+#include "ml/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace ft {
+
+double
+GbtModel::Tree::eval(const std::vector<double> &x) const
+{
+    int n = 0;
+    while (nodes[n].feature >= 0) {
+        n = x[nodes[n].feature] <= nodes[n].threshold ? nodes[n].left
+                                                      : nodes[n].right;
+    }
+    return nodes[n].value;
+}
+
+namespace {
+
+double
+meanOf(const std::vector<double> &v, const std::vector<int> &rows)
+{
+    double s = 0.0;
+    for (int r : rows)
+        s += v[r];
+    return rows.empty() ? 0.0 : s / static_cast<double>(rows.size());
+}
+
+} // namespace
+
+int
+GbtModel::buildNode(Tree &tree, const std::vector<std::vector<double>> &x,
+                    const std::vector<double> &residual,
+                    const std::vector<int> &rows, int depth,
+                    const GbtOptions &options, Rng &rng) const
+{
+    const int id = static_cast<int>(tree.nodes.size());
+    tree.nodes.emplace_back();
+    tree.nodes[id].value = meanOf(residual, rows);
+
+    if (depth >= options.maxDepth ||
+        static_cast<int>(rows.size()) < 2 * options.minSamplesLeaf) {
+        return id;
+    }
+
+    const int dims = static_cast<int>(x[rows[0]].size());
+    double base_sse = 0.0;
+    for (int r : rows) {
+        double d = residual[r] - tree.nodes[id].value;
+        base_sse += d * d;
+    }
+
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    for (int f = 0; f < dims; ++f) {
+        for (int t = 0; t < options.thresholdsPerFeature; ++t) {
+            // Threshold from a random sample's feature value.
+            int pivot = rows[rng.index(rows.size())];
+            double threshold = x[pivot][f];
+            double sl = 0, sr = 0;
+            int nl = 0, nr = 0;
+            for (int r : rows) {
+                if (x[r][f] <= threshold) {
+                    sl += residual[r];
+                    ++nl;
+                } else {
+                    sr += residual[r];
+                    ++nr;
+                }
+            }
+            if (nl < options.minSamplesLeaf || nr < options.minSamplesLeaf)
+                continue;
+            double ml = sl / nl, mr = sr / nr;
+            double sse = 0.0;
+            for (int r : rows) {
+                double m = x[r][f] <= threshold ? ml : mr;
+                double d = residual[r] - m;
+                sse += d * d;
+            }
+            double gain = base_sse - sse;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = f;
+                best_threshold = threshold;
+            }
+        }
+    }
+    if (best_feature < 0)
+        return id;
+
+    std::vector<int> left_rows, right_rows;
+    for (int r : rows) {
+        (x[r][best_feature] <= best_threshold ? left_rows : right_rows)
+            .push_back(r);
+    }
+    tree.nodes[id].feature = best_feature;
+    tree.nodes[id].threshold = best_threshold;
+    int l = buildNode(tree, x, residual, left_rows, depth + 1, options, rng);
+    int r = buildNode(tree, x, residual, right_rows, depth + 1, options,
+                      rng);
+    tree.nodes[id].left = l;
+    tree.nodes[id].right = r;
+    return id;
+}
+
+GbtModel::Tree
+GbtModel::buildTree(const std::vector<std::vector<double>> &x,
+                    const std::vector<double> &residual,
+                    const std::vector<int> &rows, const GbtOptions &options,
+                    Rng &rng) const
+{
+    Tree tree;
+    buildNode(tree, x, residual, rows, 0, options, rng);
+    return tree;
+}
+
+void
+GbtModel::fit(const std::vector<std::vector<double>> &x,
+              const std::vector<double> &y, const GbtOptions &options,
+              Rng &rng)
+{
+    FT_ASSERT(x.size() == y.size(), "GBT feature/label size mismatch");
+    trees_.clear();
+    trained_ = false;
+    if (x.empty())
+        return;
+
+    learningRate_ = options.learningRate;
+    std::vector<int> rows(x.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    bias_ = meanOf(y, rows);
+
+    std::vector<double> pred(x.size(), bias_);
+    std::vector<double> residual(x.size());
+    for (int t = 0; t < options.trees; ++t) {
+        for (size_t i = 0; i < x.size(); ++i)
+            residual[i] = y[i] - pred[i];
+        Tree tree = buildTree(x, residual, rows, options, rng);
+        for (size_t i = 0; i < x.size(); ++i)
+            pred[i] += learningRate_ * tree.eval(x[i]);
+        trees_.push_back(std::move(tree));
+    }
+    trained_ = true;
+}
+
+double
+GbtModel::predict(const std::vector<double> &x) const
+{
+    double p = bias_;
+    for (const auto &tree : trees_)
+        p += learningRate_ * tree.eval(x);
+    return p;
+}
+
+} // namespace ft

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Gradient-boosted regression trees.
+ *
+ * A compact reimplementation of the XGBoost-style cost model the AutoTVM
+ * baseline uses (Section 6.5): least-squares boosting over depth-limited
+ * regression trees with greedy threshold splits.
+ */
+#ifndef FLEXTENSOR_ML_GBT_H
+#define FLEXTENSOR_ML_GBT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ft {
+
+class Rng;
+
+/** GBT hyperparameters. */
+struct GbtOptions
+{
+    int trees = 40;
+    int maxDepth = 4;
+    double learningRate = 0.3;
+    int minSamplesLeaf = 2;
+    int thresholdsPerFeature = 8;
+};
+
+/** A boosted ensemble of regression trees over dense double features. */
+class GbtModel
+{
+  public:
+    /** Fit from scratch on the given dataset (replaces any prior fit). */
+    void fit(const std::vector<std::vector<double>> &x,
+             const std::vector<double> &y, const GbtOptions &options,
+             Rng &rng);
+
+    /** Predicted value; returns the training mean before any boosting. */
+    double predict(const std::vector<double> &x) const;
+
+    /** True once fit() has been called with at least one sample. */
+    bool trained() const { return trained_; }
+
+  private:
+    struct Node
+    {
+        int feature = -1;   ///< -1 for leaves
+        double threshold = 0.0;
+        double value = 0.0; ///< leaf prediction
+        int left = -1, right = -1;
+    };
+    struct Tree
+    {
+        std::vector<Node> nodes;
+        double eval(const std::vector<double> &x) const;
+    };
+
+    Tree buildTree(const std::vector<std::vector<double>> &x,
+                   const std::vector<double> &residual,
+                   const std::vector<int> &rows, const GbtOptions &options,
+                   Rng &rng) const;
+    int buildNode(Tree &tree, const std::vector<std::vector<double>> &x,
+                  const std::vector<double> &residual,
+                  const std::vector<int> &rows, int depth,
+                  const GbtOptions &options, Rng &rng) const;
+
+    double bias_ = 0.0;
+    double learningRate_ = 0.3;
+    std::vector<Tree> trees_;
+    bool trained_ = false;
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_ML_GBT_H

@@ -1,0 +1,201 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace ft {
+
+void
+Param::resize(std::size_t n)
+{
+    value.assign(n, 0.0f);
+    grad.assign(n, 0.0f);
+    accGradSq.assign(n, 0.0f);
+    accDeltaSq.assign(n, 0.0f);
+}
+
+void
+Param::zeroGrad()
+{
+    std::fill(grad.begin(), grad.end(), 0.0f);
+}
+
+void
+Param::step(const AdaDeltaOptions &opt)
+{
+    const float rho = static_cast<float>(opt.rho);
+    const float eps = static_cast<float>(opt.eps);
+    for (size_t i = 0; i < value.size(); ++i) {
+        float g = grad[i];
+        accGradSq[i] = rho * accGradSq[i] + (1.0f - rho) * g * g;
+        float dx = -std::sqrt(accDeltaSq[i] + eps) /
+                   std::sqrt(accGradSq[i] + eps) * g;
+        accDeltaSq[i] = rho * accDeltaSq[i] + (1.0f - rho) * dx * dx;
+        value[i] += dx;
+        grad[i] = 0.0f;
+    }
+}
+
+Linear::Linear(int in_dim, int out_dim, Rng &rng)
+    : inDim_(in_dim), outDim_(out_dim)
+{
+    FT_ASSERT(in_dim > 0 && out_dim > 0, "Linear dims must be positive");
+    w_.resize(static_cast<size_t>(in_dim) * out_dim);
+    b_.resize(static_cast<size_t>(out_dim));
+    const double scale = std::sqrt(2.0 / in_dim); // He init for ReLU nets
+    for (auto &v : w_.value)
+        v = static_cast<float>(rng.normal(0.0, scale));
+}
+
+std::vector<float>
+Linear::forward(const std::vector<float> &x) const
+{
+    FT_ASSERT(static_cast<int>(x.size()) == inDim_, "Linear input dim");
+    std::vector<float> y(outDim_);
+    for (int o = 0; o < outDim_; ++o) {
+        float acc = b_.value[o];
+        const float *row = &w_.value[static_cast<size_t>(o) * inDim_];
+        for (int i = 0; i < inDim_; ++i)
+            acc += row[i] * x[i];
+        y[o] = acc;
+    }
+    return y;
+}
+
+std::vector<float>
+Linear::backward(const std::vector<float> &dy, const std::vector<float> &x)
+{
+    FT_ASSERT(static_cast<int>(dy.size()) == outDim_, "Linear grad dim");
+    std::vector<float> dx(inDim_, 0.0f);
+    for (int o = 0; o < outDim_; ++o) {
+        float g = dy[o];
+        if (g == 0.0f)
+            continue;
+        b_.grad[o] += g;
+        float *wrow = &w_.grad[static_cast<size_t>(o) * inDim_];
+        const float *vrow = &w_.value[static_cast<size_t>(o) * inDim_];
+        for (int i = 0; i < inDim_; ++i) {
+            wrow[i] += g * x[i];
+            dx[i] += g * vrow[i];
+        }
+    }
+    return dx;
+}
+
+void
+Linear::zeroGrad()
+{
+    w_.zeroGrad();
+    b_.zeroGrad();
+}
+
+void
+Linear::step(const AdaDeltaOptions &opt)
+{
+    w_.step(opt);
+    b_.step(opt);
+}
+
+void
+Linear::copyValuesFrom(const Linear &other)
+{
+    FT_ASSERT(inDim_ == other.inDim_ && outDim_ == other.outDim_,
+              "layer shape mismatch");
+    w_.value = other.w_.value;
+    b_.value = other.b_.value;
+}
+
+Mlp::Mlp(const std::vector<int> &dims, Rng &rng)
+{
+    FT_ASSERT(dims.size() >= 2, "Mlp needs at least input and output dims");
+    for (size_t i = 0; i + 1 < dims.size(); ++i)
+        layers_.emplace_back(dims[i], dims[i + 1], rng);
+}
+
+int
+Mlp::inputDim() const
+{
+    return layers_.front().inDim();
+}
+
+int
+Mlp::outputDim() const
+{
+    return layers_.back().outDim();
+}
+
+std::vector<float>
+Mlp::forward(const std::vector<float> &x) const
+{
+    std::vector<float> h = x;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        h = layers_[l].forward(h);
+        if (l + 1 < layers_.size()) {
+            for (auto &v : h)
+                v = v > 0.0f ? v : 0.0f;
+        }
+    }
+    return h;
+}
+
+double
+Mlp::accumulateGrad(const std::vector<float> &x, int action, float target)
+{
+    FT_ASSERT(action >= 0 && action < outputDim(), "action out of range");
+    // Forward with cached activations.
+    std::vector<std::vector<float>> acts; // inputs to each layer
+    acts.push_back(x);
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        auto h = layers_[l].forward(acts.back());
+        if (l + 1 < layers_.size()) {
+            for (auto &v : h)
+                v = v > 0.0f ? v : 0.0f;
+        }
+        acts.push_back(std::move(h));
+    }
+    const float q = acts.back()[action];
+    const float err = q - target;
+
+    // Backward: dL/dq on the chosen output only.
+    std::vector<float> dy(outputDim(), 0.0f);
+    dy[action] = 2.0f * err;
+    for (size_t l = layers_.size(); l-- > 0;) {
+        std::vector<float> dx = layers_[l].backward(dy, acts[l]);
+        if (l > 0) {
+            // Through the ReLU that produced acts[l].
+            for (size_t i = 0; i < dx.size(); ++i) {
+                if (acts[l][i] <= 0.0f)
+                    dx[i] = 0.0f;
+            }
+        }
+        dy = std::move(dx);
+    }
+    return static_cast<double>(err) * err;
+}
+
+void
+Mlp::zeroGrad()
+{
+    for (auto &l : layers_)
+        l.zeroGrad();
+}
+
+void
+Mlp::step(const AdaDeltaOptions &opt)
+{
+    for (auto &l : layers_)
+        l.step(opt);
+}
+
+void
+Mlp::copyValuesFrom(const Mlp &other)
+{
+    FT_ASSERT(layers_.size() == other.layers_.size(), "depth mismatch");
+    for (size_t l = 0; l < layers_.size(); ++l)
+        layers_[l].copyValuesFrom(other.layers_[l]);
+}
+
+} // namespace ft

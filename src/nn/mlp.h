@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal dense neural network: the Q-value predictor of Section 5.1.
+ *
+ * The paper's network is four fully-connected layers with ReLU activations,
+ * trained online with AdaDelta against a target network. This module
+ * implements exactly that: Linear layers with per-parameter AdaDelta state,
+ * an Mlp wrapper, and single-output backpropagation (Q-learning updates
+ * touch one action's Q-value per sample).
+ */
+#ifndef FLEXTENSOR_NN_MLP_H
+#define FLEXTENSOR_NN_MLP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ft {
+
+class Rng;
+
+/** AdaDelta hyperparameters (Zeiler 2012). */
+struct AdaDeltaOptions
+{
+    double rho = 0.95;
+    double eps = 1e-6;
+};
+
+/** A parameter tensor with gradient and AdaDelta accumulators. */
+struct Param
+{
+    std::vector<float> value;
+    std::vector<float> grad;
+    std::vector<float> accGradSq; ///< E[g^2]
+    std::vector<float> accDeltaSq; ///< E[dx^2]
+
+    /** Allocate `n` parameters initialized to zero. */
+    void resize(std::size_t n);
+
+    /** Zero the gradient buffer. */
+    void zeroGrad();
+
+    /** Apply one AdaDelta update and clear the gradient. */
+    void step(const AdaDeltaOptions &opt);
+};
+
+/** One fully-connected layer: y = W x + b. */
+class Linear
+{
+  public:
+    Linear(int in_dim, int out_dim, Rng &rng);
+
+    int inDim() const { return inDim_; }
+    int outDim() const { return outDim_; }
+
+    /** Forward pass; caches nothing (caller keeps activations). */
+    std::vector<float> forward(const std::vector<float> &x) const;
+
+    /**
+     * Backward pass: given dL/dy and the forward input, accumulate
+     * parameter gradients and return dL/dx.
+     */
+    std::vector<float> backward(const std::vector<float> &dy,
+                                const std::vector<float> &x);
+
+    void zeroGrad();
+    void step(const AdaDeltaOptions &opt);
+
+    /** Copy parameter values (not optimizer state) from another layer. */
+    void copyValuesFrom(const Linear &other);
+
+  private:
+    int inDim_, outDim_;
+    Param w_; ///< row-major (out x in)
+    Param b_;
+};
+
+/**
+ * A ReLU MLP: Linear -> ReLU -> ... -> Linear (no activation on output).
+ */
+class Mlp
+{
+  public:
+    /** dims = {input, hidden..., output}; weights ~ He initialization. */
+    Mlp(const std::vector<int> &dims, Rng &rng);
+
+    int inputDim() const;
+    int outputDim() const;
+
+    /** Forward pass returning the output vector. */
+    std::vector<float> forward(const std::vector<float> &x) const;
+
+    /**
+     * Accumulate gradients for a single (input, action, target) sample:
+     * loss = (output[action] - target)^2. Returns the loss.
+     */
+    double accumulateGrad(const std::vector<float> &x, int action,
+                          float target);
+
+    void zeroGrad();
+    void step(const AdaDeltaOptions &opt);
+
+    /** Copy parameter values from another network (target-net sync). */
+    void copyValuesFrom(const Mlp &other);
+
+  private:
+    std::vector<Linear> layers_;
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_NN_MLP_H

@@ -1,0 +1,320 @@
+#include "ops/ops.h"
+
+#include "support/logging.h"
+
+namespace ft {
+namespace ops {
+
+namespace {
+
+/** Output extent of a convolution along one spatial dimension. */
+int64_t
+convOut(int64_t in, int64_t kernel, int64_t stride, int64_t pad,
+        int64_t dilation)
+{
+    int64_t eff = dilation * (kernel - 1) + 1;
+    int64_t out = (in + 2 * pad - eff) / stride + 1;
+    FT_ASSERT(out >= 1, "convolution output extent would be ", out);
+    return out;
+}
+
+} // namespace
+
+Tensor
+conv1d(const Tensor &input, const Tensor &weight, const ConvParams &p)
+{
+    FT_ASSERT(input.ndim() == 3 && weight.ndim() == 3,
+              "conv1d expects (N,C,L) and (K,C/g,R)");
+    int64_t n = input.shape()[0], c = input.shape()[1], l = input.shape()[2];
+    int64_t k = weight.shape()[0], cg = weight.shape()[1],
+            r = weight.shape()[2];
+    FT_ASSERT(c % p.groups == 0 && k % p.groups == 0,
+              "conv1d channels not divisible by groups");
+    FT_ASSERT(cg == c / p.groups, "conv1d weight channel mismatch");
+    int64_t ol = convOut(l, r, p.stride, p.padding, p.dilation);
+
+    Tensor src = p.padding > 0
+                     ? pad(input, {p.padding, p.padding})
+                     : input;
+    IterVar rc = makeIterVar("rc", cg, IterKind::Reduce);
+    IterVar rx = makeIterVar("rx", r, IterKind::Reduce);
+    int64_t kPerGroup = k / p.groups;
+    return compute("conv1d", {n, k, ol},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr group = floordiv(iv[1], intImm(kPerGroup));
+                       Expr ic = add(mul(group, intImm(cg)), varRef(rc));
+                       Expr x = add(mul(iv[2], intImm(p.stride)),
+                                    mul(varRef(rx), intImm(p.dilation)));
+                       return src({iv[0], ic, x}) *
+                              weight({iv[1], varRef(rc), varRef(rx)});
+                   },
+                   {rc, rx});
+}
+
+Tensor
+conv1dTransposed(const Tensor &input, const Tensor &weight, int64_t stride,
+                 int64_t padding)
+{
+    FT_ASSERT(input.ndim() == 3 && weight.ndim() == 3,
+              "conv1dTransposed expects (N,C,L) and (C,K,R)");
+    int64_t n = input.shape()[0], c = input.shape()[1];
+    int64_t k = weight.shape()[1], r = weight.shape()[2];
+    FT_ASSERT(weight.shape()[0] == c, "conv1dTransposed channel mismatch");
+
+    Tensor dil = dilate(input, {stride});
+    int64_t edge = r - 1 - padding;
+    FT_ASSERT(edge >= 0, "conv1dTransposed padding too large");
+    Tensor padded = pad(dil, {edge, edge});
+    int64_t ol = (input.shape()[2] - 1) * stride - 2 * padding + r;
+
+    IterVar rc = makeIterVar("rc", c, IterKind::Reduce);
+    IterVar rx = makeIterVar("rx", r, IterKind::Reduce);
+    return compute("t1d", {n, k, ol},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr x = add(iv[2], varRef(rx));
+                       Expr flip = sub(intImm(r - 1), varRef(rx));
+                       return padded({iv[0], varRef(rc), x}) *
+                              weight({varRef(rc), iv[1], flip});
+                   },
+                   {rc, rx});
+}
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, const ConvParams &p)
+{
+    FT_ASSERT(input.ndim() == 4 && weight.ndim() == 4,
+              "conv2d expects (N,C,H,W) and (K,C/g,R,S)");
+    int64_t n = input.shape()[0], c = input.shape()[1];
+    int64_t h = input.shape()[2], w = input.shape()[3];
+    int64_t k = weight.shape()[0], cg = weight.shape()[1];
+    int64_t r = weight.shape()[2], s = weight.shape()[3];
+    FT_ASSERT(c % p.groups == 0 && k % p.groups == 0,
+              "conv2d channels not divisible by groups");
+    FT_ASSERT(cg == c / p.groups, "conv2d weight channel mismatch");
+    int64_t oh = convOut(h, r, p.stride, p.padding, p.dilation);
+    int64_t ow = convOut(w, s, p.stride, p.padding, p.dilation);
+
+    Tensor src = p.padding > 0
+                     ? pad(input,
+                           {p.padding, p.padding, p.padding, p.padding})
+                     : input;
+    IterVar rc = makeIterVar("rc", cg, IterKind::Reduce);
+    IterVar rx = makeIterVar("rx", r, IterKind::Reduce);
+    IterVar ry = makeIterVar("ry", s, IterKind::Reduce);
+    int64_t kPerGroup = k / p.groups;
+    const char *name = p.groups > 1 ? "grpconv2d"
+                                    : (p.dilation > 1 ? "dilconv2d"
+                                                      : "conv2d");
+    return compute(name, {n, k, oh, ow},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr group = floordiv(iv[1], intImm(kPerGroup));
+                       Expr ic = add(mul(group, intImm(cg)), varRef(rc));
+                       Expr x = add(mul(iv[2], intImm(p.stride)),
+                                    mul(varRef(rx), intImm(p.dilation)));
+                       Expr y = add(mul(iv[3], intImm(p.stride)),
+                                    mul(varRef(ry), intImm(p.dilation)));
+                       return src({iv[0], ic, x, y}) *
+                              weight({iv[1], varRef(rc), varRef(rx),
+                                      varRef(ry)});
+                   },
+                   {rc, rx, ry});
+}
+
+
+Tensor
+conv2dNchwc(const Tensor &input, const Tensor &weight, const ConvParams &p)
+{
+    FT_ASSERT(input.ndim() == 5 && weight.ndim() == 6,
+              "conv2dNchwc expects (N,C/cb,H,W,cb) and "
+              "(K/kb,C/cb,R,S,cb,kb)");
+    FT_ASSERT(p.groups == 1 && p.dilation == 1,
+              "conv2dNchwc covers the plain convolution only");
+    int64_t n = input.shape()[0], cb_blocks = input.shape()[1];
+    int64_t h = input.shape()[2], w = input.shape()[3];
+    int64_t cb = input.shape()[4];
+    int64_t kb_blocks = weight.shape()[0];
+    int64_t r = weight.shape()[2], s = weight.shape()[3];
+    int64_t kb = weight.shape()[5];
+    FT_ASSERT(weight.shape()[1] == cb_blocks && weight.shape()[4] == cb,
+              "conv2dNchwc weight blocking mismatch");
+    int64_t oh = convOut(h, r, p.stride, p.padding, 1);
+    int64_t ow = convOut(w, s, p.stride, p.padding, 1);
+
+    // Pad H and W (dims 2 and 3); the blocked channel dim is untouched.
+    Tensor src = input;
+    if (p.padding > 0) {
+        src = compute(input.name() + ".pad",
+                      {n, cb_blocks, h + 2 * p.padding, w + 2 * p.padding,
+                       cb},
+                      [&](const std::vector<Expr> &iv) {
+                          Expr x = sub(iv[2], intImm(p.padding));
+                          Expr y = sub(iv[3], intImm(p.padding));
+                          Expr in_range = logicalAnd(
+                              logicalAnd(le(intImm(0), x),
+                                         lt(x, intImm(h))),
+                              logicalAnd(le(intImm(0), y),
+                                         lt(y, intImm(w))));
+                          return select(in_range,
+                                        input({iv[0], iv[1], x, y, iv[4]}),
+                                        floatImm(0.0));
+                      });
+    }
+
+    IterVar rco = makeIterVar("rco", cb_blocks, IterKind::Reduce);
+    IterVar rci = makeIterVar("rci", cb, IterKind::Reduce);
+    IterVar rx = makeIterVar("rx", r, IterKind::Reduce);
+    IterVar ry = makeIterVar("ry", s, IterKind::Reduce);
+    return compute("conv2d_nchwc", {n, kb_blocks, oh, ow, kb},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr x = add(mul(iv[2], intImm(p.stride)),
+                                    varRef(rx));
+                       Expr y = add(mul(iv[3], intImm(p.stride)),
+                                    varRef(ry));
+                       return src({iv[0], varRef(rco), x, y, varRef(rci)}) *
+                              weight({iv[1], varRef(rco), varRef(rx),
+                                      varRef(ry), varRef(rci), iv[4]});
+                   },
+                   {rco, rci, rx, ry});
+}
+
+Tensor
+conv2dTransposed(const Tensor &input, const Tensor &weight, int64_t stride,
+                 int64_t padding)
+{
+    FT_ASSERT(input.ndim() == 4 && weight.ndim() == 4,
+              "conv2dTransposed expects (N,C,H,W) and (C,K,R,S)");
+    int64_t n = input.shape()[0], c = input.shape()[1];
+    int64_t k = weight.shape()[1];
+    int64_t r = weight.shape()[2], s = weight.shape()[3];
+    FT_ASSERT(weight.shape()[0] == c, "conv2dTransposed channel mismatch");
+
+    Tensor dil = dilate(input, {stride, stride});
+    int64_t er = r - 1 - padding, es = s - 1 - padding;
+    FT_ASSERT(er >= 0 && es >= 0, "conv2dTransposed padding too large");
+    Tensor padded = pad(dil, {er, er, es, es});
+    int64_t oh = (input.shape()[2] - 1) * stride - 2 * padding + r;
+    int64_t ow = (input.shape()[3] - 1) * stride - 2 * padding + s;
+
+    IterVar rc = makeIterVar("rc", c, IterKind::Reduce);
+    IterVar rx = makeIterVar("rx", r, IterKind::Reduce);
+    IterVar ry = makeIterVar("ry", s, IterKind::Reduce);
+    return compute("t2d", {n, k, oh, ow},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr x = add(iv[2], varRef(rx));
+                       Expr y = add(iv[3], varRef(ry));
+                       Expr fr = sub(intImm(r - 1), varRef(rx));
+                       Expr fs = sub(intImm(s - 1), varRef(ry));
+                       return padded({iv[0], varRef(rc), x, y}) *
+                              weight({varRef(rc), iv[1], fr, fs});
+                   },
+                   {rc, rx, ry});
+}
+
+Tensor
+depthwiseConv2d(const Tensor &input, const Tensor &weight, int64_t stride,
+                int64_t padding)
+{
+    FT_ASSERT(input.ndim() == 4 && weight.ndim() == 4,
+              "depthwiseConv2d expects (N,C,H,W) and (C,M,R,S)");
+    int64_t n = input.shape()[0], c = input.shape()[1];
+    int64_t h = input.shape()[2], w = input.shape()[3];
+    FT_ASSERT(weight.shape()[0] == c, "depthwise channel mismatch");
+    int64_t m = weight.shape()[1];
+    int64_t r = weight.shape()[2], s = weight.shape()[3];
+    int64_t oh = convOut(h, r, stride, padding, 1);
+    int64_t ow = convOut(w, s, stride, padding, 1);
+
+    Tensor src = padding > 0
+                     ? pad(input, {padding, padding, padding, padding})
+                     : input;
+    IterVar rx = makeIterVar("rx", r, IterKind::Reduce);
+    IterVar ry = makeIterVar("ry", s, IterKind::Reduce);
+    return compute("depthwise", {n, c * m, oh, ow},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr ch = floordiv(iv[1], intImm(m));
+                       Expr mult = mod(iv[1], intImm(m));
+                       Expr x = add(mul(iv[2], intImm(stride)), varRef(rx));
+                       Expr y = add(mul(iv[3], intImm(stride)), varRef(ry));
+                       return src({iv[0], ch, x, y}) *
+                              weight({ch, mult, varRef(rx), varRef(ry)});
+                   },
+                   {rx, ry});
+}
+
+Tensor
+conv3d(const Tensor &input, const Tensor &weight, const ConvParams &p)
+{
+    FT_ASSERT(input.ndim() == 5 && weight.ndim() == 5,
+              "conv3d expects (N,C,D,H,W) and (K,C,T,R,S)");
+    int64_t n = input.shape()[0], c = input.shape()[1];
+    int64_t d = input.shape()[2], h = input.shape()[3], w = input.shape()[4];
+    int64_t k = weight.shape()[0];
+    int64_t t = weight.shape()[2], r = weight.shape()[3],
+            s = weight.shape()[4];
+    FT_ASSERT(weight.shape()[1] == c, "conv3d channel mismatch");
+    int64_t od = convOut(d, t, p.stride, p.padding, 1);
+    int64_t oh = convOut(h, r, p.stride, p.padding, 1);
+    int64_t ow = convOut(w, s, p.stride, p.padding, 1);
+
+    Tensor src = p.padding > 0
+                     ? pad(input, {p.padding, p.padding, p.padding,
+                                   p.padding, p.padding, p.padding})
+                     : input;
+    IterVar rc = makeIterVar("rc", c, IterKind::Reduce);
+    IterVar rd = makeIterVar("rd", t, IterKind::Reduce);
+    IterVar rx = makeIterVar("rx", r, IterKind::Reduce);
+    IterVar ry = makeIterVar("ry", s, IterKind::Reduce);
+    return compute("conv3d", {n, k, od, oh, ow},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr z = add(mul(iv[2], intImm(p.stride)), varRef(rd));
+                       Expr x = add(mul(iv[3], intImm(p.stride)), varRef(rx));
+                       Expr y = add(mul(iv[4], intImm(p.stride)), varRef(ry));
+                       return src({iv[0], varRef(rc), z, x, y}) *
+                              weight({iv[1], varRef(rc), varRef(rd),
+                                      varRef(rx), varRef(ry)});
+                   },
+                   {rc, rd, rx, ry});
+}
+
+Tensor
+conv3dTransposed(const Tensor &input, const Tensor &weight, int64_t stride,
+                 int64_t padding)
+{
+    FT_ASSERT(input.ndim() == 5 && weight.ndim() == 5,
+              "conv3dTransposed expects (N,C,D,H,W) and (C,K,T,R,S)");
+    int64_t n = input.shape()[0], c = input.shape()[1];
+    int64_t k = weight.shape()[1];
+    int64_t t = weight.shape()[2], r = weight.shape()[3],
+            s = weight.shape()[4];
+    FT_ASSERT(weight.shape()[0] == c, "conv3dTransposed channel mismatch");
+
+    Tensor dil = dilate(input, {stride, stride, stride});
+    int64_t et = t - 1 - padding, er = r - 1 - padding,
+            es = s - 1 - padding;
+    FT_ASSERT(et >= 0 && er >= 0 && es >= 0,
+              "conv3dTransposed padding too large");
+    Tensor padded = pad(dil, {et, et, er, er, es, es});
+    int64_t od = (input.shape()[2] - 1) * stride - 2 * padding + t;
+    int64_t oh = (input.shape()[3] - 1) * stride - 2 * padding + r;
+    int64_t ow = (input.shape()[4] - 1) * stride - 2 * padding + s;
+
+    IterVar rc = makeIterVar("rc", c, IterKind::Reduce);
+    IterVar rd = makeIterVar("rd", t, IterKind::Reduce);
+    IterVar rx = makeIterVar("rx", r, IterKind::Reduce);
+    IterVar ry = makeIterVar("ry", s, IterKind::Reduce);
+    return compute("t3d", {n, k, od, oh, ow},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr z = add(iv[2], varRef(rd));
+                       Expr x = add(iv[3], varRef(rx));
+                       Expr y = add(iv[4], varRef(ry));
+                       Expr ft = sub(intImm(t - 1), varRef(rd));
+                       Expr fr = sub(intImm(r - 1), varRef(rx));
+                       Expr fs = sub(intImm(s - 1), varRef(ry));
+                       return padded({iv[0], varRef(rc), z, x, y}) *
+                              weight({varRef(rc), iv[1], ft, fr, fs});
+                   },
+                   {rc, rd, rx, ry});
+}
+
+} // namespace ops
+} // namespace ft

@@ -1,0 +1,100 @@
+#include "ops/ops.h"
+
+#include "support/logging.h"
+
+namespace ft {
+namespace ops {
+
+Tensor
+gemv(const Tensor &a, const Tensor &x)
+{
+    FT_ASSERT(a.ndim() == 2 && x.ndim() == 1, "gemv expects (M,K) x (K)");
+    FT_ASSERT(a.shape()[1] == x.shape()[0], "gemv inner dims mismatch");
+    int64_t m = a.shape()[0], kk = a.shape()[1];
+    IterVar k = makeIterVar("k", kk, IterKind::Reduce);
+    return compute("gemv", {m},
+                   [&](const std::vector<Expr> &iv) {
+                       return a({iv[0], varRef(k)}) * x({varRef(k)});
+                   },
+                   {k});
+}
+
+Tensor
+gemm(const Tensor &a, const Tensor &b)
+{
+    FT_ASSERT(a.ndim() == 2 && b.ndim() == 2, "gemm expects 2D inputs");
+    FT_ASSERT(a.shape()[1] == b.shape()[0], "gemm inner dims mismatch");
+    int64_t m = a.shape()[0], kk = a.shape()[1], n = b.shape()[1];
+    IterVar k = makeIterVar("k", kk, IterKind::Reduce);
+    return compute("gemm", {m, n},
+                   [&](const std::vector<Expr> &iv) {
+                       return a({iv[0], varRef(k)}) * b({varRef(k), iv[1]});
+                   },
+                   {k});
+}
+
+Tensor
+bilinear(const Tensor &a, const Tensor &w, const Tensor &c)
+{
+    FT_ASSERT(a.ndim() == 2 && w.ndim() == 3 && c.ndim() == 2,
+              "bilinear expects (N,K), (M,K,L), (N,L)");
+    FT_ASSERT(a.shape()[0] == c.shape()[0], "bilinear batch mismatch");
+    FT_ASSERT(a.shape()[1] == w.shape()[1], "bilinear K mismatch");
+    FT_ASSERT(c.shape()[1] == w.shape()[2], "bilinear L mismatch");
+    int64_t n = a.shape()[0], m = w.shape()[0];
+    IterVar k = makeIterVar("k", w.shape()[1], IterKind::Reduce);
+    IterVar l = makeIterVar("l", w.shape()[2], IterKind::Reduce);
+    return compute("bilinear", {n, m},
+                   [&](const std::vector<Expr> &iv) {
+                       return a({iv[0], varRef(k)}) *
+                              w({iv[1], varRef(k), varRef(l)}) *
+                              c({iv[0], varRef(l)});
+                   },
+                   {k, l});
+}
+
+Tensor
+blockCirculantMatmul(const Tensor &a, const Tensor &w, int64_t block)
+{
+    FT_ASSERT(a.ndim() == 2 && w.ndim() == 3,
+              "bcm expects (N,K) input and (M/b, K/b, b) weight");
+    FT_ASSERT(w.shape()[2] == block, "bcm weight last dim must equal block");
+    int64_t n = a.shape()[0];
+    int64_t kBlocks = w.shape()[1];
+    int64_t mBlocks = w.shape()[0];
+    FT_ASSERT(a.shape()[1] == kBlocks * block, "bcm K mismatch");
+    int64_t m = mBlocks * block;
+
+    IterVar q = makeIterVar("q", kBlocks, IterKind::Reduce);
+    IterVar v = makeIterVar("v", block, IterKind::Reduce);
+    Expr bImm = intImm(block);
+    return compute("bcm", {n, m},
+                   [&](const std::vector<Expr> &iv) {
+                       // Output column j = p*b + u.
+                       Expr p = floordiv(iv[1], bImm);
+                       Expr u = mod(iv[1], bImm);
+                       Expr col = add(mul(varRef(q), bImm), varRef(v));
+                       Expr rot = mod(add(sub(u, varRef(v)), bImm), bImm);
+                       return a({iv[0], col}) * w({p, varRef(q), rot});
+                   },
+                   {q, v});
+}
+
+Tensor
+dense(const Tensor &input, const Tensor &weight)
+{
+    FT_ASSERT(input.ndim() == 2 && weight.ndim() == 2,
+              "dense expects (N,K) and (M,K)");
+    FT_ASSERT(input.shape()[1] == weight.shape()[1], "dense K mismatch");
+    int64_t n = input.shape()[0], m = weight.shape()[0];
+    IterVar k = makeIterVar("k", input.shape()[1], IterKind::Reduce);
+    return compute("dense", {n, m},
+                   [&](const std::vector<Expr> &iv) {
+                       return input({iv[0], varRef(k)}) *
+                              weight({iv[1], varRef(k)});
+                   },
+                   {k});
+}
+
+} // namespace ops
+} // namespace ft

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The tensor operators evaluated in the paper (Table 1) plus the two "new"
+ * operators of Section 6.4 (block-circulant matmul and shift).
+ *
+ * Each builder takes already-constructed input tensors and returns the output
+ * tensor of the resulting mini-graph. Convolutions insert explicit pad /
+ * dilate nodes so the mini-graph node counts match Table 3 (e.g. C2D has two
+ * compute nodes, T2D has three).
+ */
+#ifndef FLEXTENSOR_OPS_OPS_H
+#define FLEXTENSOR_OPS_OPS_H
+
+#include <cstdint>
+
+#include "ir/operation.h"
+
+namespace ft {
+namespace ops {
+
+/** GEMV: O[i] = sum_k A[i,k] * x[k]. A is (M,K), x is (K). */
+Tensor gemv(const Tensor &a, const Tensor &x);
+
+/** GEMM: O[i,j] = sum_k A[i,k] * B[k,j]. A is (M,K), B is (K,N). */
+Tensor gemm(const Tensor &a, const Tensor &b);
+
+/**
+ * Bilinear: O[i,j] = sum_{k,l} A[i,k] * W[j,k,l] * C[i,l].
+ * A is (N,K), W is (M,K,L), C is (N,L); O is (N,M).
+ */
+Tensor bilinear(const Tensor &a, const Tensor &w, const Tensor &c);
+
+/** Parameters shared by the convolution family. */
+struct ConvParams
+{
+    int64_t stride = 1;
+    int64_t padding = 0;
+    int64_t dilation = 1;
+    int64_t groups = 1;
+};
+
+/**
+ * 1D convolution: I is (N, C, L), W is (K, C/groups, R).
+ * O is (N, K, (L + 2p - d*(R-1) - 1)/s + 1).
+ */
+Tensor conv1d(const Tensor &input, const Tensor &weight,
+              const ConvParams &p = {});
+
+/**
+ * Transposed 1D convolution: I is (N, C, L), W is (C, K, R).
+ * Lowered as dilate -> pad -> correlate with the flipped kernel
+ * (three compute nodes, as in Table 3).
+ */
+Tensor conv1dTransposed(const Tensor &input, const Tensor &weight,
+                        int64_t stride = 1, int64_t padding = 0);
+
+/**
+ * 2D convolution (NCHW): I is (N, C, H, W), W is (K, C/groups, R, S).
+ * Covers plain, group (`p.groups`), and dilated (`p.dilation`) variants.
+ */
+Tensor conv2d(const Tensor &input, const Tensor &weight,
+              const ConvParams &p = {});
+
+/** Transposed 2D convolution: I is (N, C, H, W), W is (C, K, R, S). */
+Tensor conv2dTransposed(const Tensor &input, const Tensor &weight,
+                        int64_t stride = 1, int64_t padding = 0);
+
+/**
+ * 2D convolution in the blocked NCHWc layout the paper uses on CPU
+ * (Section 6.3): I is (N, C/cb, H, W, cb), W is (K/kb, C/cb, R, S, cb, kb),
+ * O is (N, K/kb, oh, ow, kb). The innermost output axis (kb) maps
+ * directly onto SIMD lanes, which is what makes this layout fast on CPUs.
+ */
+Tensor conv2dNchwc(const Tensor &input, const Tensor &weight,
+                   const ConvParams &p = {});
+
+/**
+ * 2D convolution via the Winograd F(2x2, 3x3) algorithm (the algorithm
+ * cuDNN uses on the paper's C4/C6 layers). Builds a four-stage mini-graph:
+ * kernel transform U, input-tile transform V, the dominant batched
+ * channel contraction M, and the inverse output transform. Requires a
+ * 3x3 kernel, stride 1, and even output extents. The contraction does
+ * 16/9 multiplies per output versus the direct method's 9 taps x 2 -> a
+ * ~2.25x multiply reduction.
+ */
+Tensor conv2dWinograd(const Tensor &input, const Tensor &weight,
+                      int64_t padding = 1);
+
+/**
+ * Depthwise 2D convolution: I is (N, C, H, W), W is (C, M, R, S) where M is
+ * the channel multiplier. O is (N, C*M, oh, ow).
+ */
+Tensor depthwiseConv2d(const Tensor &input, const Tensor &weight,
+                       int64_t stride = 1, int64_t padding = 0);
+
+/** 3D convolution (NCDHW): I is (N, C, D, H, W), W is (K, C, T, R, S). */
+Tensor conv3d(const Tensor &input, const Tensor &weight,
+              const ConvParams &p = {});
+
+/** Transposed 3D convolution: I is (N, C, D, H, W), W is (C, K, T, R, S). */
+Tensor conv3dTransposed(const Tensor &input, const Tensor &weight,
+                        int64_t stride = 1, int64_t padding = 0);
+
+/**
+ * Block-circulant matmul (Section 6.4, BCM).
+ *
+ * The (M,K)-ish weight matrix is compressed into circulant blocks of size
+ * `block`: W is stored as (M/block, K/block, block) holding the defining
+ * vector of each block. A is (N, K); O is (N, M) with
+ *   O[n, p*b+u] = sum_{q,v} A[n, q*b+v] * W[p, q, (u - v) mod b].
+ */
+Tensor blockCirculantMatmul(const Tensor &a, const Tensor &w, int64_t block);
+
+/**
+ * Shift operation (Section 6.4, SHO): a zero-FLOP spatial shift where each
+ * channel is displaced by one of the 9 unit offsets, assigned round-robin
+ * (channel c gets offset (c%3 - 1, (c/3)%3 - 1)). I is (N, C, H, W).
+ */
+Tensor shift2d(const Tensor &input);
+
+/** Elementwise ReLU over any tensor. */
+Tensor relu(const Tensor &t);
+
+/** Add a per-channel bias (dim 1 of an NC... tensor). bias is (C). */
+Tensor biasAdd(const Tensor &t, const Tensor &bias);
+
+/** 2D max pooling over an NCHW tensor with square kernel/stride. */
+Tensor maxPool2d(const Tensor &input, int64_t kernel, int64_t stride);
+
+/** Fully-connected layer: O[n,j] = sum_k I[n,k] * W[j,k]. */
+Tensor dense(const Tensor &input, const Tensor &weight);
+
+} // namespace ops
+} // namespace ft
+
+#endif // FLEXTENSOR_OPS_OPS_H

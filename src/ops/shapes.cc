@@ -1,0 +1,348 @@
+#include "ops/shapes.h"
+
+#include <array>
+
+#include "ops/ops.h"
+#include "support/logging.h"
+
+namespace ft {
+namespace ops {
+
+Tensor
+Conv2dLayer::build(int64_t batch) const
+{
+    Tensor input = placeholder("I", {batch, inChannels, imageSize,
+                                     imageSize});
+    Tensor weight = placeholder("W", {outChannels, inChannels, kernel,
+                                      kernel});
+    ConvParams p;
+    p.stride = stride;
+    p.padding = padding();
+    return conv2d(input, weight, p);
+}
+
+const std::vector<Conv2dLayer> &
+yoloLayers()
+{
+    // Table 4: C, K, H/W, kernel, stride for the 15 distinctive layers.
+    static const std::vector<Conv2dLayer> layers = {
+        {"C1", 3, 64, 448, 7, 2},     {"C2", 64, 192, 112, 3, 1},
+        {"C3", 192, 128, 56, 1, 1},   {"C4", 128, 256, 56, 3, 1},
+        {"C5", 256, 256, 56, 1, 1},   {"C6", 256, 512, 56, 3, 1},
+        {"C7", 512, 256, 28, 1, 1},   {"C8", 256, 512, 28, 3, 1},
+        {"C9", 512, 512, 28, 1, 1},   {"C10", 512, 1024, 28, 3, 1},
+        {"C11", 1024, 512, 14, 1, 1}, {"C12", 512, 1024, 14, 3, 1},
+        {"C13", 1024, 1024, 14, 3, 1}, {"C14", 1024, 1024, 14, 3, 2},
+        {"C15", 1024, 1024, 7, 3, 1},
+    };
+    return layers;
+}
+
+const std::vector<std::string> &
+table3Operators()
+{
+    static const std::vector<std::string> names = {
+        "GMV", "GMM", "BIL", "C1D", "T1D", "C2D", "T2D",
+        "C3D", "T3D", "GRP", "DEP", "DIL",
+    };
+    return names;
+}
+
+namespace {
+
+TestCase
+makeCase(std::string op, std::string id, std::function<Tensor()> build)
+{
+    return TestCase{std::move(op), std::move(id), std::move(build)};
+}
+
+std::vector<TestCase>
+gemvCases()
+{
+    // FLOPs span roughly 16K .. 1M (Table 3).
+    const std::vector<std::pair<int64_t, int64_t>> sizes = {
+        {64, 128}, {128, 128}, {128, 512}, {256, 512}, {512, 512},
+        {1024, 512},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto [m, k] : sizes) {
+        out.push_back(makeCase("GMV", "G" + std::to_string(idx++),
+                               [m = m, k = k] {
+                                   Tensor a = placeholder("A", {m, k});
+                                   Tensor x = placeholder("x", {k});
+                                   return gemv(a, x);
+                               }));
+    }
+    return out;
+}
+
+std::vector<TestCase>
+gemmCases()
+{
+    // FLOPs span roughly 32K .. 8.6G.
+    const std::vector<std::array<int64_t, 3>> sizes = {
+        {32, 16, 32},      {64, 64, 64},      {128, 128, 128},
+        {256, 256, 256},   {512, 512, 512},   {1024, 1024, 1024},
+        {1024, 4096, 1024},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        out.push_back(makeCase("GMM", "G" + std::to_string(idx++), [s] {
+            Tensor a = placeholder("A", {s[0], s[1]});
+            Tensor b = placeholder("B", {s[1], s[2]});
+            return gemm(a, b);
+        }));
+    }
+    return out;
+}
+
+std::vector<TestCase>
+bilinearCases()
+{
+    // FLOPs around 1G.
+    const std::vector<std::array<int64_t, 4>> sizes = {
+        {8, 512, 256, 256},  {16, 256, 256, 256}, {8, 256, 512, 256},
+        {32, 128, 256, 256}, {8, 512, 512, 128},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        out.push_back(makeCase("BIL", "B" + std::to_string(idx++), [s] {
+            Tensor a = placeholder("A", {s[0], s[2]});
+            Tensor w = placeholder("W", {s[1], s[2], s[3]});
+            Tensor c = placeholder("C", {s[0], s[3]});
+            return bilinear(a, w, c);
+        }));
+    }
+    return out;
+}
+
+struct Conv1dSpec { int64_t c, l, k, r, stride; };
+
+std::vector<TestCase>
+conv1dCases(bool transposed)
+{
+    // FLOPs span roughly 50M .. 200M.
+    const std::vector<Conv1dSpec> sizes = {
+        {64, 2048, 128, 3, 1},  {128, 1024, 128, 3, 1},
+        {64, 4096, 128, 3, 1},  {128, 2048, 128, 3, 1},
+        {256, 1024, 128, 3, 1}, {128, 1024, 256, 3, 1},
+        {256, 2048, 128, 3, 1},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        std::string op = transposed ? "T1D" : "C1D";
+        out.push_back(makeCase(op, op[0] + std::to_string(idx++),
+                               [s, transposed]() -> Tensor {
+            Tensor input = placeholder("I", {1, s.c, s.l});
+            if (transposed) {
+                Tensor w = placeholder("W", {s.c, s.k, s.r});
+                return conv1dTransposed(input, w, s.stride, s.r / 2);
+            }
+            Tensor w = placeholder("W", {s.k, s.c, s.r});
+            ConvParams p;
+            p.stride = s.stride;
+            p.padding = s.r / 2;
+            return conv1d(input, w, p);
+        }));
+    }
+    return out;
+}
+
+std::vector<TestCase>
+conv2dCases(bool transposed)
+{
+    std::vector<TestCase> out;
+    for (const auto &layer : yoloLayers()) {
+        std::string op = transposed ? "T2D" : "C2D";
+        out.push_back(makeCase(op, layer.name, [layer, transposed]() {
+            if (!transposed)
+                return layer.build(1);
+            // Transposed convs are upsamplers: stride 2 throughout.
+            Tensor input = placeholder("I", {1, layer.inChannels,
+                                             layer.imageSize,
+                                             layer.imageSize});
+            Tensor w = placeholder("W", {layer.inChannels,
+                                         layer.outChannels, layer.kernel,
+                                         layer.kernel});
+            return conv2dTransposed(input, w, 2, layer.padding());
+        }));
+    }
+    return out;
+}
+
+struct Conv3dSpec { int64_t c, d, hw, k, kernel; };
+
+std::vector<TestCase>
+conv3dCases(bool transposed)
+{
+    // FLOPs span roughly 77M .. 6.6G.
+    const std::vector<Conv3dSpec> sizes = {
+        {3, 8, 56, 64, 3},    {16, 8, 28, 64, 3},  {32, 8, 28, 64, 3},
+        {64, 8, 28, 64, 3},   {64, 8, 14, 128, 3}, {128, 8, 14, 128, 3},
+        {128, 4, 14, 256, 3}, {256, 4, 7, 256, 3},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        std::string op = transposed ? "T3D" : "C3D";
+        out.push_back(makeCase(op, op[0] + std::to_string(idx++),
+                               [s, transposed]() -> Tensor {
+            Tensor input = placeholder("I", {1, s.c, s.d, s.hw, s.hw});
+            if (transposed) {
+                Tensor w = placeholder("W", {s.c, s.k, s.kernel, s.kernel,
+                                             s.kernel});
+                return conv3dTransposed(input, w, 2, s.kernel / 2);
+            }
+            Tensor w = placeholder("W", {s.k, s.c, s.kernel, s.kernel,
+                                         s.kernel});
+            ConvParams p;
+            p.padding = s.kernel / 2;
+            return conv3d(input, w, p);
+        }));
+    }
+    return out;
+}
+
+struct GroupSpec { int64_t c, hw, k, kernel, groups; };
+
+std::vector<TestCase>
+groupCases()
+{
+    const std::vector<GroupSpec> sizes = {
+        {64, 56, 64, 3, 2},    {64, 56, 64, 3, 4},   {128, 28, 128, 3, 2},
+        {128, 28, 128, 3, 4},  {128, 28, 128, 3, 8}, {256, 28, 256, 3, 4},
+        {256, 28, 256, 3, 8},  {256, 14, 512, 3, 4}, {512, 14, 512, 3, 8},
+        {512, 14, 512, 3, 16}, {256, 14, 256, 3, 2}, {512, 7, 512, 3, 4},
+        {1024, 7, 1024, 3, 8}, {1024, 7, 1024, 3, 16},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        out.push_back(makeCase("GRP", "R" + std::to_string(idx++), [s] {
+            Tensor input = placeholder("I", {1, s.c, s.hw, s.hw});
+            Tensor w = placeholder("W", {s.k, s.c / s.groups, s.kernel,
+                                         s.kernel});
+            ConvParams p;
+            p.padding = s.kernel / 2;
+            p.groups = s.groups;
+            return conv2d(input, w, p);
+        }));
+    }
+    return out;
+}
+
+struct DepthwiseSpec { int64_t c, hw, m, kernel, stride; };
+
+std::vector<TestCase>
+depthwiseCases()
+{
+    // MobileNet-style layers; FLOPs span roughly 250K .. 3.6M.
+    const std::vector<DepthwiseSpec> sizes = {
+        {32, 112, 1, 3, 1}, {64, 112, 1, 3, 2}, {128, 56, 1, 3, 1},
+        {128, 56, 1, 3, 2}, {256, 28, 1, 3, 1}, {512, 14, 1, 3, 1},
+        {1024, 7, 1, 3, 1},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        out.push_back(makeCase("DEP", "D" + std::to_string(idx++), [s] {
+            Tensor input = placeholder("I", {1, s.c, s.hw, s.hw});
+            Tensor w = placeholder("W", {s.c, s.m, s.kernel, s.kernel});
+            return depthwiseConv2d(input, w, s.stride, s.kernel / 2);
+        }));
+    }
+    return out;
+}
+
+struct DilatedSpec { int64_t c, hw, k, kernel, dilation; };
+
+std::vector<TestCase>
+dilatedCases()
+{
+    const std::vector<DilatedSpec> sizes = {
+        {64, 56, 64, 3, 2},    {64, 56, 128, 3, 2},  {128, 56, 128, 3, 2},
+        {128, 28, 256, 3, 2},  {256, 28, 256, 3, 2}, {256, 28, 256, 3, 4},
+        {256, 14, 512, 3, 2},  {512, 14, 512, 3, 2}, {512, 14, 512, 3, 4},
+        {512, 28, 512, 3, 2},  {1024, 14, 1024, 3, 2},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        out.push_back(makeCase("DIL", "L" + std::to_string(idx++), [s] {
+            Tensor input = placeholder("I", {1, s.c, s.hw, s.hw});
+            Tensor w = placeholder("W", {s.k, s.c, s.kernel, s.kernel});
+            ConvParams p;
+            p.padding = s.dilation * (s.kernel / 2);
+            p.dilation = s.dilation;
+            return conv2d(input, w, p);
+        }));
+    }
+    return out;
+}
+
+std::vector<TestCase>
+bcmCases()
+{
+    const std::vector<std::array<int64_t, 4>> sizes = {
+        // batch, M, K, block (batched as in C-LSTM inference)
+        {16, 1024, 1024, 8},  {16, 1024, 1024, 16}, {16, 2048, 1024, 8},
+        {16, 2048, 2048, 16}, {16, 4096, 2048, 16},
+    };
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        out.push_back(makeCase("BCM", "M" + std::to_string(idx++), [s] {
+            Tensor a = placeholder("A", {s[0], s[2]});
+            Tensor w = placeholder("W", {s[1] / s[3], s[2] / s[3], s[3]});
+            return blockCirculantMatmul(a, w, s[3]);
+        }));
+    }
+    return out;
+}
+
+std::vector<TestCase>
+shiftCases()
+{
+    const std::vector<std::array<int64_t, 2>> sizes = {
+        {64, 112}, {128, 56}, {256, 28}, {512, 14}, {1024, 7},
+    };
+    const int64_t batch = 16;
+    std::vector<TestCase> out;
+    int idx = 1;
+    for (auto s : sizes) {
+        out.push_back(makeCase("SHO", "S" + std::to_string(idx++), [s] {
+            Tensor input = placeholder("I", {batch, s[0], s[1], s[1]});
+            return shift2d(input);
+        }));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<TestCase>
+table3Cases(const std::string &op)
+{
+    if (op == "GMV") return gemvCases();
+    if (op == "GMM") return gemmCases();
+    if (op == "BIL") return bilinearCases();
+    if (op == "C1D") return conv1dCases(false);
+    if (op == "T1D") return conv1dCases(true);
+    if (op == "C2D") return conv2dCases(false);
+    if (op == "T2D") return conv2dCases(true);
+    if (op == "C3D") return conv3dCases(false);
+    if (op == "T3D") return conv3dCases(true);
+    if (op == "GRP") return groupCases();
+    if (op == "DEP") return depthwiseCases();
+    if (op == "DIL") return dilatedCases();
+    if (op == "BCM") return bcmCases();
+    if (op == "SHO") return shiftCases();
+    fatal("unknown operator abbreviation: ", op);
+}
+
+} // namespace ops
+} // namespace ft

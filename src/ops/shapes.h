@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Benchmark workload catalogs: the YOLO-v1 convolution layers of Table 4 and
+ * per-operator test-case suites mirroring Table 3.
+ */
+#ifndef FLEXTENSOR_OPS_SHAPES_H
+#define FLEXTENSOR_OPS_SHAPES_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/operation.h"
+
+namespace ft {
+namespace ops {
+
+/** One row of Table 4 (a distinctive YOLO-v1 convolution layer). */
+struct Conv2dLayer
+{
+    std::string name;  ///< C1..C15
+    int64_t inChannels;
+    int64_t outChannels;
+    int64_t imageSize;  ///< input height == width
+    int64_t kernel;
+    int64_t stride;
+
+    /** "Same"-style padding (kernel/2), as used by YOLO. */
+    int64_t padding() const { return kernel / 2; }
+
+    /** Build the operator graph with the given batch size. */
+    Tensor build(int64_t batch = 1) const;
+};
+
+/** The 15 distinctive YOLO-v1 convolution layers (Table 4). */
+const std::vector<Conv2dLayer> &yoloLayers();
+
+/** A named, buildable operator test case (one entry of a Table 3 suite). */
+struct TestCase
+{
+    std::string op;  ///< operator abbreviation: GMV, GMM, ..., BCM, SHO
+    std::string id;  ///< case name within the suite
+    std::function<Tensor()> build;
+};
+
+/** The operator abbreviations of Table 3, in paper order. */
+const std::vector<std::string> &table3Operators();
+
+/**
+ * Test-case suite for one operator abbreviation (Table 3 column
+ * "Test Cases"); sizes span the FLOP ranges the paper reports.
+ */
+std::vector<TestCase> table3Cases(const std::string &op);
+
+} // namespace ops
+} // namespace ft
+
+#endif // FLEXTENSOR_OPS_SHAPES_H

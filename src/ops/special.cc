@@ -1,0 +1,83 @@
+#include "ops/ops.h"
+
+#include "support/logging.h"
+
+namespace ft {
+namespace ops {
+
+Tensor
+shift2d(const Tensor &input)
+{
+    FT_ASSERT(input.ndim() == 4, "shift2d expects (N,C,H,W)");
+    int64_t n = input.shape()[0], c = input.shape()[1];
+    int64_t h = input.shape()[2], w = input.shape()[3];
+
+    // Pad by one on each spatial side so every unit shift stays in bounds.
+    Tensor padded = pad(input, {1, 1, 1, 1});
+    return compute("shift", {n, c, h, w},
+                   [&](const std::vector<Expr> &iv) {
+                       // Channel c is shifted by (c%3 - 1, (c/3)%3 - 1);
+                       // reading from the padded tensor at offset +1 makes
+                       // the net displacement fall in {-1, 0, +1}.
+                       Expr three = intImm(3);
+                       Expr dx = mod(iv[1], three);
+                       Expr dy = mod(floordiv(iv[1], three), three);
+                       Expr x = add(iv[2], dx);
+                       Expr y = add(iv[3], dy);
+                       return padded({iv[0], iv[1], x, y});
+                   });
+}
+
+Tensor
+relu(const Tensor &t)
+{
+    return compute(t.name() + ".relu", t.shape(),
+                   [&](const std::vector<Expr> &iv) {
+                       return maxExpr(t(iv), floatImm(0.0));
+                   });
+}
+
+Tensor
+biasAdd(const Tensor &t, const Tensor &bias)
+{
+    FT_ASSERT(t.ndim() >= 2, "biasAdd expects an NC... tensor");
+    FT_ASSERT(bias.ndim() == 1 && bias.shape()[0] == t.shape()[1],
+              "bias shape must match channel dim");
+    return compute(t.name() + ".bias", t.shape(),
+                   [&](const std::vector<Expr> &iv) {
+                       return add(t(iv), bias({iv[1]}));
+                   });
+}
+
+Tensor
+maxPool2d(const Tensor &input, int64_t kernel, int64_t stride)
+{
+    FT_ASSERT(input.ndim() == 4, "maxPool2d expects (N,C,H,W)");
+    int64_t n = input.shape()[0], c = input.shape()[1];
+    int64_t h = input.shape()[2], w = input.shape()[3];
+    int64_t oh = (h - kernel) / stride + 1;
+    int64_t ow = (w - kernel) / stride + 1;
+    FT_ASSERT(oh >= 1 && ow >= 1, "maxPool2d output would be empty");
+
+    // Max pooling is expressed without a reduce axis by unrolling the
+    // (small) window into a chain of max() nodes; windows are tiny (2 or 3)
+    // for the DNNs we model.
+    return compute("maxpool", {n, c, oh, ow},
+                   [&](const std::vector<Expr> &iv) {
+                       Expr best;
+                       for (int64_t r = 0; r < kernel; ++r) {
+                           for (int64_t s = 0; s < kernel; ++s) {
+                               Expr x = add(mul(iv[2], intImm(stride)),
+                                            intImm(r));
+                               Expr y = add(mul(iv[3], intImm(stride)),
+                                            intImm(s));
+                               Expr v = input({iv[0], iv[1], x, y});
+                               best = best ? maxExpr(best, v) : v;
+                           }
+                       }
+                       return best;
+                   });
+}
+
+} // namespace ops
+} // namespace ft

@@ -1,0 +1,124 @@
+#include "ops/ops.h"
+
+#include "support/logging.h"
+
+namespace ft {
+namespace ops {
+
+namespace {
+
+/** B^T for F(2x2, 3x3): 4x4. */
+Tensor
+winogradBt()
+{
+    return constant("wino.BT", {4, 4},
+                    {1, 0, -1, 0,
+                     0, 1, 1, 0,
+                     0, -1, 1, 0,
+                     0, 1, 0, -1});
+}
+
+/** G for F(2x2, 3x3): 4x3. */
+Tensor
+winogradG()
+{
+    return constant("wino.G", {4, 3},
+                    {1, 0, 0,
+                     0.5f, 0.5f, 0.5f,
+                     0.5f, -0.5f, 0.5f,
+                     0, 0, 1});
+}
+
+/** A^T for F(2x2, 3x3): 2x4. */
+Tensor
+winogradAt()
+{
+    return constant("wino.AT", {2, 4},
+                    {1, 1, 1, 0,
+                     0, 1, -1, -1});
+}
+
+} // namespace
+
+Tensor
+conv2dWinograd(const Tensor &input, const Tensor &weight, int64_t padding)
+{
+    FT_ASSERT(input.ndim() == 4 && weight.ndim() == 4,
+              "conv2dWinograd expects (N,C,H,W) and (K,C,3,3)");
+    FT_ASSERT(weight.shape()[2] == 3 && weight.shape()[3] == 3,
+              "Winograd F(2x2,3x3) requires a 3x3 kernel");
+    const int64_t n = input.shape()[0], c = input.shape()[1];
+    const int64_t h = input.shape()[2], w = input.shape()[3];
+    const int64_t k = weight.shape()[0];
+    FT_ASSERT(weight.shape()[1] == c, "conv2dWinograd channel mismatch");
+    const int64_t oh = h + 2 * padding - 2;
+    const int64_t ow = w + 2 * padding - 2;
+    FT_ASSERT(oh % 2 == 0 && ow % 2 == 0,
+              "Winograd F(2x2,3x3) requires even output extents");
+    const int64_t th = oh / 2, tw = ow / 2; // tile grid
+
+    Tensor bt = winogradBt();
+    Tensor g = winogradG();
+    Tensor at = winogradAt();
+    Tensor src = padding > 0
+                     ? pad(input, {padding, padding, padding, padding})
+                     : input;
+
+    // Kernel transform: U[k, c, a, b] = sum_{r,s} G[a,r] W[k,c,r,s] G[b,s].
+    IterVar ur = makeIterVar("r", 3, IterKind::Reduce);
+    IterVar us = makeIterVar("s", 3, IterKind::Reduce);
+    Tensor u = compute("wino.U", {k, c, 4, 4},
+                       [&](const std::vector<Expr> &iv) {
+                           return g({iv[2], varRef(ur)}) *
+                                  weight({iv[0], iv[1], varRef(ur),
+                                          varRef(us)}) *
+                                  g({iv[3], varRef(us)});
+                       },
+                       {ur, us});
+
+    // Input transform per 4x4 tile with stride-2 tiling:
+    // V[n, c, ty, tx, a, b] = sum_{r,s} BT[a,r] P[n,c,2ty+r,2tx+s] BT[b,s].
+    IterVar vr = makeIterVar("r", 4, IterKind::Reduce);
+    IterVar vs = makeIterVar("s", 4, IterKind::Reduce);
+    Tensor v = compute(
+        "wino.V", {n, c, th, tw, 4, 4},
+        [&](const std::vector<Expr> &iv) {
+            Expr y = add(mul(iv[2], intImm(2)), varRef(vr));
+            Expr x = add(mul(iv[3], intImm(2)), varRef(vs));
+            return bt({iv[4], varRef(vr)}) * src({iv[0], iv[1], y, x}) *
+                   bt({iv[5], varRef(vs)});
+        },
+        {vr, vs});
+
+    // Batched elementwise GEMM over channels (the dominant stage):
+    // M[n, k, ty, tx, a, b] = sum_c U[k,c,a,b] * V[n,c,ty,tx,a,b].
+    IterVar rc = makeIterVar("rc", c, IterKind::Reduce);
+    Tensor m = compute(
+        "wino.M", {n, k, th, tw, 4, 4},
+        [&](const std::vector<Expr> &iv) {
+            return u({iv[1], varRef(rc), iv[4], iv[5]}) *
+                   v({iv[0], varRef(rc), iv[2], iv[3], iv[4], iv[5]});
+        },
+        {rc});
+
+    // Inverse transform back to pixels:
+    // O[n,k,i,j] = sum_{a,b} AT[i%2,a] M[n,k,i/2,j/2,a,b] AT[j%2,b].
+    IterVar oa = makeIterVar("a", 4, IterKind::Reduce);
+    IterVar ob = makeIterVar("b", 4, IterKind::Reduce);
+    Expr two = intImm(2);
+    return compute(
+        "wino.out", {n, k, oh, ow},
+        [&](const std::vector<Expr> &iv) {
+            Expr ty = floordiv(iv[2], two);
+            Expr tx = floordiv(iv[3], two);
+            Expr uu = mod(iv[2], two);
+            Expr vv = mod(iv[3], two);
+            return at({uu, varRef(oa)}) *
+                   m({iv[0], iv[1], ty, tx, varRef(oa), varRef(ob)}) *
+                   at({vv, varRef(ob)});
+        },
+        {oa, ob});
+}
+
+} // namespace ops
+} // namespace ft

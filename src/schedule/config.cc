@@ -1,0 +1,50 @@
+#include "schedule/config.h"
+
+#include <sstream>
+
+namespace ft {
+
+namespace {
+
+void
+printSplits(std::ostringstream &oss,
+            const std::vector<std::vector<int64_t>> &splits)
+{
+    for (size_t i = 0; i < splits.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << "[";
+        for (size_t j = 0; j < splits[i].size(); ++j) {
+            if (j)
+                oss << ", ";
+            oss << splits[i][j];
+        }
+        oss << "]";
+    }
+}
+
+} // namespace
+
+std::string
+OpConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << "[splits: ";
+    printSplits(oss, spatialSplits);
+    if (!reduceSplits.empty()) {
+        oss << " | rsplits: ";
+        printSplits(oss, reduceSplits);
+    }
+    oss << " | reorder " << reorderChoice << " | fuse " << fuseCount
+        << " | unroll " << unrollDepth << " | vec " << vectorizeLen;
+    if (cacheAtReduceLevel != 0)
+        oss << " | cache_at " << cacheAtReduceLevel;
+    if (fpgaBufferRows != 1 || fpgaPartition != 1) {
+        oss << " | buffer " << fpgaBufferRows << " | partition "
+            << fpgaPartition;
+    }
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace ft

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Schedule configuration: one point of the schedule space, decoded.
+ *
+ * A config records the parameters of every schedule primitive FlexTensor
+ * applies (Table 2): split factors per loop, reorder choice, fuse count,
+ * unroll depth, vectorize length, and the FPGA buffer/partition knobs. The
+ * per-hardware generators (generator_cpu/gpu/fpga) interpret a config and
+ * lower the anchor operation to an annotated loop nest.
+ */
+#ifndef FLEXTENSOR_SCHEDULE_CONFIG_H
+#define FLEXTENSOR_SCHEDULE_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/** Number of reorder patterns the generators understand. */
+inline constexpr int kNumReorderChoices = 4;
+
+/** A decoded schedule-space point. */
+struct OpConfig
+{
+    /**
+     * Split factors per spatial loop, outermost factor first. The product
+     * of each row equals the loop extent (divisible splits only; Section
+     * 4.2). Row length is the tiling depth of the target (4 on GPU, 3 on
+     * CPU, 2 on FPGA).
+     */
+    std::vector<std::vector<int64_t>> spatialSplits;
+
+    /** Split factors per reduce loop (3 levels on GPU, 2 on CPU, 1 FPGA). */
+    std::vector<std::vector<int64_t>> reduceSplits;
+
+    /** Which inner-block loop arrangement to use; see generators. */
+    int reorderChoice = 0;
+
+    /** CPU: number of outermost sub-loops fused into the parallel loop. */
+    int fuseCount = 1;
+
+    /** Unroll the innermost `unrollDepth` loops (0 = no unrolling). */
+    int unrollDepth = 0;
+
+    /** CPU: requested vector width in lanes. */
+    int vectorizeLen = 8;
+
+    /**
+     * GPU: reduce level the shared-memory tiles are staged at (the
+     * compute_at primitive of Table 2). Level 0 stages big tiles once per
+     * outer reduce step; level 1 stages smaller tiles more often, freeing
+     * shared memory (occupancy) at the cost of extra DRAM traffic.
+     */
+    int cacheAtReduceLevel = 0;
+
+    /** FPGA: input rows buffered on chip per round. */
+    int fpgaBufferRows = 1;
+
+    /** FPGA: on-chip memory partition factor (banks). */
+    int fpgaPartition = 1;
+
+    /** Render as the paper's nested-vector encoding (Figure 3e style). */
+    std::string toString() const;
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_SCHEDULE_CONFIG_H

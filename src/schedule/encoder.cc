@@ -1,0 +1,55 @@
+#include "schedule/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math_util.h"
+
+namespace ft {
+
+std::vector<std::vector<int64_t>>
+encodeConfig(const OpConfig &config)
+{
+    std::vector<std::vector<int64_t>> rows;
+    for (const auto &s : config.spatialSplits)
+        rows.push_back(s);
+    for (const auto &s : config.reduceSplits)
+        rows.push_back(s);
+    rows.push_back({config.reorderChoice});
+    rows.push_back({config.fuseCount});
+    rows.push_back({config.unrollDepth});
+    rows.push_back({config.vectorizeLen});
+    rows.push_back({config.cacheAtReduceLevel});
+    rows.push_back({config.fpgaBufferRows, config.fpgaPartition});
+    return rows;
+}
+
+std::vector<double>
+configFeatures(const OpConfig &config)
+{
+    std::vector<double> out;
+    auto push_splits = [&](const std::vector<std::vector<int64_t>> &splits) {
+        for (const auto &row : splits) {
+            double total = std::log2(
+                static_cast<double>(std::max<int64_t>(product(row), 2)));
+            for (int64_t f : row)
+                out.push_back(std::log2(static_cast<double>(f) + 1.0) /
+                              total);
+        }
+    };
+    push_splits(config.spatialSplits);
+    push_splits(config.reduceSplits);
+    out.push_back(config.reorderChoice /
+                  static_cast<double>(kNumReorderChoices));
+    out.push_back(config.fuseCount / 8.0);
+    out.push_back(config.unrollDepth / 4.0);
+    out.push_back(std::log2(config.vectorizeLen + 1.0) / 5.0);
+    // cacheAtReduceLevel is intentionally not encoded here: when the knob
+    // is in the space, ScheduleSpace::features already exposes it through
+    // the per-subspace index part of the feature vector.
+    out.push_back(std::log2(config.fpgaBufferRows + 1.0) / 5.0);
+    out.push_back(std::log2(config.fpgaPartition + 1.0) / 5.0);
+    return out;
+}
+
+} // namespace ft

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Schedule-point encoding (Figure 3e of the paper).
+ *
+ * Every schedule-space point is encoded as a nested integer vector: one row
+ * of split factors per loop, then the scalar primitive choices. The flat
+ * float encoding feeds the Q-network and the gradient-boosted cost model.
+ */
+#ifndef FLEXTENSOR_SCHEDULE_ENCODER_H
+#define FLEXTENSOR_SCHEDULE_ENCODER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "schedule/config.h"
+
+namespace ft {
+
+/** Paper-style nested integer encoding of a config. */
+std::vector<std::vector<int64_t>> encodeConfig(const OpConfig &config);
+
+/**
+ * Flat, roughly unit-scaled feature vector of a config (log2 of split
+ * factors normalized by the loop's log2 extent, plus the scalar knobs).
+ */
+std::vector<double> configFeatures(const OpConfig &config);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_SCHEDULE_ENCODER_H

@@ -1,0 +1,51 @@
+#include "schedule/generator.h"
+
+#include "support/logging.h"
+
+namespace ft {
+
+Scheduled
+generate(const Operation &anchor, const OpConfig &config,
+         const Target &target)
+{
+    switch (target.kind) {
+      case DeviceKind::Gpu:
+        return generateGpu(anchor, config, *target.gpu);
+      case DeviceKind::Cpu:
+        return generateCpu(anchor, config, *target.cpu);
+      case DeviceKind::Fpga:
+        return generateFpga(anchor, config, *target.fpga);
+    }
+    panic("unreachable");
+}
+
+OpConfig
+defaultConfig(const Operation &anchor, const Target &target)
+{
+    FT_ASSERT(!anchor->isPlaceholder(), "defaultConfig of placeholder");
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+
+    int sl = kGpuSpatialLevels, rl = kGpuReduceLevels;
+    if (target.kind == DeviceKind::Cpu) {
+        sl = kCpuSpatialLevels;
+        rl = kCpuReduceLevels;
+    } else if (target.kind == DeviceKind::Fpga) {
+        sl = kFpgaSpatialLevels;
+        rl = kFpgaReduceLevels;
+    }
+
+    OpConfig config;
+    for (const auto &iv : op->axis()) {
+        std::vector<int64_t> row(sl, 1);
+        row[0] = iv->extent;
+        config.spatialSplits.push_back(std::move(row));
+    }
+    for (const auto &iv : op->reduceAxis()) {
+        std::vector<int64_t> row(rl, 1);
+        row[0] = iv->extent;
+        config.reduceSplits.push_back(std::move(row));
+    }
+    return config;
+}
+
+} // namespace ft

@@ -1,0 +1,166 @@
+#include "schedule/generator.h"
+
+#include <algorithm>
+
+#include "analysis/flops.h"
+#include "schedule/generator_util.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace ft {
+
+Scheduled
+generateCpu(const Operation &anchor, const OpConfig &config,
+            const CpuSpec &spec)
+{
+    FT_ASSERT(!anchor->isPlaceholder(), "cannot schedule a placeholder");
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+    gen::checkSplits(op, config, kCpuSpatialLevels, kCpuReduceLevels);
+
+    Scheduled out;
+    out.nest.op = anchor;
+
+    // Spatial levels: [outer (parallel candidates), mid, inner];
+    // reduce levels: [outer, inner].
+    std::vector<std::vector<SubLoop>> sp, rd;
+    for (size_t i = 0; i < op->axis().size(); ++i)
+        sp.push_back(splitLoop(op->axis()[i], config.spatialSplits[i], "s"));
+    for (size_t i = 0; i < op->reduceAxis().size(); ++i)
+        rd.push_back(splitLoop(op->reduceAxis()[i], config.reduceSplits[i],
+                               "r"));
+
+    int fuse = std::clamp<int>(config.fuseCount, 1,
+                               static_cast<int>(sp.size()));
+    auto &loops = out.nest.loops;
+    // The first `fuse` outer loops form the fused parallel hyper-loop.
+    for (int i = 0; i < static_cast<int>(sp.size()); ++i) {
+        sp[i][0].anno =
+            i < fuse ? LoopAnno::Parallel : LoopAnno::Serial;
+        loops.push_back(sp[i][0]);
+    }
+    for (const auto &row : sp)
+        loops.push_back(row[1]);
+    for (const auto &row : rd)
+        loops.push_back(row[0]);
+
+    // Inner block: register/L1 tile. Reorder choice arranges the inner
+    // spatial tile against the inner reduce steps.
+    std::vector<SubLoop> si, ki;
+    for (const auto &row : sp)
+        si.push_back(row[2]);
+    for (const auto &row : rd)
+        ki.push_back(row[1]);
+
+    std::vector<SubLoop> inner;
+    switch (config.reorderChoice % kNumReorderChoices) {
+      case 0:
+        inner.insert(inner.end(), ki.begin(), ki.end());
+        inner.insert(inner.end(), si.begin(), si.end());
+        break;
+      case 1:
+        inner.insert(inner.end(), si.begin(), si.end());
+        inner.insert(inner.end(), ki.begin(), ki.end());
+        break;
+      case 2: {
+        size_t a = 0, b = 0;
+        while (a < ki.size() || b < si.size()) {
+            if (a < ki.size())
+                inner.push_back(ki[a++]);
+            if (b < si.size())
+                inner.push_back(si[b++]);
+        }
+        break;
+      }
+      default: {
+        // Keep the innermost spatial loop last but hoist the reduce chain
+        // directly around it (good for FMA accumulation).
+        inner.insert(inner.end(), si.begin(), si.end());
+        if (!inner.empty()) {
+            SubLoop last = inner.back();
+            inner.pop_back();
+            inner.insert(inner.end(), ki.begin(), ki.end());
+            inner.push_back(last);
+        } else {
+            inner.insert(inner.end(), ki.begin(), ki.end());
+        }
+        break;
+      }
+    }
+    // The innermost spatial sub-loop is the vectorized one.
+    for (auto it = inner.rbegin(); it != inner.rend(); ++it) {
+        if (it->origin->kind == IterKind::Spatial) {
+            it->anno = LoopAnno::Vectorize;
+            break;
+        }
+    }
+    for (int u = 0;
+         u < config.unrollDepth && u < static_cast<int>(inner.size()); ++u) {
+        auto &l = inner[inner.size() - 1 - u];
+        if (l.anno == LoopAnno::Serial)
+            l.anno = LoopAnno::Unroll;
+    }
+    loops.insert(loops.end(), inner.begin(), inner.end());
+
+    // ------------------------------------------------------------------
+    // Features.
+    NestFeatures &f = out.features;
+    f.totalFlops = flopsOf(anchor);
+    f.outputElems = product(op->outputShape());
+    f.parallelExtent = out.nest.extentOf(LoopAnno::Parallel);
+
+    // Effective vector width: lanes actually filled by the innermost
+    // spatial sub-loop, capped by the requested length.
+    int64_t inner_sp = 1;
+    for (const auto &l : inner) {
+        if (l.anno == LoopAnno::Vectorize)
+            inner_sp = l.extent;
+    }
+    f.vecLen = static_cast<int>(
+        std::min<int64_t>(config.vectorizeLen,
+                          largestPowerOfTwoDivisor(inner_sp)));
+    f.vecLen = std::max(f.vecLen, 1);
+
+    f.unrollSteps = 1;
+    for (const auto &l : inner) {
+        if (l.anno == LoopAnno::Unroll)
+            f.unrollSteps *= l.extent;
+    }
+
+    // L1 tile: the inner block (si x ki) footprint.
+    auto l1_free = [](const SubLoop &l) { return l.level >= 2 ||
+        (l.origin->kind == IterKind::Reduce && l.level >= 1); };
+    VarRanges l1_ranges = gen::rangesWithFree(op, loops, l1_free);
+    f.l1TileBytes = gen::footprintBytes(gen::inputFootprints(op, l1_ranges));
+
+    // L2 tile: everything below the parallel level.
+    auto l2_free = [](const SubLoop &l) {
+        return !(l.origin->kind == IterKind::Spatial && l.level == 0);
+    };
+    VarRanges l2_ranges = gen::rangesWithFree(op, loops, l2_free);
+    f.l2TileBytes = gen::footprintBytes(gen::inputFootprints(op, l2_ranges));
+
+    // DRAM traffic: per-parallel-task footprint times task count, floored
+    // by tensor size and discounted by L3 reuse for small tensors.
+    auto task_fps = gen::inputFootprints(op, l2_ranges);
+    int64_t tasks = 1;
+    for (const auto &row : sp)
+        tasks *= row[0].extent;
+    int64_t dram = 0;
+    for (const auto &fp : task_fps) {
+        int64_t tensor_bytes = 4;
+        for (int64_t d : fp.accessNode->source->outputShape())
+            tensor_bytes *= d;
+        int64_t naive = tasks * fp.cells * 4;
+        if (tensor_bytes < spec.l3Bytes / 2)
+            dram += std::max<int64_t>(tensor_bytes, naive / 16);
+        else
+            dram += naive;
+    }
+    dram += f.outputElems * 4;
+    f.cpuDramBytes = dram;
+
+    f.valid = true;
+    return out;
+}
+
+} // namespace ft

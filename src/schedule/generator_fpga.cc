@@ -1,0 +1,94 @@
+#include "schedule/generator.h"
+
+#include <algorithm>
+
+#include "analysis/flops.h"
+#include "schedule/generator_util.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace ft {
+
+Scheduled
+generateFpga(const Operation &anchor, const OpConfig &config,
+             const FpgaSpec &spec)
+{
+    FT_ASSERT(!anchor->isPlaceholder(), "cannot schedule a placeholder");
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+    gen::checkSplits(op, config, kFpgaSpatialLevels, kFpgaReduceLevels);
+
+    Scheduled out;
+    out.nest.op = anchor;
+
+    // Spatial levels: [round, pe]; reduce levels: [stream, inner]. Outer
+    // reduce chunks stream through the pipeline as extra rounds with the
+    // partial sums held on chip; the inner reduce runs inside each PE's
+    // pipelined datapath.
+    std::vector<std::vector<SubLoop>> sp, rd;
+    for (size_t i = 0; i < op->axis().size(); ++i)
+        sp.push_back(splitLoop(op->axis()[i], config.spatialSplits[i], "s"));
+    for (size_t i = 0; i < op->reduceAxis().size(); ++i)
+        rd.push_back(splitLoop(op->reduceAxis()[i], config.reduceSplits[i],
+                               "r"));
+
+    auto &loops = out.nest.loops;
+    for (const auto &row : sp)
+        loops.push_back(row[0]);
+    for (const auto &row : rd)
+        loops.push_back(row[0]);
+    for (auto &row : sp) {
+        row[1].anno = LoopAnno::PE;
+        loops.push_back(row[1]);
+    }
+    for (const auto &row : rd)
+        loops.push_back(row[1]);
+
+    // ------------------------------------------------------------------
+    // Features for the three-stage pipeline model (Section 5.2):
+    //   T = rounds * max(R, C, W)
+    NestFeatures &f = out.features;
+    f.totalFlops = flopsOf(anchor);
+    f.outputElems = product(op->outputShape());
+    f.pe = out.nest.extentOf(LoopAnno::PE);
+    f.partition = std::max(config.fpgaPartition, 1);
+
+    int64_t rounds = 1;
+    for (const auto &row : sp)
+        rounds *= row[0].extent;
+    for (const auto &row : rd)
+        rounds *= row[0].extent;
+    f.rounds = rounds;
+    f.flopsPerRound = f.totalFlops / static_cast<double>(rounds);
+
+    // Per-round input tile: round and reduce-stream loops pinned, PE
+    // lanes and the inner reduction free.
+    auto round_free = [](const SubLoop &l) { return l.level != 0; };
+    VarRanges tile_ranges = gen::rangesWithFree(op, loops, round_free);
+    auto tile_fps = gen::inputFootprints(op, tile_ranges);
+    int64_t tile_bytes = gen::footprintBytes(tile_fps);
+    // The first body access is the streamed activation (weights stay
+    // resident on chip); row buffering applies to it alone.
+    int64_t streamed_bytes =
+        tile_fps.empty() ? 0 : tile_fps.front().cells * 4;
+
+    // Row buffering: halo re-reads between rounds shrink as more rows of
+    // the streamed input are kept on chip, at the cost of BRAM capacity.
+    int rows = std::max(config.fpgaBufferRows, 1);
+    f.readBytesPerRound =
+        static_cast<double>(tile_bytes) +
+        static_cast<double>(streamed_bytes) * 2.0 / (rows + 1.0);
+    f.writeBytesPerRound =
+        static_cast<double>(f.outputElems) * 4.0 / rounds;
+    f.bufferBytes = tile_bytes + streamed_bytes * (rows - 1);
+
+    if (f.pe > spec.maxPe()) {
+        f.valid = false;
+        f.invalidReason = "PE count exceeds DSP budget";
+    } else if (f.bufferBytes > spec.bramBytes) {
+        f.valid = false;
+        f.invalidReason = "on-chip buffer exceeds BRAM capacity";
+    }
+    return out;
+}
+
+} // namespace ft

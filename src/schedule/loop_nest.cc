@@ -1,0 +1,111 @@
+#include "schedule/loop_nest.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace ft {
+
+int64_t
+LoopNest::extentOf(LoopAnno anno) const
+{
+    int64_t p = 1;
+    for (const auto &l : loops) {
+        if (l.anno == anno)
+            p *= l.extent;
+    }
+    return p;
+}
+
+std::vector<SubLoop>
+splitLoop(const IterVar &iv, const std::vector<int64_t> &factors,
+          const std::string &suffix_base)
+{
+    FT_ASSERT(!factors.empty(), "splitLoop with no factors");
+    FT_ASSERT(product(factors) == iv->extent, "split of ", iv->name,
+              " does not multiply to extent ", iv->extent);
+    std::vector<SubLoop> out(factors.size());
+    int64_t stride = 1;
+    for (size_t lvl = factors.size(); lvl-- > 0;) {
+        SubLoop &l = out[lvl];
+        l.name = iv->name + "." + suffix_base + std::to_string(lvl);
+        l.extent = factors[lvl];
+        l.origin = iv.get();
+        l.stride = stride;
+        l.level = static_cast<int>(lvl);
+        stride *= factors[lvl];
+    }
+    return out;
+}
+
+namespace {
+
+int64_t
+evalIntRec(const Expr &e,
+           const std::vector<std::pair<const IterVarNode *, int64_t>> &env)
+{
+    switch (e->kind) {
+      case ExprKind::IntImm:
+        return e->intValue;
+      case ExprKind::Var: {
+        for (const auto &[var, value] : env) {
+            if (var == e->var.get())
+                return value;
+        }
+        return 0; // unbound variables default to zero
+      }
+      case ExprKind::Add:
+        return evalIntRec(e->a, env) + evalIntRec(e->b, env);
+      case ExprKind::Sub:
+        return evalIntRec(e->a, env) - evalIntRec(e->b, env);
+      case ExprKind::Mul:
+        return evalIntRec(e->a, env) * evalIntRec(e->b, env);
+      case ExprKind::Div: {
+        int64_t b = evalIntRec(e->b, env);
+        FT_ASSERT(b != 0, "integer division by zero");
+        return evalIntRec(e->a, env) / b;
+      }
+      case ExprKind::Mod: {
+        int64_t b = evalIntRec(e->b, env);
+        FT_ASSERT(b > 0, "integer modulo by non-positive");
+        int64_t r = evalIntRec(e->a, env) % b;
+        return r < 0 ? r + b : r;
+      }
+      case ExprKind::Min:
+        return std::min(evalIntRec(e->a, env), evalIntRec(e->b, env));
+      case ExprKind::Max:
+        return std::max(evalIntRec(e->a, env), evalIntRec(e->b, env));
+      case ExprKind::CmpLT:
+        return evalIntRec(e->a, env) < evalIntRec(e->b, env) ? 1 : 0;
+      case ExprKind::CmpLE:
+        return evalIntRec(e->a, env) <= evalIntRec(e->b, env) ? 1 : 0;
+      case ExprKind::CmpEQ:
+        return evalIntRec(e->a, env) == evalIntRec(e->b, env) ? 1 : 0;
+      case ExprKind::And:
+        return evalIntRec(e->a, env) && evalIntRec(e->b, env) ? 1 : 0;
+      case ExprKind::Or:
+        return evalIntRec(e->a, env) || evalIntRec(e->b, env) ? 1 : 0;
+      default:
+        panic("evalIntExpr: float-typed node in index expression");
+    }
+}
+
+} // namespace
+
+int64_t
+evalIntExpr(const Expr &e,
+            const std::vector<std::pair<const IterVarNode *, int64_t>> &env)
+{
+    return evalIntRec(e, env);
+}
+
+int64_t
+linearCoefficient(const Expr &e, const IterVarNode *var)
+{
+    std::vector<std::pair<const IterVarNode *, int64_t>> env0, env1;
+    env1.emplace_back(var, 1);
+    return evalIntExpr(e, env1) - evalIntExpr(e, env0);
+}
+
+} // namespace ft

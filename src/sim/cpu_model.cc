@@ -1,0 +1,74 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/math_util.h"
+
+namespace ft {
+
+PerfResult
+cpuModelPerf(const NestFeatures &f, const CpuSpec &spec)
+{
+    PerfResult out;
+    if (!f.valid) {
+        out.reason = f.invalidReason;
+        return out;
+    }
+
+    // ---- Parallelism -----------------------------------------------------
+    // Tasks are distributed statically over cores; a task count that does
+    // not divide the core count leaves some cores idle in the last wave.
+    double par_eff;
+    if (f.parallelExtent >= spec.cores) {
+        int64_t waves = ceilDiv(f.parallelExtent, spec.cores);
+        par_eff = static_cast<double>(f.parallelExtent) /
+                  static_cast<double>(waves * spec.cores);
+    } else {
+        par_eff = static_cast<double>(f.parallelExtent) / spec.cores;
+    }
+
+    // ---- Vectorization ----------------------------------------------------
+    const int lanes = std::min(f.vecLen, spec.vecLanes);
+    const double vec_eff =
+        0.25 + 0.75 * static_cast<double>(lanes) / spec.vecLanes;
+
+    // ---- Locality ---------------------------------------------------------
+    // Register/L1 tile fit is the big lever; spilling to L2/L3 costs.
+    double loc_eff;
+    if (f.l1TileBytes <= spec.l1Bytes) {
+        loc_eff = 1.0;
+        // Degenerate tiny tiles pay loop overhead instead.
+        if (f.l1TileBytes < 1024)
+            loc_eff = 0.7;
+    } else if (f.l1TileBytes <= spec.l2Bytes) {
+        loc_eff = 0.72;
+    } else if (f.l1TileBytes <= spec.l3Bytes / spec.cores) {
+        loc_eff = 0.45;
+    } else {
+        loc_eff = 0.28;
+    }
+
+    const double unroll_eff =
+        0.85 + 0.15 * std::min(1.0, static_cast<double>(f.unrollSteps) /
+                                        8.0);
+
+    // Sustained single-socket conv throughput stays well under the SIMD
+    // peak (AVX downclock, port pressure); calibrated against Figure 6b.
+    double compute_eff = 0.5 * par_eff * vec_eff * loc_eff * unroll_eff;
+    compute_eff = std::clamp(compute_eff, 0.005, 0.5);
+    const double compute_time =
+        f.totalFlops / (spec.peakGflops() * 1e9 * compute_eff);
+
+    // ---- Memory -----------------------------------------------------------
+    const double mem_time =
+        static_cast<double>(f.cpuDramBytes) / (spec.memBwGBs * 1e9);
+
+    out.valid = true;
+    out.seconds = std::max(compute_time, mem_time) +
+                  spec.parallelOverheadUs * 1e-6;
+    out.gflops = f.totalFlops / out.seconds / 1e9;
+    return out;
+}
+
+} // namespace ft

@@ -1,0 +1,49 @@
+#include "sim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ft {
+
+PerfResult
+fpgaModelPerf(const NestFeatures &f, const FpgaSpec &spec)
+{
+    PerfResult out;
+    if (!f.valid) {
+        out.reason = f.invalidReason;
+        return out;
+    }
+
+    // Paper's model: Execution_time = workload/#PE * max(R, C, W), i.e.
+    // rounds * the longest stage of the three-stage pipeline.
+    const double compute =
+        f.flopsPerRound / (2.0 * static_cast<double>(f.pe) *
+                           spec.clockGhz * 1e9);
+    const double read_bw =
+        std::min(spec.ddrBwGBs, spec.baseBankBwGBs * f.partition) * 1e9;
+    const double read = f.readBytesPerRound / read_bw;
+    const double write = f.writeBytesPerRound / (spec.ddrBwGBs * 1e9);
+
+    const double stage = std::max({read, compute, write});
+    out.valid = true;
+    // Pipeline fill/drain adds two extra stage latencies.
+    out.seconds = static_cast<double>(f.rounds) * stage + 2.0 * stage;
+    out.gflops = f.totalFlops / out.seconds / 1e9;
+    return out;
+}
+
+PerfResult
+modelPerf(const NestFeatures &f, const Target &target)
+{
+    switch (target.kind) {
+      case DeviceKind::Gpu:
+        return gpuModelPerf(f, *target.gpu);
+      case DeviceKind::Cpu:
+        return cpuModelPerf(f, *target.cpu);
+      case DeviceKind::Fpga:
+        return fpgaModelPerf(f, *target.fpga);
+    }
+    return {};
+}
+
+} // namespace ft

@@ -1,0 +1,150 @@
+#include "sim/hw_spec.h"
+
+#include "support/logging.h"
+
+namespace ft {
+
+const GpuSpec &
+v100()
+{
+    static const GpuSpec spec = {
+        .name = "V100",
+        .sms = 80,
+        .maxThreadsPerSm = 2048,
+        .maxThreadsPerBlock = 1024,
+        .maxBlocksPerSm = 32,
+        .sharedMemPerSm = 96 * 1024,
+        .sharedMemPerBlock = 48 * 1024,
+        .regsPerSm = 65536,
+        .regsPerThreadMax = 255,
+        .warpSize = 32,
+        .clockGhz = 1.53,
+        .fp32LanesPerSm = 64,
+        .memBwGBs = 900.0,
+        .l2Bytes = 6 * 1024 * 1024,
+        .launchOverheadUs = 8.0,
+    };
+    return spec;
+}
+
+const GpuSpec &
+p100()
+{
+    static const GpuSpec spec = {
+        .name = "P100",
+        .sms = 56,
+        .maxThreadsPerSm = 2048,
+        .maxThreadsPerBlock = 1024,
+        .maxBlocksPerSm = 32,
+        .sharedMemPerSm = 64 * 1024,
+        .sharedMemPerBlock = 48 * 1024,
+        .regsPerSm = 65536,
+        .regsPerThreadMax = 255,
+        .warpSize = 32,
+        .clockGhz = 1.48,
+        .fp32LanesPerSm = 64,
+        .memBwGBs = 732.0,
+        .l2Bytes = 4 * 1024 * 1024,
+        .launchOverheadUs = 8.0,
+    };
+    return spec;
+}
+
+const GpuSpec &
+titanX()
+{
+    static const GpuSpec spec = {
+        .name = "TitanX",
+        .sms = 28,
+        .maxThreadsPerSm = 2048,
+        .maxThreadsPerBlock = 1024,
+        .maxBlocksPerSm = 32,
+        .sharedMemPerSm = 96 * 1024,
+        .sharedMemPerBlock = 48 * 1024,
+        .regsPerSm = 65536,
+        .regsPerThreadMax = 255,
+        .warpSize = 32,
+        .clockGhz = 1.53,
+        .fp32LanesPerSm = 128,
+        .memBwGBs = 480.0,
+        .l2Bytes = 3 * 1024 * 1024,
+        .launchOverheadUs = 10.0,
+    };
+    return spec;
+}
+
+const CpuSpec &
+xeonE5()
+{
+    static const CpuSpec spec = {
+        .name = "XeonE5-2699v4",
+        .cores = 22,
+        .vecLanes = 8, // AVX2
+        .fmaPerCycle = 2,
+        .clockGhz = 2.2,
+        .l1Bytes = 32 * 1024,
+        .l2Bytes = 256 * 1024,
+        .l3Bytes = 55ll * 1024 * 1024,
+        .memBwGBs = 76.8,
+        .parallelOverheadUs = 6.0,
+    };
+    return spec;
+}
+
+const FpgaSpec &
+vu9p()
+{
+    static const FpgaSpec spec = {
+        .name = "VU9P",
+        .dsps = 6840,
+        .dspsPerPe = 5, // fp32 multiply (3) + add (2)
+        .bramBytes = 9ll * 1024 * 1024,
+        .ddrBwGBs = 64.0, // four DDR4-2400 channels (realistic sustained)
+        .baseBankBwGBs = 8.0,
+        .clockGhz = 0.25,
+    };
+    return spec;
+}
+
+const std::string &
+Target::deviceName() const
+{
+    switch (kind) {
+      case DeviceKind::Gpu:
+        return gpu->name;
+      case DeviceKind::Cpu:
+        return cpu->name;
+      case DeviceKind::Fpga:
+        return fpga->name;
+    }
+    panic("unreachable");
+}
+
+Target
+Target::forGpu(const GpuSpec &spec)
+{
+    Target t;
+    t.kind = DeviceKind::Gpu;
+    t.gpu = &spec;
+    return t;
+}
+
+Target
+Target::forCpu(const CpuSpec &spec)
+{
+    Target t;
+    t.kind = DeviceKind::Cpu;
+    t.cpu = &spec;
+    return t;
+}
+
+Target
+Target::forFpga(const FpgaSpec &spec)
+{
+    Target t;
+    t.kind = DeviceKind::Fpga;
+    t.fpga = &spec;
+    return t;
+}
+
+} // namespace ft

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulated vendor libraries: the comparison baselines of Section 6.
+ *
+ * Each "library" is modeled as an expert-chosen fixed schedule evaluated
+ * through the same device models as FlexTensor, multiplied by an
+ * algorithm-level time factor that encodes the paper's qualitative
+ * explanations (Winograd for 3x3/s1 convolutions, implicit GEMM for
+ * transposed convolutions, kernel-reuse penalties for group/dilated
+ * convolutions, the poor depthwise path in cuDNN, and so on). See
+ * DESIGN.md §2 for the substitution rationale and the constants below for
+ * the calibration values.
+ */
+#ifndef FLEXTENSOR_SIM_LIBRARY_MODEL_H
+#define FLEXTENSOR_SIM_LIBRARY_MODEL_H
+
+#include <string>
+
+#include "ir/graph.h"
+#include "sim/perf_model.h"
+
+namespace ft {
+
+/** The baseline implementations compared against in the paper. */
+enum class Library {
+    PyTorchNative, ///< PyTorch without cuDNN (GPU) / without MKL-DNN (CPU)
+    CuDnn,         ///< cuDNN v7 (GPU convolutions)
+    CuBlas,        ///< cuBLAS (GPU linear algebra)
+    MklDnn,        ///< MKL-DNN-backed PyTorch (CPU)
+    FpgaOpenCl,    ///< hand-optimized OpenCL design (Zhang'15 style)
+    HandTuned      ///< the authors' hand-tuned GPU kernels (Section 6.4)
+};
+
+/** Result of a library-baseline evaluation. */
+struct LibraryResult
+{
+    bool supported = false;
+    double seconds = 0.0;
+    double gflops = 0.0;
+};
+
+/** Human-readable library name. */
+std::string libraryName(Library lib);
+
+/**
+ * Coarse operator family recognized from the anchor node, used to select
+ * the library algorithm and its time factor.
+ */
+std::string classifyAnchor(const MiniGraph &graph);
+
+/**
+ * A fixed, expert-style schedule config for the anchor (reasonable tiling
+ * for the target, no search). Also used as the search-free baseline.
+ */
+OpConfig expertConfig(const Operation &anchor, const Target &target);
+
+/** Predict the performance of a library baseline on the given graph. */
+LibraryResult libraryPerf(const MiniGraph &graph, Library lib,
+                          const Target &target);
+
+/** Divisor of n closest (in log space) to the desired value. */
+int64_t closestDivisor(int64_t n, int64_t desired);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_SIM_LIBRARY_MODEL_H

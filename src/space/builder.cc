@@ -1,0 +1,78 @@
+#include "space/builder.h"
+
+#include "schedule/generator.h"
+#include "support/logging.h"
+
+namespace ft {
+
+ScheduleSpace
+buildSpace(const Operation &anchor, const Target &target,
+           const SpaceOptions &options)
+{
+    FT_ASSERT(!anchor->isPlaceholder(), "cannot build space for placeholder");
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+
+    int sl = kGpuSpatialLevels, rl = kGpuReduceLevels;
+    if (target.kind == DeviceKind::Cpu) {
+        sl = kCpuSpatialLevels;
+        rl = kCpuReduceLevels;
+    } else if (target.kind == DeviceKind::Fpga) {
+        sl = kFpgaSpatialLevels;
+        rl = kFpgaReduceLevels;
+    }
+
+    ScheduleSpace space(defaultConfig(anchor, target));
+    const bool pow2 = options.templateRestricted || options.pow2Splits;
+    const bool knobs =
+        options.exploreReorderUnroll && !options.templateRestricted;
+
+    for (size_t i = 0; i < op->axis().size(); ++i) {
+        space.add(std::make_unique<SplitSubSpace>(
+            KnobRole::SpatialSplit, static_cast<int>(i),
+            op->axis()[i]->extent, sl, pow2));
+    }
+    for (size_t i = 0; i < op->reduceAxis().size(); ++i) {
+        space.add(std::make_unique<SplitSubSpace>(
+            KnobRole::ReduceSplit, static_cast<int>(i),
+            op->reduceAxis()[i]->extent, rl, pow2));
+    }
+
+    if (knobs) {
+        std::vector<int64_t> reorders;
+        for (int r = 0; r < kNumReorderChoices; ++r)
+            reorders.push_back(r);
+        space.add(std::make_unique<ChoiceSubSpace>(KnobRole::Reorder,
+                                                   "reorder", reorders));
+        space.add(std::make_unique<ChoiceSubSpace>(
+            KnobRole::Unroll, "unroll", std::vector<int64_t>{0, 1, 2, 3}));
+        if (options.exploreCacheAt && target.kind == DeviceKind::Gpu &&
+            !op->reduceAxis().empty()) {
+            space.add(std::make_unique<ChoiceSubSpace>(
+                KnobRole::CacheAt, "cache_at",
+                std::vector<int64_t>{0, 1}));
+        }
+    }
+
+    if (target.kind == DeviceKind::Cpu) {
+        std::vector<int64_t> fuse;
+        for (int64_t f = 1; f <= static_cast<int64_t>(op->axis().size());
+             ++f) {
+            fuse.push_back(f);
+        }
+        space.add(std::make_unique<ChoiceSubSpace>(KnobRole::Fuse, "fuse",
+                                                   fuse));
+        space.add(std::make_unique<ChoiceSubSpace>(
+            KnobRole::Vectorize, "vectorize",
+            std::vector<int64_t>{1, 2, 4, 8, 16}));
+    } else if (target.kind == DeviceKind::Fpga) {
+        space.add(std::make_unique<ChoiceSubSpace>(
+            KnobRole::FpgaBufferRows, "buffer_rows",
+            std::vector<int64_t>{1, 2, 3, 4, 6, 8}));
+        space.add(std::make_unique<ChoiceSubSpace>(
+            KnobRole::FpgaPartition, "partition",
+            std::vector<int64_t>{1, 2, 4, 8}));
+    }
+    return space;
+}
+
+} // namespace ft

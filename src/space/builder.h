@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Schedule-space construction from front-end analysis (Section 4.2).
+ *
+ * The space is pruned three ways, as in the paper: primitive-combination
+ * depth is bounded by the per-target tiling skeleton, split factors are
+ * restricted to divisible splits, and hardware-specific decisions (what is
+ * parallelized / bound / vectorized) are pre-determined by the skeleton.
+ */
+#ifndef FLEXTENSOR_SPACE_BUILDER_H
+#define FLEXTENSOR_SPACE_BUILDER_H
+
+#include "analysis/static_analyzer.h"
+#include "sim/hw_spec.h"
+#include "space/space.h"
+
+namespace ft {
+
+/** Space-construction options. */
+struct SpaceOptions
+{
+    /**
+     * Build the restricted, AutoTVM-style template space instead of the
+     * full FlexTensor space: power-of-two split factors only and no
+     * reorder/unroll exploration. Used by the baseline in explore/autotvm.
+     * Implies pow2Splits and disables reorder/unroll knobs.
+     */
+    bool templateRestricted = false;
+
+    /** Restrict split factors to powers of two (ablation knob). */
+    bool pow2Splits = false;
+
+    /** Include the reorder/unroll knobs (ablation knob). */
+    bool exploreReorderUnroll = true;
+
+    /**
+     * Also explore the GPU compute_at staging depth (off by default: the
+     * paper's space fixes the staging point, and the extra dimension
+     * measurably slows time-to-performance on the Fig. 6d protocol).
+     */
+    bool exploreCacheAt = false;
+};
+
+/** Build the schedule space of one compute node for a target. */
+ScheduleSpace buildSpace(const Operation &anchor, const Target &target,
+                         const SpaceOptions &options = {});
+
+} // namespace ft
+
+#endif // FLEXTENSOR_SPACE_BUILDER_H

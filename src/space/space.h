@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The full schedule space of one operation: a product of sub-spaces with a
+ * global direction algebra, plus point encoding and random sampling.
+ */
+#ifndef FLEXTENSOR_SPACE_SPACE_H
+#define FLEXTENSOR_SPACE_SPACE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "space/subspace.h"
+
+namespace ft {
+
+/** One point of the schedule space: an index into every sub-space. */
+struct Point
+{
+    std::vector<int64_t> idx;
+
+    bool operator==(const Point &other) const { return idx == other.idx; }
+
+    /** Stable hash key (for evaluated-set membership). */
+    std::string key() const;
+};
+
+/** A product of sub-spaces. */
+class ScheduleSpace
+{
+  public:
+    /** Construct with the template config the knobs are applied onto. */
+    explicit ScheduleSpace(OpConfig base_config);
+
+    /** Add one knob. */
+    void add(std::unique_ptr<SubSpace> sub);
+
+    int numSubSpaces() const { return static_cast<int>(subs_.size()); }
+    const SubSpace &sub(int i) const { return *subs_.at(i); }
+
+    /** Total number of points (product of sub-space sizes). */
+    double size() const;
+
+    /** Total number of directions (sum of sub-space direction counts). */
+    int numDirections() const;
+
+    /**
+     * Neighbor of `p` along global direction `dir`, or nullopt at the
+     * boundary. Directions are numbered across sub-spaces in order.
+     */
+    std::optional<Point> move(const Point &p, int dir) const;
+
+    /** Decode a point to a concrete schedule config. */
+    OpConfig decode(const Point &p) const;
+
+    /** Uniform random point. */
+    Point randomPoint(Rng &rng) const;
+
+    /** A reasonable deterministic starting point (trivial splits). */
+    Point initialPoint() const;
+
+    /**
+     * The point encoding a concrete config, if every knob value exists in
+     * this space (used to warm-start exploration from cached schedules).
+     */
+    std::optional<Point> pointOf(const OpConfig &config) const;
+
+    /**
+     * Flat feature vector of a point for learned models: each knob index
+     * normalized by its sub-space size plus the decoded config features.
+     */
+    std::vector<double> features(const Point &p) const;
+
+    /** Dimensionality of the feature vector. */
+    int featureDim() const;
+
+  private:
+    OpConfig baseConfig_;
+    std::vector<std::unique_ptr<SubSpace>> subs_;
+    std::vector<int> dirOffset_; ///< first global direction of each sub
+    int totalDirections_ = 0;
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_SPACE_SPACE_H

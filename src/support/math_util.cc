@@ -1,0 +1,86 @@
+#include "support/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace ft {
+
+std::vector<int64_t>
+divisorsOf(int64_t n)
+{
+    FT_ASSERT(n >= 1, "divisorsOf requires n >= 1, got ", n);
+    std::vector<int64_t> small, big;
+    for (int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            small.push_back(d);
+            if (d != n / d)
+                big.push_back(n / d);
+        }
+    }
+    small.insert(small.end(), big.rbegin(), big.rend());
+    return small;
+}
+
+namespace {
+
+void
+factorizeRec(int64_t n, int parts, std::vector<int64_t> &cur,
+             std::vector<std::vector<int64_t>> &out)
+{
+    if (parts == 1) {
+        cur.push_back(n);
+        out.push_back(cur);
+        cur.pop_back();
+        return;
+    }
+    for (int64_t d : divisorsOf(n)) {
+        cur.push_back(d);
+        factorizeRec(n / d, parts - 1, cur, out);
+        cur.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<int64_t>>
+factorizations(int64_t n, int parts)
+{
+    FT_ASSERT(n >= 1 && parts >= 1,
+              "factorizations requires n >= 1 and parts >= 1");
+    std::vector<std::vector<int64_t>> out;
+    std::vector<int64_t> cur;
+    factorizeRec(n, parts, cur, out);
+    return out;
+}
+
+int64_t
+product(const std::vector<int64_t> &v)
+{
+    int64_t p = 1;
+    for (int64_t x : v)
+        p *= x;
+    return p;
+}
+
+int64_t
+largestPowerOfTwoDivisor(int64_t n)
+{
+    FT_ASSERT(n >= 1, "largestPowerOfTwoDivisor requires n >= 1");
+    return n & (-n);
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    FT_ASSERT(!v.empty(), "geomean of empty list");
+    double acc = 0.0;
+    for (double x : v) {
+        FT_ASSERT(x > 0.0, "geomean requires positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+} // namespace ft

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for front-end static analysis, interval bounds, and FLOP counting.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/bounds.h"
+#include "analysis/flops.h"
+#include "analysis/static_analyzer.h"
+#include "ops/ops.h"
+#include "ops/shapes.h"
+
+namespace ft {
+namespace {
+
+TEST(StaticAnalyzer, GemmMatchesFigure3)
+{
+    Tensor a = placeholder("A", {1024, 1024});
+    Tensor b = placeholder("B", {1024, 1024});
+    Tensor c = ops::gemm(a, b);
+    MiniGraph g(c);
+    GraphAnalysis ga = analyzeGraph(g);
+
+    EXPECT_EQ(ga.numNodes, 3); // op A, op B, GEMM (Figure 3c: #node 3)
+    ASSERT_EQ(ga.nodes.size(), 1u);
+    const NodeAnalysis &n = ga.nodes[0];
+    EXPECT_EQ(n.stats.numSpatialLoops, 2);  // #sl 2
+    EXPECT_EQ(n.stats.numReduceLoops, 1);   // #rl 1
+    EXPECT_EQ(n.stats.spatialTripCounts,
+              (std::vector<int64_t>{1024, 1024}));
+    EXPECT_EQ(n.stats.reduceTripCounts, (std::vector<int64_t>{1024}));
+    EXPECT_EQ(n.structure.numInputs, 2);  // #in 2
+    EXPECT_EQ(n.structure.numOutputs, 1); // #out 1
+    EXPECT_EQ(n.structure.numConsumers, 0); // #cs 0
+}
+
+/** Sum of a stat across compute nodes (the paper reports per-graph sums). */
+struct OpLoopCounts
+{
+    std::string op;
+    int spatial;
+    int reduce;
+};
+
+class LoopCountTest : public ::testing::TestWithParam<OpLoopCounts>
+{};
+
+TEST_P(LoopCountTest, GraphLoopTotalsMatchTable3)
+{
+    const auto &param = GetParam();
+    auto cases = ops::table3Cases(param.op);
+    ASSERT_FALSE(cases.empty());
+    MiniGraph g(cases.front().build());
+    GraphAnalysis ga = analyzeGraph(g);
+    int sl = 0, rl = 0;
+    for (const auto &n : ga.nodes) {
+        sl += n.stats.numSpatialLoops;
+        rl += n.stats.numReduceLoops;
+    }
+    EXPECT_EQ(sl, param.spatial) << param.op;
+    EXPECT_EQ(rl, param.reduce) << param.op;
+}
+
+// Table 3 "Analysis Results": #sl/#rl summed over the mini-graph. (The
+// paper lists GRP/DEP/DIL with the anchor node only; we count the padding
+// node too, hence 8/3 and 8/2 for the padded 2D variants.)
+INSTANTIATE_TEST_SUITE_P(
+    Table3, LoopCountTest,
+    ::testing::Values(OpLoopCounts{"GMV", 1, 1}, OpLoopCounts{"GMM", 2, 1},
+                      OpLoopCounts{"BIL", 2, 2}, OpLoopCounts{"C1D", 6, 2},
+                      OpLoopCounts{"T1D", 9, 2}, OpLoopCounts{"C2D", 8, 3},
+                      OpLoopCounts{"T2D", 12, 3},
+                      OpLoopCounts{"C3D", 10, 4},
+                      OpLoopCounts{"T3D", 15, 4},
+                      OpLoopCounts{"GRP", 8, 3}, OpLoopCounts{"DEP", 8, 2},
+                      OpLoopCounts{"DIL", 8, 3}));
+
+TEST(StaticAnalyzer, NodeCountsMatchTable3)
+{
+    // Compute-node counts from Table 3: C2D has 2, T2D has 3 etc.
+    auto count = [](const std::string &op) {
+        auto cases = ops::table3Cases(op);
+        return MiniGraph(cases.front().build()).computeOps().size();
+    };
+    EXPECT_EQ(count("GMM"), 1u);
+    EXPECT_EQ(count("C1D"), 2u);
+    EXPECT_EQ(count("T1D"), 3u);
+    EXPECT_EQ(count("C2D"), 2u);
+    EXPECT_EQ(count("T2D"), 3u);
+    EXPECT_EQ(count("C3D"), 2u);
+    EXPECT_EQ(count("T3D"), 3u);
+}
+
+TEST(StaticAnalyzer, AnchorIsTheConvolution)
+{
+    auto cases = ops::table3Cases("C2D");
+    MiniGraph g(cases.front().build());
+    Operation anchor = anchorOp(g);
+    EXPECT_EQ(anchor->name(), "conv2d");
+}
+
+TEST(Flops, GemmCountsMulAndAdd)
+{
+    Tensor a = placeholder("A", {16, 32});
+    Tensor b = placeholder("B", {32, 8});
+    Tensor c = ops::gemm(a, b);
+    // 16*8 outputs x 32 reduce iterations x (1 mul + 1 acc) = 8192.
+    EXPECT_DOUBLE_EQ(flopsOf(c.op()), 16.0 * 8 * 32 * 2);
+}
+
+TEST(Flops, Conv2dMatchesClosedForm)
+{
+    Tensor input = placeholder("I", {1, 8, 16, 16});
+    Tensor weight = placeholder("W", {4, 8, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv2d(input, weight, p);
+    MiniGraph g(out);
+    // Anchor: 1*4*16*16 outputs x (8*3*3) x 2 flops.
+    EXPECT_DOUBLE_EQ(anchorFlops(g), 4.0 * 16 * 16 * 8 * 9 * 2);
+}
+
+TEST(Flops, PlaceholderIsFree)
+{
+    Tensor a = placeholder("A", {128});
+    EXPECT_DOUBLE_EQ(flopsOf(a.op()), 0.0);
+}
+
+TEST(Bounds, VarDefaultsToFullExtent)
+{
+    IterVar i = makeIterVar("i", 10);
+    Interval b = boundsOf(varRef(i), {});
+    EXPECT_EQ(b.lo, 0);
+    EXPECT_EQ(b.hi, 9);
+}
+
+TEST(Bounds, AffineCombination)
+{
+    IterVar i = makeIterVar("i", 4);
+    IterVar j = makeIterVar("j", 3);
+    // 2*i + j - 1 over [0,3]x[0,2] = [-1, 7]
+    Expr e = sub(add(mul(intImm(2), varRef(i)), varRef(j)), intImm(1));
+    Interval b = boundsOf(e, {});
+    EXPECT_EQ(b.lo, -1);
+    EXPECT_EQ(b.hi, 7);
+}
+
+TEST(Bounds, RespectsProvidedRanges)
+{
+    IterVar i = makeIterVar("i", 100);
+    VarRanges r;
+    r[i.get()] = {10, 19};
+    Interval b = boundsOf(add(varRef(i), intImm(5)), r);
+    EXPECT_EQ(b.lo, 15);
+    EXPECT_EQ(b.hi, 24);
+}
+
+TEST(Bounds, ModIsBoundedByDivisor)
+{
+    IterVar i = makeIterVar("i", 100);
+    Interval b = boundsOf(mod(varRef(i), intImm(8)), {});
+    EXPECT_EQ(b.lo, 0);
+    EXPECT_EQ(b.hi, 7);
+}
+
+TEST(Bounds, DivScalesRange)
+{
+    IterVar i = makeIterVar("i", 64);
+    Interval b = boundsOf(floordiv(varRef(i), intImm(8)), {});
+    EXPECT_EQ(b.lo, 0);
+    EXPECT_EQ(b.hi, 7);
+}
+
+TEST(Bounds, AccessFootprintOfConvWindow)
+{
+    // I[i + r] with i in [0, 7] and r in [0, 2] touches 10 elements.
+    Tensor t = placeholder("T", {32});
+    IterVar i = makeIterVar("i", 8);
+    IterVar r = makeIterVar("r", 3, IterKind::Reduce);
+    Expr acc = t({add(varRef(i), varRef(r))});
+    EXPECT_EQ(accessFootprint(*acc, {}), 10);
+}
+
+TEST(Bounds, AccessFootprintClampsToTensorShape)
+{
+    Tensor t = placeholder("T", {4});
+    IterVar i = makeIterVar("i", 100);
+    Expr acc = t({varRef(i)});
+    EXPECT_EQ(accessFootprint(*acc, {}), 4);
+}
+
+TEST(Bounds, FootprintShrinksWithPinnedRanges)
+{
+    Tensor t = placeholder("T", {64, 64});
+    IterVar i = makeIterVar("i", 64);
+    IterVar j = makeIterVar("j", 64);
+    Expr acc = t({varRef(i), varRef(j)});
+    VarRanges r;
+    r[i.get()] = {0, 7};
+    r[j.get()] = {0, 15};
+    EXPECT_EQ(accessFootprint(*acc, r), 8 * 16);
+}
+
+} // namespace
+} // namespace ft

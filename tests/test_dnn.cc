@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the DNN layer: network definitions, shape propagation,
+ * partition/fusion, and end-to-end scheduling.
+ */
+#include <gtest/gtest.h>
+
+#include "dnn/e2e.h"
+
+namespace ft {
+namespace {
+
+TEST(Models, YoloV1Structure)
+{
+    Network net = yoloV1();
+    // Section 6.6: 24 conv layers, ~30 layers total.
+    EXPECT_EQ(net.numConvLayers(), 24);
+    EXPECT_EQ(net.inputShape, (std::vector<int64_t>{1, 3, 448, 448}));
+    EXPECT_EQ(static_cast<int>(net.layers.size()), 30);
+}
+
+TEST(Models, OverFeatStructure)
+{
+    Network net = overFeat();
+    // Section 6.6: 5 conv layers, 8 weight layers total.
+    EXPECT_EQ(net.numConvLayers(), 5);
+    int weight_layers = 0;
+    for (const auto &l : net.layers)
+        weight_layers += l.kind != LayerSpec::Kind::MaxPool;
+    EXPECT_EQ(weight_layers, 8);
+}
+
+TEST(Models, YoloShapesPropagate)
+{
+    Network net = yoloV1();
+    auto shapes = layerShapes(net);
+    ASSERT_EQ(shapes.size(), net.layers.size());
+    // conv1 (7x7, s2, pad 3): 448 -> 224.
+    EXPECT_EQ(shapes[0], (std::vector<int64_t>{1, 64, 224, 224}));
+    // pool1: 224 -> 112.
+    EXPECT_EQ(shapes[1], (std::vector<int64_t>{1, 64, 112, 112}));
+    // Final dense layer: 7x7x1024 -> 4096 -> 1470.
+    EXPECT_EQ(shapes.back(), (std::vector<int64_t>{1, 1470}));
+    // The layer before the head is 7x7 spatial.
+    EXPECT_EQ(shapes[shapes.size() - 3],
+              (std::vector<int64_t>{1, 1024, 7, 7}));
+}
+
+TEST(Models, OverFeatShapesPropagate)
+{
+    Network net = overFeat();
+    auto shapes = layerShapes(net);
+    // conv1: (231 - 11)/4 + 1 = 56.
+    EXPECT_EQ(shapes[0], (std::vector<int64_t>{1, 96, 56, 56}));
+    EXPECT_EQ(shapes.back(), (std::vector<int64_t>{1, 1000}));
+}
+
+TEST(Fusion, EpiloguesAreFolded)
+{
+    Network net = overFeat();
+    auto fused = partitionAndFuse(net);
+    ASSERT_EQ(fused.size(), net.layers.size());
+    // Conv layers absorb bias + relu.
+    EXPECT_EQ(fused[0].fusedElementwise, 2);
+    EXPECT_TRUE(fused[0].schedulable);
+    // Pool layers are pure data movement.
+    EXPECT_FALSE(fused[1].schedulable);
+    // Final dense has bias but no relu.
+    EXPECT_EQ(fused.back().fusedElementwise, 1);
+}
+
+TEST(Fusion, FusedOpShapesChainCorrectly)
+{
+    Network net = yoloV1();
+    auto fused = partitionAndFuse(net);
+    auto shapes = layerShapes(net);
+    for (size_t i = 0; i < fused.size(); ++i)
+        EXPECT_EQ(fused[i].output.shape(), shapes[i]) << fused[i].name;
+}
+
+TEST(E2e, SchedulesOverFeatOnGpu)
+{
+    Network net = overFeat();
+    E2eOptions options;
+    options.explore.trials = 12;
+    options.explore.warmupPoints = 4;
+    NetworkReport report =
+        scheduleNetwork(net, Target::forGpu(v100()), options);
+    EXPECT_EQ(report.layers.size(), net.layers.size());
+    EXPECT_GT(report.totalSeconds, 0.0);
+    // Every conv/dense layer is tuned, pools are not.
+    int tuned = 0;
+    for (const auto &l : report.layers)
+        tuned += l.tuned;
+    EXPECT_EQ(tuned, 8);
+}
+
+TEST(E2e, FusionSavesTime)
+{
+    Network net = overFeat();
+    E2eOptions fused_options;
+    fused_options.explore.trials = 8;
+    fused_options.explore.warmupPoints = 4;
+    E2eOptions unfused_options = fused_options;
+    unfused_options.fuseElementwise = false;
+    Target target = Target::forGpu(v100());
+    NetworkReport fused = scheduleNetwork(net, target, fused_options);
+    NetworkReport unfused = scheduleNetwork(net, target, unfused_options);
+    EXPECT_LT(fused.totalSeconds, unfused.totalSeconds);
+}
+
+TEST(E2e, SchedulesOnCpuAndFpgaTargets)
+{
+    Network net = overFeat();
+    E2eOptions options;
+    options.explore.trials = 8;
+    options.explore.warmupPoints = 4;
+    for (const Target &t :
+         {Target::forCpu(xeonE5()), Target::forFpga(vu9p())}) {
+        NetworkReport report = scheduleNetwork(net, t, options);
+        EXPECT_EQ(report.layers.size(), net.layers.size());
+        EXPECT_GT(report.totalSeconds, 0.0) << t.deviceName();
+        EXPECT_EQ(report.device, t.deviceName());
+    }
+}
+
+TEST(E2e, TuningCacheDeduplicatesRepeatedLayers)
+{
+    // YOLO-v1 repeats conv shapes (four identical 1x1/3x3 pairs in block
+    // 4); with a shared cache those layers are served without exploring.
+    Network net = yoloV1();
+    E2eOptions options;
+    options.explore.trials = 6;
+    options.explore.warmupPoints = 4;
+
+    NetworkReport uncached =
+        scheduleNetwork(net, Target::forGpu(v100()), options);
+
+    TuningCache cache;
+    options.cache = &cache;
+    NetworkReport cached =
+        scheduleNetwork(net, Target::forGpu(v100()), options);
+
+    // 24 conv layers but far fewer distinct shapes.
+    EXPECT_LT(cache.size(), 24u);
+    EXPECT_GT(cache.size(), 5u);
+    // Cache hits skip exploration entirely.
+    EXPECT_LT(cached.simExploreSeconds,
+              0.8 * uncached.simExploreSeconds);
+}
+
+TEST(E2e, SecondPassWithWarmCacheExploresNothing)
+{
+    Network net = overFeat();
+    TuningCache cache;
+    E2eOptions options;
+    options.explore.trials = 6;
+    options.explore.warmupPoints = 4;
+    options.cache = &cache;
+    Target target = Target::forGpu(v100());
+    scheduleNetwork(net, target, options);
+    NetworkReport second = scheduleNetwork(net, target, options);
+    EXPECT_DOUBLE_EQ(second.simExploreSeconds, 0.0);
+}
+
+} // namespace
+} // namespace ft

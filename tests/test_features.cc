@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Hand-computed validation of the static features the generators extract
+ * (shared-memory tiles, DRAM traffic, cache tiles) — these numbers are
+ * the models' inputs, so they must be exactly right — plus the
+ * compute_at staging knob's footprint/traffic trade-off.
+ */
+#include <gtest/gtest.h>
+
+#include "exec/interpreter.h"
+#include "exec/reference.h"
+#include "ops/ops.h"
+#include "schedule/generator.h"
+#include "schedule/serialize.h"
+#include "space/builder.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+/** 256x256x256 GEMM with a clean 2-level block/thread decomposition. */
+Tensor
+gemm256()
+{
+    Tensor a = placeholder("A", {256, 256});
+    Tensor b = placeholder("B", {256, 256});
+    return ops::gemm(a, b);
+}
+
+TEST(Features, GemmSharedTileIsHandComputable)
+{
+    // Blocks: 8x8 tiles of 32x32 outputs; reduce split 16 x 1 x 16.
+    // Tile staged at reduce level 0: per ko iteration the block needs
+    // A[32 rows x 16 ks] and B[16 ks x 32 cols] = 2 * 32*16 floats.
+    Tensor c = gemm256();
+    OpConfig cfg;
+    cfg.spatialSplits = {{8, 1, 16, 2}, {8, 1, 16, 2}};
+    cfg.reduceSplits = {{16, 1, 16}};
+    Scheduled s = generateGpu(c.op(), cfg, v100());
+    ASSERT_TRUE(s.features.valid) << s.features.invalidReason;
+    EXPECT_EQ(s.features.grid, 64);
+    EXPECT_EQ(s.features.threadsPerBlock, 256);
+    EXPECT_EQ(s.features.sharedBytesPerBlock, 2 * 32 * 16 * 4);
+}
+
+TEST(Features, CacheAtDeeperShrinksSharedTile)
+{
+    Tensor c = gemm256();
+    OpConfig cfg;
+    cfg.spatialSplits = {{8, 1, 16, 2}, {8, 1, 16, 2}};
+    cfg.reduceSplits = {{4, 4, 16}};
+    cfg.cacheAtReduceLevel = 0;
+    int64_t smem0 =
+        generateGpu(c.op(), cfg, v100()).features.sharedBytesPerBlock;
+    cfg.cacheAtReduceLevel = 1;
+    int64_t smem1 =
+        generateGpu(c.op(), cfg, v100()).features.sharedBytesPerBlock;
+    // Level 0 stages km*ki = 64 reduce steps; level 1 stages ki = 16.
+    EXPECT_EQ(smem0, 2 * 32 * 64 * 4);
+    EXPECT_EQ(smem1, 2 * 32 * 16 * 4);
+}
+
+TEST(Features, CacheAtDeeperRaisesDramTraffic)
+{
+    Tensor c = gemm256();
+    OpConfig cfg;
+    cfg.spatialSplits = {{8, 1, 16, 2}, {8, 1, 16, 2}};
+    cfg.reduceSplits = {{4, 4, 16}};
+    cfg.cacheAtReduceLevel = 0;
+    int64_t dram0 = generateGpu(c.op(), cfg, v100()).features.dramBytes;
+    cfg.cacheAtReduceLevel = 1;
+    int64_t dram1 = generateGpu(c.op(), cfg, v100()).features.dramBytes;
+    EXPECT_GE(dram1, dram0);
+}
+
+TEST(Features, CacheAtPreservesSemantics)
+{
+    // The knob only moves the modeled staging point; results must match.
+    Tensor a = placeholder("A", {12, 16});
+    Tensor b = placeholder("B", {16, 8});
+    Tensor c = ops::gemm(a, b);
+    MiniGraph g(c);
+    Rng rng(3);
+    BufferMap inputs = makeRandomInputs(g, rng);
+    runGraphReference(g, inputs);
+    Buffer gold = inputs.at(c.op().get());
+    inputs.erase(c.op().get());
+
+    for (int level : {0, 1}) {
+        OpConfig cfg;
+        cfg.spatialSplits = {{2, 1, 3, 2}, {2, 2, 2, 1}};
+        cfg.reduceSplits = {{2, 4, 2}};
+        cfg.cacheAtReduceLevel = level;
+        Scheduled s = generateGpu(c.op(), cfg, v100());
+        BufferMap run = inputs;
+        runScheduled(s.nest, run);
+        const Buffer &got = run.at(c.op().get());
+        for (int64_t i = 0; i < gold.numel(); ++i)
+            ASSERT_NEAR(got[i], gold[i], 1e-3) << "level " << level;
+    }
+}
+
+TEST(Features, GpuSpaceExploresCacheAtWhenEnabled)
+{
+    Tensor c = gemm256();
+    SpaceOptions options;
+    options.exploreCacheAt = true;
+    ScheduleSpace space =
+        buildSpace(c.op(), Target::forGpu(v100()), options);
+    bool saw[2] = {false, false};
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        OpConfig cfg = space.decode(space.randomPoint(rng));
+        saw[cfg.cacheAtReduceLevel] = true;
+    }
+    EXPECT_TRUE(saw[0]);
+    EXPECT_TRUE(saw[1]);
+}
+
+TEST(Features, CacheAtKnobIsOffByDefault)
+{
+    Tensor c = gemm256();
+    for (const Target &t :
+         {Target::forGpu(v100()), Target::forCpu(xeonE5())}) {
+        ScheduleSpace space = buildSpace(c.op(), t);
+        for (int i = 0; i < space.numSubSpaces(); ++i)
+            EXPECT_NE(space.sub(i).role(), KnobRole::CacheAt);
+    }
+}
+
+TEST(Features, ConvSharedTileCoversHalo)
+{
+    // 3x3 conv: a block computing an 8x16 output tile with all reduce
+    // levels free needs a (8+2)x(16+2) input patch per channel chunk.
+    Tensor input = placeholder("I", {1, 16, 32, 32});
+    Tensor weight = placeholder("W", {16, 16, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv2d(input, weight, p);
+    MiniGraph g(out);
+    Operation anchor;
+    for (const auto &op : g.computeOps()) {
+        if (op->name() == "conv2d")
+            anchor = op;
+    }
+    OpConfig cfg;
+    cfg.spatialSplits = {{1, 1, 1, 1},
+                         {16, 1, 1, 1},
+                         {4, 1, 8, 1},
+                         {2, 1, 16, 1}};
+    cfg.reduceSplits = {{1, 1, 16}, {1, 1, 3}, {1, 1, 3}};
+    Scheduled s = generateGpu(anchor, cfg, v100());
+    // Input tile: 16 channels x 10 x 18; weight tile: 1 k x 16 c x 3 x 3.
+    int64_t expected = (16 * 10 * 18 + 1 * 16 * 3 * 3) * 4;
+    EXPECT_EQ(s.features.sharedBytesPerBlock, expected);
+}
+
+TEST(Features, CpuL1TileIsHandComputable)
+{
+    Tensor c = gemm256();
+    OpConfig cfg;
+    cfg.spatialSplits = {{16, 2, 8}, {16, 2, 8}};
+    cfg.reduceSplits = {{64, 4}};
+    Scheduled s = generateCpu(c.op(), cfg, xeonE5());
+    // Inner tile: 8x8 outputs over 4 reduce steps:
+    // A 8x4 + B 4x8 elements.
+    EXPECT_EQ(s.features.l1TileBytes, (8 * 4 + 4 * 8) * 4);
+}
+
+TEST(Features, SerializationRoundTripsCacheAt)
+{
+    OpConfig cfg;
+    cfg.spatialSplits = {{4, 4}};
+    cfg.reduceSplits = {{2, 2}};
+    cfg.cacheAtReduceLevel = 1;
+    auto parsed = parseConfig(serializeConfig(cfg));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->cacheAtReduceLevel, 1);
+}
+
+} // namespace
+} // namespace ft

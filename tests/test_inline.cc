@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the operator-inlining pass (the `inline` primitive): node
+ * elimination, semantic preservation against the reference executor, and
+ * interaction with scheduling.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/flops.h"
+#include "analysis/static_analyzer.h"
+#include "exec/interpreter.h"
+#include "exec/reference.h"
+#include "ir/inline.h"
+#include "ops/ops.h"
+#include "schedule/generator.h"
+#include "space/builder.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+TEST(Inline, PlaceholdersAreNotInlinable)
+{
+    Tensor a = placeholder("A", {4});
+    EXPECT_FALSE(canInline(a.op()));
+}
+
+TEST(Inline, ElementwiseIsInlinableReductionIsNot)
+{
+    Tensor a = placeholder("A", {4, 4});
+    Tensor r = ops::relu(a);
+    EXPECT_TRUE(canInline(r.op()));
+    Tensor b = placeholder("B", {4, 4});
+    Tensor g = ops::gemm(a, b);
+    EXPECT_FALSE(canInline(g.op()));
+}
+
+TEST(Inline, PadIsRemovedFromConvGraph)
+{
+    Tensor input = placeholder("I", {1, 2, 6, 6});
+    Tensor weight = placeholder("W", {3, 2, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv2d(input, weight, p);
+    EXPECT_EQ(MiniGraph(out).computeOps().size(), 2u);
+
+    Tensor fused = inlineGraph(out);
+    MiniGraph g(fused);
+    EXPECT_EQ(g.computeOps().size(), 1u);
+    // The fused node reads the original placeholders directly.
+    for (const Tensor &in : g.computeOps()[0]->inputs())
+        EXPECT_TRUE(in.op()->isPlaceholder());
+}
+
+TEST(Inline, TransposedConvCollapsesToOneNode)
+{
+    Tensor input = placeholder("I", {1, 2, 4, 4});
+    Tensor weight = placeholder("W", {2, 3, 3, 3});
+    Tensor out = ops::conv2dTransposed(input, weight, 2, 1);
+    EXPECT_EQ(MiniGraph(out).computeOps().size(), 3u);
+    Tensor fused = inlineGraph(out);
+    EXPECT_EQ(MiniGraph(fused).computeOps().size(), 1u);
+}
+
+TEST(Inline, PreservesShapeAndFlops)
+{
+    Tensor input = placeholder("I", {1, 3, 8, 8});
+    Tensor weight = placeholder("W", {4, 3, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv2d(input, weight, p);
+    Tensor fused = inlineGraph(out);
+    EXPECT_EQ(fused.shape(), out.shape());
+    EXPECT_DOUBLE_EQ(anchorFlops(MiniGraph(fused)),
+                     anchorFlops(MiniGraph(out)));
+}
+
+/** Reference-execute a graph and return the root buffer. */
+Buffer
+goldOf(const Tensor &root, uint64_t seed)
+{
+    MiniGraph g(root);
+    Rng rng(seed);
+    BufferMap buffers = makeRandomInputs(g, rng);
+    runGraphReference(g, buffers);
+    return buffers.at(root.op().get());
+}
+
+void
+expectSameResult(const Tensor &original, const Tensor &fused, uint64_t seed)
+{
+    // Same seed => placeholders are structurally identical (same names,
+    // same order in post-order), so both graphs see the same data.
+    Buffer a = goldOf(original, seed);
+    Buffer b = goldOf(fused, seed);
+    ASSERT_EQ(a.numel(), b.numel());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_NEAR(a[i], b[i], 1e-4) << "element " << i;
+}
+
+TEST(Inline, ConvWithPadComputesSameResult)
+{
+    Tensor input = placeholder("I", {1, 3, 7, 7});
+    Tensor weight = placeholder("W", {2, 3, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv2d(input, weight, p);
+    expectSameResult(out, inlineGraph(out), 11);
+}
+
+TEST(Inline, TransposedConvComputesSameResult)
+{
+    Tensor input = placeholder("I", {1, 2, 5, 5});
+    Tensor weight = placeholder("W", {2, 3, 3, 3});
+    Tensor out = ops::conv2dTransposed(input, weight, 2, 1);
+    expectSameResult(out, inlineGraph(out), 13);
+}
+
+TEST(Inline, ChainOfElementwiseCollapses)
+{
+    Tensor a = placeholder("A", {6, 6});
+    Tensor b = ops::relu(a);
+    Tensor c = compute("scale", {6, 6}, [&](const std::vector<Expr> &iv) {
+        return b(std::vector<Expr>(iv.begin(), iv.end())) * floatImm(3.0);
+    });
+    Tensor d = ops::relu(c);
+    EXPECT_EQ(MiniGraph(d).computeOps().size(), 3u);
+    Tensor fused = inlineGraph(d);
+    EXPECT_EQ(MiniGraph(fused).computeOps().size(), 1u);
+    expectSameResult(d, fused, 17);
+}
+
+TEST(Inline, ReductionBoundaryIsKept)
+{
+    // relu(gemm(relu(A), B)): the inner relu inlines into the gemm, the
+    // gemm stays, the outer relu inlines nothing below it (it becomes the
+    // root and consumes the gemm).
+    Tensor a = placeholder("A", {4, 6});
+    Tensor b = placeholder("B", {6, 5});
+    Tensor g = ops::gemm(ops::relu(a), b);
+    Tensor out = ops::relu(g);
+    EXPECT_EQ(MiniGraph(out).computeOps().size(), 3u);
+    Tensor fused = inlineGraph(out);
+    EXPECT_EQ(MiniGraph(fused).computeOps().size(), 2u);
+    expectSameResult(out, fused, 19);
+}
+
+TEST(Inline, InlinedAnchorStillSchedulesCorrectly)
+{
+    // The full pipeline on an inlined graph: schedule random points and
+    // compare against the original graph's reference result.
+    Tensor input = placeholder("I", {1, 4, 6, 6});
+    Tensor weight = placeholder("W", {4, 4, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv2d(input, weight, p);
+    Tensor fused = inlineGraph(out);
+
+    Buffer gold = goldOf(out, 23);
+    MiniGraph fg(fused);
+    Operation anchor = anchorOp(fg);
+    Rng rng(23);
+    BufferMap buffers = makeRandomInputs(fg, rng);
+
+    Target target = Target::forGpu(v100());
+    ScheduleSpace space = buildSpace(anchor, target);
+    for (int trial = 0; trial < 5; ++trial) {
+        Point pt = space.randomPoint(rng);
+        Scheduled s = generate(anchor, space.decode(pt), target);
+        BufferMap run = buffers;
+        runScheduled(s.nest, run);
+        const Buffer &got = run.at(anchor.get());
+        for (int64_t i = 0; i < gold.numel(); ++i)
+            ASSERT_NEAR(got[i], gold[i], 1e-3);
+    }
+}
+
+TEST(Inline, InlineAccessesToSingleProducer)
+{
+    Tensor a = placeholder("A", {8});
+    Tensor r = ops::relu(a);
+    Tensor c = compute("c", {8}, [&](const std::vector<Expr> &iv) {
+        return r({iv[0]}) + floatImm(1.0);
+    });
+    const auto *op = static_cast<const ComputeOp *>(c.op().get());
+    Expr body = inlineAccessesTo(op->body(), r.op());
+    // The rewritten body accesses only the placeholder.
+    for (const auto &src : collectSources(body))
+        EXPECT_TRUE(src->isPlaceholder());
+}
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Edge-case tests for the scheduled-nest interpreter: degenerate extents,
+ * reduce-heavy reorders, thread oversubscription, annotation neutrality
+ * (annotations change performance modeling, never results), and
+ * cross-target nest execution.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/static_analyzer.h"
+#include "exec/interpreter.h"
+#include "exec/reference.h"
+#include "ops/ops.h"
+#include "schedule/generator.h"
+#include "sim/library_model.h"
+#include "space/builder.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+struct Fixture
+{
+    Tensor out;
+    MiniGraph graph;
+    Operation anchor;
+    BufferMap inputs;
+    Buffer gold;
+
+    explicit Fixture(Tensor t, uint64_t seed = 7)
+        : out(std::move(t)), graph(out), anchor(anchorOp(graph))
+    {
+        Rng rng(seed);
+        inputs = makeRandomInputs(graph, rng);
+        runGraphReference(graph, inputs);
+        gold = inputs.at(anchor.get());
+        inputs.erase(anchor.get());
+    }
+
+    void
+    expectMatches(const LoopNest &nest, int threads = 1)
+    {
+        BufferMap run = inputs;
+        runScheduled(nest, run, threads);
+        const Buffer &got = run.at(anchor.get());
+        ASSERT_EQ(got.numel(), gold.numel());
+        for (int64_t i = 0; i < gold.numel(); ++i)
+            ASSERT_NEAR(got[i], gold[i], 1e-3) << "element " << i;
+    }
+};
+
+Tensor
+tinyGemm()
+{
+    Tensor a = placeholder("A", {6, 10});
+    Tensor b = placeholder("B", {10, 4});
+    return ops::gemm(a, b);
+}
+
+TEST(InterpreterEdge, AllExtentOneSplits)
+{
+    Fixture fx(tinyGemm());
+    OpConfig cfg = defaultConfig(fx.anchor, Target::forGpu(v100()));
+    Scheduled s = generateGpu(fx.anchor, cfg, v100());
+    fx.expectMatches(s.nest);
+}
+
+TEST(InterpreterEdge, ReduceOutsideSpatial)
+{
+    // Reorder choice 0 puts reduce taps around the spatial register tile.
+    Fixture fx(tinyGemm());
+    OpConfig cfg;
+    cfg.spatialSplits = {{1, 1, 1, 6}, {1, 1, 1, 4}};
+    cfg.reduceSplits = {{1, 1, 10}};
+    cfg.reorderChoice = 0;
+    Scheduled s = generateGpu(fx.anchor, cfg, v100());
+    fx.expectMatches(s.nest);
+}
+
+TEST(InterpreterEdge, EveryReorderChoiceAgrees)
+{
+    Fixture fx(tinyGemm());
+    for (int choice = 0; choice < kNumReorderChoices; ++choice) {
+        OpConfig cfg;
+        cfg.spatialSplits = {{3, 1, 2, 1}, {2, 1, 2, 1}};
+        cfg.reduceSplits = {{2, 5, 1}};
+        cfg.reorderChoice = choice;
+        Scheduled s = generateGpu(fx.anchor, cfg, v100());
+        fx.expectMatches(s.nest);
+    }
+}
+
+TEST(InterpreterEdge, MoreThreadsThanWork)
+{
+    Fixture fx(tinyGemm());
+    OpConfig cfg;
+    cfg.spatialSplits = {{2, 3, 1}, {1, 4, 1}};
+    cfg.reduceSplits = {{10, 1}};
+    cfg.fuseCount = 1; // parallel extent 2, workers 8
+    Scheduled s = generateCpu(fx.anchor, cfg, xeonE5());
+    fx.expectMatches(s.nest, 8);
+}
+
+TEST(InterpreterEdge, UnrollAnnotationIsFunctionallyNeutral)
+{
+    Fixture fx(tinyGemm());
+    OpConfig plain;
+    plain.spatialSplits = {{1, 2, 3}, {1, 2, 2}};
+    plain.reduceSplits = {{2, 5}};
+    plain.unrollDepth = 0;
+    OpConfig unrolled = plain;
+    unrolled.unrollDepth = 3;
+    Scheduled a = generateCpu(fx.anchor, plain, xeonE5());
+    Scheduled b = generateCpu(fx.anchor, unrolled, xeonE5());
+    fx.expectMatches(a.nest);
+    fx.expectMatches(b.nest);
+}
+
+TEST(InterpreterEdge, FpgaNestExecutes)
+{
+    Fixture fx(tinyGemm());
+    OpConfig cfg;
+    cfg.spatialSplits = {{3, 2}, {2, 2}};
+    cfg.reduceSplits = {{5, 2}};
+    Scheduled s = generateFpga(fx.anchor, cfg, vu9p());
+    EXPECT_EQ(s.nest.extentOf(LoopAnno::PE), 4);
+    fx.expectMatches(s.nest, 2);
+}
+
+TEST(InterpreterEdge, VthreadHeavyGpuNest)
+{
+    Fixture fx(tinyGemm());
+    OpConfig cfg;
+    cfg.spatialSplits = {{1, 6, 1, 1}, {1, 4, 1, 1}}; // all vthreads
+    cfg.reduceSplits = {{10, 1, 1}};
+    Scheduled s = generateGpu(fx.anchor, cfg, v100());
+    EXPECT_EQ(s.features.vthreads, 24);
+    fx.expectMatches(s.nest);
+}
+
+TEST(InterpreterEdge, RepeatedRunsAreDeterministic)
+{
+    Fixture fx(tinyGemm());
+    OpConfig cfg = expertConfig(fx.anchor, Target::forCpu(xeonE5()));
+    Scheduled s = generateCpu(fx.anchor, cfg, xeonE5());
+    BufferMap run1 = fx.inputs, run2 = fx.inputs;
+    runScheduled(s.nest, run1, 3);
+    runScheduled(s.nest, run2, 3);
+    const Buffer &a = run1.at(fx.anchor.get());
+    const Buffer &b = run2.at(fx.anchor.get());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(InterpreterEdge, SingleElementOutput)
+{
+    // A 1x1 output GEMV: every loop is a reduce except two unit spatial.
+    Tensor a = placeholder("A", {1, 64});
+    Tensor b = placeholder("B", {64, 1});
+    Fixture fx(ops::gemm(a, b));
+    OpConfig cfg;
+    cfg.spatialSplits = {{1, 1, 1, 1}, {1, 1, 1, 1}};
+    cfg.reduceSplits = {{4, 4, 4}};
+    Scheduled s = generateGpu(fx.anchor, cfg, v100());
+    fx.expectMatches(s.nest);
+}
+
+TEST(InterpreterEdge, PrimeExtentsSurviveScheduling)
+{
+    // 7, 11, 13: only trivial factorizations exist.
+    Tensor a = placeholder("A", {7, 13});
+    Tensor b = placeholder("B", {13, 11});
+    Fixture fx(ops::gemm(a, b));
+    Target target = Target::forGpu(v100());
+    ScheduleSpace space = buildSpace(fx.anchor, target);
+    Rng rng(77);
+    for (int trial = 0; trial < 8; ++trial) {
+        Scheduled s = generate(
+            fx.anchor, space.decode(space.randomPoint(rng)), target);
+        fx.expectMatches(s.nest, 1 + trial % 2);
+    }
+}
+
+TEST(InterpreterEdge, MissingInputBufferPanics)
+{
+    Tensor a = placeholder("A", {4, 4});
+    Tensor b = placeholder("B", {4, 4});
+    Tensor c = ops::gemm(a, b);
+    OpConfig cfg = defaultConfig(c.op(), Target::forCpu(xeonE5()));
+    Scheduled s = generateCpu(c.op(), cfg, xeonE5());
+    BufferMap empty;
+    EXPECT_DEATH(runScheduled(s.nest, empty), "not materialized");
+}
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the gradient-boosted-trees cost model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/gbt.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+double
+mse(const GbtModel &model, const std::vector<std::vector<double>> &x,
+    const std::vector<double> &y)
+{
+    double s = 0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        double d = model.predict(x[i]) - y[i];
+        s += d * d;
+    }
+    return s / static_cast<double>(x.size());
+}
+
+TEST(Gbt, UntrainedPredictsZero)
+{
+    GbtModel model;
+    EXPECT_FALSE(model.trained());
+    EXPECT_DOUBLE_EQ(model.predict({1.0, 2.0}), 0.0);
+}
+
+TEST(Gbt, FitsConstantExactly)
+{
+    GbtModel model;
+    Rng rng(1);
+    std::vector<std::vector<double>> x{{0}, {1}, {2}, {3}};
+    std::vector<double> y{7, 7, 7, 7};
+    model.fit(x, y, {}, rng);
+    EXPECT_TRUE(model.trained());
+    EXPECT_NEAR(model.predict({5}), 7.0, 1e-9);
+}
+
+TEST(Gbt, ReducesErrorOnStepFunction)
+{
+    GbtModel model;
+    Rng rng(2);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        double v = i / 100.0;
+        x.push_back({v});
+        y.push_back(v < 0.5 ? 1.0 : 3.0);
+    }
+    model.fit(x, y, {}, rng);
+    EXPECT_LT(mse(model, x, y), 0.1);
+    EXPECT_LT(model.predict({0.1}), 2.0);
+    EXPECT_GT(model.predict({0.9}), 2.0);
+}
+
+TEST(Gbt, LearnsAdditiveTwoFeatureFunction)
+{
+    GbtModel model;
+    Rng rng(3);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    Rng data(4);
+    for (int i = 0; i < 300; ++i) {
+        double a = data.uniform(), b = data.uniform();
+        x.push_back({a, b});
+        y.push_back(2.0 * a - 3.0 * b);
+    }
+    GbtOptions opt;
+    opt.trees = 80;
+    model.fit(x, y, opt, rng);
+    EXPECT_LT(mse(model, x, y), 0.15);
+}
+
+TEST(Gbt, RankingQualityOnSyntheticCostSurface)
+{
+    // What AutoTVM actually needs: good ordering, not exact regression.
+    GbtModel model;
+    Rng rng(5);
+    Rng data(6);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    auto cost = [](double a, double b) {
+        // Peak at (0.5, 0.25), non-convex elsewhere.
+        return std::exp(-8 * ((a - 0.5) * (a - 0.5) +
+                              (b - 0.25) * (b - 0.25)));
+    };
+    for (int i = 0; i < 200; ++i) {
+        double a = data.uniform(), b = data.uniform();
+        x.push_back({a, b});
+        y.push_back(cost(a, b));
+    }
+    GbtOptions opt;
+    opt.trees = 60;
+    model.fit(x, y, opt, rng);
+
+    // Count concordant pairs on fresh data.
+    int concordant = 0, total = 0;
+    for (int i = 0; i < 100; ++i) {
+        double a1 = data.uniform(), b1 = data.uniform();
+        double a2 = data.uniform(), b2 = data.uniform();
+        double t1 = cost(a1, b1), t2 = cost(a2, b2);
+        if (std::fabs(t1 - t2) < 0.05)
+            continue;
+        double p1 = model.predict({a1, b1}), p2 = model.predict({a2, b2});
+        ++total;
+        concordant += (t1 > t2) == (p1 > p2);
+    }
+    ASSERT_GT(total, 20);
+    EXPECT_GT(static_cast<double>(concordant) / total, 0.7);
+}
+
+TEST(Gbt, RefitReplacesModel)
+{
+    GbtModel model;
+    Rng rng(7);
+    model.fit({{0.0}, {1.0}}, {0.0, 0.0}, {}, rng);
+    EXPECT_NEAR(model.predict({0.5}), 0.0, 1e-9);
+    model.fit({{0.0}, {1.0}}, {10.0, 10.0}, {}, rng);
+    EXPECT_NEAR(model.predict({0.5}), 10.0, 1e-9);
+}
+
+TEST(Gbt, HandlesEmptyFit)
+{
+    GbtModel model;
+    Rng rng(8);
+    model.fit({}, {}, {}, rng);
+    EXPECT_FALSE(model.trained());
+}
+
+} // namespace
+} // namespace ft

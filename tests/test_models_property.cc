@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Property tests of the analytical device models over synthetic feature
+ * vectors: the models must respond to each knob in the physically
+ * sensible direction, stay under peak, and degrade gracefully at the
+ * resource boundaries. These properties are what make the search
+ * landscape meaningful.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/perf_model.h"
+
+namespace ft {
+namespace {
+
+/** A comfortable, valid GPU workload. */
+NestFeatures
+baseGpu()
+{
+    NestFeatures f;
+    f.totalFlops = 2e9;
+    f.outputElems = 1 << 20;
+    f.grid = 4096;
+    f.threadsPerBlock = 256;
+    f.vthreads = 2;
+    f.workPerThread = 512;
+    f.regsPerThread = 64;
+    f.sharedBytesPerBlock = 8 * 1024;
+    f.dramBytes = 64ll << 20;
+    f.unrollSteps = 8;
+    return f;
+}
+
+TEST(GpuModelProperty, UnderPeakAcrossThreadSweep)
+{
+    for (int64_t threads = 32; threads <= 1024; threads *= 2) {
+        NestFeatures f = baseGpu();
+        f.threadsPerBlock = threads;
+        PerfResult p = gpuModelPerf(f, v100());
+        ASSERT_TRUE(p.valid) << threads;
+        EXPECT_GT(p.gflops, 0.0);
+        EXPECT_LT(p.gflops, v100().peakGflops());
+    }
+}
+
+TEST(GpuModelProperty, TimeScalesWithFlops)
+{
+    NestFeatures f = baseGpu();
+    double t1 = gpuModelPerf(f, v100()).seconds;
+    f.totalFlops *= 4;
+    double t4 = gpuModelPerf(f, v100()).seconds;
+    EXPECT_GT(t4, 2.0 * t1);
+}
+
+TEST(GpuModelProperty, BankConflictsSlowDown)
+{
+    NestFeatures f = baseGpu();
+    double clean = gpuModelPerf(f, v100()).gflops;
+    f.bankConflictPenalty = 1.25;
+    double conflicted = gpuModelPerf(f, v100()).gflops;
+    EXPECT_GT(clean, conflicted);
+}
+
+TEST(GpuModelProperty, PartialWarpsWasteLanes)
+{
+    NestFeatures full = baseGpu();
+    full.threadsPerBlock = 256;
+    NestFeatures partial = baseGpu();
+    partial.threadsPerBlock = 250; // same warps, 6 idle lanes
+    EXPECT_GT(gpuModelPerf(full, v100()).gflops,
+              gpuModelPerf(partial, v100()).gflops);
+}
+
+TEST(GpuModelProperty, UncoalescedMemoryBoundKernelsSlowDown)
+{
+    NestFeatures f = baseGpu();
+    f.totalFlops = 1e8;          // memory bound
+    f.dramBytes = 512ll << 20;
+    double coalesced = gpuModelPerf(f, v100()).seconds;
+    f.coalesceFactor = 0.4;
+    double scattered = gpuModelPerf(f, v100()).seconds;
+    EXPECT_GT(scattered, 2.0 * coalesced);
+}
+
+TEST(GpuModelProperty, RegisterPressureKillsOccupancy)
+{
+    NestFeatures f = baseGpu();
+    f.threadsPerBlock = 1024;
+    f.regsPerThread = 250; // 1024*250 >> 65536: no block fits
+    PerfResult p = gpuModelPerf(f, v100());
+    EXPECT_FALSE(p.valid);
+    EXPECT_NE(p.reason.find("occupancy"), std::string::npos);
+}
+
+TEST(GpuModelProperty, SharedMemoryLimitsBlocksPerSm)
+{
+    NestFeatures light = baseGpu();
+    light.sharedBytesPerBlock = 2 * 1024;
+    NestFeatures heavy = baseGpu();
+    heavy.sharedBytesPerBlock = 48 * 1024; // one block per SM region
+    EXPECT_GE(gpuModelPerf(light, v100()).gflops,
+              gpuModelPerf(heavy, v100()).gflops);
+}
+
+TEST(GpuModelProperty, TinyGridsUnderutilize)
+{
+    NestFeatures big = baseGpu();
+    NestFeatures tiny = baseGpu();
+    tiny.grid = 8; // fewer blocks than SMs
+    tiny.totalFlops = big.totalFlops;
+    EXPECT_GT(gpuModelPerf(big, v100()).gflops,
+              gpuModelPerf(tiny, v100()).gflops);
+}
+
+TEST(GpuModelProperty, LaunchOverheadDominatesTinyKernels)
+{
+    NestFeatures f = baseGpu();
+    f.totalFlops = 1e3;
+    f.dramBytes = 1024;
+    PerfResult p = gpuModelPerf(f, v100());
+    ASSERT_TRUE(p.valid);
+    EXPECT_GE(p.seconds, v100().launchOverheadUs * 1e-6);
+}
+
+/** A comfortable CPU workload. */
+NestFeatures
+baseCpu()
+{
+    NestFeatures f;
+    f.totalFlops = 1e9;
+    f.outputElems = 1 << 18;
+    f.parallelExtent = 88;
+    f.vecLen = 8;
+    f.l1TileBytes = 16 * 1024;
+    f.l2TileBytes = 128 * 1024;
+    f.cpuDramBytes = 16ll << 20;
+    f.unrollSteps = 8;
+    return f;
+}
+
+TEST(CpuModelProperty, UnderPeakAndPositive)
+{
+    PerfResult p = cpuModelPerf(baseCpu(), xeonE5());
+    ASSERT_TRUE(p.valid);
+    EXPECT_GT(p.gflops, 0.0);
+    EXPECT_LT(p.gflops, xeonE5().peakGflops());
+}
+
+TEST(CpuModelProperty, MoreParallelismIsMonotone)
+{
+    double prev = 0.0;
+    for (int64_t par : {1, 2, 4, 11, 22, 44, 88}) {
+        NestFeatures f = baseCpu();
+        f.parallelExtent = par;
+        double g = cpuModelPerf(f, xeonE5()).gflops;
+        EXPECT_GE(g, prev * 0.999) << par;
+        prev = g;
+    }
+}
+
+TEST(CpuModelProperty, LoadImbalancePenalized)
+{
+    NestFeatures balanced = baseCpu();
+    balanced.parallelExtent = 44; // 2 waves of 22
+    NestFeatures imbalanced = baseCpu();
+    imbalanced.parallelExtent = 23; // 2 waves, second nearly idle
+    EXPECT_GT(cpuModelPerf(balanced, xeonE5()).gflops,
+              cpuModelPerf(imbalanced, xeonE5()).gflops);
+}
+
+TEST(CpuModelProperty, WiderVectorsAreFaster)
+{
+    double prev = 0.0;
+    for (int lanes : {1, 2, 4, 8}) {
+        NestFeatures f = baseCpu();
+        f.vecLen = lanes;
+        double g = cpuModelPerf(f, xeonE5()).gflops;
+        EXPECT_GT(g, prev) << lanes;
+        prev = g;
+    }
+}
+
+TEST(CpuModelProperty, CacheSpillsCost)
+{
+    NestFeatures fits = baseCpu();
+    fits.l1TileBytes = 24 * 1024;
+    NestFeatures spills = baseCpu();
+    spills.l1TileBytes = 2ll << 20; // deep into L3
+    EXPECT_GT(cpuModelPerf(fits, xeonE5()).gflops,
+              cpuModelPerf(spills, xeonE5()).gflops);
+}
+
+TEST(CpuModelProperty, BandwidthRoofline)
+{
+    NestFeatures f = baseCpu();
+    f.totalFlops = 1e7;            // trivial compute
+    f.cpuDramBytes = 8ll << 30;    // 8 GB of traffic
+    PerfResult p = cpuModelPerf(f, xeonE5());
+    ASSERT_TRUE(p.valid);
+    double min_time = 8.0 / xeonE5().memBwGBs; // bytes / bandwidth
+    EXPECT_GE(p.seconds, min_time * 0.99);
+}
+
+/** A comfortable FPGA workload. */
+NestFeatures
+baseFpga()
+{
+    NestFeatures f;
+    f.totalFlops = 1e9;
+    f.outputElems = 1 << 18;
+    f.pe = 512;
+    f.rounds = 1000;
+    f.flopsPerRound = 1e6;
+    f.readBytesPerRound = 1e5;
+    f.writeBytesPerRound = 1e4;
+    f.partition = 8;
+    f.bufferBytes = 1 << 20;
+    return f;
+}
+
+TEST(FpgaModelProperty, TimeScalesWithRounds)
+{
+    NestFeatures f = baseFpga();
+    double t1 = fpgaModelPerf(f, vu9p()).seconds;
+    f.rounds *= 3;
+    double t3 = fpgaModelPerf(f, vu9p()).seconds;
+    EXPECT_NEAR(t3 / t1, 3.0, 0.05);
+}
+
+TEST(FpgaModelProperty, ComputeBoundImprovesWithPes)
+{
+    NestFeatures f = baseFpga();
+    f.readBytesPerRound = 10; // compute bound
+    double slow = fpgaModelPerf(f, vu9p()).seconds;
+    f.pe *= 2;
+    double fast = fpgaModelPerf(f, vu9p()).seconds;
+    EXPECT_LT(fast, slow);
+}
+
+TEST(FpgaModelProperty, ReadBoundIgnoresExtraPes)
+{
+    NestFeatures f = baseFpga();
+    f.readBytesPerRound = 1e7; // read bound
+    f.partition = 1;
+    double before = fpgaModelPerf(f, vu9p()).seconds;
+    f.pe *= 2;
+    double after = fpgaModelPerf(f, vu9p()).seconds;
+    EXPECT_NEAR(before, after, before * 0.01);
+}
+
+TEST(FpgaModelProperty, PartitionSaturatesAtDdrBandwidth)
+{
+    NestFeatures f = baseFpga();
+    f.readBytesPerRound = 1e7;
+    f.partition = 8; // 8 * 8 GB/s = DDR limit
+    double at_limit = fpgaModelPerf(f, vu9p()).seconds;
+    f.partition = 16; // cannot exceed DDR
+    double beyond = fpgaModelPerf(f, vu9p()).seconds;
+    EXPECT_NEAR(at_limit, beyond, at_limit * 0.01);
+}
+
+TEST(ModelProperty, InvalidFeaturesPropagateEverywhere)
+{
+    NestFeatures f;
+    f.valid = false;
+    f.invalidReason = "synthetic failure";
+    EXPECT_FALSE(gpuModelPerf(f, v100()).valid);
+    EXPECT_FALSE(cpuModelPerf(f, xeonE5()).valid);
+    EXPECT_FALSE(fpgaModelPerf(f, vu9p()).valid);
+    EXPECT_EQ(fpgaModelPerf(f, vu9p()).reason, "synthetic failure");
+}
+
+TEST(ModelProperty, DispatchMatchesDirectCalls)
+{
+    NestFeatures g = baseGpu();
+    EXPECT_DOUBLE_EQ(modelPerf(g, Target::forGpu(v100())).seconds,
+                     gpuModelPerf(g, v100()).seconds);
+    NestFeatures c = baseCpu();
+    EXPECT_DOUBLE_EQ(modelPerf(c, Target::forCpu(xeonE5())).seconds,
+                     cpuModelPerf(c, xeonE5()).seconds);
+    NestFeatures f = baseFpga();
+    EXPECT_DOUBLE_EQ(modelPerf(f, Target::forFpga(vu9p())).seconds,
+                     fpgaModelPerf(f, vu9p()).seconds);
+}
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Tests for the operator library: output shapes, mini-graph structure, and
+ * numerical correctness of the reference executor against hand-computed
+ * results on tiny inputs.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/flops.h"
+#include "exec/reference.h"
+#include "ir/graph.h"
+#include "ops/ops.h"
+#include "ops/shapes.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+/** Materialize the whole graph with fixed input data supplied per name. */
+BufferMap
+runWithInputs(const Tensor &out,
+              const std::unordered_map<std::string, std::vector<float>>
+                  &inputs)
+{
+    MiniGraph g(out);
+    BufferMap buffers;
+    for (const auto &op : g.postOrder()) {
+        if (!op->isPlaceholder())
+            continue;
+        Buffer buf(op);
+        auto it = inputs.find(op->name());
+        EXPECT_NE(it, inputs.end()) << "missing data for " << op->name();
+        EXPECT_EQ(static_cast<int64_t>(it->second.size()), buf.numel());
+        buf.data() = it->second;
+        buffers.emplace(op.get(), std::move(buf));
+    }
+    runGraphReference(g, buffers);
+    return buffers;
+}
+
+TEST(Gemv, TinyHandComputed)
+{
+    Tensor a = placeholder("A", {2, 3});
+    Tensor x = placeholder("x", {3});
+    Tensor y = ops::gemv(a, x);
+    EXPECT_EQ(y.shape(), (std::vector<int64_t>{2}));
+
+    auto buffers = runWithInputs(
+        y, {{"A", {1, 2, 3, 4, 5, 6}}, {"x", {1, 0, -1}}});
+    const Buffer &out = buffers.at(y.op().get());
+    EXPECT_FLOAT_EQ(out.at({0}), 1 - 3);
+    EXPECT_FLOAT_EQ(out.at({1}), 4 - 6);
+}
+
+TEST(Gemm, TinyHandComputed)
+{
+    Tensor a = placeholder("A", {2, 2});
+    Tensor b = placeholder("B", {2, 2});
+    Tensor c = ops::gemm(a, b);
+    EXPECT_EQ(c.shape(), (std::vector<int64_t>{2, 2}));
+
+    auto buffers =
+        runWithInputs(c, {{"A", {1, 2, 3, 4}}, {"B", {5, 6, 7, 8}}});
+    const Buffer &out = buffers.at(c.op().get());
+    EXPECT_FLOAT_EQ(out.at({0, 0}), 19);
+    EXPECT_FLOAT_EQ(out.at({0, 1}), 22);
+    EXPECT_FLOAT_EQ(out.at({1, 0}), 43);
+    EXPECT_FLOAT_EQ(out.at({1, 1}), 50);
+}
+
+TEST(Gemm, MiniGraphStructureMatchesPaper)
+{
+    // Figure 3: GEMM mini-graph has 3 nodes (op A, op B, GEMM).
+    Tensor a = placeholder("A", {8, 8});
+    Tensor b = placeholder("B", {8, 8});
+    Tensor c = ops::gemm(a, b);
+    MiniGraph g(c);
+    EXPECT_EQ(g.numNodes(), 3);
+    EXPECT_EQ(g.computeOps().size(), 1u);
+}
+
+TEST(Bilinear, MatchesNaiveTripleLoop)
+{
+    const int64_t n = 2, m = 3, kk = 2, ll = 2;
+    Tensor a = placeholder("A", {n, kk});
+    Tensor w = placeholder("W", {m, kk, ll});
+    Tensor c = placeholder("C", {n, ll});
+    Tensor out = ops::bilinear(a, w, c);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{n, m}));
+
+    Rng rng(17);
+    MiniGraph g(out);
+    BufferMap buffers = makeRandomInputs(g, rng);
+    runGraphReference(g, buffers);
+    const Buffer &A = buffers.at(a.op().get());
+    const Buffer &W = buffers.at(w.op().get());
+    const Buffer &C = buffers.at(c.op().get());
+    const Buffer &O = buffers.at(out.op().get());
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < m; ++j) {
+            float acc = 0;
+            for (int64_t k = 0; k < kk; ++k)
+                for (int64_t l = 0; l < ll; ++l)
+                    acc += A.at({i, k}) * W.at({j, k, l}) * C.at({i, l});
+            EXPECT_NEAR(O.at({i, j}), acc, 1e-4);
+        }
+    }
+}
+
+TEST(Conv1d, IdentityKernel)
+{
+    Tensor input = placeholder("I", {1, 1, 5});
+    Tensor weight = placeholder("W", {1, 1, 1});
+    Tensor out = ops::conv1d(input, weight);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, 5}));
+    auto buffers = runWithInputs(
+        out, {{"I", {1, 2, 3, 4, 5}}, {"W", {2}}});
+    const Buffer &o = buffers.at(out.op().get());
+    for (int64_t i = 0; i < 5; ++i)
+        EXPECT_FLOAT_EQ(o.at({0, 0, i}), 2.0f * (i + 1));
+}
+
+TEST(Conv1d, PaddedBoxFilter)
+{
+    Tensor input = placeholder("I", {1, 1, 4});
+    Tensor weight = placeholder("W", {1, 1, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv1d(input, weight, p);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, 4}));
+    auto buffers =
+        runWithInputs(out, {{"I", {1, 2, 3, 4}}, {"W", {1, 1, 1}}});
+    const Buffer &o = buffers.at(out.op().get());
+    EXPECT_FLOAT_EQ(o.at({0, 0, 0}), 3);  // 0+1+2
+    EXPECT_FLOAT_EQ(o.at({0, 0, 1}), 6);  // 1+2+3
+    EXPECT_FLOAT_EQ(o.at({0, 0, 2}), 9);  // 2+3+4
+    EXPECT_FLOAT_EQ(o.at({0, 0, 3}), 7);  // 3+4+0
+}
+
+TEST(Conv1d, StrideTwoHalvesOutput)
+{
+    Tensor input = placeholder("I", {1, 2, 8});
+    Tensor weight = placeholder("W", {3, 2, 3});
+    ops::ConvParams p;
+    p.stride = 2;
+    p.padding = 1;
+    Tensor out = ops::conv1d(input, weight, p);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 3, 4}));
+}
+
+TEST(Conv1dTransposed, InvertsStrideTwoShapes)
+{
+    Tensor input = placeholder("I", {1, 2, 4});
+    Tensor weight = placeholder("W", {2, 3, 3});
+    Tensor out = ops::conv1dTransposed(input, weight, 2, 1);
+    // (L-1)*s - 2p + R = 3*2 - 2 + 3 = 7
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 3, 7}));
+    // Mini-graph: dilate + pad + conv = 3 compute nodes (Table 3: T1D).
+    MiniGraph g(out);
+    EXPECT_EQ(g.computeOps().size(), 3u);
+}
+
+TEST(Conv1dTransposed, MatchesScatterSemantics)
+{
+    // Transposed conv == scatter of input * kernel into the output.
+    const int64_t l = 3, r = 3, stride = 2;
+    Tensor input = placeholder("I", {1, 1, l});
+    Tensor weight = placeholder("W", {1, 1, r});
+    Tensor out = ops::conv1dTransposed(input, weight, stride, 0);
+    const int64_t ol = (l - 1) * stride + r;
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, ol}));
+
+    std::vector<float> in_data = {1, 2, 3};
+    std::vector<float> w_data = {10, 20, 30};
+    auto buffers = runWithInputs(out, {{"I", in_data}, {"W", w_data}});
+    std::vector<float> expect(ol, 0.0f);
+    for (int64_t i = 0; i < l; ++i)
+        for (int64_t k = 0; k < r; ++k)
+            expect[i * stride + k] += in_data[i] * w_data[k];
+    const Buffer &o = buffers.at(out.op().get());
+    for (int64_t i = 0; i < ol; ++i)
+        EXPECT_NEAR(o.at({0, 0, i}), expect[i], 1e-4) << "at " << i;
+}
+
+TEST(Conv2d, ShapeWithPadStride)
+{
+    Tensor input = placeholder("I", {1, 3, 8, 8});
+    Tensor weight = placeholder("W", {4, 3, 3, 3});
+    ops::ConvParams p;
+    p.stride = 2;
+    p.padding = 1;
+    Tensor out = ops::conv2d(input, weight, p);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 4, 4, 4}));
+    // Pad + conv: two compute nodes (Table 3: C2D).
+    MiniGraph g(out);
+    EXPECT_EQ(g.computeOps().size(), 2u);
+}
+
+TEST(Conv2d, SumFilterEqualsWindowSum)
+{
+    Tensor input = placeholder("I", {1, 1, 4, 4});
+    Tensor weight = placeholder("W", {1, 1, 2, 2});
+    Tensor out = ops::conv2d(input, weight);
+    std::vector<float> in_data(16);
+    for (int i = 0; i < 16; ++i)
+        in_data[i] = static_cast<float>(i);
+    auto buffers =
+        runWithInputs(out, {{"I", in_data}, {"W", {1, 1, 1, 1}}});
+    const Buffer &o = buffers.at(out.op().get());
+    EXPECT_FLOAT_EQ(o.at({0, 0, 0, 0}), 0 + 1 + 4 + 5);
+    EXPECT_FLOAT_EQ(o.at({0, 0, 2, 2}), 10 + 11 + 14 + 15);
+}
+
+TEST(Conv2dGroup, TwoGroupsDoNotMix)
+{
+    // Group conv with 2 groups: output channel 0 must ignore channel 1.
+    Tensor input = placeholder("I", {1, 2, 3, 3});
+    Tensor weight = placeholder("W", {2, 1, 1, 1});
+    ops::ConvParams p;
+    p.groups = 2;
+    Tensor out = ops::conv2d(input, weight, p);
+    std::vector<float> in_data(18, 0.0f);
+    for (int i = 0; i < 9; ++i)
+        in_data[i] = 1.0f; // channel 0 all ones, channel 1 zero
+    auto buffers = runWithInputs(out, {{"I", in_data}, {"W", {3, 5}}});
+    const Buffer &o = buffers.at(out.op().get());
+    EXPECT_FLOAT_EQ(o.at({0, 0, 1, 1}), 3.0f);
+    EXPECT_FLOAT_EQ(o.at({0, 1, 1, 1}), 0.0f);
+}
+
+TEST(Conv2dDilated, ReachesSpacedTaps)
+{
+    Tensor input = placeholder("I", {1, 1, 5, 5});
+    Tensor weight = placeholder("W", {1, 1, 2, 2});
+    ops::ConvParams p;
+    p.dilation = 2;
+    Tensor out = ops::conv2d(input, weight, p);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, 3, 3}));
+    std::vector<float> in_data(25, 0.0f);
+    in_data[0] = 1.0f;  // (0,0)
+    in_data[12] = 7.0f; // (2,2)
+    auto buffers = runWithInputs(out, {{"I", in_data}, {"W", {1, 0, 0, 1}}});
+    const Buffer &o = buffers.at(out.op().get());
+    // Output (0,0) = I(0,0)*W(0,0) + I(2,2)*W(1,1) = 1 + 7.
+    EXPECT_FLOAT_EQ(o.at({0, 0, 0, 0}), 8.0f);
+}
+
+TEST(DepthwiseConv2d, PerChannelFilters)
+{
+    Tensor input = placeholder("I", {1, 2, 3, 3});
+    Tensor weight = placeholder("W", {2, 1, 1, 1});
+    Tensor out = ops::depthwiseConv2d(input, weight);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 2, 3, 3}));
+    std::vector<float> in_data(18, 1.0f);
+    auto buffers = runWithInputs(out, {{"I", in_data}, {"W", {2, 5}}});
+    const Buffer &o = buffers.at(out.op().get());
+    EXPECT_FLOAT_EQ(o.at({0, 0, 1, 1}), 2.0f);
+    EXPECT_FLOAT_EQ(o.at({0, 1, 1, 1}), 5.0f);
+}
+
+TEST(DepthwiseConv2d, ChannelMultiplierExpandsOutput)
+{
+    Tensor input = placeholder("I", {1, 2, 4, 4});
+    Tensor weight = placeholder("W", {2, 3, 3, 3});
+    Tensor out = ops::depthwiseConv2d(input, weight, 1, 1);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 6, 4, 4}));
+}
+
+TEST(Conv3d, ShapeAndNodeCount)
+{
+    Tensor input = placeholder("I", {1, 2, 4, 6, 6});
+    Tensor weight = placeholder("W", {3, 2, 3, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv3d(input, weight, p);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 3, 4, 6, 6}));
+    MiniGraph g(out);
+    EXPECT_EQ(g.computeOps().size(), 2u);
+}
+
+TEST(Conv3dTransposed, ShapeAndNodeCount)
+{
+    Tensor input = placeholder("I", {1, 2, 3, 4, 4});
+    Tensor weight = placeholder("W", {2, 3, 3, 3, 3});
+    Tensor out = ops::conv3dTransposed(input, weight, 2, 1);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 3, 5, 7, 7}));
+    MiniGraph g(out);
+    EXPECT_EQ(g.computeOps().size(), 3u);
+}
+
+TEST(Conv2dTransposed, MatchesScatterSemantics)
+{
+    const int64_t h = 2, w = 2, r = 3, stride = 2;
+    Tensor input = placeholder("I", {1, 1, h, w});
+    Tensor weight = placeholder("W", {1, 1, r, r});
+    Tensor out = ops::conv2dTransposed(input, weight, stride, 0);
+    const int64_t oh = (h - 1) * stride + r;
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 1, oh, oh}));
+
+    Rng rng(23);
+    MiniGraph g(out);
+    BufferMap buffers = makeRandomInputs(g, rng);
+    runGraphReference(g, buffers);
+    const Buffer &I = buffers.at(input.op().get());
+    const Buffer &W = buffers.at(weight.op().get());
+    const Buffer &O = buffers.at(out.op().get());
+    std::vector<float> expect(oh * oh, 0.0f);
+    for (int64_t i = 0; i < h; ++i)
+        for (int64_t j = 0; j < w; ++j)
+            for (int64_t a = 0; a < r; ++a)
+                for (int64_t b = 0; b < r; ++b)
+                    expect[(i * stride + a) * oh + j * stride + b] +=
+                        I.at({0, 0, i, j}) * W.at({0, 0, a, b});
+    for (int64_t i = 0; i < oh; ++i)
+        for (int64_t j = 0; j < oh; ++j)
+            EXPECT_NEAR(O.at({0, 0, i, j}), expect[i * oh + j], 1e-4);
+}
+
+TEST(BlockCirculant, MatchesExpandedMatrix)
+{
+    const int64_t n = 2, m = 4, kk = 4, block = 2;
+    Tensor a = placeholder("A", {n, kk});
+    Tensor w = placeholder("W", {m / block, kk / block, block});
+    Tensor out = ops::blockCirculantMatmul(a, w, block);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{n, m}));
+
+    Rng rng(31);
+    MiniGraph g(out);
+    BufferMap buffers = makeRandomInputs(g, rng);
+    runGraphReference(g, buffers);
+    const Buffer &A = buffers.at(a.op().get());
+    const Buffer &W = buffers.at(w.op().get());
+    const Buffer &O = buffers.at(out.op().get());
+
+    // Expand the circulant blocks into a dense K x M matrix and compare.
+    // Block (p, q) has entries B[u][v] = w[p, q, (u - v) mod block] where u
+    // indexes the output within block p and v the input within block q.
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t j = 0; j < m; ++j) {
+            int64_t p = j / block, u = j % block;
+            float acc = 0;
+            for (int64_t col = 0; col < kk; ++col) {
+                int64_t q = col / block, v = col % block;
+                int64_t rot = ((u - v) % block + block) % block;
+                acc += A.at({i, col}) * W.at({p, q, rot});
+            }
+            EXPECT_NEAR(O.at({i, j}), acc, 1e-4);
+        }
+    }
+}
+
+TEST(Shift2d, ShiftsPerChannel)
+{
+    Tensor input = placeholder("I", {1, 9, 4, 4});
+    Tensor out = ops::shift2d(input);
+    EXPECT_EQ(out.shape(), input.shape());
+
+    Rng rng(37);
+    MiniGraph g(out);
+    BufferMap buffers = makeRandomInputs(g, rng);
+    runGraphReference(g, buffers);
+    const Buffer &I = buffers.at(input.op().get());
+    const Buffer &O = buffers.at(out.op().get());
+    for (int64_t c = 0; c < 9; ++c) {
+        int64_t dx = c % 3 - 1, dy = (c / 3) % 3 - 1;
+        for (int64_t x = 0; x < 4; ++x) {
+            for (int64_t y = 0; y < 4; ++y) {
+                int64_t sx = x + dx, sy = y + dy;
+                float expect = (sx >= 0 && sx < 4 && sy >= 0 && sy < 4)
+                                   ? I.at({0, c, sx, sy})
+                                   : 0.0f;
+                EXPECT_FLOAT_EQ(O.at({0, c, x, y}), expect)
+                    << "c=" << c << " x=" << x << " y=" << y;
+            }
+        }
+    }
+}
+
+TEST(Relu, ClampsNegatives)
+{
+    Tensor a = placeholder("A", {4});
+    Tensor r = ops::relu(a);
+    auto buffers = runWithInputs(r, {{"A", {-1, 0, 2, -3}}});
+    const Buffer &o = buffers.at(r.op().get());
+    EXPECT_FLOAT_EQ(o.at({0}), 0);
+    EXPECT_FLOAT_EQ(o.at({1}), 0);
+    EXPECT_FLOAT_EQ(o.at({2}), 2);
+    EXPECT_FLOAT_EQ(o.at({3}), 0);
+}
+
+TEST(BiasAdd, PerChannel)
+{
+    Tensor a = placeholder("A", {1, 2, 2, 2});
+    Tensor b = placeholder("b", {2});
+    Tensor r = ops::biasAdd(a, b);
+    auto buffers = runWithInputs(
+        r, {{"A", {0, 0, 0, 0, 0, 0, 0, 0}}, {"b", {1, 2}}});
+    const Buffer &o = buffers.at(r.op().get());
+    EXPECT_FLOAT_EQ(o.at({0, 0, 1, 1}), 1);
+    EXPECT_FLOAT_EQ(o.at({0, 1, 0, 0}), 2);
+}
+
+TEST(MaxPool2d, TwoByTwo)
+{
+    Tensor a = placeholder("A", {1, 1, 4, 4});
+    Tensor r = ops::maxPool2d(a, 2, 2);
+    EXPECT_EQ(r.shape(), (std::vector<int64_t>{1, 1, 2, 2}));
+    std::vector<float> data(16);
+    for (int i = 0; i < 16; ++i)
+        data[i] = static_cast<float>(i);
+    auto buffers = runWithInputs(r, {{"A", data}});
+    const Buffer &o = buffers.at(r.op().get());
+    EXPECT_FLOAT_EQ(o.at({0, 0, 0, 0}), 5);
+    EXPECT_FLOAT_EQ(o.at({0, 0, 1, 1}), 15);
+}
+
+TEST(Dense, MatchesGemmTransposed)
+{
+    Tensor a = placeholder("A", {2, 3});
+    Tensor w = placeholder("W", {4, 3});
+    Tensor r = ops::dense(a, w);
+    EXPECT_EQ(r.shape(), (std::vector<int64_t>{2, 4}));
+}
+
+TEST(Shapes, YoloTableHasFifteenLayers)
+{
+    const auto &layers = ops::yoloLayers();
+    ASSERT_EQ(layers.size(), 15u);
+    EXPECT_EQ(layers[0].inChannels, 3);
+    EXPECT_EQ(layers[0].kernel, 7);
+    EXPECT_EQ(layers[0].stride, 2);
+    EXPECT_EQ(layers[14].imageSize, 7);
+    // Stride-1 same-padded layers preserve the spatial size.
+    Tensor c2 = layers[1].build(1);
+    EXPECT_EQ(c2.shape(), (std::vector<int64_t>{1, 192, 112, 112}));
+    // C1: 448x448 stride 2 kernel 7 pad 3 -> 224.
+    Tensor c1 = layers[0].build(1);
+    EXPECT_EQ(c1.shape(), (std::vector<int64_t>{1, 64, 224, 224}));
+}
+
+TEST(Shapes, AllTable3SuitesBuild)
+{
+    for (const auto &op : ops::table3Operators()) {
+        auto cases = ops::table3Cases(op);
+        EXPECT_FALSE(cases.empty()) << op;
+        for (const auto &tc : cases) {
+            Tensor t = tc.build();
+            EXPECT_TRUE(t.defined()) << op << "/" << tc.id;
+            MiniGraph g(t);
+            EXPECT_GT(anchorFlops(g), 0.0) << op << "/" << tc.id;
+        }
+    }
+}
+
+TEST(Shapes, Table3FlopRangesRoughlyMatchPaper)
+{
+    // Spot-check the FLOP envelopes reported in Table 3.
+    auto check_range = [](const std::string &op, double lo, double hi) {
+        for (const auto &tc : ops::table3Cases(op)) {
+            double f = anchorFlops(MiniGraph(tc.build()));
+            EXPECT_GE(f, lo) << op << "/" << tc.id;
+            EXPECT_LE(f, hi) << op << "/" << tc.id;
+        }
+    };
+    check_range("GMV", 8e3, 2e6);
+    check_range("GMM", 2e4, 2e10);
+    check_range("C1D", 2e7, 2e9);
+    check_range("DEP", 1e5, 3e7);
+}
+
+} // namespace
+} // namespace ft

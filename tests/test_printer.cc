@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the IR printers (every expression kind) and the paper's
+ * Figure 3 schedule-encoding example.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/printer.h"
+#include "ops/ops.h"
+#include "schedule/encoder.h"
+
+namespace ft {
+namespace {
+
+TEST(Printer, ArithmeticKinds)
+{
+    IterVar i = makeIterVar("i", 8);
+    IterVar j = makeIterVar("j", 8);
+    Expr vi = varRef(i), vj = varRef(j);
+    EXPECT_EQ(toString(add(vi, vj)), "(i + j)");
+    EXPECT_EQ(toString(sub(vi, vj)), "(i - j)");
+    EXPECT_EQ(toString(mul(vi, intImm(3))), "(i * 3)");
+    EXPECT_EQ(toString(floordiv(vi, intImm(2))), "(i / 2)");
+    EXPECT_EQ(toString(mod(vi, intImm(4))), "(i % 4)");
+}
+
+TEST(Printer, MinMaxSelect)
+{
+    IterVar i = makeIterVar("i", 8);
+    Expr vi = varRef(i);
+    EXPECT_EQ(toString(minExpr(vi, intImm(0))), "min(i, 0)");
+    EXPECT_EQ(toString(maxExpr(vi, floatImm(0.0))), "max(i, 0f)");
+    std::string sel =
+        toString(select(lt(vi, intImm(4)), floatImm(1.0), floatImm(2.0)));
+    EXPECT_EQ(sel, "select((i < 4), 1f, 2f)");
+}
+
+TEST(Printer, ComparisonsAndLogic)
+{
+    IterVar i = makeIterVar("i", 8);
+    Expr vi = varRef(i);
+    EXPECT_EQ(toString(le(vi, intImm(5))), "(i <= 5)");
+    EXPECT_EQ(toString(eq(vi, intImm(5))), "(i == 5)");
+    EXPECT_EQ(toString(logicalAnd(lt(vi, intImm(4)), le(intImm(0), vi))),
+              "((i < 4) && (0 <= i))");
+    EXPECT_EQ(toString(logicalOr(lt(vi, intImm(1)), eq(vi, intImm(7)))),
+              "((i < 1) || (i == 7))");
+}
+
+TEST(Printer, AccessWithIndices)
+{
+    Tensor t = placeholder("T", {4, 4});
+    IterVar i = makeIterVar("i", 4);
+    Expr e = t({varRef(i), add(varRef(i), intImm(1))});
+    EXPECT_EQ(toString(e), "T[i, (i + 1)]");
+}
+
+TEST(Printer, PlaceholderSignature)
+{
+    Tensor t = placeholder("X", {2, 3, 4});
+    EXPECT_EQ(toString(t.op()), "placeholder X(2, 3, 4)");
+}
+
+TEST(Printer, GraphListsNodesInPostOrder)
+{
+    Tensor a = placeholder("A", {4, 4});
+    Tensor b = placeholder("B", {4, 4});
+    Tensor c = ops::gemm(a, b);
+    std::string text = toString(MiniGraph(c));
+    auto pos_a = text.find("placeholder A");
+    auto pos_b = text.find("placeholder B");
+    auto pos_g = text.find("gemm[");
+    EXPECT_NE(pos_a, std::string::npos);
+    EXPECT_NE(pos_b, std::string::npos);
+    EXPECT_NE(pos_g, std::string::npos);
+    EXPECT_LT(pos_a, pos_g);
+    EXPECT_LT(pos_b, pos_g);
+}
+
+TEST(Encoder, Figure3ExampleEncodesAsInThePaper)
+{
+    // Figure 3(d)/(e): GEMM 1024^3 split into [4,4,8,8] / [4,4,8,8] /
+    // [8,4,8,4] with a reorder, fuse, and unroll choice. Our encoding
+    // keeps the same nested-vector structure: split rows first, then the
+    // scalar primitive choices.
+    OpConfig cfg;
+    cfg.spatialSplits = {{4, 4, 8, 8}, {4, 4, 8, 8}};
+    cfg.reduceSplits = {{8, 4, 8, 4}};
+    cfg.reorderChoice = 1;
+    cfg.unrollDepth = 1;
+    auto enc = encodeConfig(cfg);
+    ASSERT_EQ(enc.size(), 9u); // 3 split rows + 6 primitive rows
+    EXPECT_EQ(enc[0], (std::vector<int64_t>{4, 4, 8, 8}));
+    EXPECT_EQ(enc[1], (std::vector<int64_t>{4, 4, 8, 8}));
+    EXPECT_EQ(enc[2], (std::vector<int64_t>{8, 4, 8, 4}));
+    EXPECT_EQ(enc[3], (std::vector<int64_t>{1})); // reorder
+    EXPECT_EQ(enc[5], (std::vector<int64_t>{1})); // unroll
+    // Every split row multiplies back to 1024, as in the paper's GEMM.
+    for (int row = 0; row < 3; ++row) {
+        int64_t prod = 1;
+        for (int64_t f : enc[row])
+            prod *= f;
+        EXPECT_EQ(prod, 1024);
+    }
+}
+
+TEST(Printer, ConfigToStringIsReadable)
+{
+    OpConfig cfg;
+    cfg.spatialSplits = {{2, 8}};
+    cfg.reduceSplits = {{4, 4}};
+    cfg.fpgaBufferRows = 3;
+    cfg.fpgaPartition = 4;
+    std::string text = cfg.toString();
+    EXPECT_NE(text.find("[2, 8]"), std::string::npos);
+    EXPECT_NE(text.find("buffer 3"), std::string::npos);
+    EXPECT_NE(text.find("partition 4"), std::string::npos);
+}
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Tests for schedule lowering and—crucially—the semantic-preservation
+ * property: any schedule drawn from the space computes the same tensor as
+ * the reference executor, for every operator family and target skeleton.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/static_analyzer.h"
+#include "exec/interpreter.h"
+#include "exec/reference.h"
+#include "ops/ops.h"
+#include "schedule/encoder.h"
+#include "schedule/generator.h"
+#include "space/builder.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+TEST(SplitLoop, StridesReconstructIndices)
+{
+    IterVar i = makeIterVar("i", 24);
+    auto subs = splitLoop(i, {2, 3, 4}, "s");
+    ASSERT_EQ(subs.size(), 3u);
+    EXPECT_EQ(subs[0].stride, 12);
+    EXPECT_EQ(subs[1].stride, 4);
+    EXPECT_EQ(subs[2].stride, 1);
+    EXPECT_EQ(subs[0].level, 0);
+    EXPECT_EQ(subs[2].level, 2);
+    // Every original index is produced exactly once.
+    std::vector<int> seen(24, 0);
+    for (int64_t a = 0; a < 2; ++a)
+        for (int64_t b = 0; b < 3; ++b)
+            for (int64_t c = 0; c < 4; ++c)
+                seen[a * 12 + b * 4 + c]++;
+    for (int v : seen)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(LinearCoefficient, ReadsAffineMultipliers)
+{
+    IterVar i = makeIterVar("i", 8);
+    IterVar j = makeIterVar("j", 8);
+    Expr e = add(mul(intImm(3), varRef(i)), varRef(j));
+    EXPECT_EQ(linearCoefficient(e, i.get()), 3);
+    EXPECT_EQ(linearCoefficient(e, j.get()), 1);
+    IterVar k = makeIterVar("k", 8);
+    EXPECT_EQ(linearCoefficient(e, k.get()), 0);
+}
+
+TEST(DefaultConfig, ValidForEveryTarget)
+{
+    Tensor a = placeholder("A", {32, 16});
+    Tensor b = placeholder("B", {16, 24});
+    Tensor c = ops::gemm(a, b);
+    for (const Target &t : {Target::forGpu(v100()), Target::forCpu(xeonE5()),
+                            Target::forFpga(vu9p())}) {
+        OpConfig cfg = defaultConfig(c.op(), t);
+        Scheduled s = generate(c.op(), cfg, t);
+        EXPECT_EQ(s.nest.op.get(), c.op().get());
+        EXPECT_FALSE(s.nest.loops.empty());
+    }
+}
+
+TEST(GeneratorGpu, AnnotationsFollowSkeleton)
+{
+    Tensor a = placeholder("A", {64, 64});
+    Tensor b = placeholder("B", {64, 64});
+    Tensor c = ops::gemm(a, b);
+    OpConfig cfg;
+    cfg.spatialSplits = {{4, 2, 8, 1}, {2, 2, 16, 1}};
+    cfg.reduceSplits = {{8, 4, 2}};
+    Scheduled s = generateGpu(c.op(), cfg, v100());
+    EXPECT_EQ(s.features.grid, 8);            // 4*2 blocks
+    EXPECT_EQ(s.features.threadsPerBlock, 128); // 8*16
+    EXPECT_EQ(s.features.vthreads, 4);        // 2*2
+    EXPECT_TRUE(s.features.valid);
+    EXPECT_EQ(s.nest.extentOf(LoopAnno::BlockX), 8);
+    EXPECT_EQ(s.nest.extentOf(LoopAnno::ThreadX), 128);
+}
+
+TEST(GeneratorGpu, RejectsOversizedThreadBlocks)
+{
+    Tensor a = placeholder("A", {64, 64});
+    Tensor b = placeholder("B", {64, 64});
+    Tensor c = ops::gemm(a, b);
+    OpConfig cfg;
+    cfg.spatialSplits = {{1, 1, 64, 1}, {1, 1, 64, 1}}; // 4096 threads
+    cfg.reduceSplits = {{64, 1, 1}};
+    Scheduled s = generateGpu(c.op(), cfg, v100());
+    EXPECT_FALSE(s.features.valid);
+    EXPECT_NE(s.features.invalidReason.find("threads"), std::string::npos);
+}
+
+TEST(GeneratorGpu, SharedMemoryGrowsWithTile)
+{
+    Tensor a = placeholder("A", {256, 256});
+    Tensor b = placeholder("B", {256, 256});
+    Tensor c = ops::gemm(a, b);
+    OpConfig small;
+    small.spatialSplits = {{32, 1, 8, 1}, {32, 1, 8, 1}};
+    small.reduceSplits = {{32, 8, 1}};
+    OpConfig big = small;
+    big.spatialSplits = {{8, 1, 32, 1}, {8, 1, 32, 1}};
+    int64_t smem_small =
+        generateGpu(c.op(), small, v100()).features.sharedBytesPerBlock;
+    int64_t smem_big =
+        generateGpu(c.op(), big, v100()).features.sharedBytesPerBlock;
+    EXPECT_GT(smem_big, smem_small);
+}
+
+TEST(GeneratorCpu, ParallelExtentFollowsFuseCount)
+{
+    Tensor a = placeholder("A", {32, 32});
+    Tensor b = placeholder("B", {32, 32});
+    Tensor c = ops::gemm(a, b);
+    OpConfig cfg;
+    cfg.spatialSplits = {{4, 4, 2}, {8, 2, 2}};
+    cfg.reduceSplits = {{16, 2}};
+    cfg.fuseCount = 1;
+    EXPECT_EQ(generateCpu(c.op(), cfg, xeonE5()).features.parallelExtent, 4);
+    cfg.fuseCount = 2;
+    EXPECT_EQ(generateCpu(c.op(), cfg, xeonE5()).features.parallelExtent,
+              32);
+}
+
+TEST(GeneratorCpu, VectorLengthCappedByInnermostFactor)
+{
+    Tensor a = placeholder("A", {32, 24});
+    Tensor b = placeholder("B", {24, 36});
+    Tensor c = ops::gemm(a, b);
+    OpConfig cfg;
+    cfg.spatialSplits = {{8, 4, 1}, {2, 3, 6}};
+    cfg.reduceSplits = {{12, 2}};
+    cfg.vectorizeLen = 8;
+    Scheduled s = generateCpu(c.op(), cfg, xeonE5());
+    // Innermost spatial factor 6 -> largest pow2 divisor 2.
+    EXPECT_EQ(s.features.vecLen, 2);
+}
+
+TEST(GeneratorFpga, PeBoundedByDsps)
+{
+    Tensor a = placeholder("A", {2048, 64});
+    Tensor b = placeholder("B", {64, 2048});
+    Tensor c = ops::gemm(a, b);
+    OpConfig cfg;
+    cfg.spatialSplits = {{1, 2048}, {1, 2048}}; // 4M PEs: impossible
+    cfg.reduceSplits = {{64, 1}};
+    Scheduled s = generateFpga(c.op(), cfg, vu9p());
+    EXPECT_FALSE(s.features.valid);
+
+    cfg.spatialSplits = {{64, 32}, {128, 16}}; // 512 PEs: fine
+    s = generateFpga(c.op(), cfg, vu9p());
+    EXPECT_TRUE(s.features.valid);
+    EXPECT_EQ(s.features.pe, 512);
+    // Rounds cover the spatial tiles and the streamed reduce chunks.
+    EXPECT_EQ(s.features.rounds, 64 * 128 * 64);
+}
+
+TEST(Encoder, NestedVectorHasSplitsAndKnobs)
+{
+    OpConfig cfg;
+    cfg.spatialSplits = {{4, 4, 8, 8}, {4, 4, 8, 8}};
+    cfg.reduceSplits = {{8, 4, 8}};
+    cfg.reorderChoice = 2;
+    cfg.unrollDepth = 1;
+    auto enc = encodeConfig(cfg);
+    ASSERT_GE(enc.size(), 5u);
+    EXPECT_EQ(enc[0], (std::vector<int64_t>{4, 4, 8, 8}));
+    EXPECT_EQ(enc[2], (std::vector<int64_t>{8, 4, 8}));
+    EXPECT_EQ(enc[3], (std::vector<int64_t>{2})); // reorder
+}
+
+TEST(Encoder, FeaturesFiniteAndBounded)
+{
+    OpConfig cfg;
+    cfg.spatialSplits = {{16, 1, 2, 2}};
+    cfg.reduceSplits = {{3, 1, 1}};
+    for (double v : configFeatures(cfg)) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The central property: scheduled execution == reference execution.
+
+/** Operators small enough to interpret quickly. */
+struct PropertyCase
+{
+    const char *name;
+    Tensor (*build)();
+};
+
+Tensor
+buildSmallGemm()
+{
+    Tensor a = placeholder("A", {12, 18});
+    Tensor b = placeholder("B", {18, 8});
+    return ops::gemm(a, b);
+}
+
+Tensor
+buildSmallGemv()
+{
+    Tensor a = placeholder("A", {24, 16});
+    Tensor x = placeholder("x", {16});
+    return ops::gemv(a, x);
+}
+
+Tensor
+buildSmallBilinear()
+{
+    Tensor a = placeholder("A", {4, 6});
+    Tensor w = placeholder("W", {5, 6, 4});
+    Tensor c = placeholder("C", {4, 4});
+    return ops::bilinear(a, w, c);
+}
+
+Tensor
+buildSmallConv1d()
+{
+    Tensor input = placeholder("I", {2, 3, 12});
+    Tensor weight = placeholder("W", {4, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    return ops::conv1d(input, weight, p);
+}
+
+Tensor
+buildSmallConv2d()
+{
+    Tensor input = placeholder("I", {1, 4, 8, 8});
+    Tensor weight = placeholder("W", {6, 4, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    return ops::conv2d(input, weight, p);
+}
+
+Tensor
+buildSmallGroupConv()
+{
+    Tensor input = placeholder("I", {1, 4, 6, 6});
+    Tensor weight = placeholder("W", {4, 2, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    p.groups = 2;
+    return ops::conv2d(input, weight, p);
+}
+
+Tensor
+buildSmallDepthwise()
+{
+    Tensor input = placeholder("I", {1, 6, 6, 6});
+    Tensor weight = placeholder("W", {6, 1, 3, 3});
+    return ops::depthwiseConv2d(input, weight, 1, 1);
+}
+
+Tensor
+buildSmallDilated()
+{
+    Tensor input = placeholder("I", {1, 3, 9, 9});
+    Tensor weight = placeholder("W", {4, 3, 3, 3});
+    ops::ConvParams p;
+    p.padding = 2;
+    p.dilation = 2;
+    return ops::conv2d(input, weight, p);
+}
+
+Tensor
+buildSmallT1d()
+{
+    Tensor input = placeholder("I", {1, 3, 6});
+    Tensor weight = placeholder("W", {3, 4, 3});
+    return ops::conv1dTransposed(input, weight, 2, 1);
+}
+
+Tensor
+buildSmallT2d()
+{
+    Tensor input = placeholder("I", {1, 2, 4, 4});
+    Tensor weight = placeholder("W", {2, 3, 3, 3});
+    return ops::conv2dTransposed(input, weight, 2, 1);
+}
+
+Tensor
+buildSmallConv3d()
+{
+    Tensor input = placeholder("I", {1, 2, 4, 4, 4});
+    Tensor weight = placeholder("W", {3, 2, 3, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    return ops::conv3d(input, weight, p);
+}
+
+Tensor
+buildSmallBcm()
+{
+    Tensor a = placeholder("A", {3, 12});
+    Tensor w = placeholder("W", {4, 3, 4});
+    return ops::blockCirculantMatmul(a, w, 4);
+}
+
+Tensor
+buildSmallShift()
+{
+    Tensor input = placeholder("I", {1, 9, 5, 5});
+    return ops::shift2d(input);
+}
+
+class SchedulePropertyTest
+    : public ::testing::TestWithParam<std::tuple<PropertyCase, int>>
+{};
+
+/**
+ * Draw random points from the schedule space of the given target, lower
+ * them, execute, and compare against the reference bit pattern (with a
+ * float tolerance — reduction order differs between schedules).
+ */
+void
+checkSemanticPreservation(const Tensor &out, const Target &target,
+                          uint64_t seed, int samples)
+{
+    MiniGraph g(out);
+    Operation anchor = anchorOp(g);
+
+    Rng rng(seed);
+    BufferMap reference = makeRandomInputs(g, rng);
+    runGraphReference(g, reference);
+    const Buffer &gold = reference.at(anchor.get());
+
+    ScheduleSpace space = buildSpace(anchor, target);
+    for (int trial = 0; trial < samples; ++trial) {
+        Point p = space.randomPoint(rng);
+        OpConfig cfg = space.decode(p);
+        Scheduled s = generate(anchor, cfg, target);
+        // Functional semantics hold even for model-invalid points.
+        BufferMap buffers = reference;
+        buffers.erase(anchor.get());
+        int threads = 1 + static_cast<int>(trial % 3);
+        runScheduled(s.nest, buffers, threads);
+        const Buffer &got = buffers.at(anchor.get());
+        ASSERT_EQ(got.numel(), gold.numel());
+        for (int64_t i = 0; i < gold.numel(); ++i) {
+            ASSERT_NEAR(got[i], gold[i], 1e-3)
+                << "config " << cfg.toString() << " element " << i;
+        }
+    }
+}
+
+TEST_P(SchedulePropertyTest, RandomSchedulesPreserveSemantics)
+{
+    auto [pcase, target_kind] = GetParam();
+    Tensor out = pcase.build();
+    Target target = target_kind == 0   ? Target::forGpu(v100())
+                    : target_kind == 1 ? Target::forCpu(xeonE5())
+                                       : Target::forFpga(vu9p());
+    checkSemanticPreservation(out, target,
+                              0x1234u + static_cast<uint64_t>(target_kind),
+                              6);
+}
+
+constexpr PropertyCase kPropertyCases[] = {
+    {"gemm", buildSmallGemm},       {"gemv", buildSmallGemv},
+    {"bilinear", buildSmallBilinear}, {"conv1d", buildSmallConv1d},
+    {"conv2d", buildSmallConv2d},   {"group", buildSmallGroupConv},
+    {"depthwise", buildSmallDepthwise}, {"dilated", buildSmallDilated},
+    {"t1d", buildSmallT1d},         {"t2d", buildSmallT2d},
+    {"conv3d", buildSmallConv3d},   {"bcm", buildSmallBcm},
+    {"shift", buildSmallShift},
+};
+
+std::string
+propertyName(
+    const ::testing::TestParamInfo<std::tuple<PropertyCase, int>> &info)
+{
+    static const char *const targets[] = {"Gpu", "Cpu", "Fpga"};
+    return std::string(std::get<0>(info.param).name) +
+           targets[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpsAllTargets, SchedulePropertyTest,
+                         ::testing::Combine(::testing::ValuesIn(
+                                                kPropertyCases),
+                                            ::testing::Values(0, 1, 2)),
+                         propertyName);
+
+TEST(Interpreter, MultiThreadedMatchesSingleThreaded)
+{
+    Tensor out = buildSmallConv2d();
+    MiniGraph g(out);
+    Operation anchor = anchorOp(g);
+    Rng rng(77);
+    BufferMap base = makeRandomInputs(g, rng);
+    runGraphReference(g, base);
+
+    Target target = Target::forCpu(xeonE5());
+    ScheduleSpace space = buildSpace(anchor, target);
+    Point p = space.randomPoint(rng);
+    Scheduled s = generate(anchor, space.decode(p), target);
+
+    BufferMap one = base, four = base;
+    one.erase(anchor.get());
+    four.erase(anchor.get());
+    runScheduled(s.nest, one, 1);
+    runScheduled(s.nest, four, 4);
+    const Buffer &a = one.at(anchor.get());
+    const Buffer &b = four.at(anchor.get());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_FLOAT_EQ(a[i], b[i]);
+}
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the analytical device models: sanity, monotonicity, roofline
+ * behaviour, validity enforcement, and the library baselines.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/static_analyzer.h"
+#include "ops/ops.h"
+#include "ops/shapes.h"
+#include "schedule/generator.h"
+#include "sim/library_model.h"
+#include "sim/perf_model.h"
+
+namespace ft {
+namespace {
+
+Tensor
+gemm1k()
+{
+    Tensor a = placeholder("A", {1024, 1024});
+    Tensor b = placeholder("B", {1024, 1024});
+    return ops::gemm(a, b);
+}
+
+/** A sensible GPU config for the 1k GEMM. */
+OpConfig
+goodGpuConfig()
+{
+    OpConfig cfg;
+    cfg.spatialSplits = {{16, 2, 16, 2}, {16, 2, 16, 2}};
+    cfg.reduceSplits = {{128, 2, 4}};
+    cfg.unrollDepth = 2;
+    return cfg;
+}
+
+TEST(GpuModel, GoodScheduleLandsInPlausibleRange)
+{
+    Tensor c = gemm1k();
+    Scheduled s = generateGpu(c.op(), goodGpuConfig(), v100());
+    ASSERT_TRUE(s.features.valid) << s.features.invalidReason;
+    PerfResult perf = gpuModelPerf(s.features, v100());
+    ASSERT_TRUE(perf.valid);
+    // A tuned 1k GEMM on V100 runs in the multi-TFLOPS range, well under
+    // the 15.7 TFLOPS peak.
+    EXPECT_GT(perf.gflops, 500.0);
+    EXPECT_LT(perf.gflops, v100().peakGflops());
+}
+
+TEST(GpuModel, DegenerateScheduleIsMuchSlower)
+{
+    Tensor c = gemm1k();
+    OpConfig bad;
+    bad.spatialSplits = {{1024, 1, 1, 1}, {1024, 1, 1, 1}}; // 1 thread/block
+    bad.reduceSplits = {{1024, 1, 1}};
+    Scheduled sb = generateGpu(c.op(), bad, v100());
+    Scheduled sg = generateGpu(c.op(), goodGpuConfig(), v100());
+    PerfResult pb = gpuModelPerf(sb.features, v100());
+    PerfResult pg = gpuModelPerf(sg.features, v100());
+    ASSERT_TRUE(pb.valid && pg.valid);
+    EXPECT_GT(pg.gflops, 5.0 * pb.gflops);
+}
+
+TEST(GpuModel, InvalidFeaturesAreRejected)
+{
+    NestFeatures f;
+    f.valid = false;
+    f.invalidReason = "synthetic";
+    PerfResult perf = gpuModelPerf(f, v100());
+    EXPECT_FALSE(perf.valid);
+    EXPECT_EQ(perf.reason, "synthetic");
+}
+
+TEST(GpuModel, FasterDeviceIsFaster)
+{
+    // Same schedule, V100 vs the smaller Titan X.
+    Tensor c = gemm1k();
+    Scheduled s = generateGpu(c.op(), goodGpuConfig(), v100());
+    PerfResult on_v100 = gpuModelPerf(s.features, v100());
+    PerfResult on_titan = gpuModelPerf(s.features, titanX());
+    ASSERT_TRUE(on_v100.valid && on_titan.valid);
+    EXPECT_GT(on_v100.gflops, on_titan.gflops);
+}
+
+TEST(GpuModel, MemoryBoundKernelHitsBandwidthRoofline)
+{
+    // GEMV is bandwidth bound: modeled GFLOPS must respect 2 flops/4 bytes
+    // at DRAM speed (with some slack for the model's L2 discount).
+    Tensor a = placeholder("A", {4096, 4096});
+    Tensor x = placeholder("x", {4096});
+    Tensor y = ops::gemv(a, x);
+    OpConfig cfg;
+    cfg.spatialSplits = {{16, 1, 256, 1}};
+    cfg.reduceSplits = {{512, 1, 8}};
+    Scheduled s = generateGpu(y.op(), cfg, v100());
+    PerfResult perf = gpuModelPerf(s.features, v100());
+    ASSERT_TRUE(perf.valid);
+    double roofline = v100().memBwGBs * 2.0 / 4.0; // GFLOPS cap
+    EXPECT_LT(perf.gflops, roofline * 2.0);
+}
+
+TEST(CpuModel, ParallelismImprovesThroughput)
+{
+    Tensor c = gemm1k();
+    OpConfig serial;
+    serial.spatialSplits = {{1, 64, 16}, {1, 64, 16}};
+    serial.reduceSplits = {{256, 4}};
+    serial.fuseCount = 1; // parallel extent 1
+    OpConfig parallel = serial;
+    parallel.spatialSplits = {{32, 2, 16}, {32, 2, 16}};
+    parallel.fuseCount = 2; // parallel extent 1024
+    PerfResult ps = cpuModelPerf(
+        generateCpu(c.op(), serial, xeonE5()).features, xeonE5());
+    PerfResult pp = cpuModelPerf(
+        generateCpu(c.op(), parallel, xeonE5()).features, xeonE5());
+    ASSERT_TRUE(ps.valid && pp.valid);
+    EXPECT_GT(pp.gflops, 3.0 * ps.gflops);
+}
+
+TEST(CpuModel, VectorizationImprovesThroughput)
+{
+    Tensor c = gemm1k();
+    OpConfig narrow;
+    narrow.spatialSplits = {{64, 4, 4}, {64, 4, 4}};
+    narrow.reduceSplits = {{256, 4}};
+    narrow.fuseCount = 2;
+    narrow.vectorizeLen = 1;
+    OpConfig wide = narrow;
+    wide.vectorizeLen = 8;
+    wide.spatialSplits = {{64, 4, 4}, {32, 4, 8}};
+    PerfResult pn = cpuModelPerf(
+        generateCpu(c.op(), narrow, xeonE5()).features, xeonE5());
+    PerfResult pw = cpuModelPerf(
+        generateCpu(c.op(), wide, xeonE5()).features, xeonE5());
+    ASSERT_TRUE(pn.valid && pw.valid);
+    EXPECT_GT(pw.gflops, pn.gflops);
+}
+
+TEST(CpuModel, StaysUnderPeak)
+{
+    Tensor c = gemm1k();
+    OpConfig cfg = expertConfig(c.op(), Target::forCpu(xeonE5()));
+    PerfResult perf = cpuModelPerf(
+        generateCpu(c.op(), cfg, xeonE5()).features, xeonE5());
+    ASSERT_TRUE(perf.valid);
+    EXPECT_LT(perf.gflops, xeonE5().peakGflops());
+    EXPECT_GT(perf.gflops, 1.0);
+}
+
+TEST(FpgaModel, FollowsPaperFormula)
+{
+    // T = rounds * max(R, C, W) + fill; verify against hand computation.
+    NestFeatures f;
+    f.valid = true;
+    f.totalFlops = 1e9;
+    f.pe = 100;
+    f.rounds = 10;
+    f.flopsPerRound = 1e8;
+    f.readBytesPerRound = 1e6;
+    f.writeBytesPerRound = 5e5;
+    f.partition = 16;
+    const FpgaSpec &spec = vu9p();
+    PerfResult perf = fpgaModelPerf(f, spec);
+    ASSERT_TRUE(perf.valid);
+    double compute = 1e8 / (2.0 * 100 * spec.clockGhz * 1e9);
+    double read_bw =
+        std::min(spec.ddrBwGBs, spec.baseBankBwGBs * 16) * 1e9;
+    double read = 1e6 / read_bw;
+    double write = 5e5 / (spec.ddrBwGBs * 1e9);
+    double stage = std::max({read, compute, write});
+    EXPECT_NEAR(perf.seconds, 10 * stage + 2 * stage, 1e-12);
+}
+
+TEST(FpgaModel, MorePesHelpComputeBoundDesigns)
+{
+    NestFeatures f;
+    f.valid = true;
+    f.totalFlops = 1e10;
+    f.rounds = 100;
+    f.flopsPerRound = 1e8;
+    f.readBytesPerRound = 1e3; // compute bound
+    f.writeBytesPerRound = 1e3;
+    f.partition = 16;
+    f.pe = 64;
+    double slow = fpgaModelPerf(f, vu9p()).seconds;
+    f.pe = 512;
+    double fast = fpgaModelPerf(f, vu9p()).seconds;
+    EXPECT_LT(fast, slow);
+}
+
+TEST(FpgaModel, PartitionRelievesReadBottleneck)
+{
+    NestFeatures f;
+    f.valid = true;
+    f.totalFlops = 1e9;
+    f.rounds = 50;
+    f.flopsPerRound = 2e7;
+    f.readBytesPerRound = 5e6; // read bound at low partition
+    f.writeBytesPerRound = 1e3;
+    f.pe = 1024;
+    f.partition = 1;
+    double narrow = fpgaModelPerf(f, vu9p()).seconds;
+    f.partition = 16;
+    double wide = fpgaModelPerf(f, vu9p()).seconds;
+    EXPECT_LT(wide, narrow);
+}
+
+TEST(LibraryModel, ClosestDivisor)
+{
+    EXPECT_EQ(closestDivisor(1024, 16), 16);
+    EXPECT_EQ(closestDivisor(7, 16), 7);
+    EXPECT_EQ(closestDivisor(12, 5), 6); // log-distance: 6 closer than 4
+    EXPECT_EQ(closestDivisor(1, 100), 1);
+}
+
+TEST(LibraryModel, ClassifiesOperators)
+{
+    EXPECT_EQ(classifyAnchor(MiniGraph(
+                  ops::table3Cases("GMM").front().build())),
+              "gemm");
+    EXPECT_EQ(classifyAnchor(MiniGraph(
+                  ops::table3Cases("C2D").front().build())),
+              "conv2d");
+    EXPECT_EQ(classifyAnchor(MiniGraph(
+                  ops::table3Cases("GRP").front().build())),
+              "grpconv2d");
+    EXPECT_EQ(classifyAnchor(MiniGraph(
+                  ops::table3Cases("DEP").front().build())),
+              "depthwise");
+}
+
+TEST(LibraryModel, CudnnSupportsConvNotGemm)
+{
+    Target gpu = Target::forGpu(v100());
+    MiniGraph conv(ops::table3Cases("C2D")[3].build());
+    MiniGraph gemm(ops::table3Cases("GMM")[4].build());
+    EXPECT_TRUE(libraryPerf(conv, Library::CuDnn, gpu).supported);
+    EXPECT_FALSE(libraryPerf(gemm, Library::CuDnn, gpu).supported);
+    EXPECT_TRUE(libraryPerf(gemm, Library::CuBlas, gpu).supported);
+}
+
+TEST(LibraryModel, CudnnDepthwiseSlowerThanPytorch)
+{
+    // Section 6.2: for DEP the cuDNN implementation is even slower than
+    // PyTorch's native kernels.
+    Target gpu = Target::forGpu(v100());
+    MiniGraph dep(ops::table3Cases("DEP")[2].build());
+    auto cudnn = libraryPerf(dep, Library::CuDnn, gpu);
+    auto native = libraryPerf(dep, Library::PyTorchNative, gpu);
+    ASSERT_TRUE(cudnn.supported && native.supported);
+    EXPECT_GT(cudnn.seconds, native.seconds);
+}
+
+TEST(LibraryModel, WinogradBeatsExpertDirectOnFriendlyLayers)
+{
+    // C6-like layer: 3x3 stride 1 with wide channels -> cuDNN uses
+    // Winograd and beats the direct expert schedule.
+    Target gpu = Target::forGpu(v100());
+    const auto &layers = ops::yoloLayers();
+    MiniGraph g(layers[5].build(1)); // C6
+    auto cudnn = libraryPerf(g, Library::CuDnn, gpu);
+    ASSERT_TRUE(cudnn.supported);
+    Operation anchor = anchorOp(g);
+    Scheduled expert = generate(anchor, expertConfig(anchor, gpu), gpu);
+    PerfResult direct = modelPerf(expert.features, gpu);
+    ASSERT_TRUE(direct.valid);
+    EXPECT_LT(cudnn.seconds, direct.seconds);
+}
+
+TEST(LibraryModel, ExpertConfigsAreValidEverywhere)
+{
+    for (const auto &opname : ops::table3Operators()) {
+        auto cases = ops::table3Cases(opname);
+        MiniGraph g(cases.front().build());
+        Operation anchor = anchorOp(g);
+        for (const Target &t :
+             {Target::forGpu(v100()), Target::forCpu(xeonE5()),
+              Target::forFpga(vu9p())}) {
+            Scheduled s = generate(anchor, expertConfig(anchor, t), t);
+            PerfResult perf = modelPerf(s.features, t);
+            EXPECT_TRUE(perf.valid)
+                << opname << " on " << t.deviceName() << ": "
+                << perf.reason;
+        }
+    }
+}
+
+TEST(HwSpec, PeakNumbersMatchDatasheets)
+{
+    EXPECT_NEAR(v100().peakGflops(), 15667.0, 100.0);   // 15.7 TFLOPS
+    EXPECT_NEAR(p100().peakGflops(), 10609.0, 100.0);   // 10.6 TFLOPS
+    EXPECT_NEAR(titanX().peakGflops(), 10967.0, 100.0); // 11.0 TFLOPS
+    EXPECT_NEAR(xeonE5().peakGflops(), 1548.8, 1.0); // 2x256-bit FMA
+    EXPECT_NEAR(vu9p().peakGflops(), 684.0, 1.0);
+}
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for schedule-space construction and the direction/neighbor algebra
+ * of Section 4.2.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/static_analyzer.h"
+#include "ops/ops.h"
+#include "ops/shapes.h"
+#include "space/builder.h"
+#include "support/math_util.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+Tensor
+smallGemm()
+{
+    Tensor a = placeholder("A", {64, 32});
+    Tensor b = placeholder("B", {32, 48});
+    return ops::gemm(a, b);
+}
+
+TEST(SplitSubSpace, EnumeratesAllDivisibleSplits)
+{
+    SplitSubSpace s(KnobRole::SpatialSplit, 0, 12, 2);
+    // 12 = 1*12, 2*6, 3*4, 4*3, 6*2, 12*1.
+    EXPECT_EQ(s.size(), 6);
+    for (int64_t i = 0; i < s.size(); ++i)
+        EXPECT_EQ(product(s.entry(i)), 12);
+}
+
+TEST(SplitSubSpace, DirectionsCountIsNTimesNMinusOne)
+{
+    SplitSubSpace s(KnobRole::SpatialSplit, 0, 64, 4);
+    EXPECT_EQ(s.numDirections(), 12); // paper: N(N-1)/2 unordered pairs,
+                                      // doubled for signed movement
+}
+
+TEST(SplitSubSpace, MovePreservesProductAndChangesOnePair)
+{
+    SplitSubSpace s(KnobRole::SpatialSplit, 0, 96, 3);
+    Rng rng(13);
+    for (int trial = 0; trial < 200; ++trial) {
+        int64_t idx = static_cast<int64_t>(rng.below(s.size()));
+        int dir = static_cast<int>(rng.below(s.numDirections()));
+        int64_t next = s.move(idx, dir);
+        if (next < 0)
+            continue;
+        const auto &f = s.entry(idx);
+        const auto &g = s.entry(next);
+        EXPECT_EQ(product(f), product(g));
+        int changed = 0, increased = 0, decreased = 0;
+        for (size_t d = 0; d < f.size(); ++d) {
+            if (f[d] != g[d]) {
+                ++changed;
+                increased += g[d] > f[d];
+                decreased += g[d] < f[d];
+            }
+        }
+        EXPECT_EQ(changed, 2);
+        EXPECT_EQ(increased, 1);
+        EXPECT_EQ(decreased, 1);
+    }
+}
+
+TEST(SplitSubSpace, MoveFromExhaustedPartIsBoundary)
+{
+    SplitSubSpace s(KnobRole::SpatialSplit, 0, 8, 2);
+    int64_t idx = s.indexOf({8, 1});
+    ASSERT_GE(idx, 0);
+    // Direction moving mass from part 1 (already 1) must be a boundary.
+    // Direction encoding: dir = i*(parts-1) + j', pair (i=0, j=1) is dir 0.
+    EXPECT_EQ(s.move(idx, 0), -1);
+}
+
+TEST(SplitSubSpace, TrivialIndexRoundTrips)
+{
+    SplitSubSpace s(KnobRole::SpatialSplit, 0, 36, 4);
+    int64_t idx = s.indexOfTrivial(2);
+    EXPECT_EQ(s.entry(idx), (std::vector<int64_t>{1, 1, 36, 1}));
+}
+
+TEST(SplitSubSpace, Pow2RestrictionFiltersEntries)
+{
+    SplitSubSpace full(KnobRole::SpatialSplit, 0, 24, 3, false);
+    SplitSubSpace pow2(KnobRole::SpatialSplit, 0, 24, 3, true);
+    EXPECT_LT(pow2.size(), full.size());
+    for (int64_t i = 0; i < pow2.size(); ++i) {
+        const auto &f = pow2.entry(i);
+        for (size_t d = 1; d < f.size(); ++d)
+            EXPECT_TRUE(isPowerOfTwo(f[d]));
+    }
+}
+
+TEST(ChoiceSubSpace, MovesAreAdjacent)
+{
+    ChoiceSubSpace c(KnobRole::Unroll, "unroll", {0, 1, 2, 3});
+    EXPECT_EQ(c.size(), 4);
+    EXPECT_EQ(c.move(1, 0), 2);
+    EXPECT_EQ(c.move(1, 1), 0);
+    EXPECT_EQ(c.move(3, 0), -1);
+    EXPECT_EQ(c.move(0, 1), -1);
+}
+
+TEST(ScheduleSpace, GpuGemmSpaceShape)
+{
+    Tensor c = smallGemm();
+    ScheduleSpace space = buildSpace(c.op(), Target::forGpu(v100()));
+    // 2 spatial splits + 1 reduce split + reorder + unroll.
+    EXPECT_EQ(space.numSubSpaces(), 5);
+    EXPECT_GT(space.size(), 1e4);
+    EXPECT_GT(space.numDirections(), 20);
+}
+
+TEST(ScheduleSpace, CpuSpaceHasFuseAndVectorize)
+{
+    Tensor c = smallGemm();
+    ScheduleSpace space = buildSpace(c.op(), Target::forCpu(xeonE5()));
+    EXPECT_EQ(space.numSubSpaces(), 7);
+}
+
+TEST(ScheduleSpace, FpgaSpaceHasBufferAndPartition)
+{
+    Tensor c = smallGemm();
+    ScheduleSpace space = buildSpace(c.op(), Target::forFpga(vu9p()));
+    EXPECT_EQ(space.numSubSpaces(), 7);
+}
+
+TEST(ScheduleSpace, DecodeProducesLegalSplits)
+{
+    Tensor c = smallGemm();
+    const auto *op = static_cast<const ComputeOp *>(c.op().get());
+    ScheduleSpace space = buildSpace(c.op(), Target::forGpu(v100()));
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        Point p = space.randomPoint(rng);
+        OpConfig cfg = space.decode(p);
+        ASSERT_EQ(cfg.spatialSplits.size(), 2u);
+        ASSERT_EQ(cfg.reduceSplits.size(), 1u);
+        for (size_t i = 0; i < cfg.spatialSplits.size(); ++i)
+            EXPECT_EQ(product(cfg.spatialSplits[i]),
+                      op->axis()[i]->extent);
+        EXPECT_EQ(product(cfg.reduceSplits[0]),
+                  op->reduceAxis()[0]->extent);
+    }
+}
+
+TEST(ScheduleSpace, MoveChangesExactlyOneKnob)
+{
+    Tensor c = smallGemm();
+    ScheduleSpace space = buildSpace(c.op(), Target::forGpu(v100()));
+    Rng rng(9);
+    int moved = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        Point p = space.randomPoint(rng);
+        int dir = static_cast<int>(rng.below(space.numDirections()));
+        auto next = space.move(p, dir);
+        if (!next)
+            continue;
+        ++moved;
+        int diffs = 0;
+        for (size_t s = 0; s < p.idx.size(); ++s)
+            diffs += p.idx[s] != next->idx[s];
+        EXPECT_EQ(diffs, 1);
+    }
+    EXPECT_GT(moved, 100); // most moves should be interior
+}
+
+TEST(ScheduleSpace, NeighborhoodIsSymmetricForSplits)
+{
+    // Moving along (i, j) then (j, i) with the same transfer factor returns
+    // to the start whenever both moves use the same prime.
+    SplitSubSpace s(KnobRole::SpatialSplit, 0, 64, 3);
+    // All factors powers of two: every move transfers a factor of 2, so
+    // the reverse direction must undo it.
+    for (int64_t idx = 0; idx < s.size(); ++idx) {
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j < 3; ++j) {
+                if (i == j)
+                    continue;
+                int dir_ij = i * 2 + (j > i ? j - 1 : j);
+                int dir_ji = j * 2 + (i > j ? i - 1 : i);
+                int64_t there = s.move(idx, dir_ij);
+                if (there < 0)
+                    continue;
+                EXPECT_EQ(s.move(there, dir_ji), idx);
+            }
+        }
+    }
+}
+
+TEST(ScheduleSpace, PointKeyDistinguishesPoints)
+{
+    Tensor c = smallGemm();
+    ScheduleSpace space = buildSpace(c.op(), Target::forGpu(v100()));
+    Rng rng(21);
+    std::set<std::string> keys;
+    std::set<std::vector<int64_t>> points;
+    for (int trial = 0; trial < 200; ++trial) {
+        Point p = space.randomPoint(rng);
+        keys.insert(p.key());
+        points.insert(p.idx);
+    }
+    EXPECT_EQ(keys.size(), points.size());
+}
+
+TEST(ScheduleSpace, FeaturesAreFiniteAndFixedDim)
+{
+    Tensor c = smallGemm();
+    ScheduleSpace space = buildSpace(c.op(), Target::forGpu(v100()));
+    int dim = space.featureDim();
+    Rng rng(33);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto f = space.features(space.randomPoint(rng));
+        ASSERT_EQ(static_cast<int>(f.size()), dim);
+        for (double v : f) {
+            EXPECT_TRUE(std::isfinite(v));
+            EXPECT_GE(v, -1.0);
+            EXPECT_LE(v, 2.0);
+        }
+    }
+}
+
+TEST(ScheduleSpace, TemplateSpaceIsMuchSmaller)
+{
+    // The paper reports FlexTensor's space is ~2027x larger than
+    // AutoTVM's template space for C2D.
+    auto cases = ops::table3Cases("C2D");
+    Tensor t = cases[5].build(); // C6: 256 -> 512, 56x56
+    MiniGraph g(t);
+    Operation anchor;
+    for (const auto &op : g.computeOps()) {
+        if (op->name() == "conv2d")
+            anchor = op;
+    }
+    ASSERT_TRUE(anchor != nullptr);
+    Target target = Target::forGpu(v100());
+    ScheduleSpace full = buildSpace(anchor, target);
+    SpaceOptions opt;
+    opt.templateRestricted = true;
+    ScheduleSpace tmpl = buildSpace(anchor, target, opt);
+    EXPECT_GT(full.size() / tmpl.size(), 100.0);
+}
+
+TEST(ScheduleSpace, C2dSpaceSizeIsAstronomical)
+{
+    // Section 6.2: schedule-space sizes range from 3.9e9 to 2.4e12.
+    auto cases = ops::table3Cases("C2D");
+    Tensor t = cases[9].build(); // C10: 512 -> 1024, 28x28
+    MiniGraph g(t);
+    Operation anchor = anchorOp(g);
+    ScheduleSpace space = buildSpace(anchor, Target::forGpu(v100()));
+    EXPECT_GT(space.size(), 1e9);
+}
+
+} // namespace
+} // namespace ft

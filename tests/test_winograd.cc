@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for constant tensors and the Winograd F(2x2,3x3) convolution
+ * graph: structure, exact agreement with direct convolution, FLOP
+ * reduction, and schedulability of the contraction stage.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/flops.h"
+#include "analysis/static_analyzer.h"
+#include "exec/interpreter.h"
+#include "exec/reference.h"
+#include "ir/graph.h"
+#include "ops/ops.h"
+#include "schedule/generator.h"
+#include "space/builder.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+TEST(Constant, CarriesItsData)
+{
+    Tensor c = constant("C", {2, 3}, {1, 2, 3, 4, 5, 6});
+    EXPECT_TRUE(c.op()->isConstant());
+    EXPECT_FALSE(c.op()->isPlaceholder());
+    const auto *node = static_cast<const ConstantOp *>(c.op().get());
+    EXPECT_EQ(node->data().size(), 6u);
+    EXPECT_FLOAT_EQ(node->data()[4], 5.0f);
+}
+
+TEST(Constant, MaterializedByReferenceExecutor)
+{
+    Tensor c = constant("C", {3}, {2, 4, 6});
+    Tensor doubled = compute("D", {3}, [&](const std::vector<Expr> &iv) {
+        return c({iv[0]}) * floatImm(0.5);
+    });
+    MiniGraph g(doubled);
+    BufferMap buffers; // no placeholder data needed
+    runGraphReference(g, buffers);
+    const Buffer &out = buffers.at(doubled.op().get());
+    EXPECT_FLOAT_EQ(out.at({0}), 1.0f);
+    EXPECT_FLOAT_EQ(out.at({2}), 3.0f);
+}
+
+TEST(Constant, NotListedAsComputeOp)
+{
+    Tensor c = constant("C", {2}, {1, 1});
+    Tensor d = compute("D", {2}, [&](const std::vector<Expr> &iv) {
+        return c({iv[0]});
+    });
+    MiniGraph g(d);
+    EXPECT_EQ(g.numNodes(), 2);
+    EXPECT_EQ(g.computeOps().size(), 1u);
+    EXPECT_DOUBLE_EQ(flopsOf(c.op()), 0.0);
+}
+
+TEST(Winograd, GraphStructure)
+{
+    // Wide enough output channels that the contraction dominates the
+    // input transform (M flops / V flops ~ K/16).
+    Tensor input = placeholder("I", {1, 8, 8, 8});
+    Tensor weight = placeholder("W", {32, 8, 3, 3});
+    Tensor out = ops::conv2dWinograd(input, weight, 1);
+    EXPECT_EQ(out.shape(), (std::vector<int64_t>{1, 32, 8, 8}));
+
+    MiniGraph g(out);
+    // Compute nodes: pad, U, V, M, out-transform.
+    EXPECT_EQ(g.computeOps().size(), 5u);
+    // The anchor (largest FLOPs) is the batched contraction M.
+    EXPECT_EQ(anchorOp(g)->name(), "wino.M");
+}
+
+TEST(Winograd, MatchesDirectConvolutionExactly)
+{
+    const int64_t n = 2, c = 3, k = 4, hw = 10;
+    Tensor input = placeholder("I", {n, c, hw, hw});
+    Tensor weight = placeholder("W", {k, c, 3, 3});
+
+    Rng rng(41);
+    // Direct convolution result.
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor direct = ops::conv2d(input, weight, p);
+    MiniGraph dg(direct);
+    BufferMap direct_buffers = makeRandomInputs(dg, rng);
+    runGraphReference(dg, direct_buffers);
+    const Buffer &gold = direct_buffers.at(direct.op().get());
+
+    // Winograd result over the same placeholder data.
+    Tensor wino = ops::conv2dWinograd(input, weight, 1);
+    MiniGraph wg(wino);
+    BufferMap wino_buffers;
+    wino_buffers.emplace(input.op().get(),
+                         direct_buffers.at(input.op().get()));
+    wino_buffers.emplace(weight.op().get(),
+                         direct_buffers.at(weight.op().get()));
+    runGraphReference(wg, wino_buffers);
+    const Buffer &got = wino_buffers.at(wino.op().get());
+
+    ASSERT_EQ(got.numel(), gold.numel());
+    for (int64_t i = 0; i < gold.numel(); ++i)
+        ASSERT_NEAR(got[i], gold[i], 2e-3) << "element " << i;
+}
+
+TEST(Winograd, ContractionHasFewerMultipliesThanDirect)
+{
+    Tensor input = placeholder("I", {1, 64, 28, 28});
+    Tensor weight = placeholder("W", {64, 64, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    double direct_flops = anchorFlops(MiniGraph(ops::conv2d(input,
+                                                            weight, p)));
+    double wino_flops =
+        anchorFlops(MiniGraph(ops::conv2dWinograd(input, weight, 1)));
+    // 16/tile vs 9*4/tile multiplies: ratio 36/16 = 2.25.
+    EXPECT_NEAR(direct_flops / wino_flops, 2.25, 0.05);
+}
+
+TEST(Winograd, RejectsOddOutputsAndWrongKernels)
+{
+    Tensor input = placeholder("I", {1, 2, 7, 7}); // odd output with pad 1
+    Tensor weight = placeholder("W", {2, 2, 3, 3});
+    EXPECT_DEATH(ops::conv2dWinograd(input, weight, 1), "even output");
+    Tensor w5 = placeholder("W5", {2, 2, 5, 5});
+    Tensor in8 = placeholder("I8", {1, 2, 8, 8});
+    EXPECT_DEATH(ops::conv2dWinograd(in8, w5, 1), "3x3 kernel");
+}
+
+TEST(Winograd, ContractionSchedulesPreserveSemantics)
+{
+    Tensor input = placeholder("I", {1, 3, 6, 6});
+    Tensor weight = placeholder("W", {2, 3, 3, 3});
+    Tensor out = ops::conv2dWinograd(input, weight, 1);
+    MiniGraph g(out);
+    Operation anchor = anchorOp(g);
+
+    Rng rng(43);
+    BufferMap buffers = makeRandomInputs(g, rng);
+    runGraphReference(g, buffers);
+    Buffer gold = buffers.at(anchor.get());
+    buffers.erase(anchor.get());
+
+    Target target = Target::forGpu(v100());
+    ScheduleSpace space = buildSpace(anchor, target);
+    for (int trial = 0; trial < 4; ++trial) {
+        Scheduled s =
+            generate(anchor, space.decode(space.randomPoint(rng)), target);
+        BufferMap run = buffers;
+        runScheduled(s.nest, run);
+        const Buffer &got = run.at(anchor.get());
+        for (int64_t i = 0; i < gold.numel(); ++i)
+            ASSERT_NEAR(got[i], gold[i], 1e-3);
+    }
+}
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * flextensor-cli — tune a single operator from the command line.
+ *
+ * Usage:
+ *   flextensor-cli --op C2D --case C8 --target v100 [options]
+ *   flextensor-cli --list
+ *
+ * Options:
+ *   --op <abbr>       operator abbreviation (Table 3) incl. BCM, SHO
+ *   --case <id>       test-case id within the suite (default: first)
+ *   --target <name>   v100 | p100 | titanx | xeon | vu9p  (default v100)
+ *   --method <name>   q | p | random | autotvm            (default q)
+ *   --trials <n>      exploration steps                   (default 200)
+ *   --seed <n>        RNG seed
+ *   --cache <file>    tuning-cache file to load and update
+ *   --baseline        also report the vendor-library baseline
+ *   --emit            print generated source for the tuned schedule
+ *   --list            print all operators and cases, then exit
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "codegen/codegen.h"
+#include "core/flextensor.h"
+#include "ir/inline.h"
+#include "support/logging.h"
+
+using namespace ft;
+
+namespace {
+
+Target
+parseTarget(const std::string &name)
+{
+    if (name == "v100")
+        return Target::forGpu(v100());
+    if (name == "p100")
+        return Target::forGpu(p100());
+    if (name == "titanx")
+        return Target::forGpu(titanX());
+    if (name == "xeon")
+        return Target::forCpu(xeonE5());
+    if (name == "vu9p")
+        return Target::forFpga(vu9p());
+    fatal("unknown target '", name, "' (v100|p100|titanx|xeon|vu9p)");
+}
+
+Method
+parseMethod(const std::string &name)
+{
+    if (name == "q")
+        return Method::QMethod;
+    if (name == "p")
+        return Method::PMethod;
+    if (name == "random")
+        return Method::Random;
+    if (name == "autotvm")
+        return Method::AutoTvm;
+    fatal("unknown method '", name, "' (q|p|random|autotvm)");
+}
+
+void
+listOperators()
+{
+    std::printf("%-6s %s\n", "op", "cases");
+    auto print_suite = [](const std::string &op) {
+        std::printf("%-6s", op.c_str());
+        for (const auto &tc : ops::table3Cases(op))
+            std::printf(" %s", tc.id.c_str());
+        std::printf("\n");
+    };
+    for (const auto &op : ops::table3Operators())
+        print_suite(op);
+    print_suite("BCM");
+    print_suite("SHO");
+}
+
+Library
+baselineFor(const std::string &op, const Target &target)
+{
+    if (target.kind == DeviceKind::Cpu)
+        return Library::MklDnn;
+    if (target.kind == DeviceKind::Fpga)
+        return Library::FpgaOpenCl;
+    if (op == "GMV" || op == "GMM" || op == "BIL")
+        return Library::CuBlas;
+    if (op == "BCM" || op == "SHO")
+        return Library::HandTuned;
+    return Library::CuDnn;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string op_name = "C2D", case_id, target_name = "v100";
+    std::string method_name = "q", cache_path;
+    int trials = 200;
+    uint64_t seed = 0xc11;
+    bool with_baseline = false;
+    bool emit_code = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc)
+                fatal("missing value for ", flag);
+            return true;
+        };
+        if (std::strcmp(argv[i], "--list") == 0) {
+            listOperators();
+            return 0;
+        } else if (std::strcmp(argv[i], "--baseline") == 0) {
+            with_baseline = true;
+        } else if (std::strcmp(argv[i], "--emit") == 0) {
+            emit_code = true;
+        } else if (arg("--op")) {
+            op_name = argv[++i];
+        } else if (arg("--case")) {
+            case_id = argv[++i];
+        } else if (arg("--target")) {
+            target_name = argv[++i];
+        } else if (arg("--method")) {
+            method_name = argv[++i];
+        } else if (arg("--trials")) {
+            trials = std::atoi(argv[++i]);
+        } else if (arg("--seed")) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg("--cache")) {
+            cache_path = argv[++i];
+        } else {
+            fatal("unknown argument '", argv[i], "' (see --list / header)");
+        }
+    }
+
+    auto cases = ops::table3Cases(op_name);
+    const ops::TestCase *chosen = &cases.front();
+    for (const auto &tc : cases) {
+        if (tc.id == case_id)
+            chosen = &tc;
+    }
+    if (!case_id.empty() && chosen->id != case_id)
+        fatal("unknown case '", case_id, "' for ", op_name);
+
+    Target target = parseTarget(target_name);
+    TuningCache cache;
+    if (!cache_path.empty())
+        cache.load(cache_path); // a missing file is fine on first run
+
+    TuneOptions options;
+    options.method = parseMethod(method_name);
+    options.explore.trials = trials;
+    options.explore.seed = seed;
+    if (!cache_path.empty())
+        options.cache = &cache;
+
+    std::printf("tuning %s/%s on %s with %s (%d steps)\n", op_name.c_str(),
+                chosen->id.c_str(), target.deviceName().c_str(),
+                methodName(options.method).c_str(), trials);
+
+    Tensor out = chosen->build();
+    MiniGraph graph(out);
+    std::printf("%s", toString(graph).c_str());
+    TuneReport report = tune(out, target, options);
+
+    std::printf("\nresult: %.1f GFLOPS (kernel %.3f ms)%s\n", report.gflops,
+                report.kernelSeconds * 1e3,
+                report.fromCache ? " [from cache]" : "");
+    if (!report.fromCache) {
+        std::printf("explored %d schedules of %.2e in %.0f simulated "
+                    "seconds\n",
+                    report.trials, report.spaceSize,
+                    report.simExploreSeconds);
+    }
+    std::printf("schedule: %s\n", serializeConfig(report.config).c_str());
+
+    if (with_baseline) {
+        Library lib = baselineFor(op_name, target);
+        LibraryResult base = libraryPerf(graph, lib, target);
+        if (base.supported) {
+            std::printf("baseline %s: %.1f GFLOPS -> speedup %.2fx\n",
+                        libraryName(lib).c_str(), base.gflops,
+                        report.gflops / base.gflops);
+        } else {
+            std::printf("baseline %s: unsupported for this operator\n",
+                        libraryName(lib).c_str());
+        }
+    }
+
+    if (emit_code) {
+        // Lower the tuned schedule on the inlined graph and print the
+        // generated source for the target kind.
+        Tensor fused = inlineGraph(out);
+        MiniGraph fused_graph(fused);
+        Operation anchor = anchorOp(fused_graph);
+        Scheduled lowered = generate(anchor, report.config, target);
+        std::string code;
+        switch (target.kind) {
+          case DeviceKind::Cpu:
+            code = emitC(lowered.nest, op_name + "_kernel");
+            break;
+          case DeviceKind::Gpu:
+            code = emitCuda(lowered.nest, op_name + "_kernel");
+            break;
+          case DeviceKind::Fpga:
+            code = emitHls(lowered.nest, op_name + "_kernel");
+            break;
+        }
+        std::printf("\n%s", code.c_str());
+    }
+
+    if (!cache_path.empty() && !cache.save(cache_path))
+        warn("could not write tuning cache to ", cache_path);
+    return 0;
+}
