@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hyperparams"
+  "../bench/ablation_hyperparams.pdb"
+  "CMakeFiles/ablation_hyperparams.dir/ablation_hyperparams.cc.o"
+  "CMakeFiles/ablation_hyperparams.dir/ablation_hyperparams.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_search"
+  "../bench/ablation_search.pdb"
+  "CMakeFiles/ablation_search.dir/ablation_search.cc.o"
+  "CMakeFiles/ablation_search.dir/ablation_search.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_space"
+  "../bench/ablation_space.pdb"
+  "CMakeFiles/ablation_space.dir/ablation_space.cc.o"
+  "CMakeFiles/ablation_space.dir/ablation_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

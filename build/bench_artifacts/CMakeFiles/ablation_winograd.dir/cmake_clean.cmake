@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_winograd"
+  "../bench/ablation_winograd.pdb"
+  "CMakeFiles/ablation_winograd.dir/ablation_winograd.cc.o"
+  "CMakeFiles/ablation_winograd.dir/ablation_winograd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

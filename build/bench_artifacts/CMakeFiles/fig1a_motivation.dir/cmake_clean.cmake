@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1a_motivation"
+  "../bench/fig1a_motivation.pdb"
+  "CMakeFiles/fig1a_motivation.dir/fig1a_motivation.cc.o"
+  "CMakeFiles/fig1a_motivation.dir/fig1a_motivation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

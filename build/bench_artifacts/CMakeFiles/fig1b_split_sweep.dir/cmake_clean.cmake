@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1b_split_sweep"
+  "../bench/fig1b_split_sweep.pdb"
+  "CMakeFiles/fig1b_split_sweep.dir/fig1b_split_sweep.cc.o"
+  "CMakeFiles/fig1b_split_sweep.dir/fig1b_split_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_split_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1b_split_sweep.
+# This may be replaced when dependencies are built.

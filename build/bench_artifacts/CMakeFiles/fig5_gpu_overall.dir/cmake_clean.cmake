@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_gpu_overall"
+  "../bench/fig5_gpu_overall.pdb"
+  "CMakeFiles/fig5_gpu_overall.dir/fig5_gpu_overall.cc.o"
+  "CMakeFiles/fig5_gpu_overall.dir/fig5_gpu_overall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gpu_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_gpu_conv2d"
+  "../bench/fig6a_gpu_conv2d.pdb"
+  "CMakeFiles/fig6a_gpu_conv2d.dir/fig6a_gpu_conv2d.cc.o"
+  "CMakeFiles/fig6a_gpu_conv2d.dir/fig6a_gpu_conv2d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_gpu_conv2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6a_gpu_conv2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6b_cpu_conv2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6c_fpga_conv2d"
+  "../bench/fig6c_fpga_conv2d.pdb"
+  "CMakeFiles/fig6c_fpga_conv2d.dir/fig6c_fpga_conv2d.cc.o"
+  "CMakeFiles/fig6c_fpga_conv2d.dir/fig6c_fpga_conv2d.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_fpga_conv2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

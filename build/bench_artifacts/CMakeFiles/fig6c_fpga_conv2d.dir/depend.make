@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6c_fpga_conv2d.
+# This may be replaced when dependencies are built.

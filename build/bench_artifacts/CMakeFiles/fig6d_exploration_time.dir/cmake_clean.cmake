@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6d_exploration_time"
+  "../bench/fig6d_exploration_time.pdb"
+  "CMakeFiles/fig6d_exploration_time.dir/fig6d_exploration_time.cc.o"
+  "CMakeFiles/fig6d_exploration_time.dir/fig6d_exploration_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_exploration_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

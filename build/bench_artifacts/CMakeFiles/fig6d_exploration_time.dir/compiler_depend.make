@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6d_exploration_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_perf_vs_time"
+  "../bench/fig7_perf_vs_time.pdb"
+  "CMakeFiles/fig7_perf_vs_time.dir/fig7_perf_vs_time.cc.o"
+  "CMakeFiles/fig7_perf_vs_time.dir/fig7_perf_vs_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_perf_vs_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec64_new_ops"
+  "../bench/sec64_new_ops.pdb"
+  "CMakeFiles/sec64_new_ops.dir/sec64_new_ops.cc.o"
+  "CMakeFiles/sec64_new_ops.dir/sec64_new_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_new_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec66_dnn_e2e"
+  "../bench/sec66_dnn_e2e.pdb"
+  "CMakeFiles/sec66_dnn_e2e.dir/sec66_dnn_e2e.cc.o"
+  "CMakeFiles/sec66_dnn_e2e.dir/sec66_dnn_e2e.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec66_dnn_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_space_size"
+  "../bench/table_space_size.pdb"
+  "CMakeFiles/table_space_size.dir/table_space_size.cc.o"
+  "CMakeFiles/table_space_size.dir/table_space_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_space_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_space_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv2d_heterogeneous.dir/conv2d_heterogeneous.cpp.o"
+  "CMakeFiles/conv2d_heterogeneous.dir/conv2d_heterogeneous.cpp.o.d"
+  "conv2d_heterogeneous"
+  "conv2d_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv2d_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for conv2d_heterogeneous.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_scheduling.dir/dnn_scheduling.cpp.o"
+  "CMakeFiles/dnn_scheduling.dir/dnn_scheduling.cpp.o.d"
+  "dnn_scheduling"
+  "dnn_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cc" "src/CMakeFiles/flextensor.dir/analysis/bounds.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/analysis/bounds.cc.o.d"
+  "/root/repo/src/analysis/flops.cc" "src/CMakeFiles/flextensor.dir/analysis/flops.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/analysis/flops.cc.o.d"
+  "/root/repo/src/analysis/static_analyzer.cc" "src/CMakeFiles/flextensor.dir/analysis/static_analyzer.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/analysis/static_analyzer.cc.o.d"
+  "/root/repo/src/codegen/codegen.cc" "src/CMakeFiles/flextensor.dir/codegen/codegen.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/codegen/codegen.cc.o.d"
+  "/root/repo/src/core/flextensor.cc" "src/CMakeFiles/flextensor.dir/core/flextensor.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/core/flextensor.cc.o.d"
+  "/root/repo/src/dnn/e2e.cc" "src/CMakeFiles/flextensor.dir/dnn/e2e.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/dnn/e2e.cc.o.d"
+  "/root/repo/src/dnn/models.cc" "src/CMakeFiles/flextensor.dir/dnn/models.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/dnn/models.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/CMakeFiles/flextensor.dir/dnn/network.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/dnn/network.cc.o.d"
+  "/root/repo/src/exec/buffer.cc" "src/CMakeFiles/flextensor.dir/exec/buffer.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/exec/buffer.cc.o.d"
+  "/root/repo/src/exec/interpreter.cc" "src/CMakeFiles/flextensor.dir/exec/interpreter.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/exec/interpreter.cc.o.d"
+  "/root/repo/src/exec/reference.cc" "src/CMakeFiles/flextensor.dir/exec/reference.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/exec/reference.cc.o.d"
+  "/root/repo/src/explore/autotvm.cc" "src/CMakeFiles/flextensor.dir/explore/autotvm.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/explore/autotvm.cc.o.d"
+  "/root/repo/src/explore/evaluator.cc" "src/CMakeFiles/flextensor.dir/explore/evaluator.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/explore/evaluator.cc.o.d"
+  "/root/repo/src/explore/qlearn.cc" "src/CMakeFiles/flextensor.dir/explore/qlearn.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/explore/qlearn.cc.o.d"
+  "/root/repo/src/explore/sa.cc" "src/CMakeFiles/flextensor.dir/explore/sa.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/explore/sa.cc.o.d"
+  "/root/repo/src/explore/tuner.cc" "src/CMakeFiles/flextensor.dir/explore/tuner.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/explore/tuner.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/CMakeFiles/flextensor.dir/ir/expr.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ir/expr.cc.o.d"
+  "/root/repo/src/ir/graph.cc" "src/CMakeFiles/flextensor.dir/ir/graph.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ir/graph.cc.o.d"
+  "/root/repo/src/ir/inline.cc" "src/CMakeFiles/flextensor.dir/ir/inline.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ir/inline.cc.o.d"
+  "/root/repo/src/ir/operation.cc" "src/CMakeFiles/flextensor.dir/ir/operation.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ir/operation.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/flextensor.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/CMakeFiles/flextensor.dir/ml/gbt.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ml/gbt.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/flextensor.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/ops/conv.cc" "src/CMakeFiles/flextensor.dir/ops/conv.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ops/conv.cc.o.d"
+  "/root/repo/src/ops/linalg.cc" "src/CMakeFiles/flextensor.dir/ops/linalg.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ops/linalg.cc.o.d"
+  "/root/repo/src/ops/shapes.cc" "src/CMakeFiles/flextensor.dir/ops/shapes.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ops/shapes.cc.o.d"
+  "/root/repo/src/ops/special.cc" "src/CMakeFiles/flextensor.dir/ops/special.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ops/special.cc.o.d"
+  "/root/repo/src/ops/winograd.cc" "src/CMakeFiles/flextensor.dir/ops/winograd.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/ops/winograd.cc.o.d"
+  "/root/repo/src/schedule/config.cc" "src/CMakeFiles/flextensor.dir/schedule/config.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/config.cc.o.d"
+  "/root/repo/src/schedule/encoder.cc" "src/CMakeFiles/flextensor.dir/schedule/encoder.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/encoder.cc.o.d"
+  "/root/repo/src/schedule/generator.cc" "src/CMakeFiles/flextensor.dir/schedule/generator.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/generator.cc.o.d"
+  "/root/repo/src/schedule/generator_cpu.cc" "src/CMakeFiles/flextensor.dir/schedule/generator_cpu.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/generator_cpu.cc.o.d"
+  "/root/repo/src/schedule/generator_fpga.cc" "src/CMakeFiles/flextensor.dir/schedule/generator_fpga.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/generator_fpga.cc.o.d"
+  "/root/repo/src/schedule/generator_gpu.cc" "src/CMakeFiles/flextensor.dir/schedule/generator_gpu.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/generator_gpu.cc.o.d"
+  "/root/repo/src/schedule/generator_util.cc" "src/CMakeFiles/flextensor.dir/schedule/generator_util.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/generator_util.cc.o.d"
+  "/root/repo/src/schedule/loop_nest.cc" "src/CMakeFiles/flextensor.dir/schedule/loop_nest.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/loop_nest.cc.o.d"
+  "/root/repo/src/schedule/serialize.cc" "src/CMakeFiles/flextensor.dir/schedule/serialize.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/schedule/serialize.cc.o.d"
+  "/root/repo/src/sim/cpu_model.cc" "src/CMakeFiles/flextensor.dir/sim/cpu_model.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/sim/cpu_model.cc.o.d"
+  "/root/repo/src/sim/fpga_model.cc" "src/CMakeFiles/flextensor.dir/sim/fpga_model.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/sim/fpga_model.cc.o.d"
+  "/root/repo/src/sim/gpu_model.cc" "src/CMakeFiles/flextensor.dir/sim/gpu_model.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/sim/gpu_model.cc.o.d"
+  "/root/repo/src/sim/hw_spec.cc" "src/CMakeFiles/flextensor.dir/sim/hw_spec.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/sim/hw_spec.cc.o.d"
+  "/root/repo/src/sim/library_model.cc" "src/CMakeFiles/flextensor.dir/sim/library_model.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/sim/library_model.cc.o.d"
+  "/root/repo/src/space/builder.cc" "src/CMakeFiles/flextensor.dir/space/builder.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/space/builder.cc.o.d"
+  "/root/repo/src/space/space.cc" "src/CMakeFiles/flextensor.dir/space/space.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/space/space.cc.o.d"
+  "/root/repo/src/space/subspace.cc" "src/CMakeFiles/flextensor.dir/space/subspace.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/space/subspace.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/flextensor.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/math_util.cc" "src/CMakeFiles/flextensor.dir/support/math_util.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/support/math_util.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/flextensor.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/flextensor.dir/support/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

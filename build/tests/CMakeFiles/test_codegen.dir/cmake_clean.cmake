@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen.dir/test_codegen.cc.o"
+  "CMakeFiles/test_codegen.dir/test_codegen.cc.o.d"
+  "test_codegen"
+  "test_codegen.pdb"
+  "test_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

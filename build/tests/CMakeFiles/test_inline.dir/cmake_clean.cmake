@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inline.dir/test_inline.cc.o"
+  "CMakeFiles/test_inline.dir/test_inline.cc.o.d"
+  "test_inline"
+  "test_inline.pdb"
+  "test_inline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpreter_edge.dir/test_interpreter_edge.cc.o"
+  "CMakeFiles/test_interpreter_edge.dir/test_interpreter_edge.cc.o.d"
+  "test_interpreter_edge"
+  "test_interpreter_edge.pdb"
+  "test_interpreter_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpreter_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops.dir/test_ops.cc.o"
+  "CMakeFiles/test_ops.dir/test_ops.cc.o.d"
+  "test_ops"
+  "test_ops.pdb"
+  "test_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

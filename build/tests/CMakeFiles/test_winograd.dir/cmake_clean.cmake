@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winograd.dir/test_winograd.cc.o"
+  "CMakeFiles/test_winograd.dir/test_winograd.cc.o.d"
+  "test_winograd"
+  "test_winograd.pdb"
+  "test_winograd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flextensor-cli.dir/flextensor_cli.cc.o"
+  "CMakeFiles/flextensor-cli.dir/flextensor_cli.cc.o.d"
+  "flextensor-cli"
+  "flextensor-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flextensor-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
