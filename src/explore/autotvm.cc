@@ -1,8 +1,10 @@
 #include "explore/explorer.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "ml/gbt.h"
+#include "serve/batch_eval.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -22,6 +24,8 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
     const int batch = 8;         // measured configs per round
     const int pool = 96;         // ranked candidates per round
     const double model_overhead = 2.0; // seconds per round: fit + rank
+    BatchEvaluator batch_eval(eval, options.evalPool,
+                              options.measureParallelism);
 
     int measured = 0;
     while (measured < options.trials) {
@@ -46,20 +50,31 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
                                         model.predict(space.features(b));
                              });
         }
-        // Epsilon-greedy batch: mostly top-ranked, some random.
+        // Epsilon-greedy batch: mostly top-ranked, some random. Picks are
+        // selected first, then measured as one parallel batch; the
+        // selection's RNG stream and the resulting H match the
+        // point-at-a-time equivalent exactly.
         int take = std::min<int>(batch, static_cast<int>(candidates.size()));
-        for (int i = 0; i < take && measured < options.trials; ++i) {
+        std::vector<Point> picks;
+        std::unordered_set<std::string> picked_keys;
+        for (int i = 0;
+             i < take &&
+             measured + static_cast<int>(picks.size()) < options.trials;
+             ++i) {
             size_t pick = i;
             if (rng.chance(options.epsilon))
                 pick = rng.index(candidates.size());
             const Point &p = candidates[pick];
-            if (eval.known(p))
+            if (eval.known(p) || !picked_keys.insert(p.key()).second)
                 continue;
-            double gflops = eval.evaluate(p);
-            ++measured;
-            train_x.push_back(space.features(p));
-            train_y.push_back(gflops);
+            picks.push_back(p);
         }
+        std::vector<double> values = batch_eval.evaluate(picks);
+        for (size_t i = 0; i < picks.size(); ++i) {
+            train_x.push_back(space.features(picks[i]));
+            train_y.push_back(values[i]);
+        }
+        measured += static_cast<int>(picks.size());
         // Refit the cost model on everything measured so far.
         model.fit(train_x, train_y, gbt_options, rng);
         eval.chargeOverhead(model_overhead);

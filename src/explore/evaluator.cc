@@ -35,25 +35,36 @@ Evaluator::Evaluator(Operation anchor, const ScheduleSpace &space,
 double
 Evaluator::evaluate(const Point &p)
 {
-    const std::string key = p.key();
-    auto it = cache_.find(key);
+    auto it = cache_.find(p.key());
     if (it != cache_.end())
         return it->second;
+    double gflops = scoreOnly(p);
+    commitMeasured(p, gflops, measureCost_);
+    return gflops;
+}
 
+double
+Evaluator::scoreOnly(const Point &p) const
+{
     OpConfig config = space_.decode(p);
     Scheduled s = generate(anchor_, config, target_);
     PerfResult perf = modelPerf(s.features, target_);
-    double gflops = perf.valid ? perf.gflops : kInvalidGflops;
+    return perf.valid ? perf.gflops : kInvalidGflops;
+}
 
-    cache_.emplace(key, gflops);
+void
+Evaluator::commitMeasured(const Point &p, double gflops, double simCharge)
+{
+    auto [it, inserted] = cache_.emplace(p.key(), gflops);
+    FT_ASSERT(inserted, "committing an already-known point");
+    (void)it;
     history_.push_back({p, gflops});
-    simSeconds_ += measureCost_;
+    simSeconds_ += simCharge;
     if (gflops > best_) {
         best_ = gflops;
         bestPoint_ = p;
     }
     curve_.emplace_back(simSeconds_, best_);
-    return gflops;
 }
 
 bool

@@ -49,6 +49,22 @@ class Evaluator
      */
     double evaluate(const Point &p);
 
+    /**
+     * Pure model query: the performance value of a point without touching
+     * H, the cache, or the simulated clock. Thread-safe for concurrent
+     * callers (decode + generate + perf model only); the serving layer
+     * scores batches with this in parallel, then commits in order.
+     */
+    double scoreOnly(const Point &p) const;
+
+    /**
+     * Record a measurement scored elsewhere: insert into H and the cache,
+     * advance the simulated clock by `simCharge` seconds, and update the
+     * best point. `p` must not be known yet. Batched measurement commits
+     * points in submission order so H is deterministic.
+     */
+    void commitMeasured(const Point &p, double gflops, double simCharge);
+
     /** Whether the point has been evaluated before. */
     bool known(const Point &p) const;
 

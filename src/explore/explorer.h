@@ -23,6 +23,8 @@
 
 namespace ft {
 
+class ThreadPool;
+
 /** Options shared by the exploration methods. */
 struct ExploreOptions
 {
@@ -42,6 +44,16 @@ struct ExploreOptions
     double targetGflops = 0.0;
     /** Extra simulated seconds per step for method bookkeeping. */
     double stepOverheadSeconds = 0.0;
+    /**
+     * Optional worker pool for parallel batched measurement (the serve
+     * layer's Section 5.2 model). Batched stages (warmup, P-method
+     * neighborhoods, AutoTVM measurement rounds) score candidates
+     * concurrently but commit them to H in submission order, so results
+     * are identical to a sequential run for the same seed.
+     */
+    ThreadPool *evalPool = nullptr;
+    /** Simulated measurement width (0 = pool size, or 1 without a pool). */
+    int measureParallelism = 0;
 };
 
 /** Outcome of an exploration run. */

@@ -4,6 +4,7 @@
 
 #include "explore/sa.h"
 #include "nn/mlp.h"
+#include "serve/batch_eval.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -30,11 +31,15 @@ toFloat(const std::vector<double> &v)
 void
 warmup(Evaluator &eval, Rng &rng, const ExploreOptions &options)
 {
-    for (const Point &p : options.seedPoints)
-        eval.evaluate(p);
+    // One parallel measurement batch: seeds, random warmup, and the
+    // deterministic initial point, committed in that order.
+    std::vector<Point> points = options.seedPoints;
+    points.reserve(points.size() + options.warmupPoints + 1);
     for (int i = 0; i < options.warmupPoints; ++i)
-        eval.evaluate(eval.space().randomPoint(rng));
-    eval.evaluate(eval.space().initialPoint());
+        points.push_back(eval.space().randomPoint(rng));
+    points.push_back(eval.space().initialPoint());
+    BatchEvaluator(eval, options.evalPool, options.measureParallelism)
+        .evaluate(points);
 }
 
 ExploreResult
@@ -144,20 +149,25 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
 
     SaChooser chooser(options.saGamma);
     const int num_dirs = space.numDirections();
+    BatchEvaluator batch(eval, options.evalPool, options.measureParallelism);
 
     for (int trial = 0; trial < options.trials; ++trial) {
         if (reachedTarget(eval, options))
             break;
         auto starts = chooser.chooseMany(eval, rng, options.startingPoints);
         for (const Point &start : starts) {
-            // P-method: measure every neighbor of the starting point.
+            if (reachedTarget(eval, options))
+                break;
+            // P-method: measure the full neighborhood of the starting
+            // point as one parallel batch (early-stop granularity is a
+            // whole neighborhood, matching batched measurement).
+            std::vector<Point> neighborhood;
             for (int d = 0; d < num_dirs; ++d) {
-                if (reachedTarget(eval, options))
-                    break;
                 auto next = space.move(start, d);
                 if (next && !eval.known(*next))
-                    eval.evaluate(*next);
+                    neighborhood.push_back(std::move(*next));
             }
+            batch.evaluate(neighborhood);
         }
         eval.chargeOverhead(options.stepOverheadSeconds);
     }

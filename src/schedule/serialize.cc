@@ -1,5 +1,6 @@
 #include "schedule/serialize.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -144,33 +145,63 @@ tuningKey(const Tensor &output, const std::string &device)
 }
 
 void
-TuningCache::put(const TuningRecord &record)
+TuningCache::putLocked(TuningRecord record)
 {
     auto it = records_.find(record.key);
     if (it == records_.end() || it->second.gflops < record.gflops)
-        records_[record.key] = record;
+        records_[record.key] = std::move(record);
+}
+
+void
+TuningCache::put(const TuningRecord &record)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    putLocked(record);
 }
 
 std::optional<TuningRecord>
 TuningCache::lookup(const std::string &key) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = records_.find(key);
     if (it == records_.end())
         return std::nullopt;
     return it->second;
 }
 
+size_t
+TuningCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+}
+
 bool
 TuningCache::save(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    for (const auto &[key, record] : records_) {
-        out << key << "\t" << record.gflops << "\t"
-            << serializeConfig(record.config) << "\n";
+    // Write-then-rename so readers never observe a partial file and a
+    // crashed writer cannot truncate an existing cache.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return false;
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[key, record] : records_) {
+            out << key << "\t" << record.gflops << "\t"
+                << serializeConfig(record.config) << "\n";
+        }
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
     }
-    return static_cast<bool>(out);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool

@@ -11,6 +11,7 @@
 #define FLEXTENSOR_SCHEDULE_SERIALIZE_H
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -43,7 +44,14 @@ struct TuningRecord
     double gflops = 0.0;
 };
 
-/** A persistent best-schedule store keyed by tuningKey. */
+/**
+ * A persistent best-schedule store keyed by tuningKey.
+ *
+ * Safe for concurrent lookup/store from multiple tuning threads (an
+ * internal mutex guards the record map). save() writes via a temp file
+ * plus atomic rename so a crashed or interrupted writer can never leave
+ * a truncated cache behind.
+ */
 class TuningCache
 {
   public:
@@ -54,15 +62,21 @@ class TuningCache
     std::optional<TuningRecord> lookup(const std::string &key) const;
 
     /** Number of cached entries. */
-    size_t size() const { return records_.size(); }
+    size_t size() const;
 
-    /** Write all records to a file (one per line). */
+    /**
+     * Write all records to a file (one per line). The file is replaced
+     * atomically: records go to `path + ".tmp"` first, then rename.
+     */
     bool save(const std::string &path) const;
 
     /** Merge records from a file; returns false when unreadable. */
     bool load(const std::string &path);
 
   private:
+    void putLocked(TuningRecord record);
+
+    mutable std::mutex mu_;
     std::map<std::string, TuningRecord> records_;
 };
 

@@ -1,0 +1,71 @@
+#include "serve/batch_eval.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace ft {
+
+BatchEvaluator::BatchEvaluator(Evaluator &eval, ThreadPool *pool,
+                               int parallelism)
+    : eval_(eval), pool_(pool), parallelism_(parallelism)
+{}
+
+int
+BatchEvaluator::parallelism() const
+{
+    if (parallelism_ > 0)
+        return parallelism_;
+    return pool_ ? pool_->numThreads() : 1;
+}
+
+std::vector<double>
+BatchEvaluator::evaluate(const std::vector<Point> &points)
+{
+    // Fresh work: the first occurrence of each not-yet-known point, in
+    // submission order. Later duplicates read the committed value.
+    std::vector<size_t> fresh;
+    std::unordered_set<std::string> batch_keys;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (eval_.known(points[i]))
+            continue;
+        if (batch_keys.insert(points[i].key()).second)
+            fresh.push_back(i);
+    }
+
+    if (!fresh.empty()) {
+        std::vector<double> scores(fresh.size());
+        auto score = [&](size_t j) {
+            scores[j] = eval_.scoreOnly(points[fresh[j]]);
+        };
+        if (pool_ && pool_->numThreads() > 1 && fresh.size() > 1) {
+            pool_->parallelFor(fresh.size(), score);
+        } else {
+            for (size_t j = 0; j < fresh.size(); ++j)
+                score(j);
+        }
+
+        // Parallel measurement: the batch takes ceil(n / parallelism)
+        // rounds of one measureCost each, spread evenly over the curve's
+        // per-point entries.
+        const double n = static_cast<double>(fresh.size());
+        const double rounds = std::ceil(n / parallelism());
+        const double per_point = rounds * eval_.measureCost() / n;
+        for (size_t j = 0; j < fresh.size(); ++j)
+            eval_.commitMeasured(points[fresh[j]], scores[j], per_point);
+    }
+
+    std::vector<double> out(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        out[i] = eval_.evaluate(points[i]); // all known now: cache reads
+    return out;
+}
+
+double
+BatchEvaluator::evaluate(const Point &p)
+{
+    return eval_.evaluate(p);
+}
+
+} // namespace ft

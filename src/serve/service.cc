@@ -1,0 +1,150 @@
+#include "serve/service.h"
+
+#include <sstream>
+
+#include "analysis/static_analyzer.h"
+#include "support/logging.h"
+
+namespace ft {
+
+TuningService::TuningService(const ServiceOptions &options)
+    : options_(options),
+      evalPool_(options.evalThreads),
+      requestPool_(options.requestThreads)
+{}
+
+std::string
+TuningService::requestKey(const Operation &anchor, const Target &target,
+                          const TuneOptions &options)
+{
+    std::ostringstream oss;
+    oss << tuningKeyFor(anchor, target.deviceName()) << "#"
+        << methodName(options.method)
+        << "|trials=" << options.explore.trials
+        << "|starts=" << options.explore.startingPoints
+        << "|warmup=" << options.explore.warmupPoints
+        << "|seed=" << options.explore.seed
+        << "|target=" << options.explore.targetGflops
+        << "|tmpl=" << options.templateRestricted;
+    return oss.str();
+}
+
+const TuneReport *
+TuningService::lruGet(const std::string &key)
+{
+    auto it = lruIndex_.find(key);
+    if (it == lruIndex_.end())
+        return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &lru_.front().second;
+}
+
+void
+TuningService::lruPut(const std::string &key, const TuneReport &report)
+{
+    auto it = lruIndex_.find(key);
+    if (it != lruIndex_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        lru_.front().second = report;
+        return;
+    }
+    lru_.emplace_front(key, report);
+    lruIndex_[key] = lru_.begin();
+    while (lru_.size() > options_.resultCacheCapacity) {
+        lruIndex_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+}
+
+TuneReport
+TuningService::tuneAnchor(const Operation &anchor, const Target &target,
+                          TuneOptions options)
+{
+    const std::string key = requestKey(anchor, target, options);
+    std::promise<TuneReport> promise;
+    std::shared_future<TuneReport> shared;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++requests_;
+        if (const TuneReport *hit = lruGet(key)) {
+            ++resultCacheHits_;
+            TuneReport report = *hit;
+            report.fromCache = true;
+            return report;
+        }
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            ++coalescedJoins_;
+            shared = it->second;
+        } else {
+            ++tuningRuns_;
+            owner = true;
+            shared = promise.get_future().share();
+            inflight_.emplace(key, shared);
+        }
+    }
+    if (!owner) {
+        // A joiner: the owner's in-flight run produces the report.
+        return shared.get();
+    }
+
+    // This thread owns the run: route measurement through the shared
+    // evaluation pool and the persistent cache through the tuner.
+    if (options_.persistentCache && !options.cache)
+        options.cache = options_.persistentCache;
+    options.explore.evalPool = &evalPool_;
+    if (options.explore.measureParallelism == 0)
+        options.explore.measureParallelism = evalPool_.numThreads();
+    TuneReport report = ft::tuneOp(anchor, target, options);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        evaluations_ += static_cast<uint64_t>(report.trials);
+        if (report.fromCache)
+            ++persistentCacheHits_;
+        lruPut(key, report);
+        inflight_.erase(key);
+    }
+    promise.set_value(report);
+    return report;
+}
+
+TuneReport
+TuningService::tune(const Tensor &output, const Target &target,
+                    TuneOptions options)
+{
+    MiniGraph graph(output);
+    return tuneAnchor(anchorOp(graph), target, std::move(options));
+}
+
+std::future<TuneReport>
+TuningService::submit(const Tensor &output, const Target &target,
+                      TuneOptions options)
+{
+    auto task = std::make_shared<std::packaged_task<TuneReport()>>(
+        [this, output, target, options = std::move(options)]() mutable {
+            return tune(output, target, std::move(options));
+        });
+    std::future<TuneReport> future = task->get_future();
+    requestPool_.submit([task] { (*task)(); });
+    return future;
+}
+
+ServiceStats
+TuningService::stats() const
+{
+    ServiceStats out;
+    out.evalQueueDepth = evalPool_.queueDepth();
+    std::lock_guard<std::mutex> lock(mu_);
+    out.requests = requests_;
+    out.resultCacheHits = resultCacheHits_;
+    out.persistentCacheHits = persistentCacheHits_;
+    out.coalescedJoins = coalescedJoins_;
+    out.tuningRuns = tuningRuns_;
+    out.evaluations = evaluations_;
+    out.inflight = inflight_.size();
+    out.resultCacheSize = lru_.size();
+    return out;
+}
+
+} // namespace ft

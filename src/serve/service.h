@@ -1,0 +1,129 @@
+/**
+ * @file
+ * TuningService: the concurrent serving front-end over the tuner.
+ *
+ * A service owns two worker pools — one running whole tuning requests
+ * (submit()), one scoring measurement batches inside each request — and
+ * layers three levels of result reuse over the tuner:
+ *
+ *   1. An in-memory LRU cache of complete TuneReports keyed by the full
+ *      request identity (operator + shape + device + method + options).
+ *   2. Request coalescing: concurrent identical requests share a single
+ *      in-flight tuning run; joiners block on a shared future and all
+ *      receive the same report.
+ *   3. The persistent TuningCache (best schedule per operator/device),
+ *      consulted and updated by the underlying tuner.
+ *
+ * Per-service counters expose the request mix for monitoring.
+ */
+#ifndef FLEXTENSOR_SERVE_SERVICE_H
+#define FLEXTENSOR_SERVE_SERVICE_H
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "explore/tuner.h"
+#include "serve/thread_pool.h"
+
+namespace ft {
+
+/** Construction-time service configuration. */
+struct ServiceOptions
+{
+    /** Workers scoring measurement batches (Section 5.2 parallelism). */
+    int evalThreads = 4;
+    /** Tuning requests running concurrently via submit(). */
+    int requestThreads = 2;
+    /** Complete TuneReports kept in the in-memory LRU cache. */
+    size_t resultCacheCapacity = 128;
+    /** Optional persistent best-schedule store (not owned). */
+    TuningCache *persistentCache = nullptr;
+};
+
+/** Snapshot of the per-service counters. */
+struct ServiceStats
+{
+    uint64_t requests = 0;           ///< tune()/submit() calls accepted
+    uint64_t resultCacheHits = 0;    ///< served from the LRU report cache
+    uint64_t persistentCacheHits = 0;///< tuner short-circuited by TuningCache
+    uint64_t coalescedJoins = 0;     ///< requests that joined an in-flight run
+    uint64_t tuningRuns = 0;         ///< actual exploration runs started
+    uint64_t evaluations = 0;        ///< schedule measurements performed
+    size_t inflight = 0;             ///< runs currently executing
+    size_t resultCacheSize = 0;      ///< reports currently in the LRU
+    size_t evalQueueDepth = 0;       ///< jobs queued on the evaluation pool
+};
+
+class TuningService
+{
+  public:
+    explicit TuningService(const ServiceOptions &options = {});
+
+    TuningService(const TuningService &) = delete;
+    TuningService &operator=(const TuningService &) = delete;
+
+    /**
+     * Tune the mini-graph rooted at `output`. Thread-safe; identical
+     * concurrent requests coalesce into one run. Blocks until a report
+     * is available (possibly produced by another caller's run).
+     */
+    TuneReport tune(const Tensor &output, const Target &target,
+                    TuneOptions options = {});
+
+    /** Tune one specific compute node (same reuse/coalescing path). */
+    TuneReport tuneAnchor(const Operation &anchor, const Target &target,
+                          TuneOptions options = {});
+
+    /** Enqueue a request on the service's request pool. */
+    std::future<TuneReport> submit(const Tensor &output,
+                                   const Target &target,
+                                   TuneOptions options = {});
+
+    /** Counter snapshot (consistent under the service mutex). */
+    ServiceStats stats() const;
+
+    /** The measurement pool (shared by all requests). */
+    ThreadPool &evalPool() { return evalPool_; }
+
+    const ServiceOptions &options() const { return options_; }
+
+  private:
+    /** Full request identity: tuning key + the options that shape it. */
+    static std::string requestKey(const Operation &anchor,
+                                  const Target &target,
+                                  const TuneOptions &options);
+
+    /** LRU lookup; promotes the entry on hit. Caller holds mu_. */
+    const TuneReport *lruGet(const std::string &key);
+
+    /** LRU insert with eviction. Caller holds mu_. */
+    void lruPut(const std::string &key, const TuneReport &report);
+
+    ServiceOptions options_;
+    ThreadPool evalPool_;
+    ThreadPool requestPool_;
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_future<TuneReport>>
+        inflight_;
+    std::list<std::pair<std::string, TuneReport>> lru_; ///< front = newest
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, TuneReport>>::iterator>
+        lruIndex_;
+    uint64_t requests_ = 0;
+    uint64_t resultCacheHits_ = 0;
+    uint64_t persistentCacheHits_ = 0;
+    uint64_t coalescedJoins_ = 0;
+    uint64_t tuningRuns_ = 0;
+    uint64_t evaluations_ = 0;
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_SERVE_SERVICE_H

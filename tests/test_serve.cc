@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the concurrent serving layer: thread-pool correctness under
+ * stress, deterministic parallel batch evaluation (same best schedule as
+ * a sequential run for a fixed seed), request coalescing in the
+ * TuningService, and thread-safe/crash-safe TuningCache round-trips.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "explore/tuner.h"
+#include "ops/ops.h"
+#include "serve/batch_eval.h"
+#include "serve/service.h"
+#include "serve/thread_pool.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+Tensor
+serveGemm(int64_t n = 256)
+{
+    Tensor a = placeholder("A", {n, n});
+    Tensor b = placeholder("B", {n, n});
+    return ops::gemm(a, b);
+}
+
+TEST(ThreadPool, StressManySmallJobs)
+{
+    ThreadPool pool(8, /*queue_capacity=*/64);
+    std::atomic<int> counter{0};
+    const int jobs = 10000;
+    for (int i = 0; i < jobs; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), jobs);
+    EXPECT_EQ(pool.completedJobs(), static_cast<uint64_t>(jobs));
+    EXPECT_EQ(pool.queueDepth(), 0u);
+}
+
+TEST(ThreadPool, BoundedQueueBackpressure)
+{
+    // A tiny queue with slow jobs forces submit() to block; everything
+    // must still run exactly once.
+    ThreadPool pool(2, /*queue_capacity=*/2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&counter] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            counter.fetch_add(1);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    // Concurrent parallelFor calls from different threads share the pool.
+    std::atomic<long> sum{0};
+    std::thread other([&] {
+        pool.parallelFor(500, [&](size_t i) {
+            sum.fetch_add(static_cast<long>(i));
+        });
+    });
+    pool.parallelFor(500,
+                     [&](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+    other.join();
+    EXPECT_EQ(sum.load(), 2L * (499L * 500L / 2));
+}
+
+class BatchEvalTest : public ::testing::Test
+{
+  protected:
+    BatchEvalTest()
+        : out_(serveGemm()),
+          target_(Target::forGpu(v100())),
+          space_(buildSpace(out_.op(), target_))
+    {}
+
+    std::vector<Point> randomPoints(int n, uint64_t seed)
+    {
+        Rng rng(seed);
+        std::vector<Point> points;
+        for (int i = 0; i < n; ++i)
+            points.push_back(space_.randomPoint(rng));
+        return points;
+    }
+
+    Tensor out_;
+    Target target_;
+    ScheduleSpace space_;
+};
+
+TEST_F(BatchEvalTest, MatchesSequentialEvaluation)
+{
+    auto points = randomPoints(40, 7);
+
+    Evaluator seq(out_.op(), space_, target_);
+    for (const Point &p : points)
+        seq.evaluate(p);
+
+    ThreadPool pool(4);
+    Evaluator par(out_.op(), space_, target_);
+    BatchEvaluator batch(par, &pool);
+    std::vector<double> values = batch.evaluate(points);
+
+    ASSERT_EQ(par.history().size(), seq.history().size());
+    for (size_t i = 0; i < seq.history().size(); ++i) {
+        EXPECT_EQ(par.history()[i].point.key(), seq.history()[i].point.key());
+        EXPECT_DOUBLE_EQ(par.history()[i].gflops, seq.history()[i].gflops);
+    }
+    EXPECT_DOUBLE_EQ(par.best(), seq.best());
+    EXPECT_EQ(par.bestPoint().key(), seq.bestPoint().key());
+    for (size_t i = 0; i < points.size(); ++i)
+        EXPECT_DOUBLE_EQ(values[i], seq.evaluate(points[i]));
+}
+
+TEST_F(BatchEvalTest, ParallelismOneReproducesSequentialClock)
+{
+    auto points = randomPoints(20, 11);
+    Evaluator seq(out_.op(), space_, target_);
+    for (const Point &p : points)
+        seq.evaluate(p);
+
+    Evaluator one(out_.op(), space_, target_);
+    BatchEvaluator batch(one, nullptr, /*parallelism=*/1);
+    batch.evaluate(points);
+    EXPECT_DOUBLE_EQ(one.simulatedSeconds(), seq.simulatedSeconds());
+    ASSERT_EQ(one.curve().size(), seq.curve().size());
+    for (size_t i = 0; i < seq.curve().size(); ++i) {
+        EXPECT_DOUBLE_EQ(one.curve()[i].first, seq.curve()[i].first);
+        EXPECT_DOUBLE_EQ(one.curve()[i].second, seq.curve()[i].second);
+    }
+}
+
+TEST_F(BatchEvalTest, ChargesCeilBatchOverParallelismRounds)
+{
+    auto points = randomPoints(64, 13);
+    Evaluator eval(out_.op(), space_, target_);
+    eval.setMeasureCost(1.0);
+    ThreadPool pool(4);
+    BatchEvaluator batch(eval, &pool, /*parallelism=*/4);
+    batch.evaluate(points);
+    const int fresh = eval.numTrials(); // random duplicates are possible
+    // ceil(fresh / 4) rounds of one second each.
+    EXPECT_NEAR(eval.simulatedSeconds(), std::ceil(fresh / 4.0), 1e-9);
+    // Re-evaluating the same batch is free.
+    batch.evaluate(points);
+    EXPECT_EQ(eval.numTrials(), fresh);
+    EXPECT_NEAR(eval.simulatedSeconds(), std::ceil(fresh / 4.0), 1e-9);
+}
+
+/** Parallel exploration must find the same schedule as sequential. */
+TEST(ServeDeterminism, PMethodParallelEqualsSequential)
+{
+    Tensor out = serveGemm();
+    Target target = Target::forGpu(v100());
+    ScheduleSpace space = buildSpace(out.op(), target);
+
+    ExploreOptions seq_opts;
+    seq_opts.trials = 4;
+    seq_opts.startingPoints = 2;
+    seq_opts.seed = 0xbeef;
+    Evaluator seq(out.op(), space, target);
+    ExploreResult rs = explorePMethod(seq, seq_opts);
+
+    ThreadPool pool(4);
+    ExploreOptions par_opts = seq_opts;
+    par_opts.evalPool = &pool;
+    Evaluator par(out.op(), space, target);
+    ExploreResult rp = explorePMethod(par, par_opts);
+
+    EXPECT_EQ(rp.bestPoint.key(), rs.bestPoint.key());
+    EXPECT_DOUBLE_EQ(rp.bestGflops, rs.bestGflops);
+    EXPECT_EQ(rp.trialsUsed, rs.trialsUsed);
+    ASSERT_EQ(par.history().size(), seq.history().size());
+    for (size_t i = 0; i < seq.history().size(); ++i)
+        EXPECT_EQ(par.history()[i].point.key(), seq.history()[i].point.key());
+    // Parallel measurement compresses the simulated clock.
+    EXPECT_LT(rp.simSeconds, rs.simSeconds);
+
+    // And a parallel run is reproducible, clock included.
+    Evaluator par2(out.op(), space, target);
+    ExploreResult rp2 = explorePMethod(par2, par_opts);
+    EXPECT_EQ(rp2.bestPoint.key(), rp.bestPoint.key());
+    EXPECT_DOUBLE_EQ(rp2.bestGflops, rp.bestGflops);
+    EXPECT_DOUBLE_EQ(rp2.simSeconds, rp.simSeconds);
+}
+
+TEST(ServeDeterminism, AutoTvmParallelEqualsSequential)
+{
+    Tensor out = serveGemm();
+    Target target = Target::forGpu(v100());
+    SpaceOptions so;
+    so.templateRestricted = true;
+    ScheduleSpace space = buildSpace(out.op(), target, so);
+
+    ExploreOptions seq_opts;
+    seq_opts.trials = 32;
+    seq_opts.seed = 0xfeed;
+    Evaluator seq(out.op(), space, target);
+    ExploreResult rs = exploreAutoTvm(seq, seq_opts);
+
+    ThreadPool pool(4);
+    ExploreOptions par_opts = seq_opts;
+    par_opts.evalPool = &pool;
+    Evaluator par(out.op(), space, target);
+    ExploreResult rp = exploreAutoTvm(par, par_opts);
+
+    EXPECT_EQ(rp.bestPoint.key(), rs.bestPoint.key());
+    EXPECT_DOUBLE_EQ(rp.bestGflops, rs.bestGflops);
+    EXPECT_EQ(rp.trialsUsed, rs.trialsUsed);
+    ASSERT_EQ(par.history().size(), seq.history().size());
+    for (size_t i = 0; i < seq.history().size(); ++i)
+        EXPECT_EQ(par.history()[i].point.key(), seq.history()[i].point.key());
+}
+
+TEST(TuningService, CoalescesConcurrentIdenticalRequests)
+{
+    TuningService service({/*evalThreads=*/4, /*requestThreads=*/2});
+    Tensor out = serveGemm();
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.method = Method::PMethod;
+    options.explore.trials = 6;
+
+    const int callers = 8;
+    std::vector<TuneReport> reports(callers);
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < callers; ++i) {
+        threads.emplace_back([&, i] {
+            ready.fetch_add(1);
+            while (ready.load() < callers) // start together
+                std::this_thread::yield();
+            reports[i] = service.tune(out, target, options);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, static_cast<uint64_t>(callers));
+    EXPECT_EQ(stats.tuningRuns, 1u);
+    // Everyone who didn't own the run either joined it in flight or (in
+    // rare schedules) arrived after completion and hit the result cache.
+    EXPECT_EQ(stats.coalescedJoins + stats.resultCacheHits,
+              static_cast<uint64_t>(callers - 1));
+    EXPECT_GE(stats.coalescedJoins, 1u);
+    for (int i = 1; i < callers; ++i) {
+        EXPECT_DOUBLE_EQ(reports[i].gflops, reports[0].gflops);
+        EXPECT_EQ(serializeConfig(reports[i].config),
+                  serializeConfig(reports[0].config));
+    }
+    EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(TuningService, ResultCacheServesRepeatedRequests)
+{
+    TuningService service;
+    Tensor out = serveGemm();
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.method = Method::Random;
+    options.explore.trials = 10;
+
+    TuneReport first = service.tune(out, target, options);
+    EXPECT_FALSE(first.fromCache);
+    TuneReport second = service.tune(out, target, options);
+    EXPECT_TRUE(second.fromCache);
+    EXPECT_DOUBLE_EQ(second.gflops, first.gflops);
+
+    // A different seed is a different request identity.
+    options.explore.seed += 1;
+    TuneReport third = service.tune(out, target, options);
+    EXPECT_FALSE(third.fromCache);
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, 3u);
+    EXPECT_EQ(stats.tuningRuns, 2u);
+    EXPECT_EQ(stats.resultCacheHits, 1u);
+    EXPECT_GT(stats.evaluations, 0u);
+}
+
+TEST(TuningService, LruEvictsBeyondCapacity)
+{
+    ServiceOptions service_options;
+    service_options.resultCacheCapacity = 1;
+    TuningService service(service_options);
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.method = Method::Random;
+    options.explore.trials = 4;
+
+    Tensor small = serveGemm(64);
+    Tensor large = serveGemm(128);
+    service.tune(small, target, options);
+    service.tune(large, target, options); // evicts `small`
+    TuneReport again = service.tune(small, target, options);
+    EXPECT_FALSE(again.fromCache);
+    EXPECT_EQ(service.stats().resultCacheSize, 1u);
+}
+
+TEST(TuningService, SubmitRunsRequestsConcurrently)
+{
+    TuningService service({/*evalThreads=*/2, /*requestThreads=*/4});
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.method = Method::Random;
+    options.explore.trials = 6;
+
+    std::vector<Tensor> outs = {serveGemm(64), serveGemm(128),
+                                serveGemm(192), serveGemm(256)};
+    std::vector<std::future<TuneReport>> futures;
+    for (const Tensor &out : outs)
+        futures.push_back(service.submit(out, target, options));
+    for (auto &f : futures) {
+        TuneReport report = f.get();
+        EXPECT_GT(report.gflops, 0.0);
+    }
+    EXPECT_EQ(service.stats().tuningRuns, 4u);
+}
+
+TEST(TuningService, SharesPersistentCacheAcrossServices)
+{
+    TuningCache cache;
+    ServiceOptions service_options;
+    service_options.persistentCache = &cache;
+    Tensor out = serveGemm();
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.method = Method::Random;
+    options.explore.trials = 10;
+
+    TuningService first(service_options);
+    first.tune(out, target, options);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // A fresh service (cold LRU) is short-circuited by the shared store.
+    TuningService second(service_options);
+    TuneReport report = second.tune(out, target, options);
+    EXPECT_TRUE(report.fromCache);
+    EXPECT_EQ(second.stats().persistentCacheHits, 1u);
+}
+
+TEST(TuningCacheConcurrent, PutAndLookupFromManyThreads)
+{
+    TuningCache cache;
+    const int writers = 8, per_thread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < writers; ++t) {
+        threads.emplace_back([&cache, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                TuningRecord record;
+                record.key = "op" + std::to_string(i % 50);
+                record.gflops = t * 1000.0 + i;
+                cache.put(record);
+                auto hit = cache.lookup(record.key);
+                ASSERT_TRUE(hit.has_value());
+                EXPECT_GE(hit->gflops, record.gflops);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(cache.size(), 50u);
+    // put() keeps the best value per key.
+    auto best = cache.lookup("op49");
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(best->gflops, (writers - 1) * 1000.0 + 199);
+}
+
+TEST(TuningCacheConcurrent, SaveIsAtomicViaTempFileRename)
+{
+    const std::string path = ::testing::TempDir() + "ft_serve_cache.txt";
+    TuningCache cache;
+    TuningRecord record;
+    record.key = "gemm:256,256,r:256,@V100";
+    record.gflops = 123.0;
+    cache.put(record);
+    ASSERT_TRUE(cache.save(path));
+    // No temp file is left behind and the real file is complete.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    TuningCache loaded;
+    ASSERT_TRUE(loaded.load(path));
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_DOUBLE_EQ(loaded.lookup(record.key)->gflops, 123.0);
+    // Saving into a missing directory fails cleanly without touching
+    // the destination.
+    EXPECT_FALSE(cache.save("/nonexistent-dir/cache.txt"));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ft

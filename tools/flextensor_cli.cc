@@ -1,30 +1,46 @@
 /**
  * @file
- * flextensor-cli — tune a single operator from the command line.
+ * flextensor-cli — tune operators from the command line.
  *
  * Usage:
  *   flextensor-cli --op C2D --case C8 --target v100 [options]
+ *   flextensor-cli batch [options] SPEC...
+ *   flextensor-cli serve [options]        (SPECs read from stdin)
  *   flextensor-cli --list
  *
- * Options:
+ * A SPEC is an operator abbreviation with an optional case id, e.g.
+ * "C2D" or "C2D:C8". Repeated specs in one batch coalesce into a single
+ * tuning run; repeated passes (--repeat) hit the in-memory result cache.
+ *
+ * Single-op options:
  *   --op <abbr>       operator abbreviation (Table 3) incl. BCM, SHO
  *   --case <id>       test-case id within the suite (default: first)
+ *   --baseline        also report the vendor-library baseline
+ *   --emit            print generated source for the tuned schedule
+ *   --list            print all operators and cases, then exit
+ *
+ * Shared options:
  *   --target <name>   v100 | p100 | titanx | xeon | vu9p  (default v100)
  *   --method <name>   q | p | random | autotvm            (default q)
  *   --trials <n>      exploration steps                   (default 200)
  *   --seed <n>        RNG seed
  *   --cache <file>    tuning-cache file to load and update
- *   --baseline        also report the vendor-library baseline
- *   --emit            print generated source for the tuned schedule
- *   --list            print all operators and cases, then exit
+ *
+ * batch/serve options:
+ *   --threads <n>         measurement workers per run     (default 4)
+ *   --request-threads <n> concurrent tuning runs          (default 4)
+ *   --repeat <n>          passes over the spec list       (default 1)
  */
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "codegen/codegen.h"
 #include "core/flextensor.h"
 #include "ir/inline.h"
+#include "serve/service.h"
 #include "support/logging.h"
 
 using namespace ft;
@@ -91,11 +107,147 @@ baselineFor(const std::string &op, const Target &target)
     return Library::CuDnn;
 }
 
+/** Resolve "OP" or "OP:CASE" to a buildable test case. */
+ops::TestCase
+resolveSpec(const std::string &spec)
+{
+    std::string op = spec, case_id;
+    auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+        op = spec.substr(0, colon);
+        case_id = spec.substr(colon + 1);
+    }
+    auto cases = ops::table3Cases(op); // fatals on an unknown operator
+    for (const auto &tc : cases) {
+        if (case_id.empty() || tc.id == case_id)
+            return tc;
+    }
+    fatal("unknown case '", case_id, "' for ", op);
+}
+
+/** `batch`/`serve` subcommands: tune many specs through TuningService. */
+int
+runService(bool from_stdin, int argc, char **argv)
+{
+    std::string target_name = "v100", method_name = "q", cache_path;
+    int trials = 200, threads = 4, request_threads = 4, repeat = 1;
+    uint64_t seed = 0xc11;
+    std::vector<std::string> specs;
+
+    for (int i = 2; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc)
+                fatal("missing value for ", flag);
+            return true;
+        };
+        if (arg("--target")) {
+            target_name = argv[++i];
+        } else if (arg("--method")) {
+            method_name = argv[++i];
+        } else if (arg("--trials")) {
+            trials = std::atoi(argv[++i]);
+        } else if (arg("--seed")) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg("--cache")) {
+            cache_path = argv[++i];
+        } else if (arg("--threads")) {
+            threads = std::atoi(argv[++i]);
+        } else if (arg("--request-threads")) {
+            request_threads = std::atoi(argv[++i]);
+        } else if (arg("--repeat")) {
+            repeat = std::atoi(argv[++i]);
+        } else if (argv[i][0] == '-') {
+            fatal("unknown argument '", argv[i], "' (see header comment)");
+        } else {
+            specs.push_back(argv[i]);
+        }
+    }
+    if (from_stdin) {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (!line.empty() && line[0] != '#')
+                specs.push_back(line);
+        }
+    }
+    if (specs.empty())
+        fatal("no operator specs given (e.g. C2D:C8 GMM GMV T2D)");
+
+    Target target = parseTarget(target_name);
+    TuningCache cache;
+    if (!cache_path.empty())
+        cache.load(cache_path); // a missing file is fine on first run
+
+    ServiceOptions service_options;
+    service_options.evalThreads = threads;
+    service_options.requestThreads = request_threads;
+    if (!cache_path.empty())
+        service_options.persistentCache = &cache;
+    TuningService service(service_options);
+
+    TuneOptions tune_options;
+    tune_options.method = parseMethod(method_name);
+    tune_options.explore.trials = trials;
+    tune_options.explore.seed = seed;
+
+    // Build the graphs up front; the service tunes them concurrently.
+    std::vector<std::pair<std::string, Tensor>> work;
+    for (const auto &spec : specs) {
+        ops::TestCase tc = resolveSpec(spec);
+        work.emplace_back(tc.op + ":" + tc.id, tc.build());
+    }
+
+    std::printf("%s: %zu specs x %d pass(es) on %s, %d measurement "
+                "threads, %d request threads\n",
+                from_stdin ? "serve" : "batch", work.size(), repeat,
+                target.deviceName().c_str(), threads, request_threads);
+    for (int pass = 0; pass < repeat; ++pass) {
+        std::vector<std::future<TuneReport>> futures;
+        futures.reserve(work.size());
+        for (auto &[name, tensor] : work)
+            futures.push_back(service.submit(tensor, target, tune_options));
+        for (size_t i = 0; i < futures.size(); ++i) {
+            TuneReport report = futures[i].get();
+            std::printf("pass %d  %-10s %8.1f GFLOPS  kernel %8.3f ms  "
+                        "%4d trials%s\n",
+                        pass + 1, work[i].first.c_str(), report.gflops,
+                        report.kernelSeconds * 1e3, report.trials,
+                        report.fromCache ? "  [cached]" : "");
+        }
+    }
+
+    ServiceStats stats = service.stats();
+    std::printf("\nservice stats:\n"
+                "  requests          %llu\n"
+                "  tuning runs       %llu\n"
+                "  coalesced joins   %llu\n"
+                "  result-cache hits %llu\n"
+                "  persistent hits   %llu\n"
+                "  evaluations       %llu\n"
+                "  eval queue depth  %zu\n",
+                (unsigned long long)stats.requests,
+                (unsigned long long)stats.tuningRuns,
+                (unsigned long long)stats.coalescedJoins,
+                (unsigned long long)stats.resultCacheHits,
+                (unsigned long long)stats.persistentCacheHits,
+                (unsigned long long)stats.evaluations,
+                stats.evalQueueDepth);
+
+    if (!cache_path.empty() && !cache.save(cache_path))
+        warn("could not write tuning cache to ", cache_path);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "batch") == 0)
+        return runService(/*from_stdin=*/false, argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return runService(/*from_stdin=*/true, argc, argv);
     std::string op_name = "C2D", case_id, target_name = "v100";
     std::string method_name = "q", cache_path;
     int trials = 200;
