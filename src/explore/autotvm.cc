@@ -4,7 +4,6 @@
 #include <unordered_set>
 
 #include "ml/gbt.h"
-#include "serve/batch_eval.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -15,6 +14,12 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
 {
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
+    ResilientEvaluator reval(eval, options.evalPool,
+                             options.measureParallelism, options.resilience);
+    if (!options.checkpointPath.empty()) {
+        warn("AutoTVM search does not support checkpoint/resume; "
+             "ignoring ", options.checkpointPath);
+    }
 
     GbtModel model;
     GbtOptions gbt_options;
@@ -24,13 +29,17 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
     const int batch = 8;         // measured configs per round
     const int pool = 96;         // ranked candidates per round
     const double model_overhead = 2.0; // seconds per round: fit + rank
-    BatchEvaluator batch_eval(eval, options.evalPool,
-                              options.measureParallelism);
 
+    bool deadline_exceeded = false;
     int measured = 0;
     while (measured < options.trials) {
         if (options.targetGflops > 0.0 &&
             eval.best() >= options.targetGflops) {
+            break;
+        }
+        if (options.deadlineSimSeconds > 0.0 &&
+            eval.simulatedSeconds() >= options.deadlineSimSeconds) {
+            deadline_exceeded = true;
             break;
         }
         // Candidate pool: random points ranked by the cost model (pure
@@ -69,7 +78,7 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
                 continue;
             picks.push_back(p);
         }
-        std::vector<double> values = batch_eval.evaluate(picks);
+        std::vector<double> values = reval.evaluate(picks);
         for (size_t i = 0; i < picks.size(); ++i) {
             train_x.push_back(space.features(picks[i]));
             train_y.push_back(values[i]);
@@ -86,6 +95,11 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
     out.trialsUsed = eval.numTrials();
     out.simSeconds = eval.simulatedSeconds();
     out.curve = eval.curve();
+    out.deadlineExceeded = deadline_exceeded;
+    out.failures = reval.stats().failures;
+    out.retries = reval.stats().retries;
+    out.timeouts = reval.stats().timeouts;
+    out.quarantined = reval.stats().quarantined;
     return out;
 }
 

@@ -1,0 +1,364 @@
+#include "explore/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace ft {
+
+namespace {
+
+/** Exact double round-trip via hexfloat. */
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+bool
+parseDouble(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+parseU64(const std::string &text, uint64_t *out)
+{
+    try {
+        size_t pos = 0;
+        *out = std::stoull(text, &pos);
+        return pos == text.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseInt(const std::string &text, int *out)
+{
+    try {
+        size_t pos = 0;
+        *out = std::stoi(text, &pos);
+        return pos == text.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+void
+appendIdx(std::ostringstream &oss, const std::vector<int64_t> &idx)
+{
+    for (size_t i = 0; i < idx.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << idx[i];
+    }
+}
+
+bool
+parseIdx(const std::string &text, std::vector<int64_t> *out)
+{
+    out->clear();
+    if (text.empty())
+        return false;
+    std::istringstream cells(text);
+    std::string cell;
+    while (std::getline(cells, cell, ',')) {
+        try {
+            size_t pos = 0;
+            out->push_back(std::stoll(cell, &pos));
+            if (pos != cell.size())
+                return false;
+        } catch (...) {
+            return false;
+        }
+    }
+    return !out->empty();
+}
+
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::istringstream fields(line);
+    std::string field;
+    while (std::getline(fields, field, '|'))
+        out.push_back(std::move(field));
+    return out;
+}
+
+/** "key=value" field whose key must match; value written to *out. */
+bool
+keyed(const std::string &field, const char *key, std::string *out)
+{
+    const size_t n = std::strlen(key);
+    if (field.size() < n + 1 || field.compare(0, n, key) != 0 ||
+        field[n] != '=') {
+        return false;
+    }
+    *out = field.substr(n + 1);
+    return true;
+}
+
+} // namespace
+
+std::string
+spaceSignature(const ScheduleSpace &space)
+{
+    std::ostringstream oss;
+    oss << space.numSubSpaces() << "/" << space.numDirections();
+    return oss.str();
+}
+
+bool
+saveCheckpoint(const std::string &path, const CheckpointState &state)
+{
+    std::ostringstream body;
+    size_t lines = 0;
+    auto emit = [&](const std::string &line) {
+        body << line << "\n";
+        ++lines;
+    };
+
+    {
+        std::ostringstream oss;
+        oss << "ftckpt|v=1|method=" << state.method
+            << "|seed=" << state.seed << "|space=" << state.spaceSig
+            << "|trial=" << state.trial;
+        emit(oss.str());
+    }
+    emit("clock|sim=" + hexDouble(state.simSeconds));
+    {
+        std::ostringstream oss;
+        oss << "rng";
+        for (uint64_t w : state.rng.s)
+            oss << "|" << w;
+        oss << "|spare=" << (state.rng.haveSpare ? 1 : 0)
+            << "|sparev=" << hexDouble(state.rng.spare);
+        emit(oss.str());
+    }
+    FT_ASSERT(state.history.size() == state.commitSim.size(),
+              "checkpoint history/clock mismatch");
+    for (size_t i = 0; i < state.history.size(); ++i) {
+        std::ostringstream oss;
+        oss << "h|";
+        appendIdx(oss, state.history[i].point.idx);
+        oss << "|" << hexDouble(state.history[i].gflops) << "|"
+            << hexDouble(state.commitSim[i]);
+        emit(oss.str());
+    }
+    for (const ReplayTransition &t : state.replay) {
+        std::ostringstream oss;
+        oss << "r|";
+        appendIdx(oss, t.start);
+        oss << "|" << t.direction << "|";
+        appendIdx(oss, t.next);
+        emit(oss.str());
+    }
+    if (!state.netState.empty()) {
+        std::ostringstream oss;
+        oss << "net|" << state.netState.size() << "|";
+        for (size_t i = 0; i < state.netState.size(); ++i) {
+            if (i)
+                oss << ",";
+            oss << hexDouble(static_cast<double>(state.netState[i]));
+        }
+        emit(oss.str());
+    }
+    {
+        std::ostringstream oss;
+        oss << "stats|" << state.stats.measurements << "|"
+            << state.stats.failures << "|" << state.stats.retries << "|"
+            << state.stats.timeouts << "|" << state.stats.quarantined;
+        emit(oss.str());
+    }
+    for (const std::string &key : state.quarantine)
+        emit("q|" + key);
+
+    // Same crash-safe pattern as TuningCache::save: temp file + rename,
+    // plus a trailing record count so truncation is detectable.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return false;
+        out << body.str() << "end|n=" << lines << "\n";
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<CheckpointState>
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt; // a missing checkpoint is a normal first run
+
+    CheckpointState state;
+    bool saw_header = false, saw_end = false, ok = true;
+    size_t lines = 0, declared = 0;
+    std::string line;
+    while (ok && std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (saw_end) {
+            ok = false; // trailing junk after the count line
+            break;
+        }
+        auto fields = splitFields(line);
+        const std::string &tag = fields[0];
+        std::string value;
+        if (tag == "ftckpt") {
+            ok = fields.size() == 6 && keyed(fields[1], "v", &value) &&
+                 value == "1";
+            if (ok)
+                ok = keyed(fields[2], "method", &state.method) &&
+                     keyed(fields[3], "seed", &value) &&
+                     parseU64(value, &state.seed) &&
+                     keyed(fields[4], "space", &state.spaceSig) &&
+                     keyed(fields[5], "trial", &value) &&
+                     parseInt(value, &state.trial);
+            saw_header = ok;
+        } else if (tag == "clock") {
+            ok = fields.size() == 2 && keyed(fields[1], "sim", &value) &&
+                 parseDouble(value, &state.simSeconds);
+        } else if (tag == "rng") {
+            ok = fields.size() == 7;
+            for (int i = 0; ok && i < 4; ++i)
+                ok = parseU64(fields[1 + i], &state.rng.s[i]);
+            if (ok) {
+                ok = keyed(fields[5], "spare", &value);
+                state.rng.haveSpare = ok && value == "1";
+                ok = ok && (value == "0" || value == "1") &&
+                     keyed(fields[6], "sparev", &value) &&
+                     parseDouble(value, &state.rng.spare);
+            }
+        } else if (tag == "h") {
+            Evaluated e;
+            double commit_sim = 0.0;
+            ok = fields.size() == 4 && parseIdx(fields[1], &e.point.idx) &&
+                 parseDouble(fields[2], &e.gflops) &&
+                 parseDouble(fields[3], &commit_sim);
+            if (ok) {
+                state.history.push_back(std::move(e));
+                state.commitSim.push_back(commit_sim);
+            }
+        } else if (tag == "r") {
+            ReplayTransition t;
+            ok = fields.size() == 4 && parseIdx(fields[1], &t.start) &&
+                 parseInt(fields[2], &t.direction) &&
+                 parseIdx(fields[3], &t.next);
+            if (ok)
+                state.replay.push_back(std::move(t));
+        } else if (tag == "net") {
+            uint64_t count = 0;
+            ok = fields.size() == 3 && parseU64(fields[1], &count);
+            if (ok) {
+                std::istringstream cells(fields[2]);
+                std::string cell;
+                while (ok && std::getline(cells, cell, ',')) {
+                    double v = 0.0;
+                    ok = parseDouble(cell, &v);
+                    state.netState.push_back(static_cast<float>(v));
+                }
+                ok = ok && state.netState.size() == count;
+            }
+        } else if (tag == "stats") {
+            ok = fields.size() == 6 &&
+                 parseU64(fields[1], &state.stats.measurements) &&
+                 parseU64(fields[2], &state.stats.failures) &&
+                 parseU64(fields[3], &state.stats.retries) &&
+                 parseU64(fields[4], &state.stats.timeouts) &&
+                 parseU64(fields[5], &state.stats.quarantined);
+        } else if (tag == "q") {
+            ok = fields.size() == 2 && !fields[1].empty();
+            if (ok)
+                state.quarantine.push_back(fields[1]);
+        } else if (tag == "end") {
+            ok = fields.size() == 2 && keyed(fields[1], "n", &value) &&
+                 parseU64(value, &declared);
+            saw_end = true;
+            continue; // the count line does not count itself
+        } else {
+            ok = false;
+        }
+        ++lines;
+    }
+    if (!ok || !saw_header || !saw_end || declared != lines ||
+        state.trial < 0) {
+        warn("ignoring truncated or corrupt checkpoint ", path);
+        return std::nullopt;
+    }
+    return state;
+}
+
+bool
+checkpointCompatible(const CheckpointState &state, const std::string &method,
+                     uint64_t seed, const ScheduleSpace &space)
+{
+    if (state.method != method || state.seed != seed ||
+        state.spaceSig != spaceSignature(space)) {
+        return false;
+    }
+    const size_t dims = static_cast<size_t>(space.numSubSpaces());
+    for (const Evaluated &e : state.history) {
+        if (e.point.idx.size() != dims)
+            return false;
+    }
+    for (const ReplayTransition &t : state.replay) {
+        if (t.start.size() != dims || t.next.size() != dims)
+            return false;
+    }
+    return true;
+}
+
+CheckpointState
+captureCommon(const std::string &method, uint64_t seed, int nextTrial,
+              const Evaluator &eval, const Rng &rng,
+              const ResilientEvaluator &reval)
+{
+    CheckpointState state;
+    state.method = method;
+    state.seed = seed;
+    state.spaceSig = spaceSignature(eval.space());
+    state.trial = nextTrial;
+    state.simSeconds = eval.simulatedSeconds();
+    state.rng = rng.state();
+    state.history = eval.history();
+    state.commitSim.reserve(eval.curve().size());
+    for (const auto &entry : eval.curve())
+        state.commitSim.push_back(entry.first);
+    state.stats = reval.stats();
+    state.quarantine = reval.quarantine();
+    return state;
+}
+
+void
+restoreCommon(const CheckpointState &state, Evaluator &eval, Rng &rng,
+              ResilientEvaluator &reval)
+{
+    eval.restore(state.history, state.commitSim, state.simSeconds);
+    rng.setState(state.rng);
+    reval.restore(state.stats, state.quarantine);
+}
+
+} // namespace ft

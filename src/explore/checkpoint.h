@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Checkpoint/resume for tuning runs.
+ *
+ * A long exploration run is expensive to lose to a crash or an eviction,
+ * so the explorers periodically snapshot everything their next step
+ * depends on: the evaluated set H with its per-commit simulated clock,
+ * the RNG stream position, the resilience counters and quarantine set,
+ * and — for the Q-method — the Q-network parameters (values plus AdaDelta
+ * accumulators) and the replay buffer (as point/direction triples; the
+ * feature vectors and rewards are recomputed from H on resume).
+ *
+ * The file is a versioned line-oriented text format written with the
+ * same temp-file + atomic-rename pattern as TuningCache, with a trailing
+ * record-count line so a truncated file is detected and ignored instead
+ * of resuming from half a snapshot. Floating-point values round-trip
+ * exactly (hexfloat), which is what makes the guarantee hold: a run
+ * killed and resumed from its last snapshot produces bit-identical
+ * results — history, best point, and simulated clock — to a run that was
+ * never interrupted, for the same seed and fault profile.
+ */
+#ifndef FLEXTENSOR_EXPLORE_CHECKPOINT_H
+#define FLEXTENSOR_EXPLORE_CHECKPOINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/evaluator.h"
+#include "explore/resilient.h"
+#include "support/rng.h"
+
+namespace ft {
+
+/** One replay-buffer record as space coordinates (features/rewards are
+ *  recomputed from the restored H, so floats never go through text). */
+struct ReplayTransition
+{
+    std::vector<int64_t> start;
+    int direction = 0;
+    std::vector<int64_t> next;
+};
+
+/** Everything a resumed run needs to continue bit-identically. */
+struct CheckpointState
+{
+    std::string method;   ///< methodName() of the writing explorer
+    uint64_t seed = 0;    ///< ExploreOptions::seed of the run
+    std::string spaceSig; ///< spaceSignature() of the schedule space
+    int trial = 0;        ///< next outer trial index to execute
+    double simSeconds = 0.0;
+    RngState rng;
+    std::vector<Evaluated> history;
+    std::vector<double> commitSim; ///< simulated clock at each commit
+    ResilienceStats stats;
+    std::vector<std::string> quarantine;
+    /** Q-method only: Mlp::checkpointState() of the online network. */
+    std::vector<float> netState;
+    /** Q-method only: the replay buffer. */
+    std::vector<ReplayTransition> replay;
+};
+
+/** Cheap structural identity of a space ("numSubSpaces/numDirections"). */
+std::string spaceSignature(const ScheduleSpace &space);
+
+/** Atomically write a snapshot (temp file + rename). */
+bool saveCheckpoint(const std::string &path, const CheckpointState &state);
+
+/**
+ * Load a snapshot. Returns nullopt when the file is missing, truncated,
+ * corrupt, or from an unknown version (a warning is logged for anything
+ * but a missing file — the caller starts fresh).
+ */
+std::optional<CheckpointState> loadCheckpoint(const std::string &path);
+
+/**
+ * Whether a loaded snapshot belongs to this run: same method, seed, and
+ * space shape, with a trial index and history consistent with it.
+ */
+bool checkpointCompatible(const CheckpointState &state,
+                          const std::string &method, uint64_t seed,
+                          const ScheduleSpace &space);
+
+/** Capture the state every method shares (H, clock, RNG, resilience). */
+CheckpointState captureCommon(const std::string &method, uint64_t seed,
+                              int nextTrial, const Evaluator &eval,
+                              const Rng &rng,
+                              const ResilientEvaluator &reval);
+
+/** Restore the shared state onto a fresh run (inverse of captureCommon). */
+void restoreCommon(const CheckpointState &state, Evaluator &eval, Rng &rng,
+                   ResilientEvaluator &reval);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_EXPLORE_CHECKPOINT_H

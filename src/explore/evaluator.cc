@@ -73,4 +73,24 @@ Evaluator::known(const Point &p) const
     return cache_.count(p.key()) > 0;
 }
 
+void
+Evaluator::restore(const std::vector<Evaluated> &history,
+                   const std::vector<double> &commitSim, double simSeconds)
+{
+    FT_ASSERT(history_.empty(), "restoring a non-empty evaluator");
+    FT_ASSERT(history.size() == commitSim.size(),
+              "history/clock length mismatch");
+    for (size_t i = 0; i < history.size(); ++i) {
+        const Evaluated &e = history[i];
+        cache_.emplace(e.point.key(), e.gflops);
+        history_.push_back(e);
+        if (e.gflops > best_) {
+            best_ = e.gflops;
+            bestPoint_ = e.point;
+        }
+        curve_.emplace_back(commitSim[i], best_);
+    }
+    simSeconds_ = simSeconds;
+}
+
 } // namespace ft

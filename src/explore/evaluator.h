@@ -68,6 +68,16 @@ class Evaluator
     /** Whether the point has been evaluated before. */
     bool known(const Point &p) const;
 
+    /**
+     * Rebuild H from a checkpoint onto a fresh evaluator: every entry
+     * re-enters the cache and history in order, the curve is rebuilt
+     * against the recorded per-commit clock values `commitSim`, and the
+     * simulated clock is set to `simSeconds` (which may exceed the last
+     * commit when overhead was charged afterwards).
+     */
+    void restore(const std::vector<Evaluated> &history,
+                 const std::vector<double> &commitSim, double simSeconds);
+
     /** The evaluated set H, in evaluation order. */
     const std::vector<Evaluated> &history() const { return history_; }
 

@@ -17,13 +17,13 @@
 #define FLEXTENSOR_EXPLORE_EXPLORER_H
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "explore/evaluator.h"
+#include "explore/resilient.h"
 
 namespace ft {
-
-class ThreadPool;
 
 /** Options shared by the exploration methods. */
 struct ExploreOptions
@@ -54,6 +54,28 @@ struct ExploreOptions
     ThreadPool *evalPool = nullptr;
     /** Simulated measurement width (0 = pool size, or 1 without a pool). */
     int measureParallelism = 0;
+    /**
+     * Fault-tolerance policy for measurements: retries with backoff,
+     * per-trial deadline, repeated-measure median, quarantine. With no
+     * injector attached the policy layer is a transparent no-op and
+     * results are bit-identical to a run without it.
+     */
+    ResilienceOptions resilience;
+    /**
+     * Per-run deadline on the simulated clock (0 = none). A run that
+     * reaches it stops and returns its best-so-far result flagged
+     * deadlineExceeded instead of blocking until all trials finish.
+     */
+    double deadlineSimSeconds = 0.0;
+    /**
+     * Checkpoint file (empty = disabled). The run snapshots its full
+     * state every checkpointEveryTrials outer trials, and on start
+     * resumes from a compatible snapshot at this path; a resumed run
+     * with the same seed and fault profile is bit-identical to an
+     * uninterrupted one. Not supported by Method::AutoTvm.
+     */
+    std::string checkpointPath;
+    int checkpointEveryTrials = 10;
 };
 
 /** Outcome of an exploration run. */
@@ -65,6 +87,13 @@ struct ExploreResult
     double simSeconds = 0.0;     ///< simulated exploration time
     /** (simulated seconds, best-so-far GFLOPS) per measurement. */
     std::vector<std::pair<double, double>> curve;
+    bool deadlineExceeded = false; ///< run cut short by the deadline
+    bool resumed = false;          ///< restored from a checkpoint
+    /** Fault-path counters (zero when no faults were injected). */
+    uint64_t failures = 0;
+    uint64_t retries = 0;
+    uint64_t timeouts = 0;
+    uint64_t quarantined = 0;
 };
 
 /** Run the paper's Q-learning-guided exploration. */

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 
+#include "explore/checkpoint.h"
 #include "explore/sa.h"
 #include "nn/mlp.h"
-#include "serve/batch_eval.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -12,9 +12,13 @@ namespace ft {
 
 namespace {
 
-/** One replay-buffer record: (state, action, next-state, reward). */
+/** One replay-buffer record: (state, action, next-state, reward). The
+ *  points are kept alongside the features so the buffer can be
+ *  checkpointed as coordinates and rebuilt exactly on resume. */
 struct Transition
 {
+    Point start;
+    Point next;
     std::vector<float> stateFeatures;
     int direction;
     std::vector<float> nextFeatures;
@@ -29,21 +33,22 @@ toFloat(const std::vector<double> &v)
 
 /** Seed H with random points so SA has something to choose from. */
 void
-warmup(Evaluator &eval, Rng &rng, const ExploreOptions &options)
+warmup(ResilientEvaluator &reval, Rng &rng, const ExploreOptions &options)
 {
     // One parallel measurement batch: seeds, random warmup, and the
     // deterministic initial point, committed in that order.
+    const ScheduleSpace &space = reval.evaluator().space();
     std::vector<Point> points = options.seedPoints;
     points.reserve(points.size() + options.warmupPoints + 1);
     for (int i = 0; i < options.warmupPoints; ++i)
-        points.push_back(eval.space().randomPoint(rng));
-    points.push_back(eval.space().initialPoint());
-    BatchEvaluator(eval, options.evalPool, options.measureParallelism)
-        .evaluate(points);
+        points.push_back(space.randomPoint(rng));
+    points.push_back(space.initialPoint());
+    reval.evaluate(points);
 }
 
 ExploreResult
-finish(const Evaluator &eval)
+finish(const Evaluator &eval, const ResilientEvaluator &reval,
+       bool deadline_exceeded, bool resumed)
 {
     ExploreResult out;
     out.bestPoint = eval.bestPoint();
@@ -51,6 +56,12 @@ finish(const Evaluator &eval)
     out.trialsUsed = eval.numTrials();
     out.simSeconds = eval.simulatedSeconds();
     out.curve = eval.curve();
+    out.deadlineExceeded = deadline_exceeded;
+    out.resumed = resumed;
+    out.failures = reval.stats().failures;
+    out.retries = reval.stats().retries;
+    out.timeouts = reval.stats().timeouts;
+    out.quarantined = reval.stats().quarantined;
     return out;
 }
 
@@ -61,6 +72,86 @@ reachedTarget(const Evaluator &eval, const ExploreOptions &options)
            eval.best() >= options.targetGflops;
 }
 
+bool
+deadlineHit(const Evaluator &eval, const ExploreOptions &options)
+{
+    return options.deadlineSimSeconds > 0.0 &&
+           eval.simulatedSeconds() >= options.deadlineSimSeconds;
+}
+
+/**
+ * Load the checkpoint named by the options if it belongs to this run.
+ * Returns the state without applying it, so method-specific parts (the
+ * Q-network) can be validated before any shared state is touched.
+ */
+std::optional<CheckpointState>
+loadCompatible(const ExploreOptions &options, const std::string &method,
+               const ScheduleSpace &space)
+{
+    if (options.checkpointPath.empty())
+        return std::nullopt;
+    auto state = loadCheckpoint(options.checkpointPath);
+    if (!state)
+        return std::nullopt;
+    if (!checkpointCompatible(*state, method, options.seed, space) ||
+        state->trial > options.trials) {
+        warn("checkpoint ", options.checkpointPath,
+             " belongs to a different run; starting fresh");
+        return std::nullopt;
+    }
+    return state;
+}
+
+/** Snapshot after finishing trial `trial` when the period says so. */
+void
+maybeSnapshot(const ExploreOptions &options, const std::string &method,
+              int trial, const Evaluator &eval, const Rng &rng,
+              const ResilientEvaluator &reval,
+              const Mlp *net = nullptr,
+              const std::vector<Transition> *replay = nullptr)
+{
+    if (options.checkpointPath.empty() ||
+        options.checkpointEveryTrials <= 0 ||
+        (trial + 1) % options.checkpointEveryTrials != 0) {
+        return;
+    }
+    CheckpointState state = captureCommon(method, options.seed, trial + 1,
+                                          eval, rng, reval);
+    if (net)
+        state.netState = net->checkpointState();
+    if (replay) {
+        state.replay.reserve(replay->size());
+        for (const Transition &t : *replay)
+            state.replay.push_back({t.start.idx, t.direction, t.next.idx});
+    }
+    if (!saveCheckpoint(options.checkpointPath, state))
+        warn("could not write checkpoint to ", options.checkpointPath);
+}
+
+/** Rebuild the replay buffer from checkpointed coordinates: features and
+ *  rewards are recomputed from the restored H (all cache hits). */
+std::vector<Transition>
+rebuildReplay(const CheckpointState &state, Evaluator &eval)
+{
+    const ScheduleSpace &space = eval.space();
+    std::vector<Transition> replay;
+    replay.reserve(state.replay.size());
+    for (const ReplayTransition &r : state.replay) {
+        Transition t;
+        t.start = Point{r.start};
+        t.next = Point{r.next};
+        t.direction = r.direction;
+        t.stateFeatures = toFloat(space.features(t.start));
+        t.nextFeatures = toFloat(space.features(t.next));
+        double e_start = eval.evaluate(t.start);
+        double e_next = eval.evaluate(t.next);
+        t.reward = static_cast<float>((e_next - e_start) /
+                                      std::max(e_start, 1e-9));
+        replay.push_back(std::move(t));
+    }
+    return replay;
+}
+
 } // namespace
 
 ExploreResult
@@ -68,7 +159,17 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
 {
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
-    warmup(eval, rng, options);
+    ResilientEvaluator reval(eval, options.evalPool,
+                             options.measureParallelism, options.resilience);
+
+    // RNG draw order must match an uninterrupted fresh run exactly:
+    // warmup draws come before network init, so load the checkpoint (a
+    // pure file read) first and only skip warmup when resuming. The
+    // restored RNG state overwrites every draw made before restoreCommon.
+    std::optional<CheckpointState> ckpt =
+        loadCompatible(options, "Q-method", space);
+    if (!ckpt)
+        warmup(reval, rng, options);
 
     const int feature_dim = space.featureDim();
     const int num_dirs = space.numDirections();
@@ -83,9 +184,31 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
     std::vector<Transition> replay;
     AdaDeltaOptions adadelta;
 
-    for (int trial = 0; trial < options.trials; ++trial) {
+    int start_trial = 0;
+    bool resumed = false;
+    if (ckpt) {
+        if (netX.restoreCheckpointState(ckpt->netState)) {
+            restoreCommon(*ckpt, eval, rng, reval);
+            netY.copyValuesFrom(netX);
+            replay = rebuildReplay(*ckpt, eval);
+            start_trial = ckpt->trial;
+            resumed = true;
+            inform("resumed Q-method run at trial ", start_trial, " from ",
+                   options.checkpointPath);
+        } else {
+            warn("checkpoint network shape mismatch; starting fresh");
+            warmup(reval, rng, options);
+        }
+    }
+
+    bool deadline_exceeded = false;
+    for (int trial = start_trial; trial < options.trials; ++trial) {
         if (reachedTarget(eval, options))
             break;
+        if (deadlineHit(eval, options)) {
+            deadline_exceeded = true;
+            break;
+        }
         auto starts = chooser.chooseMany(eval, rng, options.startingPoints);
         for (const Point &start : starts) {
             std::vector<float> feat = toFloat(space.features(start));
@@ -108,10 +231,10 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
                 if (!next || eval.known(*next))
                     continue;
                 double e_start = eval.evaluate(start);
-                double e_next = eval.evaluate(*next);
+                double e_next = reval.evaluate(*next);
                 float reward = static_cast<float>(
                     (e_next - e_start) / std::max(e_start, 1e-9));
-                replay.push_back({feat, d,
+                replay.push_back({start, *next, feat, d,
                                   toFloat(space.features(*next)), reward});
                 break;
             }
@@ -136,8 +259,10 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
             netY.copyValuesFrom(netX);
         }
         eval.chargeOverhead(options.stepOverheadSeconds);
+        maybeSnapshot(options, "Q-method", trial, eval,
+                      rng, reval, &netX, &replay);
     }
-    return finish(eval);
+    return finish(eval, reval, deadline_exceeded, resumed);
 }
 
 ExploreResult
@@ -145,19 +270,40 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
 {
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
-    warmup(eval, rng, options);
-
+    ResilientEvaluator reval(eval, options.evalPool,
+                             options.measureParallelism, options.resilience);
     SaChooser chooser(options.saGamma);
     const int num_dirs = space.numDirections();
-    BatchEvaluator batch(eval, options.evalPool, options.measureParallelism);
 
-    for (int trial = 0; trial < options.trials; ++trial) {
+    int start_trial = 0;
+    bool resumed = false;
+    if (auto ckpt = loadCompatible(options, "P-method",
+                                   space)) {
+        restoreCommon(*ckpt, eval, rng, reval);
+        start_trial = ckpt->trial;
+        resumed = true;
+        inform("resumed P-method run at trial ", start_trial, " from ",
+               options.checkpointPath);
+    }
+    if (!resumed)
+        warmup(reval, rng, options);
+
+    bool deadline_exceeded = false;
+    for (int trial = start_trial; trial < options.trials; ++trial) {
         if (reachedTarget(eval, options))
             break;
+        if (deadlineHit(eval, options)) {
+            deadline_exceeded = true;
+            break;
+        }
         auto starts = chooser.chooseMany(eval, rng, options.startingPoints);
         for (const Point &start : starts) {
             if (reachedTarget(eval, options))
                 break;
+            if (deadlineHit(eval, options)) {
+                deadline_exceeded = true;
+                break;
+            }
             // P-method: measure the full neighborhood of the starting
             // point as one parallel batch (early-stop granularity is a
             // whole neighborhood, matching batched measurement).
@@ -167,11 +313,13 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
                 if (next && !eval.known(*next))
                     neighborhood.push_back(std::move(*next));
             }
-            batch.evaluate(neighborhood);
+            reval.evaluate(neighborhood);
         }
         eval.chargeOverhead(options.stepOverheadSeconds);
+        maybeSnapshot(options, "P-method", trial, eval,
+                      rng, reval);
     }
-    return finish(eval);
+    return finish(eval, reval, deadline_exceeded, resumed);
 }
 
 ExploreResult
@@ -179,14 +327,35 @@ exploreRandom(Evaluator &eval, const ExploreOptions &options)
 {
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
-    for (const Point &p : options.seedPoints)
-        eval.evaluate(p);
-    for (int trial = 0; trial < options.trials; ++trial) {
+    ResilientEvaluator reval(eval, options.evalPool,
+                             options.measureParallelism, options.resilience);
+
+    int start_trial = 0;
+    bool resumed = false;
+    if (auto ckpt = loadCompatible(options, "random",
+                                   space)) {
+        restoreCommon(*ckpt, eval, rng, reval);
+        start_trial = ckpt->trial;
+        resumed = true;
+    }
+    if (!resumed) {
+        for (const Point &p : options.seedPoints)
+            reval.evaluate(p);
+    }
+
+    bool deadline_exceeded = false;
+    for (int trial = start_trial; trial < options.trials; ++trial) {
         if (reachedTarget(eval, options))
             break;
-        eval.evaluate(space.randomPoint(rng));
+        if (deadlineHit(eval, options)) {
+            deadline_exceeded = true;
+            break;
+        }
+        reval.evaluate(space.randomPoint(rng));
+        maybeSnapshot(options, "random", trial, eval,
+                      rng, reval);
     }
-    return finish(eval);
+    return finish(eval, reval, deadline_exceeded, resumed);
 }
 
 } // namespace ft

@@ -1,0 +1,169 @@
+#include "explore/resilient.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace ft {
+
+ResilientEvaluator::ResilientEvaluator(Evaluator &eval, ThreadPool *pool,
+                                       int parallelism,
+                                       ResilienceOptions options)
+    : eval_(eval),
+      batch_(eval, pool, parallelism),
+      pool_(pool),
+      options_(std::move(options))
+{
+    FT_ASSERT(options_.maxRetries >= 0, "negative retry budget");
+    FT_ASSERT(options_.repeats >= 1, "repeats must be >= 1");
+}
+
+bool
+ResilientEvaluator::faultsActive() const
+{
+    return options_.injector && options_.injector->profile().enabled();
+}
+
+bool
+ResilientEvaluator::quarantined(const Point &p) const
+{
+    return quarantineSet_.count(p.key()) > 0;
+}
+
+void
+ResilientEvaluator::restore(const ResilienceStats &stats,
+                            const std::vector<std::string> &quarantine)
+{
+    stats_ = stats;
+    quarantine_ = quarantine;
+    quarantineSet_.clear();
+    quarantineSet_.insert(quarantine.begin(), quarantine.end());
+}
+
+ResilientEvaluator::Measured
+ResilientEvaluator::measureWithFaults(const std::string &key,
+                                      double trueScore)
+{
+    const FaultInjector &injector = *options_.injector;
+    const double measure_cost = eval_.measureCost();
+    const double deadline = options_.trialDeadlineSeconds;
+
+    Measured out;
+    std::vector<double> values;
+    values.reserve(options_.repeats);
+    int attempt = 0;
+    int failed_repeats = 0;
+    for (int repeat = 0; repeat < options_.repeats; ++repeat) {
+        bool delivered = false;
+        for (int retry = 0; retry <= options_.maxRetries; ++retry) {
+            FaultOutcome fate = injector.apply(key, attempt++, trueScore);
+            if (fate.hung) {
+                // The measurement hangs; the per-trial deadline kills it.
+                double hang = injector.profile().hangSeconds;
+                if (deadline > 0.0)
+                    hang = std::min(hang, deadline);
+                out.simCharge += hang;
+                ++stats_.timeouts;
+            } else {
+                out.simCharge += measure_cost;
+            }
+            if (!fate.failed) {
+                values.push_back(fate.gflops);
+                delivered = true;
+                break;
+            }
+            ++stats_.failures;
+            if (retry < options_.maxRetries) {
+                ++stats_.retries;
+                out.simCharge +=
+                    options_.backoffBaseSeconds * double(1 << retry);
+            }
+        }
+        if (!delivered) {
+            values.push_back(kInvalidGflops);
+            ++failed_repeats;
+        }
+    }
+
+    // Lower median: robust against a corrupted high reading without ever
+    // inventing a value that was not measured.
+    std::sort(values.begin(), values.end());
+    out.value = values[(values.size() - 1) / 2];
+
+    if (failed_repeats == options_.repeats &&
+        quarantineSet_.insert(key).second) {
+        quarantine_.push_back(key);
+        ++stats_.quarantined;
+        debug("quarantined point ", key, " after ", attempt,
+              " failed attempts");
+    }
+    ++stats_.measurements;
+    return out;
+}
+
+std::vector<double>
+ResilientEvaluator::evaluate(const std::vector<Point> &points)
+{
+    if (!faultsActive())
+        return batch_.evaluate(points);
+
+    // Fresh work: first occurrence of each unknown point, in order.
+    std::vector<size_t> fresh;
+    std::unordered_set<std::string> batch_keys;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (eval_.known(points[i]))
+            continue;
+        if (batch_keys.insert(points[i].key()).second)
+            fresh.push_back(i);
+    }
+
+    if (!fresh.empty()) {
+        // True scores in parallel (pure model queries)...
+        std::vector<double> true_scores(fresh.size());
+        auto score = [&](size_t j) {
+            true_scores[j] = eval_.scoreOnly(points[fresh[j]]);
+        };
+        if (pool_ && pool_->numThreads() > 1 && fresh.size() > 1) {
+            pool_->parallelFor(fresh.size(), score);
+        } else {
+            for (size_t j = 0; j < fresh.size(); ++j)
+                score(j);
+        }
+
+        // ...then the fault/retry policy per point, sequentially, so the
+        // outcome is deterministic regardless of thread interleaving.
+        std::vector<Measured> measured(fresh.size());
+        for (size_t j = 0; j < fresh.size(); ++j)
+            measured[j] = measureWithFaults(points[fresh[j]].key(),
+                                            true_scores[j]);
+
+        // Batch clock: machines take points round-robin; the batch spans
+        // the busiest machine, spread evenly across the curve entries.
+        const int machines = batch_.parallelism();
+        std::vector<double> load(machines, 0.0);
+        for (size_t j = 0; j < fresh.size(); ++j)
+            load[j % machines] += measured[j].simCharge;
+        const double span = *std::max_element(load.begin(), load.end());
+        const double per_point = span / double(fresh.size());
+        for (size_t j = 0; j < fresh.size(); ++j)
+            eval_.commitMeasured(points[fresh[j]], measured[j].value,
+                                 per_point);
+    }
+
+    std::vector<double> out(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        out[i] = eval_.evaluate(points[i]); // all known now: cache reads
+    return out;
+}
+
+double
+ResilientEvaluator::evaluate(const Point &p)
+{
+    if (!faultsActive() || eval_.known(p))
+        return eval_.evaluate(p);
+    Measured m = measureWithFaults(p.key(), eval_.scoreOnly(p));
+    eval_.commitMeasured(p, m.value, m.simCharge);
+    return m.value;
+}
+
+} // namespace ft

@@ -76,13 +76,20 @@ tuneOp(const Operation &anchor, const Target &target,
     report.spaceSize = space.size();
     report.device = target.deviceName();
     report.curve = std::move(result.curve);
+    report.degraded = result.deadlineExceeded;
+    report.resumed = result.resumed;
+    report.failures = result.failures;
+    report.retries = result.retries;
+    report.timeouts = result.timeouts;
+    report.quarantined = result.quarantined;
 
     if (options.cache)
         options.cache->put({key, report.config, report.gflops});
 
     inform("tuned ", anchor->name(), " on ", report.device, " with ",
            methodName(options.method), ": ", report.gflops,
-           " GFLOPS after ", report.trials, " trials");
+           " GFLOPS after ", report.trials, " trials",
+           report.degraded ? " (degraded: deadline reached)" : "");
     return report;
 }
 

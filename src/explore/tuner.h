@@ -50,6 +50,17 @@ struct TuneReport
     std::string device;
     std::vector<std::pair<double, double>> curve;
     bool fromCache = false; ///< true when served from the tuning cache
+    /**
+     * True when the run hit its simulated deadline and returned its
+     * best-so-far result instead of finishing all trials.
+     */
+    bool degraded = false;
+    bool resumed = false; ///< exploration resumed from a checkpoint
+    /** Fault-path counters (zero without fault injection). */
+    uint64_t failures = 0;
+    uint64_t retries = 0;
+    uint64_t timeouts = 0;
+    uint64_t quarantined = 0;
 };
 
 /** Tune the mini-graph rooted at `output` for `target` (anchor node). */

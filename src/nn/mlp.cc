@@ -198,4 +198,45 @@ Mlp::copyValuesFrom(const Mlp &other)
         layers_[l].copyValuesFrom(other.layers_[l]);
 }
 
+std::vector<float>
+Mlp::checkpointState() const
+{
+    std::vector<float> out;
+    for (const auto &layer : layers_) {
+        for (const Param *p : layer.params()) {
+            out.insert(out.end(), p->value.begin(), p->value.end());
+            out.insert(out.end(), p->accGradSq.begin(), p->accGradSq.end());
+            out.insert(out.end(), p->accDeltaSq.begin(),
+                       p->accDeltaSq.end());
+        }
+    }
+    return out;
+}
+
+bool
+Mlp::restoreCheckpointState(const std::vector<float> &state)
+{
+    size_t need = 0;
+    for (const auto &layer : layers_) {
+        for (const Param *p : layer.params())
+            need += 3 * p->value.size();
+    }
+    if (state.size() != need)
+        return false;
+    size_t pos = 0;
+    auto take = [&](std::vector<float> &dst) {
+        std::copy(state.begin() + pos, state.begin() + pos + dst.size(),
+                  dst.begin());
+        pos += dst.size();
+    };
+    for (auto &layer : layers_) {
+        for (Param *p : layer.params()) {
+            take(p->value);
+            take(p->accGradSq);
+            take(p->accDeltaSq);
+        }
+    }
+    return true;
+}
+
 } // namespace ft

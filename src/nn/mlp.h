@@ -11,6 +11,7 @@
 #ifndef FLEXTENSOR_NN_MLP_H
 #define FLEXTENSOR_NN_MLP_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -69,6 +70,10 @@ class Linear
     /** Copy parameter values (not optimizer state) from another layer. */
     void copyValuesFrom(const Linear &other);
 
+    /** Raw parameter tensors {weights, bias} for checkpointing. */
+    std::array<Param *, 2> params() { return {&w_, &b_}; }
+    std::array<const Param *, 2> params() const { return {&w_, &b_}; }
+
   private:
     int inDim_, outDim_;
     Param w_; ///< row-major (out x in)
@@ -102,6 +107,16 @@ class Mlp
 
     /** Copy parameter values from another network (target-net sync). */
     void copyValuesFrom(const Mlp &other);
+
+    /**
+     * Flatten every parameter's values and AdaDelta accumulators
+     * (E[g^2], E[dx^2]) into one vector for checkpointing. Gradients are
+     * excluded: training rounds start with zeroGrad().
+     */
+    std::vector<float> checkpointState() const;
+
+    /** Restore a checkpointState() snapshot; false on a shape mismatch. */
+    bool restoreCheckpointState(const std::vector<float> &state);
 
   private:
     std::vector<Linear> layers_;

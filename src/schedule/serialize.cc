@@ -187,10 +187,14 @@ TuningCache::save(const std::string &path) const
         if (!out)
             return false;
         std::lock_guard<std::mutex> lock(mu_);
+        // Header + record-count footer let load() distinguish a complete
+        // cache from one truncated by a crashed writer or a bad disk.
+        out << "#flextensor-cache v2\n";
         for (const auto &[key, record] : records_) {
             out << key << "\t" << record.gflops << "\t"
                 << serializeConfig(record.config) << "\n";
         }
+        out << "#count=" << records_.size() << "\n";
         if (!out) {
             out.close();
             std::remove(tmp.c_str());
@@ -210,14 +214,42 @@ TuningCache::load(const std::string &path)
     std::ifstream in(path);
     if (!in)
         return false;
+    // Records are staged and merged only once the file proves complete:
+    // a v2 file whose footer is missing or whose count disagrees was
+    // truncated mid-write (or corrupted), and is discarded with a
+    // warning instead of poisoning a running service. Legacy files
+    // (no header) keep the lenient skip-bad-lines behavior.
+    std::vector<TuningRecord> staged;
+    bool versioned = false, first = true, corrupt = false;
+    bool saw_footer = false;
+    size_t declared = 0;
     std::string line;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
+        if (first) {
+            first = false;
+            if (line == "#flextensor-cache v2") {
+                versioned = true;
+                continue;
+            }
+        }
+        if (line[0] == '#') {
+            if (versioned && line.rfind("#count=", 0) == 0) {
+                try {
+                    declared = std::stoull(line.substr(7));
+                    saw_footer = true;
+                } catch (...) {
+                    corrupt = true;
+                }
+            }
+            continue;
+        }
         auto tab1 = line.find('\t');
         auto tab2 = line.find('\t', tab1 + 1);
         if (tab1 == std::string::npos || tab2 == std::string::npos) {
             warn("skipping malformed tuning record: ", line);
+            corrupt = true;
             continue;
         }
         TuningRecord record;
@@ -227,16 +259,26 @@ TuningCache::load(const std::string &path)
                 std::stod(line.substr(tab1 + 1, tab2 - tab1 - 1));
         } catch (...) {
             warn("skipping tuning record with bad value: ", line);
+            corrupt = true;
             continue;
         }
         auto config = parseConfig(line.substr(tab2 + 1));
         if (!config) {
             warn("skipping tuning record with bad config: ", line);
+            corrupt = true;
             continue;
         }
         record.config = std::move(*config);
-        put(record);
+        staged.push_back(std::move(record));
     }
+    if (versioned &&
+        (corrupt || !saw_footer || declared != staged.size())) {
+        warn("tuning cache ", path,
+             " is truncated or corrupt; starting with an empty cache");
+        return true;
+    }
+    for (const TuningRecord &record : staged)
+        put(record);
     return true;
 }
 

@@ -18,14 +18,27 @@ TuningService::requestKey(const Operation &anchor, const Target &target,
                           const TuneOptions &options)
 {
     std::ostringstream oss;
+    const ExploreOptions &e = options.explore;
     oss << tuningKeyFor(anchor, target.deviceName()) << "#"
         << methodName(options.method)
-        << "|trials=" << options.explore.trials
-        << "|starts=" << options.explore.startingPoints
-        << "|warmup=" << options.explore.warmupPoints
-        << "|seed=" << options.explore.seed
-        << "|target=" << options.explore.targetGflops
-        << "|tmpl=" << options.templateRestricted;
+        << "|trials=" << e.trials
+        << "|starts=" << e.startingPoints
+        << "|warmup=" << e.warmupPoints
+        << "|seed=" << e.seed
+        << "|target=" << e.targetGflops
+        << "|tmpl=" << options.templateRestricted
+        << "|deadline=" << e.deadlineSimSeconds
+        << "|ckpt=" << e.checkpointPath;
+    // The fault profile and retry policy shape the result; they are part
+    // of the request identity.
+    const ResilienceOptions &r = e.resilience;
+    if (r.injector && r.injector->profile().enabled()) {
+        oss << "|faults=" << r.injector->profile().fingerprint()
+            << "|retries=" << r.maxRetries
+            << "|backoff=" << r.backoffBaseSeconds
+            << "|tdl=" << r.trialDeadlineSeconds
+            << "|rep=" << r.repeats;
+    }
     return oss.str();
 }
 
@@ -100,6 +113,12 @@ TuningService::tuneAnchor(const Operation &anchor, const Target &target,
     {
         std::lock_guard<std::mutex> lock(mu_);
         evaluations_ += static_cast<uint64_t>(report.trials);
+        failures_ += report.failures;
+        retries_ += report.retries;
+        timeouts_ += report.timeouts;
+        quarantined_ += report.quarantined;
+        if (report.degraded)
+            ++degradedReports_;
         if (report.fromCache)
             ++persistentCacheHits_;
         lruPut(key, report);
@@ -142,6 +161,11 @@ TuningService::stats() const
     out.coalescedJoins = coalescedJoins_;
     out.tuningRuns = tuningRuns_;
     out.evaluations = evaluations_;
+    out.failures = failures_;
+    out.retries = retries_;
+    out.timeouts = timeouts_;
+    out.quarantined = quarantined_;
+    out.degradedReports = degradedReports_;
     out.inflight = inflight_.size();
     out.resultCacheSize = lru_.size();
     return out;

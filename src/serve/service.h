@@ -54,6 +54,11 @@ struct ServiceStats
     uint64_t coalescedJoins = 0;     ///< requests that joined an in-flight run
     uint64_t tuningRuns = 0;         ///< actual exploration runs started
     uint64_t evaluations = 0;        ///< schedule measurements performed
+    uint64_t failures = 0;           ///< failed measurement attempts
+    uint64_t retries = 0;            ///< measurement attempts retried
+    uint64_t timeouts = 0;           ///< measurements killed at the deadline
+    uint64_t quarantined = 0;        ///< points quarantined as unmeasurable
+    uint64_t degradedReports = 0;    ///< runs cut short by their deadline
     size_t inflight = 0;             ///< runs currently executing
     size_t resultCacheSize = 0;      ///< reports currently in the LRU
     size_t evalQueueDepth = 0;       ///< jobs queued on the evaluation pool
@@ -122,6 +127,11 @@ class TuningService
     uint64_t coalescedJoins_ = 0;
     uint64_t tuningRuns_ = 0;
     uint64_t evaluations_ = 0;
+    uint64_t failures_ = 0;
+    uint64_t retries_ = 0;
+    uint64_t timeouts_ = 0;
+    uint64_t quarantined_ = 0;
+    uint64_t degradedReports_ = 0;
 };
 
 } // namespace ft

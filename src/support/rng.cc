@@ -116,4 +116,24 @@ Rng::index(std::size_t size)
     return static_cast<size_t>(below(size));
 }
 
+RngState
+Rng::state() const
+{
+    RngState out;
+    for (int i = 0; i < 4; ++i)
+        out.s[i] = state_[i];
+    out.haveSpare = haveSpare_;
+    out.spare = spare_;
+    return out;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (int i = 0; i < 4; ++i)
+        state_[i] = state.s[i];
+    haveSpare_ = state.haveSpare;
+    spare_ = state.spare;
+}
+
 } // namespace ft

@@ -16,6 +16,14 @@
 
 namespace ft {
 
+/** Complete generator state, exposed for checkpoint/resume. */
+struct RngState
+{
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool haveSpare = false; ///< Box-Muller spare normal is banked
+    double spare = 0.0;
+};
+
 /**
  * xoshiro256** generator seeded via SplitMix64.
  *
@@ -54,6 +62,12 @@ class Rng
 
     /** Pick a uniformly random index of a non-empty container size. */
     std::size_t index(std::size_t size);
+
+    /** Snapshot the full generator state (checkpointing). */
+    RngState state() const;
+
+    /** Restore a state captured by state(); resumes the exact stream. */
+    void setState(const RngState &state);
 
     /** In-place Fisher-Yates shuffle. */
     template <typename T>

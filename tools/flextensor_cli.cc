@@ -25,15 +25,29 @@
  *   --trials <n>      exploration steps                   (default 200)
  *   --seed <n>        RNG seed
  *   --cache <file>    tuning-cache file to load and update
+ *   --deadline <sec>  per-run simulated deadline; an expired run returns
+ *                     its best-so-far result flagged [degraded]
+ *   --inject-faults <spec>  deterministic measurement faults, e.g.
+ *                     "transient=0.1,permanent=0.02,timeout=0.05,
+ *                      outlier=0.1,seed=7" (also: flaky, hang, scale)
+ *
+ * Single-op only:
+ *   --checkpoint <file>  snapshot the run periodically and resume from
+ *                        the file when it matches (method/seed/space)
  *
  * batch/serve options:
  *   --threads <n>         measurement workers per run     (default 4)
  *   --request-threads <n> concurrent tuning runs          (default 4)
  *   --repeat <n>          passes over the spec list       (default 1)
+ *
+ * In batch/serve mode a malformed or unknown SPEC is skipped with a
+ * warning; the exit code is nonzero only when every spec was invalid.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +55,7 @@
 #include "core/flextensor.h"
 #include "ir/inline.h"
 #include "serve/service.h"
+#include "support/fault_injector.h"
 #include "support/logging.h"
 
 using namespace ft;
@@ -107,9 +122,14 @@ baselineFor(const std::string &op, const Target &target)
     return Library::CuDnn;
 }
 
-/** Resolve "OP" or "OP:CASE" to a buildable test case. */
-ops::TestCase
-resolveSpec(const std::string &spec)
+/**
+ * Resolve "OP" or "OP:CASE" to a buildable test case, or nullopt when
+ * the operator or case is unknown. Never fatals: batch/serve input can
+ * come from untrusted spec files and one bad line must not abort a
+ * multi-hour run.
+ */
+std::optional<ops::TestCase>
+tryResolveSpec(const std::string &spec)
 {
     std::string op = spec, case_id;
     auto colon = spec.find(':');
@@ -117,12 +137,26 @@ resolveSpec(const std::string &spec)
         op = spec.substr(0, colon);
         case_id = spec.substr(colon + 1);
     }
-    auto cases = ops::table3Cases(op); // fatals on an unknown operator
-    for (const auto &tc : cases) {
+    auto known = ops::table3Operators();
+    if (std::find(known.begin(), known.end(), op) == known.end() &&
+        op != "BCM" && op != "SHO")
+        return std::nullopt;
+    for (const auto &tc : ops::table3Cases(op)) {
         if (case_id.empty() || tc.id == case_id)
             return tc;
     }
-    fatal("unknown case '", case_id, "' for ", op);
+    return std::nullopt;
+}
+
+/** Parse --inject-faults (fatals on a malformed spec: operator error). */
+FaultProfile
+parseFaultsArg(const std::string &spec)
+{
+    auto profile = parseFaultProfile(spec);
+    if (!profile)
+        fatal("bad --inject-faults spec '", spec,
+              "' (e.g. transient=0.1,permanent=0.02,seed=7)");
+    return *profile;
 }
 
 /** `batch`/`serve` subcommands: tune many specs through TuningService. */
@@ -132,6 +166,8 @@ runService(bool from_stdin, int argc, char **argv)
     std::string target_name = "v100", method_name = "q", cache_path;
     int trials = 200, threads = 4, request_threads = 4, repeat = 1;
     uint64_t seed = 0xc11;
+    double deadline = 0.0;
+    FaultProfile faults;
     std::vector<std::string> specs;
 
     for (int i = 2; i < argc; ++i) {
@@ -152,6 +188,10 @@ runService(bool from_stdin, int argc, char **argv)
             seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg("--cache")) {
             cache_path = argv[++i];
+        } else if (arg("--deadline")) {
+            deadline = std::atof(argv[++i]);
+        } else if (arg("--inject-faults")) {
+            faults = parseFaultsArg(argv[++i]);
         } else if (arg("--threads")) {
             threads = std::atoi(argv[++i]);
         } else if (arg("--request-threads")) {
@@ -190,12 +230,26 @@ runService(bool from_stdin, int argc, char **argv)
     tune_options.method = parseMethod(method_name);
     tune_options.explore.trials = trials;
     tune_options.explore.seed = seed;
+    tune_options.explore.deadlineSimSeconds = deadline;
+    FaultInjector injector(faults); // outlives every run below
+    if (faults.enabled())
+        tune_options.explore.resilience.injector = &injector;
 
     // Build the graphs up front; the service tunes them concurrently.
+    // A spec that fails to resolve is skipped, not fatal: one bad line
+    // must not take down the remaining work.
     std::vector<std::pair<std::string, Tensor>> work;
     for (const auto &spec : specs) {
-        ops::TestCase tc = resolveSpec(spec);
-        work.emplace_back(tc.op + ":" + tc.id, tc.build());
+        auto tc = tryResolveSpec(spec);
+        if (!tc) {
+            warn("skipping unknown operator spec '", spec, "'");
+            continue;
+        }
+        work.emplace_back(tc->op + ":" + tc->id, tc->build());
+    }
+    if (work.empty()) {
+        warn("no valid operator specs out of ", specs.size());
+        return 1;
     }
 
     std::printf("%s: %zu specs x %d pass(es) on %s, %d measurement "
@@ -210,10 +264,11 @@ runService(bool from_stdin, int argc, char **argv)
         for (size_t i = 0; i < futures.size(); ++i) {
             TuneReport report = futures[i].get();
             std::printf("pass %d  %-10s %8.1f GFLOPS  kernel %8.3f ms  "
-                        "%4d trials%s\n",
+                        "%4d trials%s%s\n",
                         pass + 1, work[i].first.c_str(), report.gflops,
                         report.kernelSeconds * 1e3, report.trials,
-                        report.fromCache ? "  [cached]" : "");
+                        report.fromCache ? "  [cached]" : "",
+                        report.degraded ? "  [degraded]" : "");
         }
     }
 
@@ -225,6 +280,11 @@ runService(bool from_stdin, int argc, char **argv)
                 "  result-cache hits %llu\n"
                 "  persistent hits   %llu\n"
                 "  evaluations       %llu\n"
+                "  failures          %llu\n"
+                "  retries           %llu\n"
+                "  timeouts          %llu\n"
+                "  quarantined       %llu\n"
+                "  degraded reports  %llu\n"
                 "  eval queue depth  %zu\n",
                 (unsigned long long)stats.requests,
                 (unsigned long long)stats.tuningRuns,
@@ -232,6 +292,11 @@ runService(bool from_stdin, int argc, char **argv)
                 (unsigned long long)stats.resultCacheHits,
                 (unsigned long long)stats.persistentCacheHits,
                 (unsigned long long)stats.evaluations,
+                (unsigned long long)stats.failures,
+                (unsigned long long)stats.retries,
+                (unsigned long long)stats.timeouts,
+                (unsigned long long)stats.quarantined,
+                (unsigned long long)stats.degradedReports,
                 stats.evalQueueDepth);
 
     if (!cache_path.empty() && !cache.save(cache_path))
@@ -249,9 +314,11 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
         return runService(/*from_stdin=*/true, argc, argv);
     std::string op_name = "C2D", case_id, target_name = "v100";
-    std::string method_name = "q", cache_path;
+    std::string method_name = "q", cache_path, checkpoint_path;
     int trials = 200;
     uint64_t seed = 0xc11;
+    double deadline = 0.0;
+    FaultProfile faults;
     bool with_baseline = false;
     bool emit_code = false;
 
@@ -284,6 +351,12 @@ main(int argc, char **argv)
             seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg("--cache")) {
             cache_path = argv[++i];
+        } else if (arg("--deadline")) {
+            deadline = std::atof(argv[++i]);
+        } else if (arg("--checkpoint")) {
+            checkpoint_path = argv[++i];
+        } else if (arg("--inject-faults")) {
+            faults = parseFaultsArg(argv[++i]);
         } else {
             fatal("unknown argument '", argv[i], "' (see --list / header)");
         }
@@ -307,6 +380,11 @@ main(int argc, char **argv)
     options.method = parseMethod(method_name);
     options.explore.trials = trials;
     options.explore.seed = seed;
+    options.explore.deadlineSimSeconds = deadline;
+    options.explore.checkpointPath = checkpoint_path;
+    FaultInjector injector(faults);
+    if (faults.enabled())
+        options.explore.resilience.injector = &injector;
     if (!cache_path.empty())
         options.cache = &cache;
 
@@ -319,14 +397,24 @@ main(int argc, char **argv)
     std::printf("%s", toString(graph).c_str());
     TuneReport report = tune(out, target, options);
 
-    std::printf("\nresult: %.1f GFLOPS (kernel %.3f ms)%s\n", report.gflops,
-                report.kernelSeconds * 1e3,
-                report.fromCache ? " [from cache]" : "");
+    std::printf("\nresult: %.1f GFLOPS (kernel %.3f ms)%s%s%s\n",
+                report.gflops, report.kernelSeconds * 1e3,
+                report.fromCache ? " [from cache]" : "",
+                report.degraded ? " [degraded: deadline reached]" : "",
+                report.resumed ? " [resumed from checkpoint]" : "");
     if (!report.fromCache) {
         std::printf("explored %d schedules of %.2e in %.0f simulated "
                     "seconds\n",
                     report.trials, report.spaceSize,
                     report.simExploreSeconds);
+    }
+    if (report.failures || report.timeouts || report.quarantined) {
+        std::printf("faults: %llu failures, %llu retries, %llu timeouts, "
+                    "%llu quarantined\n",
+                    (unsigned long long)report.failures,
+                    (unsigned long long)report.retries,
+                    (unsigned long long)report.timeouts,
+                    (unsigned long long)report.quarantined);
     }
     std::printf("schedule: %s\n", serializeConfig(report.config).c_str());
 
