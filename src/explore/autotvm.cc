@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "ml/gbt.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -14,6 +16,12 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
 {
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
+    eval.setObs(options.obs);
+    TraceRecorder *trace = options.obs.trace;
+    Counter *step_counter = maybeCounter(options.obs.metrics,
+                                         "explore.steps");
+    Counter *fit_counter = maybeCounter(options.obs.metrics,
+                                        "autotvm.model_fits");
     ResilientEvaluator reval(eval, options.evalPool,
                              options.measureParallelism, options.resilience);
     if (!options.checkpointPath.empty()) {
@@ -42,6 +50,10 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
             deadline_exceeded = true;
             break;
         }
+        if (trace) {
+            trace->begin("step", eval.simulatedSeconds(),
+                         {tint("measured", measured)});
+        }
         // Candidate pool: random points ranked by the cost model (pure
         // random before the model has data).
         std::vector<Point> candidates;
@@ -50,8 +62,11 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
             if (!eval.known(p))
                 candidates.push_back(std::move(p));
         }
-        if (candidates.empty())
+        if (candidates.empty()) {
+            if (trace)
+                trace->end("step", eval.simulatedSeconds());
             break;
+        }
         if (model.trained()) {
             std::stable_sort(candidates.begin(), candidates.end(),
                              [&](const Point &a, const Point &b) {
@@ -85,8 +100,21 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
         }
         measured += static_cast<int>(picks.size());
         // Refit the cost model on everything measured so far.
+        if (trace) {
+            trace->begin("model_fit", eval.simulatedSeconds(),
+                         {tint("samples",
+                               static_cast<int64_t>(train_x.size()))});
+        }
         model.fit(train_x, train_y, gbt_options, rng);
         eval.chargeOverhead(model_overhead);
+        if (trace)
+            trace->end("model_fit", eval.simulatedSeconds());
+        if (fit_counter)
+            fit_counter->add();
+        if (trace)
+            trace->end("step", eval.simulatedSeconds());
+        if (step_counter)
+            step_counter->add();
     }
 
     ExploreResult out;

@@ -1,5 +1,7 @@
 #include "explore/evaluator.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace ft {
@@ -53,6 +55,17 @@ Evaluator::scoreOnly(const Point &p) const
 }
 
 void
+Evaluator::setObs(const ObsContext &obs)
+{
+    obs_ = obs;
+    commitCounter_ = maybeCounter(obs_.metrics, "explore.evals");
+    bestGauge_ = maybeGauge(obs_.metrics, "explore.best_gflops");
+    simGauge_ = maybeGauge(obs_.metrics, "explore.sim_seconds");
+    gflopsHist_ = maybeHistogram(obs_.metrics, "eval.gflops",
+                                 {1.0, 10.0, 100.0, 1000.0, 10000.0});
+}
+
+void
 Evaluator::commitMeasured(const Point &p, double gflops, double simCharge)
 {
     auto [it, inserted] = cache_.emplace(p.key(), gflops);
@@ -65,6 +78,19 @@ Evaluator::commitMeasured(const Point &p, double gflops, double simCharge)
         bestPoint_ = p;
     }
     curve_.emplace_back(simSeconds_, best_);
+    if (obs_.trace) {
+        obs_.trace->point(
+            "eval", simSeconds_,
+            {tint("trial", static_cast<int64_t>(history_.size())),
+             tstr("key", p.key()), treal("gflops", gflops),
+             treal("best", best_)});
+    }
+    if (commitCounter_) {
+        commitCounter_->add();
+        bestGauge_->set(best_);
+        simGauge_->set(simSeconds_);
+        gflopsHist_->observe(gflops);
+    }
 }
 
 bool

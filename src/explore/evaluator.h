@@ -16,11 +16,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "schedule/generator.h"
 #include "sim/perf_model.h"
 #include "space/space.h"
 
 namespace ft {
+
+class Counter;
+class Gauge;
+class Histogram;
 
 /** Performance value assigned to model-invalid schedules. */
 inline constexpr double kInvalidGflops = 1e-3;
@@ -100,6 +105,17 @@ class Evaluator
     void setMeasureCost(double seconds) { measureCost_ = seconds; }
     double measureCost() const { return measureCost_; }
 
+    /**
+     * Attach observability sinks (not owned; may both be null). Every
+     * commit then emits an "eval" trace event and updates the
+     * exploration metrics. Observation only: attaching sinks never
+     * changes values, H order, or the simulated clock.
+     */
+    void setObs(const ObsContext &obs);
+
+    /** The attached sinks (shared by the batch/resilient layers). */
+    const ObsContext &obs() const { return obs_; }
+
     /** (simulated time, best-so-far) after each measurement. */
     const std::vector<std::pair<double, double>> &curve() const
     {
@@ -115,6 +131,13 @@ class Evaluator
     const ScheduleSpace &space_;
     Target target_;
     double measureCost_;
+
+    ObsContext obs_;
+    /** Pre-resolved instrument handles (null when metrics are off). */
+    Counter *commitCounter_ = nullptr;
+    Gauge *bestGauge_ = nullptr;
+    Gauge *simGauge_ = nullptr;
+    Histogram *gflopsHist_ = nullptr;
 
     std::unordered_map<std::string, double> cache_;
     std::vector<Evaluated> history_;

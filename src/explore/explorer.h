@@ -22,6 +22,7 @@
 
 #include "explore/evaluator.h"
 #include "explore/resilient.h"
+#include "obs/obs.h"
 
 namespace ft {
 
@@ -76,6 +77,14 @@ struct ExploreOptions
      */
     std::string checkpointPath;
     int checkpointEveryTrials = 10;
+    /**
+     * Observability sinks (trace timeline + metrics registry; both
+     * optional, not owned). Attached to the evaluator at run start so
+     * every layer — warmup, SA steps, Q-network, batch evaluation,
+     * checkpointing — reports through the same context. Pure
+     * observation: results are bit-identical with sinks on or off.
+     */
+    ObsContext obs;
 };
 
 /** Outcome of an exploration run. */

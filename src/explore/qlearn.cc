@@ -5,6 +5,8 @@
 #include "explore/checkpoint.h"
 #include "explore/sa.h"
 #include "nn/mlp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 #include "support/rng.h"
 
@@ -37,13 +39,24 @@ warmup(ResilientEvaluator &reval, Rng &rng, const ExploreOptions &options)
 {
     // One parallel measurement batch: seeds, random warmup, and the
     // deterministic initial point, committed in that order.
-    const ScheduleSpace &space = reval.evaluator().space();
+    Evaluator &eval = reval.evaluator();
+    const ScheduleSpace &space = eval.space();
     std::vector<Point> points = options.seedPoints;
     points.reserve(points.size() + options.warmupPoints + 1);
     for (int i = 0; i < options.warmupPoints; ++i)
         points.push_back(space.randomPoint(rng));
     points.push_back(space.initialPoint());
+    if (options.obs.trace) {
+        options.obs.trace->begin(
+            "warmup", eval.simulatedSeconds(),
+            {tint("points", static_cast<int64_t>(points.size()))});
+    }
     reval.evaluate(points);
+    if (options.obs.trace)
+        options.obs.trace->end("warmup", eval.simulatedSeconds());
+    if (options.obs.metrics)
+        options.obs.metrics->counter("explore.warmup_points")
+            .add(points.size());
 }
 
 ExploreResult
@@ -124,7 +137,18 @@ maybeSnapshot(const ExploreOptions &options, const std::string &method,
         for (const Transition &t : *replay)
             state.replay.push_back({t.start.idx, t.direction, t.next.idx});
     }
-    if (!saveCheckpoint(options.checkpointPath, state))
+    if (options.obs.trace) {
+        options.obs.trace->begin("checkpoint_save", eval.simulatedSeconds(),
+                                 {tint("trial", trial + 1)});
+    }
+    bool saved = saveCheckpoint(options.checkpointPath, state);
+    if (options.obs.trace) {
+        options.obs.trace->end("checkpoint_save", eval.simulatedSeconds(),
+                               {tbool("ok", saved)});
+    }
+    if (options.obs.metrics)
+        options.obs.metrics->counter("checkpoint.saves").add();
+    if (!saved)
         warn("could not write checkpoint to ", options.checkpointPath);
 }
 
@@ -159,6 +183,12 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
 {
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
+    eval.setObs(options.obs);
+    TraceRecorder *trace = options.obs.trace;
+    MetricsRegistry *metrics = options.obs.metrics;
+    Counter *step_counter = maybeCounter(metrics, "explore.steps");
+    Counter *forward_counter = maybeCounter(metrics, "q.forward_passes");
+    Counter *train_counter = maybeCounter(metrics, "q.train_rounds");
     ResilientEvaluator reval(eval, options.evalPool,
                              options.measureParallelism, options.resilience);
 
@@ -209,8 +239,14 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
             deadline_exceeded = true;
             break;
         }
+        if (trace) {
+            trace->begin("step", eval.simulatedSeconds(),
+                         {tint("trial", trial)});
+        }
         auto starts = chooser.chooseMany(eval, rng, options.startingPoints);
         for (const Point &start : starts) {
+            if (trace)
+                trace->begin("q_forward", eval.simulatedSeconds());
             std::vector<float> feat = toFloat(space.features(start));
             std::vector<float> q = netX.forward(feat);
 
@@ -218,12 +254,21 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
             std::vector<int> order(num_dirs);
             for (int d = 0; d < num_dirs; ++d)
                 order[d] = d;
-            if (rng.chance(options.epsilon)) {
+            const bool greedy = !rng.chance(options.epsilon);
+            if (!greedy) {
                 rng.shuffle(order);
             } else {
                 std::sort(order.begin(), order.end(),
                           [&](int a, int b) { return q[a] > q[b]; });
             }
+            if (trace) {
+                trace->end("q_forward", eval.simulatedSeconds(),
+                           {tstr("key", start.key()),
+                            tint("predicted", order.empty() ? -1 : order[0]),
+                            tbool("greedy", greedy)});
+            }
+            if (forward_counter)
+                forward_counter->add();
 
             // Take the best direction that leads to an unvisited point.
             for (int d : order) {
@@ -236,12 +281,20 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
                     (e_next - e_start) / std::max(e_start, 1e-9));
                 replay.push_back({start, *next, feat, d,
                                   toFloat(space.features(*next)), reward});
+                if (trace) {
+                    trace->point("q_step", eval.simulatedSeconds(),
+                                 {tstr("key", next->key()), tint("dir", d),
+                                  treal("reward", reward),
+                                  tbool("greedy", greedy)});
+                }
                 break;
             }
         }
 
         // Periodic online training of X against the target network Y.
         if ((trial + 1) % options.trainEvery == 0 && !replay.empty()) {
+            if (trace)
+                trace->begin("q_train", eval.simulatedSeconds());
             netX.zeroGrad();
             int batch = std::min<int>(options.replayBatch,
                                       static_cast<int>(replay.size()));
@@ -257,8 +310,18 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
             }
             netX.step(adadelta);
             netY.copyValuesFrom(netX);
+            if (trace) {
+                trace->end("q_train", eval.simulatedSeconds(),
+                           {tint("batch", batch)});
+            }
+            if (train_counter)
+                train_counter->add();
         }
         eval.chargeOverhead(options.stepOverheadSeconds);
+        if (trace)
+            trace->end("step", eval.simulatedSeconds());
+        if (step_counter)
+            step_counter->add();
         maybeSnapshot(options, "Q-method", trial, eval,
                       rng, reval, &netX, &replay);
     }
@@ -270,6 +333,10 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
 {
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
+    eval.setObs(options.obs);
+    TraceRecorder *trace = options.obs.trace;
+    Counter *step_counter = maybeCounter(options.obs.metrics,
+                                         "explore.steps");
     ResilientEvaluator reval(eval, options.evalPool,
                              options.measureParallelism, options.resilience);
     SaChooser chooser(options.saGamma);
@@ -296,6 +363,10 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
             deadline_exceeded = true;
             break;
         }
+        if (trace) {
+            trace->begin("step", eval.simulatedSeconds(),
+                         {tint("trial", trial)});
+        }
         auto starts = chooser.chooseMany(eval, rng, options.startingPoints);
         for (const Point &start : starts) {
             if (reachedTarget(eval, options))
@@ -316,6 +387,10 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
             reval.evaluate(neighborhood);
         }
         eval.chargeOverhead(options.stepOverheadSeconds);
+        if (trace)
+            trace->end("step", eval.simulatedSeconds());
+        if (step_counter)
+            step_counter->add();
         maybeSnapshot(options, "P-method", trial, eval,
                       rng, reval);
     }
@@ -327,6 +402,10 @@ exploreRandom(Evaluator &eval, const ExploreOptions &options)
 {
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
+    eval.setObs(options.obs);
+    TraceRecorder *trace = options.obs.trace;
+    Counter *step_counter = maybeCounter(options.obs.metrics,
+                                         "explore.steps");
     ResilientEvaluator reval(eval, options.evalPool,
                              options.measureParallelism, options.resilience);
 
@@ -351,7 +430,15 @@ exploreRandom(Evaluator &eval, const ExploreOptions &options)
             deadline_exceeded = true;
             break;
         }
+        if (trace) {
+            trace->begin("step", eval.simulatedSeconds(),
+                         {tint("trial", trial)});
+        }
         reval.evaluate(space.randomPoint(rng));
+        if (trace)
+            trace->end("step", eval.simulatedSeconds());
+        if (step_counter)
+            step_counter->add();
         maybeSnapshot(options, "random", trial, eval,
                       rng, reval);
     }

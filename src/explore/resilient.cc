@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace ft {
@@ -44,6 +46,7 @@ ResilientEvaluator::Measured
 ResilientEvaluator::measureWithFaults(const std::string &key,
                                       double trueScore)
 {
+    const ResilienceStats before = stats_;
     const FaultInjector &injector = *options_.injector;
     const double measure_cost = eval_.measureCost();
     const double deadline = options_.trialDeadlineSeconds;
@@ -96,8 +99,24 @@ ResilientEvaluator::measureWithFaults(const std::string &key,
         ++stats_.quarantined;
         debug("quarantined point ", key, " after ", attempt,
               " failed attempts");
+        if (eval_.obs().trace) {
+            eval_.obs().trace->point("quarantine",
+                                     eval_.simulatedSeconds(),
+                                     {tstr("key", key),
+                                      tint("attempts", attempt)});
+        }
     }
     ++stats_.measurements;
+    if (MetricsRegistry *m = eval_.obs().metrics) {
+        m->counter("resilience.failures")
+            .add(stats_.failures - before.failures);
+        m->counter("resilience.retries").add(stats_.retries - before.retries);
+        m->counter("resilience.timeouts")
+            .add(stats_.timeouts - before.timeouts);
+        m->counter("resilience.quarantined")
+            .add(stats_.quarantined - before.quarantined);
+        m->counter("resilience.measurements").add();
+    }
     return out;
 }
 
@@ -118,6 +137,14 @@ ResilientEvaluator::evaluate(const std::vector<Point> &points)
     }
 
     if (!fresh.empty()) {
+        const ObsContext &obs = eval_.obs();
+        if (obs.trace) {
+            obs.trace->begin(
+                "batch_evaluate", eval_.simulatedSeconds(),
+                {tint("batch", static_cast<int64_t>(points.size())),
+                 tint("fresh", static_cast<int64_t>(fresh.size())),
+                 tbool("faults", true)});
+        }
         // True scores in parallel (pure model queries)...
         std::vector<double> true_scores(fresh.size());
         auto score = [&](size_t j) {
@@ -148,6 +175,16 @@ ResilientEvaluator::evaluate(const std::vector<Point> &points)
         for (size_t j = 0; j < fresh.size(); ++j)
             eval_.commitMeasured(points[fresh[j]], measured[j].value,
                                  per_point);
+        if (obs.trace)
+            obs.trace->end("batch_evaluate", eval_.simulatedSeconds());
+        if (obs.metrics) {
+            obs.metrics->counter("eval.batches").add();
+            obs.metrics->counter("eval.fresh_points").add(fresh.size());
+            obs.metrics
+                ->histogram("eval.batch_size",
+                            {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+                .observe(static_cast<double>(fresh.size()));
+        }
     }
 
     std::vector<double> out(points.size());

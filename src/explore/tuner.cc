@@ -2,6 +2,8 @@
 
 #include "analysis/static_analyzer.h"
 #include "ir/inline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace ft {
@@ -22,10 +24,30 @@ TuneReport
 tuneOp(const Operation &anchor, const Target &target,
        const TuneOptions &options)
 {
+    const ObsContext &obs = options.explore.obs;
+    if (obs.trace) {
+        obs.trace->meta(
+            "run",
+            {tstr("op", anchor->name()),
+             tstr("device", target.deviceName()),
+             tstr("method", methodName(options.method)),
+             tint("seed", static_cast<int64_t>(options.explore.seed)),
+             tint("trials", options.explore.trials)});
+        // The space is built before any measurement: sim clock is 0.
+        obs.trace->begin("space_build", 0.0);
+    }
     SpaceOptions space_options;
     space_options.templateRestricted =
         options.templateRestricted || options.method == Method::AutoTvm;
     ScheduleSpace space = buildSpace(anchor, target, space_options);
+    if (obs.trace) {
+        obs.trace->end("space_build", 0.0,
+                       {treal("size", space.size()),
+                        tint("dims", space.numSubSpaces()),
+                        tint("directions", space.numDirections())});
+    }
+    if (obs.metrics)
+        obs.metrics->counter("tuner.runs").add();
 
     const std::string key =
         options.cache ? tuningKeyFor(anchor, target.deviceName()) : "";
@@ -42,6 +64,14 @@ tuneOp(const Operation &anchor, const Target &target,
                     report.spaceSize = space.size();
                     report.device = target.deviceName();
                     report.fromCache = true;
+                    if (obs.trace) {
+                        obs.trace->point("report", 0.0,
+                                         {treal("best", report.gflops),
+                                          tint("trials", 0),
+                                          tbool("cached", true)});
+                    }
+                    if (obs.metrics)
+                        obs.metrics->counter("tuner.cache_hits").add();
                     return report;
                 }
             }
@@ -85,6 +115,17 @@ tuneOp(const Operation &anchor, const Target &target,
 
     if (options.cache)
         options.cache->put({key, report.config, report.gflops});
+
+    if (obs.trace) {
+        obs.trace->point("report", result.simSeconds,
+                         {treal("best", report.gflops),
+                          tint("trials", report.trials),
+                          tbool("degraded", report.degraded),
+                          tbool("resumed", report.resumed),
+                          tbool("cached", false)});
+    }
+    if (obs.metrics && report.degraded)
+        obs.metrics->counter("tuner.degraded_reports").add();
 
     inform("tuned ", anchor->name(), " on ", report.device, " with ",
            methodName(options.method), ": ", report.gflops,

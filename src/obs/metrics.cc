@@ -1,0 +1,153 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace ft {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1])
+{
+    FT_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be ascending");
+    for (size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    size_t bucket =
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin();
+    counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> is C++20; keep the CAS loop for older
+    // libstdc++ configurations and TSan friendliness.
+    double old = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(old, old + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<uint64_t>
+Histogram::counts() const
+{
+    std::vector<uint64_t> out(bounds_.size() + 1);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = counts_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    for (const auto &[n, v] : counters) {
+        if (n == name)
+            return v;
+    }
+    return 0;
+}
+
+double
+MetricsSnapshot::gauge(const std::string &name) const
+{
+    for (const auto &[n, v] : gauges) {
+        if (n == name)
+            return v;
+    }
+    return 0.0;
+}
+
+std::string
+MetricsSnapshot::toString() const
+{
+    std::ostringstream oss;
+    for (const auto &[name, v] : counters)
+        oss << "  " << name << " = " << v << "\n";
+    for (const auto &[name, v] : gauges) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+        oss << "  " << name << " = " << buf << "\n";
+    }
+    for (const Hist &h : histograms) {
+        oss << "  " << h.name << " (n=" << h.total;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f", h.sum);
+        oss << ", sum=" << buf << "):";
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+            if (h.counts[i] == 0)
+                continue;
+            if (i < h.bounds.size())
+                std::snprintf(buf, sizeof(buf), " le%g=%llu", h.bounds[i],
+                              (unsigned long long)h.counts[i]);
+            else
+                std::snprintf(buf, sizeof(buf), " inf=%llu",
+                              (unsigned long long)h.counts[i]);
+            oss << buf;
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot out;
+    out.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.counters.emplace_back(name, c->value());
+    out.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.gauges.emplace_back(name, g->value());
+    out.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_) {
+        MetricsSnapshot::Hist hist;
+        hist.name = name;
+        hist.bounds = h->bounds();
+        hist.counts = h->counts();
+        hist.total = h->total();
+        hist.sum = h->sum();
+        out.histograms.push_back(std::move(hist));
+    }
+    return out;
+}
+
+} // namespace ft

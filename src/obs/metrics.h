@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Lock-cheap metrics registry: named counters, gauges, and fixed-bucket
+ * histograms for the exploration and serving layers.
+ *
+ * Instruments are plain atomics, so updating one is a single relaxed
+ * read-modify-write with no lock; the registry mutex is taken only when
+ * an instrument is first created and when a snapshot is read. Code that
+ * may run without metrics holds a nullable `MetricsRegistry *` (see
+ * ObsContext) and skips the update entirely when it is null, so the
+ * disabled path costs one branch.
+ *
+ * snapshot() reads every instrument under the registry mutex, so a
+ * reader never sees a torn value and never races instrument creation;
+ * concurrent updates are individually atomic, which is the consistency
+ * the serving layer's `stats` output needs.
+ */
+#ifndef FLEXTENSOR_OBS_METRICS_H
+#define FLEXTENSOR_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ft {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+ * last bucket counts the rest. Bounds are fixed at creation so observe()
+ * is a search plus one atomic increment.
+ */
+class Histogram
+{
+  public:
+    /** @param bounds ascending inclusive upper bounds (may be empty). */
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** Per-bucket counts (bounds().size() + 1 entries). */
+    std::vector<uint64_t> counts() const;
+    uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+    std::atomic<uint64_t> total_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Point-in-time copy of every instrument in a registry. */
+struct MetricsSnapshot
+{
+    struct Hist
+    {
+        std::string name;
+        std::vector<double> bounds;
+        std::vector<uint64_t> counts;
+        uint64_t total = 0;
+        double sum = 0.0;
+    };
+
+    /** Sorted by name (std::map iteration order). */
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<Hist> histograms;
+
+    /** Value of a counter/gauge, or 0 when absent. */
+    uint64_t counter(const std::string &name) const;
+    double gauge(const std::string &name) const;
+
+    /** Multi-line human-readable rendering (CLI `--metrics`). */
+    std::string toString() const;
+};
+
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find-or-create; the returned reference stays valid for the
+     *  registry's lifetime. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** `bounds` is used only on first creation of `name`. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Handle lookup that tolerates a disabled (null) registry. */
+inline Counter *
+maybeCounter(MetricsRegistry *m, const std::string &name)
+{
+    return m ? &m->counter(name) : nullptr;
+}
+
+inline Gauge *
+maybeGauge(MetricsRegistry *m, const std::string &name)
+{
+    return m ? &m->gauge(name) : nullptr;
+}
+
+inline Histogram *
+maybeHistogram(MetricsRegistry *m, const std::string &name,
+               std::vector<double> bounds)
+{
+    return m ? &m->histogram(name, std::move(bounds)) : nullptr;
+}
+
+} // namespace ft
+
+#endif // FLEXTENSOR_OBS_METRICS_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * ObsContext: the nullable pair of observability sinks threaded through
+ * the exploration and serving layers.
+ *
+ * Both pointers are optional and not owned. Code holding a context
+ * guards every emission with a null check, so a disabled context costs
+ * one branch per site and — crucially — observation never changes
+ * behavior: with or without sinks attached, explorer results (history,
+ * best point, simulated clock, RNG stream) are bit-identical.
+ */
+#ifndef FLEXTENSOR_OBS_OBS_H
+#define FLEXTENSOR_OBS_OBS_H
+
+namespace ft {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+struct ObsContext
+{
+    TraceRecorder *trace = nullptr;     ///< per-run JSONL timeline
+    MetricsRegistry *metrics = nullptr; ///< counters/gauges/histograms
+
+    bool enabled() const { return trace != nullptr || metrics != nullptr; }
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_OBS_OBS_H

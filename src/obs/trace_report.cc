@@ -1,0 +1,169 @@
+#include "obs/trace_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ft {
+
+TraceReport
+foldTrace(const std::vector<ParsedTraceEvent> &events)
+{
+    TraceReport out;
+    out.events = events.size();
+
+    struct PhaseAcc
+    {
+        uint64_t spans = 0;
+        uint64_t points = 0;
+        double simSeconds = 0.0;
+        std::vector<double> openBegins; ///< stack: nested same-name spans
+    };
+    std::map<std::string, PhaseAcc> phases;
+
+    for (const ParsedTraceEvent &e : events) {
+        if (e.type != 'M')
+            out.simSeconds = std::max(out.simSeconds, e.sim);
+        switch (e.type) {
+          case 'M':
+            if (e.name == "run") {
+                out.op = e.str("op");
+                out.device = e.str("device");
+                out.method = e.str("method");
+                out.seed = static_cast<uint64_t>(e.integer("seed"));
+            }
+            break;
+          case 'B':
+            phases[e.name].openBegins.push_back(e.sim);
+            break;
+          case 'E': {
+            PhaseAcc &acc = phases[e.name];
+            if (!acc.openBegins.empty()) {
+                acc.simSeconds += e.sim - acc.openBegins.back();
+                acc.openBegins.pop_back();
+                ++acc.spans;
+            }
+            break;
+          }
+          case 'P': {
+            ++phases[e.name].points;
+            if (e.name == "eval") {
+                ++out.trials;
+                double best = e.real("best");
+                out.bestGflops = std::max(out.bestGflops, best);
+                out.curve.emplace_back(out.trials, best);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    for (auto &[name, acc] : phases) {
+        PhaseBreakdown p;
+        p.name = name;
+        p.spans = acc.spans;
+        p.points = acc.points;
+        p.simSeconds = acc.simSeconds;
+        out.phases.push_back(std::move(p));
+    }
+    std::sort(out.phases.begin(), out.phases.end(),
+              [](const PhaseBreakdown &a, const PhaseBreakdown &b) {
+                  if (a.simSeconds != b.simSeconds)
+                      return a.simSeconds > b.simSeconds;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::optional<TraceReport>
+loadTraceReport(const std::string &path)
+{
+    auto events = loadTraceFile(path);
+    if (!events)
+        return std::nullopt;
+    return foldTrace(*events);
+}
+
+std::string
+renderTraceReport(const TraceReport &report, int curvePoints)
+{
+    std::ostringstream oss;
+    char buf[160];
+    oss << "run: " << (report.op.empty() ? "?" : report.op) << " on "
+        << (report.device.empty() ? "?" : report.device) << " with "
+        << (report.method.empty() ? "?" : report.method) << " (seed "
+        << report.seed << ")\n";
+    std::snprintf(buf, sizeof(buf),
+                  "%llu events, %d trials, best %.1f GFLOPS, "
+                  "%.1f simulated seconds\n",
+                  (unsigned long long)report.events, report.trials,
+                  report.bestGflops, report.simSeconds);
+    oss << buf;
+
+    oss << "\nper-phase breakdown (simulated clock):\n";
+    std::snprintf(buf, sizeof(buf), "%-18s %8s %8s %12s %7s\n", "phase",
+                  "spans", "points", "sim-sec", "%");
+    oss << buf;
+    for (const PhaseBreakdown &p : report.phases) {
+        double pct = report.simSeconds > 0.0
+                         ? 100.0 * p.simSeconds / report.simSeconds
+                         : 0.0;
+        std::snprintf(buf, sizeof(buf), "%-18s %8llu %8llu %12.2f %6.1f%%\n",
+                      p.name.c_str(), (unsigned long long)p.spans,
+                      (unsigned long long)p.points, p.simSeconds, pct);
+        oss << buf;
+    }
+
+    if (!report.curve.empty() && curvePoints > 0) {
+        oss << "\nbest GFLOPS vs. trials (Fig. 7 series):\n";
+        // Sample evenly, always keeping the final point.
+        size_t n = report.curve.size();
+        size_t step = std::max<size_t>(1, n / (size_t)curvePoints);
+        for (size_t i = 0; i < n; i += step) {
+            size_t j = std::min(i + step - 1, n - 1);
+            if (i + step >= n)
+                j = n - 1;
+            std::snprintf(buf, sizeof(buf), "  trial %4d  %10.1f\n",
+                          report.curve[j].first, report.curve[j].second);
+            oss << buf;
+            if (j == n - 1)
+                break;
+        }
+    }
+    return oss.str();
+}
+
+std::string
+traceReportJson(const TraceReport &report)
+{
+    std::ostringstream oss;
+    oss << "{\"op\":\"" << report.op << "\",\"device\":\"" << report.device
+        << "\",\"method\":\"" << report.method << "\",\"seed\":"
+        << report.seed << ",\"events\":" << report.events
+        << ",\"trials\":" << report.trials
+        << ",\"bestGflops\":" << formatTraceDouble(report.bestGflops)
+        << ",\"simSeconds\":" << formatTraceDouble(report.simSeconds)
+        << ",\"phases\":[";
+    for (size_t i = 0; i < report.phases.size(); ++i) {
+        const PhaseBreakdown &p = report.phases[i];
+        if (i)
+            oss << ",";
+        oss << "{\"name\":\"" << p.name << "\",\"spans\":" << p.spans
+            << ",\"points\":" << p.points
+            << ",\"simSeconds\":" << formatTraceDouble(p.simSeconds) << "}";
+    }
+    oss << "],\"curve\":[";
+    for (size_t i = 0; i < report.curve.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << "[" << report.curve[i].first << ","
+            << formatTraceDouble(report.curve[i].second) << "]";
+    }
+    oss << "]}";
+    return oss.str();
+}
+
+} // namespace ft

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Folding a trace timeline into a run report: a per-phase time
+ * breakdown (simulated seconds and event counts per span name) and the
+ * best-GFLOPS-vs-trials curve — the data series behind the paper's
+ * Fig. 7 (performance vs. optimization time).
+ *
+ * Span nesting is allowed (a `step` span contains `batch_evaluate`
+ * spans); each phase accumulates its own begin→end sim-clock deltas, so
+ * nested phases are reported independently rather than subtracted from
+ * their parent.
+ */
+#ifndef FLEXTENSOR_OBS_TRACE_REPORT_H
+#define FLEXTENSOR_OBS_TRACE_REPORT_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ft {
+
+/** Accumulated time and event counts of one span/point name. */
+struct PhaseBreakdown
+{
+    std::string name;
+    uint64_t spans = 0;      ///< completed begin/end pairs
+    uint64_t points = 0;     ///< point events of this name
+    double simSeconds = 0.0; ///< sum of span durations on the sim clock
+};
+
+/** Everything trace_report derives from one timeline. */
+struct TraceReport
+{
+    /** Run metadata (empty when the trace lacks a meta event). */
+    std::string op, device, method;
+    uint64_t seed = 0;
+
+    uint64_t events = 0; ///< total timeline events
+    int trials = 0;      ///< eval commits seen
+    double bestGflops = 0.0;
+    double simSeconds = 0.0; ///< sim clock of the last event
+
+    /** Sorted by descending simSeconds, then name. */
+    std::vector<PhaseBreakdown> phases;
+
+    /** (trial index 1.., best-so-far GFLOPS) — the Fig. 7 series. */
+    std::vector<std::pair<int, double>> curve;
+};
+
+/** Fold parsed events into a report. */
+TraceReport foldTrace(const std::vector<ParsedTraceEvent> &events);
+
+/** Load + fold a JSONL trace file; nullopt when unreadable/malformed. */
+std::optional<TraceReport> loadTraceReport(const std::string &path);
+
+/** Human-readable rendering (the `trace-report` tool's output). */
+std::string renderTraceReport(const TraceReport &report,
+                              int curvePoints = 12);
+
+/** Machine-readable JSON (full curve; for regenerating Fig. 7). */
+std::string traceReportJson(const TraceReport &report);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_OBS_TRACE_REPORT_H

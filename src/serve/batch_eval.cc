@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace ft {
@@ -35,6 +37,13 @@ BatchEvaluator::evaluate(const std::vector<Point> &points)
     }
 
     if (!fresh.empty()) {
+        const ObsContext &obs = eval_.obs();
+        if (obs.trace) {
+            obs.trace->begin(
+                "batch_evaluate", eval_.simulatedSeconds(),
+                {tint("batch", static_cast<int64_t>(points.size())),
+                 tint("fresh", static_cast<int64_t>(fresh.size()))});
+        }
         std::vector<double> scores(fresh.size());
         auto score = [&](size_t j) {
             scores[j] = eval_.scoreOnly(points[fresh[j]]);
@@ -54,6 +63,16 @@ BatchEvaluator::evaluate(const std::vector<Point> &points)
         const double per_point = rounds * eval_.measureCost() / n;
         for (size_t j = 0; j < fresh.size(); ++j)
             eval_.commitMeasured(points[fresh[j]], scores[j], per_point);
+        if (obs.trace)
+            obs.trace->end("batch_evaluate", eval_.simulatedSeconds());
+        if (obs.metrics) {
+            obs.metrics->counter("eval.batches").add();
+            obs.metrics->counter("eval.fresh_points").add(fresh.size());
+            obs.metrics
+                ->histogram("eval.batch_size",
+                            {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
+                .observe(static_cast<double>(fresh.size()));
+        }
     }
 
     std::vector<double> out(points.size());

@@ -10,7 +10,19 @@ namespace ft {
 TuningService::TuningService(const ServiceOptions &options)
     : options_(options),
       evalPool_(options.evalThreads),
-      requestPool_(options.requestThreads)
+      requestPool_(options.requestThreads),
+      requests_(metrics_.counter("service.requests")),
+      resultCacheHits_(metrics_.counter("service.result_cache_hits")),
+      persistentCacheHits_(
+          metrics_.counter("service.persistent_cache_hits")),
+      coalescedJoins_(metrics_.counter("service.coalesced_joins")),
+      tuningRuns_(metrics_.counter("service.tuning_runs")),
+      evaluations_(metrics_.counter("service.evaluations")),
+      failures_(metrics_.counter("service.failures")),
+      retries_(metrics_.counter("service.retries")),
+      timeouts_(metrics_.counter("service.timeouts")),
+      quarantined_(metrics_.counter("service.quarantined")),
+      degradedReports_(metrics_.counter("service.degraded_reports"))
 {}
 
 std::string
@@ -74,24 +86,25 @@ TuningService::tuneAnchor(const Operation &anchor, const Target &target,
                           TuneOptions options)
 {
     const std::string key = requestKey(anchor, target, options);
+    requests_.add();
+    metrics_.counter("service.method." + methodName(options.method)).add();
     std::promise<TuneReport> promise;
     std::shared_future<TuneReport> shared;
     bool owner = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        ++requests_;
         if (const TuneReport *hit = lruGet(key)) {
-            ++resultCacheHits_;
+            resultCacheHits_.add();
             TuneReport report = *hit;
             report.fromCache = true;
             return report;
         }
         auto it = inflight_.find(key);
         if (it != inflight_.end()) {
-            ++coalescedJoins_;
+            coalescedJoins_.add();
             shared = it->second;
         } else {
-            ++tuningRuns_;
+            tuningRuns_.add();
             owner = true;
             shared = promise.get_future().share();
             inflight_.emplace(key, shared);
@@ -109,18 +122,23 @@ TuningService::tuneAnchor(const Operation &anchor, const Target &target,
     options.explore.evalPool = &evalPool_;
     if (options.explore.measureParallelism == 0)
         options.explore.measureParallelism = evalPool_.numThreads();
+    // A request without its own registry aggregates its exploration
+    // metrics into the service-wide one. Traces stay per-request: a
+    // shared timeline would interleave concurrent runs.
+    if (!options.explore.obs.metrics)
+        options.explore.obs.metrics = &metrics_;
     TuneReport report = ft::tuneOp(anchor, target, options);
+    evaluations_.add(static_cast<uint64_t>(report.trials));
+    failures_.add(report.failures);
+    retries_.add(report.retries);
+    timeouts_.add(report.timeouts);
+    quarantined_.add(report.quarantined);
+    if (report.degraded)
+        degradedReports_.add();
+    if (report.fromCache)
+        persistentCacheHits_.add();
     {
         std::lock_guard<std::mutex> lock(mu_);
-        evaluations_ += static_cast<uint64_t>(report.trials);
-        failures_ += report.failures;
-        retries_ += report.retries;
-        timeouts_ += report.timeouts;
-        quarantined_ += report.quarantined;
-        if (report.degraded)
-            ++degradedReports_;
-        if (report.fromCache)
-            ++persistentCacheHits_;
         lruPut(key, report);
         inflight_.erase(key);
     }
@@ -154,18 +172,22 @@ TuningService::stats() const
 {
     ServiceStats out;
     out.evalQueueDepth = evalPool_.queueDepth();
+    // One registry snapshot feeds every counter field: no torn reads,
+    // no counter observed mid-update while runs complete concurrently.
+    out.metrics = metrics_.snapshot();
+    out.requests = out.metrics.counter("service.requests");
+    out.resultCacheHits = out.metrics.counter("service.result_cache_hits");
+    out.persistentCacheHits =
+        out.metrics.counter("service.persistent_cache_hits");
+    out.coalescedJoins = out.metrics.counter("service.coalesced_joins");
+    out.tuningRuns = out.metrics.counter("service.tuning_runs");
+    out.evaluations = out.metrics.counter("service.evaluations");
+    out.failures = out.metrics.counter("service.failures");
+    out.retries = out.metrics.counter("service.retries");
+    out.timeouts = out.metrics.counter("service.timeouts");
+    out.quarantined = out.metrics.counter("service.quarantined");
+    out.degradedReports = out.metrics.counter("service.degraded_reports");
     std::lock_guard<std::mutex> lock(mu_);
-    out.requests = requests_;
-    out.resultCacheHits = resultCacheHits_;
-    out.persistentCacheHits = persistentCacheHits_;
-    out.coalescedJoins = coalescedJoins_;
-    out.tuningRuns = tuningRuns_;
-    out.evaluations = evaluations_;
-    out.failures = failures_;
-    out.retries = retries_;
-    out.timeouts = timeouts_;
-    out.quarantined = quarantined_;
-    out.degradedReports = degradedReports_;
     out.inflight = inflight_.size();
     out.resultCacheSize = lru_.size();
     return out;

@@ -28,6 +28,7 @@
 #include <utility>
 
 #include "explore/tuner.h"
+#include "obs/metrics.h"
 #include "serve/thread_pool.h"
 
 namespace ft {
@@ -45,7 +46,14 @@ struct ServiceOptions
     TuningCache *persistentCache = nullptr;
 };
 
-/** Snapshot of the per-service counters. */
+/**
+ * Snapshot of the per-service counters. All counter fields are read from
+ * one MetricsRegistry::snapshot(), so a stats() reader never observes a
+ * torn or partially-updated set while runs complete concurrently; the
+ * full registry (including the per-method request mix and the metrics
+ * the exploration layers emit into the service registry) rides along in
+ * `metrics`.
+ */
 struct ServiceStats
 {
     uint64_t requests = 0;           ///< tune()/submit() calls accepted
@@ -62,6 +70,8 @@ struct ServiceStats
     size_t inflight = 0;             ///< runs currently executing
     size_t resultCacheSize = 0;      ///< reports currently in the LRU
     size_t evalQueueDepth = 0;       ///< jobs queued on the evaluation pool
+    /** Full registry snapshot the fields above were read from. */
+    MetricsSnapshot metrics;
 };
 
 class TuningService
@@ -89,8 +99,15 @@ class TuningService
                                    const Target &target,
                                    TuneOptions options = {});
 
-    /** Counter snapshot (consistent under the service mutex). */
+    /** Counter snapshot (one consistent MetricsRegistry snapshot). */
     ServiceStats stats() const;
+
+    /**
+     * The service-wide metrics registry. Requests without their own
+     * registry aggregate their exploration metrics here; external
+     * instruments may be registered too.
+     */
+    MetricsRegistry &metrics() { return metrics_; }
 
     /** The measurement pool (shared by all requests). */
     ThreadPool &evalPool() { return evalPool_; }
@@ -113,6 +130,20 @@ class TuningService
     ThreadPool evalPool_;
     ThreadPool requestPool_;
 
+    /** All service counters live here (atomic; snapshot-consistent). */
+    MetricsRegistry metrics_;
+    Counter &requests_;
+    Counter &resultCacheHits_;
+    Counter &persistentCacheHits_;
+    Counter &coalescedJoins_;
+    Counter &tuningRuns_;
+    Counter &evaluations_;
+    Counter &failures_;
+    Counter &retries_;
+    Counter &timeouts_;
+    Counter &quarantined_;
+    Counter &degradedReports_;
+
     mutable std::mutex mu_;
     std::unordered_map<std::string, std::shared_future<TuneReport>>
         inflight_;
@@ -121,17 +152,6 @@ class TuningService
         std::string,
         std::list<std::pair<std::string, TuneReport>>::iterator>
         lruIndex_;
-    uint64_t requests_ = 0;
-    uint64_t resultCacheHits_ = 0;
-    uint64_t persistentCacheHits_ = 0;
-    uint64_t coalescedJoins_ = 0;
-    uint64_t tuningRuns_ = 0;
-    uint64_t evaluations_ = 0;
-    uint64_t failures_ = 0;
-    uint64_t retries_ = 0;
-    uint64_t timeouts_ = 0;
-    uint64_t quarantined_ = 0;
-    uint64_t degradedReports_ = 0;
 };
 
 } // namespace ft

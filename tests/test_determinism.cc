@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cross-run determinism of the exploration methods: for a fixed seed,
+ * every explorer — with or without fault injection — must reproduce the
+ * exact same run, down to the trace timeline. Each run is folded into a
+ * 64-bit FNV-1a digest of (best point, best GFLOPS, simulated clock,
+ * trials used, trace event count); the digest must match a second run
+ * in-process AND the value recorded in this file, so a change that
+ * silently perturbs exploration (an extra RNG draw, a reordered commit,
+ * an observer that is not pure) fails loudly.
+ *
+ * GFLOPS and the sim clock are digested as hexfloats: bit-exact, no
+ * rounding slop to hide a perturbation.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "explore/tuner.h"
+#include "obs/trace.h"
+#include "ops/ops.h"
+#include "space/builder.h"
+#include "support/fault_injector.h"
+
+namespace ft {
+namespace {
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+struct DeterminismCase
+{
+    const char *name;
+    Method method;
+    bool faults;
+    uint64_t expectedDigest; ///< recorded from the run that authored it
+};
+
+/** One complete exploration run, folded into a digest. */
+uint64_t
+runDigest(Method method, bool faults)
+{
+    Tensor a = placeholder("A", {256, 256});
+    Tensor b = placeholder("B", {256, 256});
+    Tensor out = ops::gemm(a, b);
+    Target target = Target::forGpu(v100());
+    ScheduleSpace space = buildSpace(out.op(), target);
+    Evaluator eval(out.op(), space, target);
+
+    ExploreOptions options;
+    options.trials = 16;
+    options.warmupPoints = 8;
+    options.seed = 0xd5eed;
+
+    FaultProfile profile;
+    profile.transient = 0.15;
+    profile.timeout = 0.05;
+    profile.outlier = 0.10;
+    profile.seed = 99;
+    FaultInjector injector(profile);
+    if (faults)
+        options.resilience.injector = &injector;
+
+    TraceRecorder trace;
+    options.obs.trace = &trace;
+
+    ExploreResult r;
+    switch (method) {
+      case Method::QMethod: r = exploreQMethod(eval, options); break;
+      case Method::PMethod: r = explorePMethod(eval, options); break;
+      case Method::Random: r = exploreRandom(eval, options); break;
+      case Method::AutoTvm: r = exploreAutoTvm(eval, options); break;
+    }
+
+    std::ostringstream oss;
+    oss << r.bestPoint.key() << '|' << std::hexfloat << r.bestGflops
+        << '|' << r.simSeconds << '|' << std::dec << r.trialsUsed << '|'
+        << trace.eventCount();
+    return fnv1a(oss.str());
+}
+
+class DeterminismTest : public ::testing::TestWithParam<DeterminismCase>
+{};
+
+TEST_P(DeterminismTest, FixedSeedReproducesRecordedDigest)
+{
+    const DeterminismCase &dc = GetParam();
+    const uint64_t first = runDigest(dc.method, dc.faults);
+    const uint64_t second = runDigest(dc.method, dc.faults);
+    EXPECT_EQ(first, second) << "two same-seed runs diverged in-process";
+    EXPECT_EQ(first, dc.expectedDigest)
+        << dc.name << ": exploration no longer reproduces the recorded "
+        << "run (actual digest " << first << "ULL)";
+}
+
+constexpr DeterminismCase kDeterminismCases[] = {
+    {"q", Method::QMethod, false, 13338141935272421852ULL},
+    {"q_faults", Method::QMethod, true, 347663719112211092ULL},
+    {"p", Method::PMethod, false, 3119958773756146598ULL},
+    {"p_faults", Method::PMethod, true, 2262845705397639640ULL},
+    {"random", Method::Random, false, 13643892568673622403ULL},
+    {"random_faults", Method::Random, true, 12086598853644045418ULL},
+    {"autotvm", Method::AutoTvm, false, 9998006427364595515ULL},
+    {"autotvm_faults", Method::AutoTvm, true, 4451211975251665872ULL},
+};
+
+std::string
+determinismName(const ::testing::TestParamInfo<DeterminismCase> &info)
+{
+    return info.param.name;
+}
+
+// Named "Determinism" so the sanitizer CI job can select these tests
+// with `ctest -R '^(Fuzz|Determinism)'`.
+INSTANTIATE_TEST_SUITE_P(Determinism, DeterminismTest,
+                         ::testing::ValuesIn(kDeterminismCases),
+                         determinismName);
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Schedule-space fuzzing: draw many random points per operator/target
+ * space and check the invariants every point must satisfy —
+ *
+ *   1. decoding and lowering never throw (no point of the space is
+ *      un-schedulable, even model-invalid ones),
+ *   2. the point -> config -> serialized-line pipeline round-trips
+ *      (decode/encode and serialize/parse are inverses on the space),
+ *   3. for a sampled subset, the interpreted schedule computes the same
+ *      tensor as the reference executor (with a float tolerance, since
+ *      reduction order differs between schedules).
+ *
+ * The sample count per space defaults to 200 and can be reduced via the
+ * FLEXTENSOR_FUZZ_SAMPLES environment variable (the sanitizer CI job
+ * sets it low to keep the job fast).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "exec/interpreter.h"
+#include "exec/reference.h"
+#include "ops/ops.h"
+#include "schedule/generator.h"
+#include "schedule/serialize.h"
+#include "space/builder.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+int
+fuzzSamples()
+{
+    if (const char *env = std::getenv("FLEXTENSOR_FUZZ_SAMPLES")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return 200;
+}
+
+Tensor
+fuzzGemm()
+{
+    Tensor a = placeholder("A", {12, 18});
+    Tensor b = placeholder("B", {18, 8});
+    return ops::gemm(a, b);
+}
+
+Tensor
+fuzzConv2d()
+{
+    Tensor input = placeholder("I", {1, 4, 8, 8});
+    Tensor weight = placeholder("W", {6, 4, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    return ops::conv2d(input, weight, p);
+}
+
+struct FuzzCase
+{
+    const char *name;
+    Tensor (*build)();
+    int target; ///< 0 = GPU (V100), 1 = CPU (Xeon)
+};
+
+class ScheduleFuzzTest : public ::testing::TestWithParam<FuzzCase>
+{};
+
+TEST_P(ScheduleFuzzTest, RandomPointsSatisfyInvariants)
+{
+    const FuzzCase &fc = GetParam();
+    Tensor out = fc.build();
+    Target target = fc.target == 0 ? Target::forGpu(v100())
+                                   : Target::forCpu(xeonE5());
+    MiniGraph g(out);
+    Operation anchor = anchorOp(g);
+    ScheduleSpace space = buildSpace(anchor, target);
+
+    Rng rng(0xf022u + static_cast<uint64_t>(fc.target));
+    BufferMap reference = makeRandomInputs(g, rng);
+    runGraphReference(g, reference);
+    const Buffer &gold = reference.at(anchor.get());
+
+    const int samples = fuzzSamples();
+    // Execution is the expensive invariant: spread ~8 executed samples
+    // evenly over the run instead of checking every point.
+    const int exec_stride = samples > 8 ? samples / 8 : 1;
+    for (int trial = 0; trial < samples; ++trial) {
+        Point p = space.randomPoint(rng);
+
+        // (1) Decode and lower without throwing; lowering yields a nest.
+        OpConfig cfg;
+        Scheduled s;
+        ASSERT_NO_THROW({
+            cfg = space.decode(p);
+            s = generate(anchor, cfg, target);
+        }) << "point " << p.key();
+        ASSERT_FALSE(s.nest.loops.empty()) << cfg.toString();
+
+        // (2a) The serialized line parses back to the same config.
+        const std::string line = serializeConfig(cfg);
+        auto parsed = parseConfig(line);
+        ASSERT_TRUE(parsed.has_value()) << line;
+        EXPECT_EQ(serializeConfig(*parsed), line);
+
+        // (2b) The config encodes back into the space, onto a point
+        // that decodes to the same config.
+        auto p2 = space.pointOf(cfg);
+        ASSERT_TRUE(p2.has_value()) << line;
+        EXPECT_EQ(serializeConfig(space.decode(*p2)), line);
+
+        // (3) Interpreted execution matches the reference.
+        if (trial % exec_stride == 0) {
+            BufferMap buffers = reference;
+            buffers.erase(anchor.get());
+            runScheduled(s.nest, buffers, 1 + trial % 3);
+            const Buffer &got = buffers.at(anchor.get());
+            ASSERT_EQ(got.numel(), gold.numel());
+            for (int64_t i = 0; i < gold.numel(); ++i) {
+                ASSERT_NEAR(got[i], gold[i], 1e-3)
+                    << "config " << cfg.toString() << " element " << i;
+            }
+        }
+    }
+}
+
+constexpr FuzzCase kFuzzCases[] = {
+    {"gemm", fuzzGemm, 0},
+    {"gemm", fuzzGemm, 1},
+    {"conv2d", fuzzConv2d, 0},
+    {"conv2d", fuzzConv2d, 1},
+};
+
+std::string
+fuzzName(const ::testing::TestParamInfo<FuzzCase> &info)
+{
+    return std::string(info.param.name) +
+           (info.param.target == 0 ? "_gpu" : "_cpu");
+}
+
+// The instantiation is named "Fuzz" so the sanitizer CI job can select
+// these tests with `ctest -R '^(Fuzz|Determinism)'`.
+INSTANTIATE_TEST_SUITE_P(Fuzz, ScheduleFuzzTest,
+                         ::testing::ValuesIn(kFuzzCases), fuzzName);
+
+} // namespace
+} // namespace ft

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the observability layer: the metrics registry (atomicity,
+ * snapshot consistency, null-registry tolerance), the trace recorder
+ * (serialization round-trip, deterministic byte-identical timelines),
+ * the trace_report fold (per-phase breakdown + Fig. 7 curve), the
+ * purity invariant (observation never changes exploration results), and
+ * the serving layer's snapshot-consistent stats.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "explore/tuner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_report.h"
+#include "ops/ops.h"
+#include "serve/service.h"
+#include "space/builder.h"
+
+namespace ft {
+namespace {
+
+Tensor
+obsGemm()
+{
+    Tensor a = placeholder("A", {64, 64});
+    Tensor b = placeholder("B", {64, 64});
+    return ops::gemm(a, b);
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics)
+{
+    MetricsRegistry reg;
+    reg.counter("c").add();
+    reg.counter("c").add(4);
+    reg.gauge("g").set(2.5);
+    Histogram &h = reg.histogram("h", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(50.0);
+
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("c"), 5u);
+    EXPECT_DOUBLE_EQ(snap.gauge("g"), 2.5);
+    EXPECT_EQ(snap.counter("absent"), 0u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].counts,
+              (std::vector<uint64_t>{1, 1, 1}));
+    EXPECT_EQ(snap.histograms[0].total, 3u);
+    EXPECT_DOUBLE_EQ(snap.histograms[0].sum, 55.5);
+    // Same name returns the same instrument.
+    EXPECT_EQ(&reg.counter("c"), &reg.counter("c"));
+}
+
+TEST(Metrics, ConcurrentAddsAllLand)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("hits");
+    Histogram &h = reg.histogram("obs", {10.0, 100.0});
+    constexpr int kThreads = 8, kPerThread = 10000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.observe(static_cast<double>(t));
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(c.value(), uint64_t(kThreads) * kPerThread);
+    EXPECT_EQ(h.total(), uint64_t(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(h.sum(), 10000.0 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(Metrics, NullRegistryIsTolerated)
+{
+    EXPECT_EQ(maybeCounter(nullptr, "x"), nullptr);
+    EXPECT_EQ(maybeGauge(nullptr, "x"), nullptr);
+    EXPECT_EQ(maybeHistogram(nullptr, "x", {1.0}), nullptr);
+    ObsContext obs;
+    EXPECT_FALSE(obs.enabled());
+}
+
+TEST(Trace, EventsRoundTripThroughParser)
+{
+    TraceRecorder rec;
+    rec.meta("run", {tstr("op", "gemm"), tint("seed", 7)});
+    rec.begin("step", 1.5, {tint("trial", 0)});
+    rec.point("eval", 2.25,
+              {tstr("key", "1;2;3"), treal("gflops", 123.456),
+               tbool("ok", true)});
+    rec.end("step", 3.0);
+
+    ASSERT_EQ(rec.eventCount(), 4u);
+    auto lines = rec.lines();
+    auto meta = parseTraceLine(lines[0]);
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_EQ(meta->type, 'M');
+    EXPECT_EQ(meta->str("op"), "gemm");
+    EXPECT_EQ(meta->integer("seed"), 7);
+
+    auto point = parseTraceLine(lines[2]);
+    ASSERT_TRUE(point.has_value());
+    EXPECT_EQ(point->index, 2u);
+    EXPECT_EQ(point->type, 'P');
+    EXPECT_EQ(point->name, "eval");
+    EXPECT_DOUBLE_EQ(point->sim, 2.25);
+    EXPECT_EQ(point->str("key"), "1;2;3");
+    EXPECT_DOUBLE_EQ(point->real("gflops"), 123.456);
+    EXPECT_EQ(point->str("ok"), "true");
+
+    EXPECT_FALSE(parseTraceLine("not json").has_value());
+}
+
+TEST(Trace, DoubleFormattingRoundTrips)
+{
+    for (double v : {0.0, 1.0, 0.1, 123.456, 1e-9, 6.02e23, 257.0,
+                     1.0 / 3.0}) {
+        const std::string s = formatTraceDouble(v);
+        EXPECT_DOUBLE_EQ(std::stod(s), v) << s;
+    }
+}
+
+TEST(Trace, SameSeedRunsProduceByteIdenticalTimelines)
+{
+    Tensor out = obsGemm();
+    Target target = Target::forGpu(v100());
+    auto run = [&](TraceRecorder &rec) {
+        TuneOptions options;
+        options.explore.trials = 12;
+        options.explore.warmupPoints = 8;
+        options.explore.seed = 0xabc;
+        options.explore.obs.trace = &rec;
+        return tuneOp(out.op(), target, options);
+    };
+    TraceRecorder a, b;
+    run(a);
+    run(b);
+    EXPECT_GT(a.eventCount(), 0u);
+    EXPECT_EQ(a.toJsonl(), b.toJsonl());
+}
+
+TEST(Trace, ObservationDoesNotChangeResults)
+{
+    Tensor out = obsGemm();
+    Target target = Target::forGpu(v100());
+    auto run = [&](ObsContext obs) {
+        ScheduleSpace space = buildSpace(out.op(), target);
+        Evaluator eval(out.op(), space, target);
+        ExploreOptions options;
+        options.trials = 12;
+        options.warmupPoints = 8;
+        options.seed = 0xabc;
+        options.obs = obs;
+        return exploreQMethod(eval, options);
+    };
+    TraceRecorder rec;
+    MetricsRegistry reg;
+    ObsContext on;
+    on.trace = &rec;
+    on.metrics = &reg;
+    ExploreResult with = run(on);
+    ExploreResult without = run(ObsContext{});
+
+    // Bit-identical: observation is pure.
+    EXPECT_EQ(with.bestPoint.key(), without.bestPoint.key());
+    EXPECT_EQ(with.bestGflops, without.bestGflops);
+    EXPECT_EQ(with.simSeconds, without.simSeconds);
+    EXPECT_EQ(with.trialsUsed, without.trialsUsed);
+    ASSERT_EQ(with.curve.size(), without.curve.size());
+    for (size_t i = 0; i < with.curve.size(); ++i) {
+        EXPECT_EQ(with.curve[i].first, without.curve[i].first);
+        EXPECT_EQ(with.curve[i].second, without.curve[i].second);
+    }
+    // And the sinks did observe the run.
+    EXPECT_GT(rec.eventCount(), 0u);
+    EXPECT_EQ(reg.snapshot().counter("explore.evals"),
+              uint64_t(with.trialsUsed));
+}
+
+TEST(TraceReport, FoldsPhasesAndCurve)
+{
+    Tensor out = obsGemm();
+    Target target = Target::forGpu(v100());
+    TraceRecorder rec;
+    TuneOptions options;
+    options.explore.trials = 12;
+    options.explore.warmupPoints = 8;
+    options.explore.seed = 0xabc;
+    options.explore.obs.trace = &rec;
+    TuneReport tuned = tuneOp(out.op(), target, options);
+
+    std::vector<ParsedTraceEvent> events;
+    for (const auto &line : rec.lines()) {
+        auto e = parseTraceLine(line);
+        ASSERT_TRUE(e.has_value()) << line;
+        events.push_back(*e);
+    }
+    TraceReport report = foldTrace(events);
+    EXPECT_EQ(report.op, "gemm");
+    EXPECT_EQ(report.method, "Q-method");
+    EXPECT_EQ(report.seed, 0xabcu);
+    EXPECT_EQ(report.events, rec.eventCount());
+    EXPECT_EQ(report.trials, tuned.trials);
+
+    // The curve is the Fig. 7 series: monotone best-so-far, ending at
+    // the tuned report's best value.
+    ASSERT_FALSE(report.curve.empty());
+    for (size_t i = 1; i < report.curve.size(); ++i)
+        EXPECT_GE(report.curve[i].second, report.curve[i - 1].second);
+    EXPECT_DOUBLE_EQ(report.curve.back().second, tuned.gflops);
+    EXPECT_DOUBLE_EQ(report.bestGflops, tuned.gflops);
+
+    // Expected phases appear with completed spans.
+    auto phase = [&](const std::string &name) -> const PhaseBreakdown * {
+        for (const auto &p : report.phases)
+            if (p.name == name)
+                return &p;
+        return nullptr;
+    };
+    ASSERT_NE(phase("space_build"), nullptr);
+    ASSERT_NE(phase("warmup"), nullptr);
+    ASSERT_NE(phase("step"), nullptr);
+    EXPECT_EQ(phase("step")->spans, 12u);
+    EXPECT_GT(phase("warmup")->simSeconds, 0.0);
+
+    // Rendering and JSON both mention the best value.
+    EXPECT_NE(renderTraceReport(report).find("Fig. 7"), std::string::npos);
+    EXPECT_NE(traceReportJson(report).find("\"curve\""),
+              std::string::npos);
+}
+
+TEST(ServiceMetrics, StatsComeFromOneSnapshot)
+{
+    ServiceOptions service_options;
+    service_options.evalThreads = 2;
+    service_options.requestThreads = 2;
+    TuningService service(service_options);
+
+    Tensor out = obsGemm();
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.explore.trials = 8;
+    options.explore.warmupPoints = 6;
+    service.tune(out, target, options);
+    service.tune(out, target, options); // LRU hit
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.tuningRuns, 1u);
+    EXPECT_EQ(stats.resultCacheHits, 1u);
+    // The scalar fields mirror the registry snapshot they were read
+    // from; the per-method mix rides along in the same snapshot.
+    EXPECT_EQ(stats.metrics.counter("service.requests"), stats.requests);
+    EXPECT_EQ(stats.metrics.counter("service.method.Q-method"), 2u);
+    // Exploration metrics aggregate into the service registry.
+    EXPECT_EQ(stats.metrics.counter("tuner.runs"), 1u);
+    EXPECT_GT(stats.metrics.counter("explore.evals"), 0u);
+    EXPECT_EQ(stats.evaluations,
+              stats.metrics.counter("service.evaluations"));
+}
+
+} // namespace
+} // namespace ft

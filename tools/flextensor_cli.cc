@@ -30,10 +30,16 @@
  *   --inject-faults <spec>  deterministic measurement faults, e.g.
  *                     "transient=0.1,permanent=0.02,timeout=0.05,
  *                      outlier=0.1,seed=7" (also: flaky, hang, scale)
+ *   --metrics         print a metrics snapshot (single-op: after the
+ *                     run; batch/serve: after every pass)
  *
  * Single-op only:
  *   --checkpoint <file>  snapshot the run periodically and resume from
  *                        the file when it matches (method/seed/space)
+ *   --trace <file>       write the run's JSONL event timeline (see
+ *                        `trace-report` for the per-phase breakdown and
+ *                        the Fig. 7 curve); byte-identical across runs
+ *                        of the same seed
  *
  * batch/serve options:
  *   --threads <n>         measurement workers per run     (default 4)
@@ -54,6 +60,8 @@
 #include "codegen/codegen.h"
 #include "core/flextensor.h"
 #include "ir/inline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "support/fault_injector.h"
 #include "support/logging.h"
@@ -167,6 +175,7 @@ runService(bool from_stdin, int argc, char **argv)
     int trials = 200, threads = 4, request_threads = 4, repeat = 1;
     uint64_t seed = 0xc11;
     double deadline = 0.0;
+    bool print_metrics = false;
     FaultProfile faults;
     std::vector<std::string> specs;
 
@@ -198,6 +207,8 @@ runService(bool from_stdin, int argc, char **argv)
             request_threads = std::atoi(argv[++i]);
         } else if (arg("--repeat")) {
             repeat = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            print_metrics = true;
         } else if (argv[i][0] == '-') {
             fatal("unknown argument '", argv[i], "' (see header comment)");
         } else {
@@ -270,6 +281,11 @@ runService(bool from_stdin, int argc, char **argv)
                         report.fromCache ? "  [cached]" : "",
                         report.degraded ? "  [degraded]" : "");
         }
+        if (print_metrics) {
+            // A periodic snapshot: one consistent registry read per pass.
+            std::printf("\nmetrics after pass %d:\n%s", pass + 1,
+                        service.stats().metrics.toString().c_str());
+        }
     }
 
     ServiceStats stats = service.stats();
@@ -315,12 +331,14 @@ main(int argc, char **argv)
         return runService(/*from_stdin=*/true, argc, argv);
     std::string op_name = "C2D", case_id, target_name = "v100";
     std::string method_name = "q", cache_path, checkpoint_path;
+    std::string trace_path;
     int trials = 200;
     uint64_t seed = 0xc11;
     double deadline = 0.0;
     FaultProfile faults;
     bool with_baseline = false;
     bool emit_code = false;
+    bool print_metrics = false;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char *flag) {
@@ -337,6 +355,10 @@ main(int argc, char **argv)
             with_baseline = true;
         } else if (std::strcmp(argv[i], "--emit") == 0) {
             emit_code = true;
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            print_metrics = true;
+        } else if (arg("--trace")) {
+            trace_path = argv[++i];
         } else if (arg("--op")) {
             op_name = argv[++i];
         } else if (arg("--case")) {
@@ -387,6 +409,14 @@ main(int argc, char **argv)
         options.explore.resilience.injector = &injector;
     if (!cache_path.empty())
         options.cache = &cache;
+    // Observation sinks are pure observers: attaching them never changes
+    // the run's results (same RNG stream, same best schedule).
+    TraceRecorder recorder;
+    MetricsRegistry registry;
+    if (!trace_path.empty())
+        options.explore.obs.trace = &recorder;
+    if (print_metrics)
+        options.explore.obs.metrics = &registry;
 
     std::printf("tuning %s/%s on %s with %s (%d steps)\n", op_name.c_str(),
                 chosen->id.c_str(), target.deviceName().c_str(),
@@ -417,6 +447,18 @@ main(int argc, char **argv)
                     (unsigned long long)report.quarantined);
     }
     std::printf("schedule: %s\n", serializeConfig(report.config).c_str());
+
+    if (!trace_path.empty()) {
+        if (recorder.writeFile(trace_path)) {
+            std::printf("trace: %llu events -> %s\n",
+                        (unsigned long long)recorder.eventCount(),
+                        trace_path.c_str());
+        } else {
+            warn("could not write trace to ", trace_path);
+        }
+    }
+    if (print_metrics)
+        std::printf("\nmetrics:\n%s", registry.snapshot().toString().c_str());
 
     if (with_baseline) {
         Library lib = baselineFor(op_name, target);
