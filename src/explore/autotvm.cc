@@ -34,6 +34,13 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
     std::vector<std::vector<double>> train_x;
     std::vector<double> train_y;
 
+    // Reused ranking buffers (one model query per candidate per round;
+    // the former comparator form re-ran predict O(n log n) times).
+    DecodeScratch decode_scratch;
+    std::vector<double> feat;
+    std::vector<double> scores;
+    std::vector<size_t> rank;
+
     const int batch = 8;         // measured configs per round
     const int pool = 96;         // ranked candidates per round
     const double model_overhead = 2.0; // seconds per round: fit + rank
@@ -68,11 +75,26 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
             break;
         }
         if (model.trained()) {
-            std::stable_sort(candidates.begin(), candidates.end(),
-                             [&](const Point &a, const Point &b) {
-                                 return model.predict(space.features(a)) >
-                                        model.predict(space.features(b));
+            // Stable-sorting precomputed scores yields the exact
+            // permutation the predict-in-comparator form produced
+            // (predict is pure, so every comparison saw these values).
+            scores.resize(candidates.size());
+            for (size_t i = 0; i < candidates.size(); ++i) {
+                space.featuresInto(candidates[i], decode_scratch, feat);
+                scores[i] = model.predict(feat);
+            }
+            rank.resize(candidates.size());
+            for (size_t i = 0; i < rank.size(); ++i)
+                rank[i] = i;
+            std::stable_sort(rank.begin(), rank.end(),
+                             [&](size_t a, size_t b) {
+                                 return scores[a] > scores[b];
                              });
+            std::vector<Point> ranked;
+            ranked.reserve(candidates.size());
+            for (size_t i : rank)
+                ranked.push_back(std::move(candidates[i]));
+            candidates = std::move(ranked);
         }
         // Epsilon-greedy batch: mostly top-ranked, some random. Picks are
         // selected first, then measured as one parallel batch; the
@@ -80,7 +102,7 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
         // point-at-a-time equivalent exactly.
         int take = std::min<int>(batch, static_cast<int>(candidates.size()));
         std::vector<Point> picks;
-        std::unordered_set<std::string> picked_keys;
+        std::unordered_set<PointKey> picked_keys;
         for (int i = 0;
              i < take &&
              measured + static_cast<int>(picks.size()) < options.trials;
@@ -89,7 +111,8 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
             if (rng.chance(options.epsilon))
                 pick = rng.index(candidates.size());
             const Point &p = candidates[pick];
-            if (eval.known(p) || !picked_keys.insert(p.key()).second)
+            const PointKey key = p.key64();
+            if (eval.known(key) || !picked_keys.insert(key).second)
                 continue;
             picks.push_back(p);
         }

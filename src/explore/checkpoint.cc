@@ -110,6 +110,28 @@ keyed(const std::string &field, const char *key, std::string *out)
     return true;
 }
 
+/** v1 quarantine entry: a legacy Point::key() string ("12;0;3;"). */
+bool
+parseLegacyKey(const std::string &text, std::vector<int64_t> *out)
+{
+    out->clear();
+    if (text.empty())
+        return false;
+    std::istringstream cells(text);
+    std::string cell;
+    while (std::getline(cells, cell, ';')) {
+        try {
+            size_t pos = 0;
+            out->push_back(std::stoll(cell, &pos));
+            if (pos != cell.size())
+                return false;
+        } catch (...) {
+            return false;
+        }
+    }
+    return !out->empty();
+}
+
 } // namespace
 
 std::string
@@ -131,8 +153,9 @@ saveCheckpoint(const std::string &path, const CheckpointState &state)
     };
 
     {
+        // v2: quarantine entries are point coordinates, not string keys.
         std::ostringstream oss;
-        oss << "ftckpt|v=1|method=" << state.method
+        oss << "ftckpt|v=2|method=" << state.method
             << "|seed=" << state.seed << "|space=" << state.spaceSig
             << "|trial=" << state.trial;
         emit(oss.str());
@@ -182,8 +205,12 @@ saveCheckpoint(const std::string &path, const CheckpointState &state)
             << state.stats.timeouts << "|" << state.stats.quarantined;
         emit(oss.str());
     }
-    for (const std::string &key : state.quarantine)
-        emit("q|" + key);
+    for (const Point &p : state.quarantine) {
+        std::ostringstream oss;
+        oss << "q|";
+        appendIdx(oss, p.idx);
+        emit(oss.str());
+    }
 
     // Same crash-safe pattern as TuningCache::save: temp file + rename,
     // plus a trailing record count so truncation is detectable.
@@ -215,6 +242,7 @@ loadCheckpoint(const std::string &path)
 
     CheckpointState state;
     bool saw_header = false, saw_end = false, ok = true;
+    int version = 0;
     size_t lines = 0, declared = 0;
     std::string line;
     while (ok && std::getline(in, line)) {
@@ -229,7 +257,9 @@ loadCheckpoint(const std::string &path)
         std::string value;
         if (tag == "ftckpt") {
             ok = fields.size() == 6 && keyed(fields[1], "v", &value) &&
-                 value == "1";
+                 (value == "1" || value == "2");
+            if (ok)
+                version = value == "1" ? 1 : 2;
             if (ok)
                 ok = keyed(fields[2], "method", &state.method) &&
                      keyed(fields[3], "seed", &value) &&
@@ -290,9 +320,12 @@ loadCheckpoint(const std::string &path)
                  parseU64(fields[4], &state.stats.timeouts) &&
                  parseU64(fields[5], &state.stats.quarantined);
         } else if (tag == "q") {
-            ok = fields.size() == 2 && !fields[1].empty();
+            Point p;
+            ok = fields.size() == 2 &&
+                 (version == 2 ? parseIdx(fields[1], &p.idx)
+                               : parseLegacyKey(fields[1], &p.idx));
             if (ok)
-                state.quarantine.push_back(fields[1]);
+                state.quarantine.push_back(std::move(p));
         } else if (tag == "end") {
             ok = fields.size() == 2 && keyed(fields[1], "n", &value) &&
                  parseU64(value, &declared);
@@ -326,6 +359,10 @@ checkpointCompatible(const CheckpointState &state, const std::string &method,
     }
     for (const ReplayTransition &t : state.replay) {
         if (t.start.size() != dims || t.next.size() != dims)
+            return false;
+    }
+    for (const Point &p : state.quarantine) {
+        if (p.idx.size() != dims)
             return false;
     }
     return true;

@@ -54,7 +54,9 @@ struct CheckpointState
     std::vector<Evaluated> history;
     std::vector<double> commitSim; ///< simulated clock at each commit
     ResilienceStats stats;
-    std::vector<std::string> quarantine;
+    /** Quarantined points as space coordinates (format v2 writes them as
+     *  `q|i,i,...`; the legacy v1 `q|<string key>` form is still read). */
+    std::vector<Point> quarantine;
     /** Q-method only: Mlp::checkpointState() of the online network. */
     std::vector<float> netState;
     /** Q-method only: the replay buffer. */

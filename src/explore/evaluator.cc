@@ -1,5 +1,7 @@
 #include "explore/evaluator.h"
 
+#include <chrono>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/logging.h"
@@ -7,6 +9,15 @@
 namespace ft {
 
 namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+int64_t
+nsBetween(WallClock::time_point a, WallClock::time_point b)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+        .count();
+}
 
 double
 defaultMeasureCost(const Target &target)
@@ -32,25 +43,77 @@ Evaluator::Evaluator(Operation anchor, const ScheduleSpace &space,
       space_(space),
       target_(target),
       measureCost_(defaultMeasureCost(target))
-{}
+{
+    // Typical tuning budgets are a few hundred to a few thousand trials;
+    // pre-sizing keeps the per-commit push_back off the allocator.
+    history_.reserve(1024);
+    curve_.reserve(1024);
+}
 
 double
-Evaluator::evaluate(const Point &p)
+Evaluator::evaluate(const Point &p, PointKey key)
 {
-    auto it = cache_.find(p.key());
+    auto it = cache_.find(key);
     if (it != cache_.end())
         return it->second;
-    double gflops = scoreOnly(p);
-    commitMeasured(p, gflops, measureCost_);
+    double gflops;
+    if (obs_.wallProfile && obs_.trace) {
+        // Profiled single-threaded path: time decode and lowering
+        // separately, emit them as spans carrying wall nanoseconds (the
+        // span clock itself is the simulated clock, which does not
+        // advance inside one evaluation).
+        auto t0 = WallClock::now();
+        obs_.trace->begin("eval.decode", simSeconds_);
+        const OpConfig &config = space_.decodeInto(p, scratch_.decode);
+        auto t1 = WallClock::now();
+        int64_t decode_ns = nsBetween(t0, t1);
+        obs_.trace->end("eval.decode", simSeconds_,
+                        {tint("ns", decode_ns)});
+        obs_.trace->begin("eval.lower", simSeconds_);
+        generateInto(anchor_, config, target_, scratch_.sched);
+        auto t2 = WallClock::now();
+        int64_t lower_ns = nsBetween(t1, t2);
+        obs_.trace->end("eval.lower", simSeconds_, {tint("ns", lower_ns)});
+        if (decodeNsCounter_) {
+            decodeNsCounter_->add(static_cast<uint64_t>(decode_ns));
+            lowerNsCounter_->add(static_cast<uint64_t>(lower_ns));
+        }
+        PerfResult perf = modelPerf(scratch_.sched.features, target_);
+        gflops = perf.valid ? perf.gflops : kInvalidGflops;
+    } else {
+        gflops = scoreOnly(p, scratch_);
+    }
+    commitMeasured(p, key, gflops, measureCost_);
     return gflops;
 }
 
 double
 Evaluator::scoreOnly(const Point &p) const
 {
-    OpConfig config = space_.decode(p);
-    Scheduled s = generate(anchor_, config, target_);
-    PerfResult perf = modelPerf(s.features, target_);
+    EvalScratch scratch;
+    return scoreOnly(p, scratch);
+}
+
+double
+Evaluator::scoreOnly(const Point &p, EvalScratch &scratch) const
+{
+    if (decodeNsCounter_) {
+        // Counter-only profiling (atomic adds, safe from worker
+        // threads). Spans are emitted only by the single-threaded
+        // evaluate() path above.
+        auto t0 = WallClock::now();
+        const OpConfig &config = space_.decodeInto(p, scratch.decode);
+        auto t1 = WallClock::now();
+        generateInto(anchor_, config, target_, scratch.sched);
+        auto t2 = WallClock::now();
+        decodeNsCounter_->add(static_cast<uint64_t>(nsBetween(t0, t1)));
+        lowerNsCounter_->add(static_cast<uint64_t>(nsBetween(t1, t2)));
+        PerfResult perf = modelPerf(scratch.sched.features, target_);
+        return perf.valid ? perf.gflops : kInvalidGflops;
+    }
+    const OpConfig &config = space_.decodeInto(p, scratch.decode);
+    generateInto(anchor_, config, target_, scratch.sched);
+    PerfResult perf = modelPerf(scratch.sched.features, target_);
     return perf.valid ? perf.gflops : kInvalidGflops;
 }
 
@@ -63,12 +126,20 @@ Evaluator::setObs(const ObsContext &obs)
     simGauge_ = maybeGauge(obs_.metrics, "explore.sim_seconds");
     gflopsHist_ = maybeHistogram(obs_.metrics, "eval.gflops",
                                  {1.0, 10.0, 100.0, 1000.0, 10000.0});
+    if (obs_.wallProfile) {
+        decodeNsCounter_ = maybeCounter(obs_.metrics, "eval.decode.ns");
+        lowerNsCounter_ = maybeCounter(obs_.metrics, "eval.lower.ns");
+    } else {
+        decodeNsCounter_ = nullptr;
+        lowerNsCounter_ = nullptr;
+    }
 }
 
 void
-Evaluator::commitMeasured(const Point &p, double gflops, double simCharge)
+Evaluator::commitMeasured(const Point &p, PointKey key, double gflops,
+                          double simCharge)
 {
-    auto [it, inserted] = cache_.emplace(p.key(), gflops);
+    auto [it, inserted] = cache_.emplace(key, gflops);
     FT_ASSERT(inserted, "committing an already-known point");
     (void)it;
     history_.push_back({p, gflops});
@@ -93,12 +164,6 @@ Evaluator::commitMeasured(const Point &p, double gflops, double simCharge)
     }
 }
 
-bool
-Evaluator::known(const Point &p) const
-{
-    return cache_.count(p.key()) > 0;
-}
-
 void
 Evaluator::restore(const std::vector<Evaluated> &history,
                    const std::vector<double> &commitSim, double simSeconds)
@@ -108,7 +173,7 @@ Evaluator::restore(const std::vector<Evaluated> &history,
               "history/clock length mismatch");
     for (size_t i = 0; i < history.size(); ++i) {
         const Evaluated &e = history[i];
-        cache_.emplace(e.point.key(), e.gflops);
+        cache_.emplace(e.point.key64(), e.gflops);
         history_.push_back(e);
         if (e.gflops > best_) {
             best_ = e.gflops;

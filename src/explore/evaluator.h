@@ -37,6 +37,17 @@ struct Evaluated
     double gflops;
 };
 
+/**
+ * Reusable per-caller scoring buffers: the incremental decode state and
+ * the lowered schedule. Scoring through one of these is allocation-free
+ * once warm; concurrent scorers must each own their own scratch.
+ */
+struct EvalScratch
+{
+    DecodeScratch decode;
+    Scheduled sched;
+};
+
 class Evaluator
 {
   public:
@@ -52,15 +63,25 @@ class Evaluator
      * lowered schedule violates a hardware limit). Cached: re-evaluating
      * a known point is free on the simulated clock.
      */
-    double evaluate(const Point &p);
+    double evaluate(const Point &p) { return evaluate(p, p.key64()); }
+
+    /**
+     * evaluate() with the point's key64() already in hand — the hot
+     * loops compute the key once for the known() probe and pass it here
+     * instead of hashing the point a second time.
+     */
+    double evaluate(const Point &p, PointKey key);
 
     /**
      * Pure model query: the performance value of a point without touching
      * H, the cache, or the simulated clock. Thread-safe for concurrent
      * callers (decode + generate + perf model only); the serving layer
      * scores batches with this in parallel, then commits in order.
+     * The scratch overload reuses the caller's buffers; each concurrent
+     * scorer must own a distinct EvalScratch.
      */
     double scoreOnly(const Point &p) const;
+    double scoreOnly(const Point &p, EvalScratch &scratch) const;
 
     /**
      * Record a measurement scored elsewhere: insert into H and the cache,
@@ -68,10 +89,16 @@ class Evaluator
      * best point. `p` must not be known yet. Batched measurement commits
      * points in submission order so H is deterministic.
      */
-    void commitMeasured(const Point &p, double gflops, double simCharge);
+    void commitMeasured(const Point &p, double gflops, double simCharge)
+    {
+        commitMeasured(p, p.key64(), gflops, simCharge);
+    }
+    void commitMeasured(const Point &p, PointKey key, double gflops,
+                        double simCharge);
 
     /** Whether the point has been evaluated before. */
-    bool known(const Point &p) const;
+    bool known(const Point &p) const { return known(p.key64()); }
+    bool known(PointKey key) const { return cache_.count(key) > 0; }
 
     /**
      * Rebuild H from a checkpoint onto a fresh evaluator: every entry
@@ -138,8 +165,14 @@ class Evaluator
     Gauge *bestGauge_ = nullptr;
     Gauge *simGauge_ = nullptr;
     Histogram *gflopsHist_ = nullptr;
+    /** Wall-profiling counters (null unless obs.wallProfile). */
+    Counter *decodeNsCounter_ = nullptr;
+    Counter *lowerNsCounter_ = nullptr;
 
-    std::unordered_map<std::string, double> cache_;
+    /** Scoring buffers for the single-threaded evaluate() path. */
+    mutable EvalScratch scratch_;
+
+    std::unordered_map<PointKey, double> cache_;
     std::vector<Evaluated> history_;
     std::vector<std::pair<double, double>> curve_;
     double best_ = 0.0;

@@ -1,6 +1,7 @@
 #include "explore/explorer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "explore/checkpoint.h"
 #include "explore/sa.h"
@@ -31,6 +32,14 @@ std::vector<float>
 toFloat(const std::vector<double> &v)
 {
     return std::vector<float>(v.begin(), v.end());
+}
+
+int64_t
+wallNsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
 }
 
 /** Seed H with random points so SA has something to choose from. */
@@ -212,7 +221,30 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
 
     SaChooser chooser(options.saGamma);
     std::vector<Transition> replay;
+    // At most one transition lands per start per trial; cap the reserve
+    // so a huge trial budget cannot pre-claim unbounded memory.
+    replay.reserve(std::min<size_t>(
+        static_cast<size_t>(std::max(options.trials, 0)) *
+            static_cast<size_t>(std::max(options.startingPoints, 1)),
+        size_t(1) << 16));
     AdaDeltaOptions adadelta;
+
+    // Reused hot-loop buffers: the per-step feature batch (row-major
+    // starts x feature_dim), the decode scratch feeding it, the network
+    // scratch, the direction ranking, and the training gather buffers.
+    DecodeScratch decode_scratch;
+    std::vector<double> feat_d;
+    std::vector<float> batch_feat;
+    MlpScratch net_scratch;
+    std::vector<int> order(num_dirs);
+    std::vector<size_t> replay_idx;
+    std::vector<float> train_feat;
+    std::vector<float> train_state;
+    std::vector<int> train_action;
+    std::vector<float> targets;
+    Counter *qf_ns_counter = options.obs.wallProfile
+                                 ? maybeCounter(metrics, "q.forward_batch.ns")
+                                 : nullptr;
 
     int start_trial = 0;
     bool resumed = false;
@@ -244,14 +276,47 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
                          {tint("trial", trial)});
         }
         auto starts = chooser.chooseMany(eval, rng, options.startingPoints);
-        for (const Point &start : starts) {
-            if (trace)
-                trace->begin("q_forward", eval.simulatedSeconds());
-            std::vector<float> feat = toFloat(space.features(start));
-            std::vector<float> q = netX.forward(feat);
+        const int m = static_cast<int>(starts.size());
+
+        // Batched direction inference: every start's feature row is
+        // decoded into one matrix and the Q-network runs a single
+        // blocked pass over it. Features and the network are fixed
+        // within a trial, so the per-row results are bit-identical to
+        // the former per-start forward() calls.
+        if (trace) {
+            trace->begin("q_forward_batch", eval.simulatedSeconds(),
+                         {tint("starts", m)});
+        }
+        const auto qf_t0 = std::chrono::steady_clock::now();
+        batch_feat.resize(static_cast<size_t>(m) * feature_dim);
+        for (int s = 0; s < m; ++s) {
+            space.featuresInto(starts[s], decode_scratch, feat_d);
+            float *row = batch_feat.data() +
+                         static_cast<size_t>(s) * feature_dim;
+            for (int i = 0; i < feature_dim; ++i)
+                row[i] = static_cast<float>(feat_d[i]);
+        }
+        const float *batch_q =
+            m > 0 ? netX.forwardBatch(batch_feat.data(), m, net_scratch)
+                  : nullptr;
+        if (qf_ns_counter)
+            qf_ns_counter->add(static_cast<uint64_t>(wallNsSince(qf_t0)));
+        if (trace) {
+            if (options.obs.wallProfile) {
+                trace->end("q_forward_batch", eval.simulatedSeconds(),
+                           {tint("ns", wallNsSince(qf_t0))});
+            } else {
+                trace->end("q_forward_batch", eval.simulatedSeconds());
+            }
+        }
+        if (forward_counter)
+            forward_counter->add(static_cast<uint64_t>(m));
+
+        for (int s = 0; s < m; ++s) {
+            const Point &start = starts[s];
+            const float *q = batch_q + static_cast<size_t>(s) * num_dirs;
 
             // Rank directions by predicted Q-value; epsilon-greedy.
-            std::vector<int> order(num_dirs);
             for (int d = 0; d < num_dirs; ++d)
                 order[d] = d;
             const bool greedy = !rng.chance(options.epsilon);
@@ -261,26 +326,26 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
                 std::sort(order.begin(), order.end(),
                           [&](int a, int b) { return q[a] > q[b]; });
             }
-            if (trace) {
-                trace->end("q_forward", eval.simulatedSeconds(),
-                           {tstr("key", start.key()),
-                            tint("predicted", order.empty() ? -1 : order[0]),
-                            tbool("greedy", greedy)});
-            }
-            if (forward_counter)
-                forward_counter->add();
 
             // Take the best direction that leads to an unvisited point.
             for (int d : order) {
                 auto next = space.move(start, d);
-                if (!next || eval.known(*next))
+                if (!next)
+                    continue;
+                const PointKey next_key = next->key64();
+                if (eval.known(next_key))
                     continue;
                 double e_start = eval.evaluate(start);
-                double e_next = reval.evaluate(*next);
+                double e_next = reval.evaluate(*next, next_key);
                 float reward = static_cast<float>(
                     (e_next - e_start) / std::max(e_start, 1e-9));
-                replay.push_back({start, *next, feat, d,
-                                  toFloat(space.features(*next)), reward});
+                const float *feat_row =
+                    batch_feat.data() + static_cast<size_t>(s) * feature_dim;
+                space.featuresInto(*next, decode_scratch, feat_d);
+                replay.push_back(
+                    {start, *next,
+                     std::vector<float>(feat_row, feat_row + feature_dim),
+                     d, toFloat(feat_d), reward});
                 if (trace) {
                     trace->point("q_step", eval.simulatedSeconds(),
                                  {tstr("key", next->key()), tint("dir", d),
@@ -298,16 +363,50 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
             netX.zeroGrad();
             int batch = std::min<int>(options.replayBatch,
                                       static_cast<int>(replay.size()));
+            // Pre-draw the replay sample (same RNG draw order as the
+            // former per-sample loop: nothing between the draws consumed
+            // randomness), then run the target network over the whole
+            // sample in one blocked pass.
+            replay_idx.resize(batch);
+            for (int b = 0; b < batch; ++b)
+                replay_idx[b] = rng.index(replay.size());
+            train_feat.resize(static_cast<size_t>(batch) * feature_dim);
             for (int b = 0; b < batch; ++b) {
-                const Transition &t = replay[rng.index(replay.size())];
-                std::vector<float> next_q = netY.forward(t.nextFeatures);
-                float max_next =
-                    *std::max_element(next_q.begin(), next_q.end());
-                float target = static_cast<float>(options.qAlpha) *
-                                   max_next +
-                               t.reward;
-                netX.accumulateGrad(t.stateFeatures, t.direction, target);
+                const Transition &t = replay[replay_idx[b]];
+                std::copy(t.nextFeatures.begin(), t.nextFeatures.end(),
+                          train_feat.begin() +
+                              static_cast<size_t>(b) * feature_dim);
             }
+            const float *next_q_all =
+                netY.forwardBatch(train_feat.data(), batch, net_scratch);
+            targets.resize(batch);
+            for (int b = 0; b < batch; ++b) {
+                const float *row =
+                    next_q_all + static_cast<size_t>(b) * num_dirs;
+                // First-largest scan: same element as std::max_element.
+                float max_next = row[0];
+                for (int d = 1; d < num_dirs; ++d) {
+                    if (row[d] > max_next)
+                        max_next = row[d];
+                }
+                targets[b] = static_cast<float>(options.qAlpha) * max_next +
+                             replay[replay_idx[b]].reward;
+            }
+            // One batched gradient pass: forward runs once over the
+            // sample lanes, gradients accumulate in index order — the
+            // same values the per-sample accumulateGrad loop produced.
+            train_state.resize(static_cast<size_t>(batch) * feature_dim);
+            train_action.resize(batch);
+            for (int b = 0; b < batch; ++b) {
+                const Transition &t = replay[replay_idx[b]];
+                std::copy(t.stateFeatures.begin(), t.stateFeatures.end(),
+                          train_state.begin() +
+                              static_cast<size_t>(b) * feature_dim);
+                train_action[b] = t.direction;
+            }
+            netX.accumulateGradBatch(train_state.data(), batch,
+                                     train_action.data(), targets.data(),
+                                     net_scratch);
             netX.step(adadelta);
             netY.copyValuesFrom(netX);
             if (trace) {
@@ -341,6 +440,9 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
                              options.measureParallelism, options.resilience);
     SaChooser chooser(options.saGamma);
     const int num_dirs = space.numDirections();
+    // Reused across starts; a neighborhood holds at most num_dirs points.
+    std::vector<Point> neighborhood;
+    neighborhood.reserve(num_dirs);
 
     int start_trial = 0;
     bool resumed = false;
@@ -378,7 +480,7 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
             // P-method: measure the full neighborhood of the starting
             // point as one parallel batch (early-stop granularity is a
             // whole neighborhood, matching batched measurement).
-            std::vector<Point> neighborhood;
+            neighborhood.clear();
             for (int d = 0; d < num_dirs; ++d) {
                 auto next = space.move(start, d);
                 if (next && !eval.known(*next))

@@ -29,23 +29,28 @@ ResilientEvaluator::faultsActive() const
 bool
 ResilientEvaluator::quarantined(const Point &p) const
 {
-    return quarantineSet_.count(p.key()) > 0;
+    return quarantineSet_.count(p.key64()) > 0;
 }
 
 void
 ResilientEvaluator::restore(const ResilienceStats &stats,
-                            const std::vector<std::string> &quarantine)
+                            const std::vector<Point> &quarantine)
 {
     stats_ = stats;
     quarantine_ = quarantine;
     quarantineSet_.clear();
-    quarantineSet_.insert(quarantine.begin(), quarantine.end());
+    for (const Point &p : quarantine)
+        quarantineSet_.insert(p.key64());
 }
 
 ResilientEvaluator::Measured
-ResilientEvaluator::measureWithFaults(const std::string &key,
+ResilientEvaluator::measureWithFaults(const Point &p, PointKey key64,
                                       double trueScore)
 {
+    // The injector's fate function hashes the legacy string key, so it
+    // is still built here — only on the fault path, never fault-free —
+    // keeping fault outcomes identical to earlier releases.
+    const std::string key = p.key();
     const ResilienceStats before = stats_;
     const FaultInjector &injector = *options_.injector;
     const double measure_cost = eval_.measureCost();
@@ -94,8 +99,8 @@ ResilientEvaluator::measureWithFaults(const std::string &key,
     out.value = values[(values.size() - 1) / 2];
 
     if (failed_repeats == options_.repeats &&
-        quarantineSet_.insert(key).second) {
-        quarantine_.push_back(key);
+        quarantineSet_.insert(key64).second) {
+        quarantine_.push_back(p);
         ++stats_.quarantined;
         debug("quarantined point ", key, " after ", attempt,
               " failed attempts");
@@ -128,11 +133,13 @@ ResilientEvaluator::evaluate(const std::vector<Point> &points)
 
     // Fresh work: first occurrence of each unknown point, in order.
     std::vector<size_t> fresh;
-    std::unordered_set<std::string> batch_keys;
+    std::vector<PointKey> keys(points.size());
+    std::unordered_set<PointKey> batch_keys;
     for (size_t i = 0; i < points.size(); ++i) {
-        if (eval_.known(points[i]))
+        keys[i] = points[i].key64();
+        if (eval_.known(keys[i]))
             continue;
-        if (batch_keys.insert(points[i].key()).second)
+        if (batch_keys.insert(keys[i]).second)
             fresh.push_back(i);
     }
 
@@ -147,22 +154,29 @@ ResilientEvaluator::evaluate(const std::vector<Point> &points)
         }
         // True scores in parallel (pure model queries)...
         std::vector<double> true_scores(fresh.size());
-        auto score = [&](size_t j) {
-            true_scores[j] = eval_.scoreOnly(points[fresh[j]]);
-        };
         if (pool_ && pool_->numThreads() > 1 && fresh.size() > 1) {
-            pool_->parallelFor(fresh.size(), score);
+            const size_t workers =
+                std::min<size_t>(pool_->numThreads(), fresh.size());
+            if (scratch_.size() < workers)
+                scratch_.resize(workers);
+            pool_->parallelFor(fresh.size(), [&](size_t w, size_t j) {
+                true_scores[j] =
+                    eval_.scoreOnly(points[fresh[j]], scratch_[w]);
+            });
         } else {
+            if (scratch_.empty())
+                scratch_.resize(1);
             for (size_t j = 0; j < fresh.size(); ++j)
-                score(j);
+                true_scores[j] =
+                    eval_.scoreOnly(points[fresh[j]], scratch_[0]);
         }
 
         // ...then the fault/retry policy per point, sequentially, so the
         // outcome is deterministic regardless of thread interleaving.
         std::vector<Measured> measured(fresh.size());
         for (size_t j = 0; j < fresh.size(); ++j)
-            measured[j] = measureWithFaults(points[fresh[j]].key(),
-                                            true_scores[j]);
+            measured[j] = measureWithFaults(points[fresh[j]],
+                                            keys[fresh[j]], true_scores[j]);
 
         // Batch clock: machines take points round-robin; the batch spans
         // the busiest machine, spread evenly across the curve entries.
@@ -173,8 +187,8 @@ ResilientEvaluator::evaluate(const std::vector<Point> &points)
         const double span = *std::max_element(load.begin(), load.end());
         const double per_point = span / double(fresh.size());
         for (size_t j = 0; j < fresh.size(); ++j)
-            eval_.commitMeasured(points[fresh[j]], measured[j].value,
-                                 per_point);
+            eval_.commitMeasured(points[fresh[j]], keys[fresh[j]],
+                                 measured[j].value, per_point);
         if (obs.trace)
             obs.trace->end("batch_evaluate", eval_.simulatedSeconds());
         if (obs.metrics) {
@@ -189,17 +203,19 @@ ResilientEvaluator::evaluate(const std::vector<Point> &points)
 
     std::vector<double> out(points.size());
     for (size_t i = 0; i < points.size(); ++i)
-        out[i] = eval_.evaluate(points[i]); // all known now: cache reads
+        out[i] = eval_.evaluate(points[i], keys[i]); // cache reads
     return out;
 }
 
 double
-ResilientEvaluator::evaluate(const Point &p)
+ResilientEvaluator::evaluate(const Point &p, PointKey key)
 {
-    if (!faultsActive() || eval_.known(p))
-        return eval_.evaluate(p);
-    Measured m = measureWithFaults(p.key(), eval_.scoreOnly(p));
-    eval_.commitMeasured(p, m.value, m.simCharge);
+    if (!faultsActive() || eval_.known(key))
+        return eval_.evaluate(p, key);
+    if (scratch_.empty())
+        scratch_.resize(1);
+    Measured m = measureWithFaults(p, key, eval_.scoreOnly(p, scratch_[0]));
+    eval_.commitMeasured(p, key, m.value, m.simCharge);
     return m.value;
 }
 

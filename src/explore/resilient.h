@@ -34,7 +34,6 @@
 #define FLEXTENSOR_EXPLORE_RESILIENT_H
 
 #include <cstdint>
-#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -91,24 +90,24 @@ class ResilientEvaluator
     std::vector<double> evaluate(const std::vector<Point> &points);
 
     /** Single-point convenience (full per-point charge, no batching). */
-    double evaluate(const Point &p);
+    double evaluate(const Point &p) { return evaluate(p, p.key64()); }
+
+    /** Single-point evaluate with the key64() already in hand. */
+    double evaluate(const Point &p, PointKey key);
 
     /** Whether an enabled fault injector is attached. */
     bool faultsActive() const;
 
     const ResilienceStats &stats() const { return stats_; }
 
-    /** Keys of persistently failing points, in quarantine order. */
-    const std::vector<std::string> &quarantine() const
-    {
-        return quarantine_;
-    }
+    /** Persistently failing points, in quarantine order. */
+    const std::vector<Point> &quarantine() const { return quarantine_; }
 
     bool quarantined(const Point &p) const;
 
     /** Reload counters and quarantine from a checkpoint. */
     void restore(const ResilienceStats &stats,
-                 const std::vector<std::string> &quarantine);
+                 const std::vector<Point> &quarantine);
 
     Evaluator &evaluator() { return eval_; }
 
@@ -119,15 +118,18 @@ class ResilientEvaluator
         double value = 0.0;     ///< median committed to H
         double simCharge = 0.0; ///< attempts + backoffs, seconds
     };
-    Measured measureWithFaults(const std::string &key, double trueScore);
+    Measured measureWithFaults(const Point &p, PointKey key,
+                               double trueScore);
 
     Evaluator &eval_;
     BatchEvaluator batch_;
     ThreadPool *pool_;
     ResilienceOptions options_;
     ResilienceStats stats_;
-    std::vector<std::string> quarantine_;
-    std::unordered_set<std::string> quarantineSet_;
+    std::vector<Point> quarantine_;
+    std::unordered_set<PointKey> quarantineSet_;
+    /** One scoring scratch per pool worker on the fault batch path. */
+    std::vector<EvalScratch> scratch_;
 };
 
 } // namespace ft

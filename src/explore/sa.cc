@@ -40,9 +40,39 @@ std::vector<Point>
 SaChooser::chooseMany(const Evaluator &eval, Rng &rng, int count) const
 {
     std::vector<Point> out;
+    if (count <= 0)
+        return out;
     out.reserve(count);
-    for (int i = 0; i < count; ++i)
-        out.push_back(choose(eval, rng));
+
+    // H does not change between picks, so the window weights (and their
+    // sum, accumulated in the same i-ascending order as choose()) are
+    // computed once; each pick replays choose()'s scan over the cached
+    // values and draws the same single uniform. Bit-identical to calling
+    // choose() count times.
+    const auto &h = eval.history();
+    FT_ASSERT(!h.empty(), "SA selection from empty evaluated set");
+    const double best = eval.best();
+    const size_t window = 256;
+    const size_t begin = h.size() > window ? h.size() - window : 0;
+    weights_.clear();
+    double total = 0.0;
+    for (size_t i = begin; i < h.size(); ++i) {
+        weights_.push_back(weight(h[i].gflops, best));
+        total += weights_.back();
+    }
+
+    for (int c = 0; c < count; ++c) {
+        double pick = rng.uniform() * total;
+        const Point *chosen = &h.back().point;
+        for (size_t i = begin; i < h.size(); ++i) {
+            pick -= weights_[i - begin];
+            if (pick <= 0.0) {
+                chosen = &h[i].point;
+                break;
+            }
+        }
+        out.push_back(*chosen);
+    }
     return out;
 }
 

@@ -36,6 +36,9 @@ class SaChooser
 
   private:
     double gamma_;
+    /** Per-window weights reused across chooseMany picks: H is fixed
+     *  for the whole call, so exp() runs once per entry, not per pick. */
+    mutable std::vector<double> weights_;
 };
 
 } // namespace ft

@@ -6,6 +6,31 @@
 #include "support/logging.h"
 #include "support/rng.h"
 
+/**
+ * Runtime-dispatched AVX2 clones for the hot lane-parallel kernels.
+ * "avx2" deliberately does NOT imply FMA, so the wide clone issues the
+ * same separate mul+add (identical IEEE rounding) as the baseline —
+ * only 8 lanes at a time instead of 4. On non-ELF/x86 builds the macro
+ * is a no-op and the default code path is the only one. Sanitizer
+ * builds also disable it: target_clones dispatches through a GNU
+ * ifunc, whose resolver runs during relocation before the sanitizer
+ * runtime is initialized and crashes the process at startup.
+ */
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define FT_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define FT_SANITIZED 1
+#endif
+#endif
+
+#if !defined(FT_SANITIZED) && defined(__x86_64__) && defined(__ELF__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FT_LANE_CLONES __attribute__((target_clones("avx2", "default")))
+#else
+#define FT_LANE_CLONES
+#endif
+
 namespace ft {
 
 void
@@ -23,6 +48,7 @@ Param::zeroGrad()
     std::fill(grad.begin(), grad.end(), 0.0f);
 }
 
+FT_LANE_CLONES
 void
 Param::step(const AdaDeltaOptions &opt)
 {
@@ -55,21 +81,95 @@ Linear::forward(const std::vector<float> &x) const
 {
     FT_ASSERT(static_cast<int>(x.size()) == inDim_, "Linear input dim");
     std::vector<float> y(outDim_);
-    for (int o = 0; o < outDim_; ++o) {
-        float acc = b_.value[o];
-        const float *row = &w_.value[static_cast<size_t>(o) * inDim_];
-        for (int i = 0; i < inDim_; ++i)
-            acc += row[i] * x[i];
-        y[o] = acc;
-    }
+    forwardBatch(x.data(), 1, y.data());
     return y;
+}
+
+FT_LANE_CLONES
+void
+Linear::forwardBatch(const float *x, int m, float *y) const
+{
+    // One weight row is loaded once and swept across every sample; the
+    // per-sample dot product stays i-ascending starting from the bias,
+    // so each output value is bit-identical to the scalar forward().
+    for (int o = 0; o < outDim_; ++o) {
+        const float *row = &w_.value[static_cast<size_t>(o) * inDim_];
+        const float bias = b_.value[o];
+        for (int s = 0; s < m; ++s) {
+            const float *xs = x + static_cast<size_t>(s) * inDim_;
+            float acc = bias;
+            for (int i = 0; i < inDim_; ++i)
+                acc += row[i] * xs[i];
+            y[static_cast<size_t>(s) * outDim_ + o] = acc;
+        }
+    }
+}
+
+FT_LANE_CLONES
+void
+Linear::forwardBatchT(const float *xT, int m, float *yT) const
+{
+    // Sample lanes are independent, so the s loop has no loop-carried
+    // dependency and both operands are contiguous — the compiler turns
+    // it into plain SIMD mul+add. Lane s still accumulates bias first,
+    // then i ascending: the same operation sequence (and rounding) as
+    // forward(sample s).
+    if (m == 4) {
+        // The inference batch (one row per SA start) is almost always 4
+        // samples. With the lane count fixed, the four accumulators live
+        // in one SIMD register across the whole i loop — no per-i store
+        // or trip-count checks — while each lane still runs the same
+        // bias-then-i-ascending sequence.
+        for (int o = 0; o < outDim_; ++o) {
+            const float bias = b_.value[o];
+            float a0 = bias, a1 = bias, a2 = bias, a3 = bias;
+            const float *row = &w_.value[static_cast<size_t>(o) * inDim_];
+            for (int i = 0; i < inDim_; ++i) {
+                const float wi = row[i];
+                const float *xi = xT + static_cast<size_t>(i) * 4;
+                a0 += wi * xi[0];
+                a1 += wi * xi[1];
+                a2 += wi * xi[2];
+                a3 += wi * xi[3];
+            }
+            float *yo = yT + static_cast<size_t>(o) * 4;
+            yo[0] = a0;
+            yo[1] = a1;
+            yo[2] = a2;
+            yo[3] = a3;
+        }
+        return;
+    }
+    for (int o = 0; o < outDim_; ++o) {
+        float *yo = yT + static_cast<size_t>(o) * m;
+        const float bias = b_.value[o];
+        for (int s = 0; s < m; ++s)
+            yo[s] = bias;
+        const float *row = &w_.value[static_cast<size_t>(o) * inDim_];
+        for (int i = 0; i < inDim_; ++i) {
+            const float wi = row[i];
+            const float *xi = xT + static_cast<size_t>(i) * m;
+            for (int s = 0; s < m; ++s)
+                yo[s] += wi * xi[s];
+        }
+    }
 }
 
 std::vector<float>
 Linear::backward(const std::vector<float> &dy, const std::vector<float> &x)
 {
     FT_ASSERT(static_cast<int>(dy.size()) == outDim_, "Linear grad dim");
-    std::vector<float> dx(inDim_, 0.0f);
+    FT_ASSERT(static_cast<int>(x.size()) == inDim_, "Linear input dim");
+    std::vector<float> dx(inDim_);
+    backwardInto(dy.data(), x.data(), dx.data());
+    return dx;
+}
+
+FT_LANE_CLONES
+void
+Linear::backwardInto(const float *dy, const float *x, float *dx)
+{
+    std::fill(dx, dx + inDim_, 0.0f);
     for (int o = 0; o < outDim_; ++o) {
         float g = dy[o];
         if (g == 0.0f)
@@ -82,7 +182,6 @@ Linear::backward(const std::vector<float> &dy, const std::vector<float> &x)
             dx[i] += g * vrow[i];
         }
     }
-    return dx;
 }
 
 void
@@ -130,40 +229,97 @@ Mlp::outputDim() const
 std::vector<float>
 Mlp::forward(const std::vector<float> &x) const
 {
-    std::vector<float> h = x;
+    FT_ASSERT(static_cast<int>(x.size()) == inputDim(), "Mlp input dim");
+    MlpScratch scratch;
+    const float *y = forwardBatch(x.data(), 1, scratch);
+    return std::vector<float>(y, y + outputDim());
+}
+
+const float *
+Mlp::forwardBatch(const float *x, int m, MlpScratch &scratch) const
+{
+    if (m <= 1) {
+        const float *in = x;
+        for (size_t l = 0; l < layers_.size(); ++l) {
+            // Ping-pong between the two scratch planes so layer l reads
+            // the plane layer l-1 wrote.
+            std::vector<float> &out = (l % 2 == 0) ? scratch.a : scratch.b;
+            out.resize(static_cast<size_t>(m) * layers_[l].outDim());
+            layers_[l].forwardBatch(in, m, out.data());
+            if (l + 1 < layers_.size()) {
+                for (auto &v : out)
+                    v = v > 0.0f ? v : 0.0f;
+            }
+            in = out.data();
+        }
+        return in;
+    }
+    // Batched: run the layers on transposed planes so every inner loop
+    // sweeps the m sample lanes, then transpose the last plane back to
+    // the row-major layout callers expect. The transposes are O(m*dim)
+    // copies — noise next to the O(m*in*out) layer math they unlock.
+    scratch.xt.resize(static_cast<size_t>(m) * inputDim());
+    for (int s = 0; s < m; ++s) {
+        for (int i = 0; i < inputDim(); ++i)
+            scratch.xt[static_cast<size_t>(i) * m + s] =
+                x[static_cast<size_t>(s) * inputDim() + i];
+    }
+    const float *in = scratch.xt.data();
     for (size_t l = 0; l < layers_.size(); ++l) {
-        h = layers_[l].forward(h);
+        std::vector<float> &out = (l % 2 == 0) ? scratch.a : scratch.b;
+        out.resize(static_cast<size_t>(m) * layers_[l].outDim());
+        layers_[l].forwardBatchT(in, m, out.data());
         if (l + 1 < layers_.size()) {
-            for (auto &v : h)
+            for (auto &v : out)
                 v = v > 0.0f ? v : 0.0f;
         }
+        in = out.data();
     }
-    return h;
+    const int od = outputDim();
+    scratch.out.resize(static_cast<size_t>(m) * od);
+    for (int s = 0; s < m; ++s) {
+        for (int o = 0; o < od; ++o)
+            scratch.out[static_cast<size_t>(s) * od + o] =
+                in[static_cast<size_t>(o) * m + s];
+    }
+    return scratch.out.data();
 }
 
 double
 Mlp::accumulateGrad(const std::vector<float> &x, int action, float target)
 {
+    MlpScratch scratch;
+    return accumulateGrad(x, action, target, scratch);
+}
+
+double
+Mlp::accumulateGrad(const std::vector<float> &x, int action, float target,
+                    MlpScratch &scratch)
+{
     FT_ASSERT(action >= 0 && action < outputDim(), "action out of range");
-    // Forward with cached activations.
-    std::vector<std::vector<float>> acts; // inputs to each layer
-    acts.push_back(x);
+    // Forward with cached activations (inputs to each layer).
+    auto &acts = scratch.acts;
+    acts.resize(layers_.size() + 1);
+    acts[0] = x;
     for (size_t l = 0; l < layers_.size(); ++l) {
-        auto h = layers_[l].forward(acts.back());
+        acts[l + 1].resize(layers_[l].outDim());
+        layers_[l].forwardBatch(acts[l].data(), 1, acts[l + 1].data());
         if (l + 1 < layers_.size()) {
-            for (auto &v : h)
+            for (auto &v : acts[l + 1])
                 v = v > 0.0f ? v : 0.0f;
         }
-        acts.push_back(std::move(h));
     }
     const float q = acts.back()[action];
     const float err = q - target;
 
     // Backward: dL/dq on the chosen output only.
-    std::vector<float> dy(outputDim(), 0.0f);
+    auto &dy = scratch.dy;
+    auto &dx = scratch.dx;
+    dy.assign(outputDim(), 0.0f);
     dy[action] = 2.0f * err;
     for (size_t l = layers_.size(); l-- > 0;) {
-        std::vector<float> dx = layers_[l].backward(dy, acts[l]);
+        dx.resize(layers_[l].inDim());
+        layers_[l].backwardInto(dy.data(), acts[l].data(), dx.data());
         if (l > 0) {
             // Through the ReLU that produced acts[l].
             for (size_t i = 0; i < dx.size(); ++i) {
@@ -171,9 +327,69 @@ Mlp::accumulateGrad(const std::vector<float> &x, int action, float target)
                     dx[i] = 0.0f;
             }
         }
-        dy = std::move(dx);
+        std::swap(dy, dx);
     }
     return static_cast<double>(err) * err;
+}
+
+double
+Mlp::accumulateGradBatch(const float *x, int m, const int *actions,
+                         const float *targets, MlpScratch &scratch)
+{
+    const size_t num_layers = layers_.size();
+    // Forward once for the whole batch, keeping every layer's input as
+    // a transposed plane (dim x m); acts[L] is the output plane.
+    auto &acts = scratch.acts;
+    acts.resize(num_layers + 1);
+    acts[0].resize(static_cast<size_t>(m) * inputDim());
+    for (int s = 0; s < m; ++s) {
+        for (int i = 0; i < inputDim(); ++i)
+            acts[0][static_cast<size_t>(i) * m + s] =
+                x[static_cast<size_t>(s) * inputDim() + i];
+    }
+    for (size_t l = 0; l < num_layers; ++l) {
+        acts[l + 1].resize(static_cast<size_t>(m) * layers_[l].outDim());
+        layers_[l].forwardBatchT(acts[l].data(), m, acts[l + 1].data());
+        if (l + 1 < num_layers) {
+            for (auto &v : acts[l + 1])
+                v = v > 0.0f ? v : 0.0f;
+        }
+    }
+
+    // Backward sample by sample, in index order: gradients land in the
+    // parameter buffers in the same order as m scalar accumulateGrad()
+    // calls, and each sample's activations (column s of the planes) are
+    // the scalar pass's values bit for bit.
+    double loss = 0.0;
+    auto &dy = scratch.dy;
+    auto &dx = scratch.dx;
+    auto &col = scratch.col;
+    for (int s = 0; s < m; ++s) {
+        FT_ASSERT(actions[s] >= 0 && actions[s] < outputDim(),
+                  "action out of range");
+        const float q = acts[num_layers][static_cast<size_t>(actions[s]) * m + s];
+        const float err = q - targets[s];
+        loss += static_cast<double>(err) * err;
+        dy.assign(outputDim(), 0.0f);
+        dy[actions[s]] = 2.0f * err;
+        for (size_t l = num_layers; l-- > 0;) {
+            const int in_dim = layers_[l].inDim();
+            col.resize(in_dim);
+            for (int i = 0; i < in_dim; ++i)
+                col[i] = acts[l][static_cast<size_t>(i) * m + s];
+            dx.resize(in_dim);
+            layers_[l].backwardInto(dy.data(), col.data(), dx.data());
+            if (l > 0) {
+                // Through the ReLU that produced this layer's input.
+                for (int i = 0; i < in_dim; ++i) {
+                    if (col[i] <= 0.0f)
+                        dx[i] = 0.0f;
+                }
+            }
+            std::swap(dy, dx);
+        }
+    }
+    return loss;
 }
 
 void

@@ -27,6 +27,22 @@ struct AdaDeltaOptions
     double eps = 1e-6;
 };
 
+/**
+ * Caller-owned working buffers for the batched/scratch Mlp passes.
+ * Reusing one of these across calls makes inference and training
+ * allocation-free once the buffers have grown to capacity; concurrent
+ * callers must each own their own scratch.
+ */
+struct MlpScratch
+{
+    std::vector<float> a, b;              ///< ping-pong activation planes
+    std::vector<std::vector<float>> acts; ///< per-layer inputs (backward)
+    std::vector<float> dy, dx;            ///< backward gradient buffers
+    std::vector<float> xt;  ///< transposed input plane (batched passes)
+    std::vector<float> out; ///< row-major batch output
+    std::vector<float> col; ///< one sample's activations (batch backward)
+};
+
 /** A parameter tensor with gradient and AdaDelta accumulators. */
 struct Param
 {
@@ -58,11 +74,33 @@ class Linear
     std::vector<float> forward(const std::vector<float> &x) const;
 
     /**
+     * Blocked batch forward: `x` is m row-major samples (m x inDim),
+     * `y` receives m x outDim. Each weight row is streamed across the
+     * whole batch (SIMD/cache friendly), and every sample's dot product
+     * accumulates in the same order as forward(), so row s of the
+     * result is bit-identical to forward(sample s).
+     */
+    void forwardBatch(const float *x, int m, float *y) const;
+
+    /**
+     * forwardBatch() on transposed planes: `xT` is inDim x m (sample s
+     * is column s), `yT` receives outDim x m. The inner loop runs
+     * across the m sample lanes — contiguous loads, no loop-carried
+     * dependency — so it vectorizes, while each sample's accumulation
+     * still walks i in ascending order from the bias: column s equals
+     * forward(sample s) bit for bit.
+     */
+    void forwardBatchT(const float *xT, int m, float *yT) const;
+
+    /**
      * Backward pass: given dL/dy and the forward input, accumulate
      * parameter gradients and return dL/dx.
      */
     std::vector<float> backward(const std::vector<float> &dy,
                                 const std::vector<float> &x);
+
+    /** backward() into a caller-owned buffer (dx: inDim floats). */
+    void backwardInto(const float *dy, const float *x, float *dx);
 
     void zeroGrad();
     void step(const AdaDeltaOptions &opt);
@@ -96,11 +134,35 @@ class Mlp
     std::vector<float> forward(const std::vector<float> &x) const;
 
     /**
+     * Batched forward: `x` is m row-major samples (m x inputDim). The
+     * returned pointer (into `scratch`, valid until the next use of it)
+     * holds m x outputDim values; row s is bit-identical to
+     * forward(sample s). `x` must not alias the scratch buffers.
+     */
+    const float *forwardBatch(const float *x, int m,
+                              MlpScratch &scratch) const;
+
+    /**
      * Accumulate gradients for a single (input, action, target) sample:
      * loss = (output[action] - target)^2. Returns the loss.
      */
     double accumulateGrad(const std::vector<float> &x, int action,
                           float target);
+
+    /** accumulateGrad() reusing caller-owned buffers. */
+    double accumulateGrad(const std::vector<float> &x, int action,
+                          float target, MlpScratch &scratch);
+
+    /**
+     * accumulateGrad() over a whole batch: `x` is m row-major samples,
+     * `actions`/`targets` hold one entry per sample. The forward pass
+     * runs once, batched across the sample lanes; gradients then
+     * accumulate sample by sample in index order, so the parameter
+     * gradients (and the returned summed loss) are bit-identical to m
+     * successive accumulateGrad() calls.
+     */
+    double accumulateGradBatch(const float *x, int m, const int *actions,
+                               const float *targets, MlpScratch &scratch);
 
     void zeroGrad();
     void step(const AdaDeltaOptions &opt);

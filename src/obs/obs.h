@@ -22,6 +22,16 @@ struct ObsContext
     TraceRecorder *trace = nullptr;     ///< per-run JSONL timeline
     MetricsRegistry *metrics = nullptr; ///< counters/gauges/histograms
 
+    /**
+     * Opt-in wall-clock profiling of the evaluation hot path. When set,
+     * per-component wall nanoseconds flow into `*.ns` counters and (on
+     * the single-threaded path) `eval.decode`/`eval.lower` trace spans.
+     * Off by default because wall timestamps are inherently
+     * nondeterministic; simulated-clock traces stay byte-identical only
+     * while this is false.
+     */
+    bool wallProfile = false;
+
     bool enabled() const { return trace != nullptr || metrics != nullptr; }
 };
 

@@ -18,6 +18,7 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
         uint64_t spans = 0;
         uint64_t points = 0;
         double simSeconds = 0.0;
+        uint64_t wallNs = 0;
         std::vector<double> openBegins; ///< stack: nested same-name spans
     };
     std::map<std::string, PhaseAcc> phases;
@@ -43,6 +44,9 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 acc.simSeconds += e.sim - acc.openBegins.back();
                 acc.openBegins.pop_back();
                 ++acc.spans;
+                int64_t ns = e.integer("ns");
+                if (ns > 0)
+                    acc.wallNs += static_cast<uint64_t>(ns);
             }
             break;
           }
@@ -67,6 +71,7 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
         p.spans = acc.spans;
         p.points = acc.points;
         p.simSeconds = acc.simSeconds;
+        p.wallNs = acc.wallNs;
         out.phases.push_back(std::move(p));
     }
     std::sort(out.phases.begin(), out.phases.end(),
@@ -104,17 +109,33 @@ renderTraceReport(const TraceReport &report, int curvePoints)
     oss << buf;
 
     oss << "\nper-phase breakdown (simulated clock):\n";
-    std::snprintf(buf, sizeof(buf), "%-18s %8s %8s %12s %7s\n", "phase",
+    // The wall-ms column appears only for wall-profiled traces, so
+    // unprofiled reports render exactly as before.
+    bool any_wall = false;
+    for (const PhaseBreakdown &p : report.phases)
+        any_wall = any_wall || p.wallNs > 0;
+    std::snprintf(buf, sizeof(buf), "%-18s %8s %8s %12s %7s", "phase",
                   "spans", "points", "sim-sec", "%");
     oss << buf;
+    if (any_wall) {
+        std::snprintf(buf, sizeof(buf), " %10s", "wall-ms");
+        oss << buf;
+    }
+    oss << "\n";
     for (const PhaseBreakdown &p : report.phases) {
         double pct = report.simSeconds > 0.0
                          ? 100.0 * p.simSeconds / report.simSeconds
                          : 0.0;
-        std::snprintf(buf, sizeof(buf), "%-18s %8llu %8llu %12.2f %6.1f%%\n",
+        std::snprintf(buf, sizeof(buf), "%-18s %8llu %8llu %12.2f %6.1f%%",
                       p.name.c_str(), (unsigned long long)p.spans,
                       (unsigned long long)p.points, p.simSeconds, pct);
         oss << buf;
+        if (any_wall) {
+            std::snprintf(buf, sizeof(buf), " %10.2f",
+                          static_cast<double>(p.wallNs) / 1e6);
+            oss << buf;
+        }
+        oss << "\n";
     }
 
     if (!report.curve.empty() && curvePoints > 0) {
@@ -153,7 +174,8 @@ traceReportJson(const TraceReport &report)
             oss << ",";
         oss << "{\"name\":\"" << p.name << "\",\"spans\":" << p.spans
             << ",\"points\":" << p.points
-            << ",\"simSeconds\":" << formatTraceDouble(p.simSeconds) << "}";
+            << ",\"simSeconds\":" << formatTraceDouble(p.simSeconds)
+            << ",\"wallNs\":" << p.wallNs << "}";
     }
     oss << "],\"curve\":[";
     for (size_t i = 0; i < report.curve.size(); ++i) {

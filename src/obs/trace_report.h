@@ -29,6 +29,10 @@ struct PhaseBreakdown
     uint64_t spans = 0;      ///< completed begin/end pairs
     uint64_t points = 0;     ///< point events of this name
     double simSeconds = 0.0; ///< sum of span durations on the sim clock
+    /** Sum of wall nanoseconds carried on end events (`ns` attribute;
+     *  emitted by wall-profiled runs for `eval.decode`, `eval.lower`,
+     *  and `q_forward_batch`). Zero for unprofiled traces. */
+    uint64_t wallNs = 0;
 };
 
 /** Everything trace_report derives from one timeline. */

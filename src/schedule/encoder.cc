@@ -28,6 +28,13 @@ std::vector<double>
 configFeatures(const OpConfig &config)
 {
     std::vector<double> out;
+    configFeaturesInto(config, out);
+    return out;
+}
+
+void
+configFeaturesInto(const OpConfig &config, std::vector<double> &out)
+{
     auto push_splits = [&](const std::vector<std::vector<int64_t>> &splits) {
         for (const auto &row : splits) {
             double total = std::log2(
@@ -49,7 +56,6 @@ configFeatures(const OpConfig &config)
     // the per-subspace index part of the feature vector.
     out.push_back(std::log2(config.fpgaBufferRows + 1.0) / 5.0);
     out.push_back(std::log2(config.fpgaPartition + 1.0) / 5.0);
-    return out;
 }
 
 } // namespace ft

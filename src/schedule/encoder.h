@@ -25,6 +25,10 @@ std::vector<std::vector<int64_t>> encodeConfig(const OpConfig &config);
  */
 std::vector<double> configFeatures(const OpConfig &config);
 
+/** configFeatures() appended to a caller-owned buffer (no allocation
+ *  once the buffer has grown to capacity). */
+void configFeaturesInto(const OpConfig &config, std::vector<double> &out);
+
 } // namespace ft
 
 #endif // FLEXTENSOR_SCHEDULE_ENCODER_H

@@ -8,15 +8,54 @@ Scheduled
 generate(const Operation &anchor, const OpConfig &config,
          const Target &target)
 {
+    Scheduled out;
+    generateInto(anchor, config, target, out);
+    return out;
+}
+
+void
+generateInto(const Operation &anchor, const OpConfig &config,
+             const Target &target, Scheduled &out)
+{
     switch (target.kind) {
       case DeviceKind::Gpu:
-        return generateGpu(anchor, config, *target.gpu);
+        generateGpuInto(anchor, config, *target.gpu, out);
+        return;
       case DeviceKind::Cpu:
-        return generateCpu(anchor, config, *target.cpu);
+        generateCpuInto(anchor, config, *target.cpu, out);
+        return;
       case DeviceKind::Fpga:
-        return generateFpga(anchor, config, *target.fpga);
+        generateFpgaInto(anchor, config, *target.fpga, out);
+        return;
     }
     panic("unreachable");
+}
+
+Scheduled
+generateGpu(const Operation &anchor, const OpConfig &config,
+            const GpuSpec &spec)
+{
+    Scheduled out;
+    generateGpuInto(anchor, config, spec, out);
+    return out;
+}
+
+Scheduled
+generateCpu(const Operation &anchor, const OpConfig &config,
+            const CpuSpec &spec)
+{
+    Scheduled out;
+    generateCpuInto(anchor, config, spec, out);
+    return out;
+}
+
+Scheduled
+generateFpga(const Operation &anchor, const OpConfig &config,
+             const FpgaSpec &spec)
+{
+    Scheduled out;
+    generateFpgaInto(anchor, config, spec, out);
+    return out;
 }
 
 OpConfig

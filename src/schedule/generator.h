@@ -48,6 +48,21 @@ Scheduled generate(const Operation &anchor, const OpConfig &config,
                    const Target &target);
 
 /**
+ * generate*() into a caller-owned Scheduled, reusing its loop-nest and
+ * feature storage across calls — the evaluation hot loop lowers
+ * thousands of configs per run, and the reused buffers keep that
+ * allocation-free once warm. `out` is fully overwritten.
+ */
+void generateGpuInto(const Operation &anchor, const OpConfig &config,
+                     const GpuSpec &spec, Scheduled &out);
+void generateCpuInto(const Operation &anchor, const OpConfig &config,
+                     const CpuSpec &spec, Scheduled &out);
+void generateFpgaInto(const Operation &anchor, const OpConfig &config,
+                      const FpgaSpec &spec, Scheduled &out);
+void generateInto(const Operation &anchor, const OpConfig &config,
+                  const Target &target, Scheduled &out);
+
+/**
  * A default (untuned but valid) config for the target: splits every loop
  * with trailing factors of 1. Used as a fallback and as the naive baseline.
  */

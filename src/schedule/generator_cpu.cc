@@ -9,16 +9,17 @@
 
 namespace ft {
 
-Scheduled
-generateCpu(const Operation &anchor, const OpConfig &config,
-            const CpuSpec &spec)
+void
+generateCpuInto(const Operation &anchor, const OpConfig &config,
+                const CpuSpec &spec, Scheduled &out)
 {
     FT_ASSERT(!anchor->isPlaceholder(), "cannot schedule a placeholder");
     const auto *op = static_cast<const ComputeOp *>(anchor.get());
     gen::checkSplits(op, config, kCpuSpatialLevels, kCpuReduceLevels);
 
-    Scheduled out;
     out.nest.op = anchor;
+    out.nest.loops.clear();
+    out.features = NestFeatures{};
 
     // Spatial levels: [outer (parallel candidates), mid, inner];
     // reduce levels: [outer, inner].
@@ -160,7 +161,6 @@ generateCpu(const Operation &anchor, const OpConfig &config,
     f.cpuDramBytes = dram;
 
     f.valid = true;
-    return out;
 }
 
 } // namespace ft

@@ -9,16 +9,17 @@
 
 namespace ft {
 
-Scheduled
-generateFpga(const Operation &anchor, const OpConfig &config,
-             const FpgaSpec &spec)
+void
+generateFpgaInto(const Operation &anchor, const OpConfig &config,
+                 const FpgaSpec &spec, Scheduled &out)
 {
     FT_ASSERT(!anchor->isPlaceholder(), "cannot schedule a placeholder");
     const auto *op = static_cast<const ComputeOp *>(anchor.get());
     gen::checkSplits(op, config, kFpgaSpatialLevels, kFpgaReduceLevels);
 
-    Scheduled out;
     out.nest.op = anchor;
+    out.nest.loops.clear();
+    out.features = NestFeatures{};
 
     // Spatial levels: [round, pe]; reduce levels: [stream, inner]. Outer
     // reduce chunks stream through the pipeline as extra rounds with the
@@ -88,7 +89,6 @@ generateFpga(const Operation &anchor, const OpConfig &config,
         f.valid = false;
         f.invalidReason = "on-chip buffer exceeds BRAM capacity";
     }
-    return out;
 }
 
 } // namespace ft

@@ -57,16 +57,17 @@ innerOrder(int choice, const std::vector<SubLoop> &si,
 
 } // namespace
 
-Scheduled
-generateGpu(const Operation &anchor, const OpConfig &config,
-            const GpuSpec &spec)
+void
+generateGpuInto(const Operation &anchor, const OpConfig &config,
+                const GpuSpec &spec, Scheduled &out)
 {
     FT_ASSERT(!anchor->isPlaceholder(), "cannot schedule a placeholder");
     const auto *op = static_cast<const ComputeOp *>(anchor.get());
     gen::checkSplits(op, config, kGpuSpatialLevels, kGpuReduceLevels);
 
-    Scheduled out;
     out.nest.op = anchor;
+    out.nest.loops.clear();
+    out.features = NestFeatures{};
 
     // Split every loop. Spatial levels: [block, vthread, thread, inner];
     // reduce levels: [outer, mid, inner].
@@ -230,7 +231,6 @@ generateGpu(const Operation &anchor, const OpConfig &config,
         f.valid = false;
         f.invalidReason = "too many virtual threads";
     }
-    return out;
 }
 
 } // namespace ft

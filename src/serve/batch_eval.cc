@@ -1,7 +1,7 @@
 #include "serve/batch_eval.h"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -26,58 +26,70 @@ std::vector<double>
 BatchEvaluator::evaluate(const std::vector<Point> &points)
 {
     // Fresh work: the first occurrence of each not-yet-known point, in
-    // submission order. Later duplicates read the committed value.
-    std::vector<size_t> fresh;
-    std::unordered_set<std::string> batch_keys;
+    // submission order. Later duplicates read the committed value. Each
+    // point is hashed exactly once; the key is reused for the dedup
+    // probe, the commit, and the final cache read.
+    fresh_.clear();
+    batchKeys_.clear();
+    keys_.resize(points.size());
     for (size_t i = 0; i < points.size(); ++i) {
-        if (eval_.known(points[i]))
+        keys_[i] = points[i].key64();
+        if (eval_.known(keys_[i]))
             continue;
-        if (batch_keys.insert(points[i].key()).second)
-            fresh.push_back(i);
+        if (batchKeys_.insert(keys_[i]).second)
+            fresh_.push_back(i);
     }
 
-    if (!fresh.empty()) {
+    if (!fresh_.empty()) {
         const ObsContext &obs = eval_.obs();
         if (obs.trace) {
             obs.trace->begin(
                 "batch_evaluate", eval_.simulatedSeconds(),
                 {tint("batch", static_cast<int64_t>(points.size())),
-                 tint("fresh", static_cast<int64_t>(fresh.size()))});
+                 tint("fresh", static_cast<int64_t>(fresh_.size()))});
         }
-        std::vector<double> scores(fresh.size());
-        auto score = [&](size_t j) {
-            scores[j] = eval_.scoreOnly(points[fresh[j]]);
-        };
-        if (pool_ && pool_->numThreads() > 1 && fresh.size() > 1) {
-            pool_->parallelFor(fresh.size(), score);
+        scores_.resize(fresh_.size());
+        if (pool_ && pool_->numThreads() > 1 && fresh_.size() > 1) {
+            const size_t workers =
+                std::min<size_t>(pool_->numThreads(), fresh_.size());
+            if (scratch_.size() < workers)
+                scratch_.resize(workers);
+            pool_->parallelFor(fresh_.size(), [&](size_t w, size_t j) {
+                scores_[j] =
+                    eval_.scoreOnly(points[fresh_[j]], scratch_[w]);
+            });
         } else {
-            for (size_t j = 0; j < fresh.size(); ++j)
-                score(j);
+            if (scratch_.empty())
+                scratch_.resize(1);
+            for (size_t j = 0; j < fresh_.size(); ++j)
+                scores_[j] =
+                    eval_.scoreOnly(points[fresh_[j]], scratch_[0]);
         }
 
         // Parallel measurement: the batch takes ceil(n / parallelism)
         // rounds of one measureCost each, spread evenly over the curve's
         // per-point entries.
-        const double n = static_cast<double>(fresh.size());
+        const double n = static_cast<double>(fresh_.size());
         const double rounds = std::ceil(n / parallelism());
         const double per_point = rounds * eval_.measureCost() / n;
-        for (size_t j = 0; j < fresh.size(); ++j)
-            eval_.commitMeasured(points[fresh[j]], scores[j], per_point);
+        for (size_t j = 0; j < fresh_.size(); ++j)
+            eval_.commitMeasured(points[fresh_[j]], keys_[fresh_[j]],
+                                 scores_[j], per_point);
         if (obs.trace)
             obs.trace->end("batch_evaluate", eval_.simulatedSeconds());
         if (obs.metrics) {
             obs.metrics->counter("eval.batches").add();
-            obs.metrics->counter("eval.fresh_points").add(fresh.size());
+            obs.metrics->counter("eval.fresh_points").add(fresh_.size());
             obs.metrics
                 ->histogram("eval.batch_size",
                             {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})
-                .observe(static_cast<double>(fresh.size()));
+                .observe(static_cast<double>(fresh_.size()));
         }
     }
 
     std::vector<double> out(points.size());
     for (size_t i = 0; i < points.size(); ++i)
-        out[i] = eval_.evaluate(points[i]); // all known now: cache reads
+        out[i] = eval_.evaluate(points[i], keys_[i]); // cache reads
     return out;
 }
 

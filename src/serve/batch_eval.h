@@ -15,6 +15,7 @@
 #ifndef FLEXTENSOR_SERVE_BATCH_EVAL_H
 #define FLEXTENSOR_SERVE_BATCH_EVAL_H
 
+#include <unordered_set>
 #include <vector>
 
 #include "explore/evaluator.h"
@@ -53,6 +54,15 @@ class BatchEvaluator
     Evaluator &eval_;
     ThreadPool *pool_;
     int parallelism_;
+
+    /** Reused per-batch buffers (coalesced serving calls evaluate()
+     *  many times; keeping these warm avoids per-batch allocation). */
+    std::vector<size_t> fresh_;
+    std::vector<PointKey> keys_;
+    std::unordered_set<PointKey> batchKeys_;
+    std::vector<double> scores_;
+    /** One scoring scratch per pool worker (index = dense worker id). */
+    std::vector<EvalScratch> scratch_;
 };
 
 } // namespace ft

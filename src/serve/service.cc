@@ -41,6 +41,15 @@ TuningService::requestKey(const Operation &anchor, const Target &target,
         << "|tmpl=" << options.templateRestricted
         << "|deadline=" << e.deadlineSimSeconds
         << "|ckpt=" << e.checkpointPath;
+    if (!e.seedPoints.empty()) {
+        // Seeded starts steer the search, so two requests differing only
+        // in their seed points must not coalesce; the 64-bit point keys
+        // are a compact stand-in for the coordinate lists.
+        oss << "|seeds=" << std::hex;
+        for (const Point &p : e.seedPoints)
+            oss << p.key64() << ",";
+        oss << std::dec;
+    }
     // The fault profile and retry policy shape the result; they are part
     // of the request identity.
     const ResilienceOptions &r = e.resilience;

@@ -50,12 +50,19 @@ ThreadPool::wait()
 void
 ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
 {
+    parallelFor(n, [&body](size_t, size_t i) { body(i); });
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t, size_t)> &body)
+{
     if (n == 0)
         return;
     const size_t workers = std::min<size_t>(threads_.size(), n);
     if (workers <= 1) {
         for (size_t i = 0; i < n; ++i)
-            body(i);
+            body(0, i);
         return;
     }
     // Per-call completion latch: the pool may be running unrelated jobs,
@@ -71,10 +78,10 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
     };
     auto latch = std::make_shared<Latch>();
     for (size_t w = 0; w < workers; ++w) {
-        submit([latch, &body, n] {
+        submit([latch, &body, n, w] {
             for (size_t i = latch->next.fetch_add(1); i < n;
                  i = latch->next.fetch_add(1)) {
-                body(i);
+                body(w, i);
             }
             std::lock_guard<std::mutex> lock(latch->mu);
             ++latch->done;

@@ -52,6 +52,15 @@ class ThreadPool
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &body);
 
+    /**
+     * parallelFor variant passing a dense worker id (0..workers-1, where
+     * workers = min(numThreads, n)) as the first argument — callers use
+     * it to index per-worker scratch state without locking. The
+     * sequential fallback runs everything as worker 0.
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t, size_t)> &body);
+
     int numThreads() const { return static_cast<int>(threads_.size()); }
 
     /** Jobs queued but not yet picked up by a worker. */

@@ -17,6 +17,23 @@ Point::key() const
     return oss.str();
 }
 
+PointKey
+Point::key64() const
+{
+    // FNV-1a over the little-endian bytes of each index. The constants
+    // are load-bearing: checkpoints and caches persist these keys, and
+    // tests/test_perf_paths.cc pins known digests.
+    uint64_t h = 1469598103934665603ULL;
+    for (int64_t v : idx) {
+        uint64_t u = static_cast<uint64_t>(v);
+        for (int b = 0; b < 8; ++b) {
+            h ^= (u >> (b * 8)) & 0xffu;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
 ScheduleSpace::ScheduleSpace(OpConfig base_config)
     : baseConfig_(std::move(base_config))
 {}
@@ -72,6 +89,26 @@ ScheduleSpace::decode(const Point &p) const
     for (size_t s = 0; s < subs_.size(); ++s)
         subs_[s]->apply(p.idx[s], config);
     return config;
+}
+
+const OpConfig &
+ScheduleSpace::decodeInto(const Point &p, DecodeScratch &scratch) const
+{
+    FT_ASSERT(p.idx.size() == subs_.size(), "point rank mismatch");
+    if (scratch.lastIdx.size() != subs_.size()) {
+        scratch.config = baseConfig_;
+        for (size_t s = 0; s < subs_.size(); ++s)
+            subs_[s]->apply(p.idx[s], scratch.config);
+        scratch.lastIdx = p.idx;
+        return scratch.config;
+    }
+    for (size_t s = 0; s < subs_.size(); ++s) {
+        if (scratch.lastIdx[s] != p.idx[s]) {
+            subs_[s]->apply(p.idx[s], scratch.config);
+            scratch.lastIdx[s] = p.idx[s];
+        }
+    }
+    return scratch.config;
 }
 
 Point
@@ -140,6 +177,18 @@ ScheduleSpace::features(const Point &p) const
     auto cfg = configFeatures(decode(p));
     out.insert(out.end(), cfg.begin(), cfg.end());
     return out;
+}
+
+void
+ScheduleSpace::featuresInto(const Point &p, DecodeScratch &scratch,
+                            std::vector<double> &out) const
+{
+    out.clear();
+    for (size_t s = 0; s < subs_.size(); ++s) {
+        out.push_back(static_cast<double>(p.idx[s]) /
+                      static_cast<double>(subs_[s]->size()));
+    }
+    configFeaturesInto(decodeInto(p, scratch), out);
 }
 
 int

@@ -6,6 +6,7 @@
 #ifndef FLEXTENSOR_SPACE_SPACE_H
 #define FLEXTENSOR_SPACE_SPACE_H
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -15,6 +16,14 @@
 
 namespace ft {
 
+/**
+ * Cheap 64-bit identity of a point: FNV-1a over the raw sub-space
+ * indices. This is the hot-path key for evaluated-set membership,
+ * caching, and coalescing; the string form (Point::key) survives only
+ * for serialization and human-readable output.
+ */
+using PointKey = uint64_t;
+
 /** One point of the schedule space: an index into every sub-space. */
 struct Point
 {
@@ -22,8 +31,24 @@ struct Point
 
     bool operator==(const Point &other) const { return idx == other.idx; }
 
-    /** Stable hash key (for evaluated-set membership). */
+    /** Legacy string key (serialization round-trips, logs, digests). */
     std::string key() const;
+
+    /** Allocation-free 64-bit hash key for hot-path set membership. */
+    PointKey key64() const;
+};
+
+/**
+ * Reusable decode state for the exploration hot loop. Successive points
+ * usually differ in one or two knobs, and every sub-space `apply` fully
+ * overwrites its own (disjoint) slot of the config, so re-applying only
+ * the changed indices reproduces a fresh decode without copying the base
+ * config or reallocating split rows.
+ */
+struct DecodeScratch
+{
+    OpConfig config;
+    std::vector<int64_t> lastIdx; ///< indices `config` currently reflects
 };
 
 /** A product of sub-spaces. */
@@ -54,6 +79,13 @@ class ScheduleSpace
     /** Decode a point to a concrete schedule config. */
     OpConfig decode(const Point &p) const;
 
+    /**
+     * Decode into reusable scratch: identical to decode(), but only the
+     * sub-spaces whose index changed since the last call are re-applied.
+     * The returned reference lives in `scratch`.
+     */
+    const OpConfig &decodeInto(const Point &p, DecodeScratch &scratch) const;
+
     /** Uniform random point. */
     Point randomPoint(Rng &rng) const;
 
@@ -71,6 +103,13 @@ class ScheduleSpace
      * normalized by its sub-space size plus the decoded config features.
      */
     std::vector<double> features(const Point &p) const;
+
+    /**
+     * features() into a caller-owned buffer (cleared first), reusing the
+     * decode scratch — the allocation-free hot-loop variant.
+     */
+    void featuresInto(const Point &p, DecodeScratch &scratch,
+                      std::vector<double> &out) const;
 
     /** Dimensionality of the feature vector. */
     int featureDim() const;
