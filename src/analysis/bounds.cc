@@ -72,6 +72,13 @@ boundsOf(const Expr &e, const VarRanges &ranges)
       case ExprKind::And:
       case ExprKind::Or:
         return {0, 1};
+      case ExprKind::Select: {
+        // Conservative union of the branches (the condition is not
+        // consulted; the guard-aware prover in analysis/verify refines
+        // further when it matters).
+        Interval a = boundsOf(e->b, ranges), b = boundsOf(e->c, ranges);
+        return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+      }
       default:
         panic("boundsOf: unsupported expr kind for integer bounds");
     }

@@ -1,0 +1,115 @@
+#include "analysis/verify/diag.h"
+
+#include <sstream>
+
+namespace ft {
+namespace verify {
+
+namespace {
+
+/** Escape a string for inclusion in a JSON string literal. */
+void
+appendJsonEscaped(std::ostringstream &oss, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': oss << "\\\""; break;
+          case '\\': oss << "\\\\"; break;
+          case '\n': oss << "\\n"; break;
+          case '\t': oss << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                oss << buf;
+            } else {
+                oss << c;
+            }
+        }
+    }
+}
+
+void
+appendJsonField(std::ostringstream &oss, const char *key,
+                const std::string &value, bool last = false)
+{
+    oss << "\"" << key << "\":\"";
+    appendJsonEscaped(oss, value);
+    oss << "\"" << (last ? "" : ",");
+}
+
+} // namespace
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "error";
+}
+
+std::string
+Diag::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{";
+    appendJsonField(oss, "code", code);
+    appendJsonField(oss, "severity", severityName(severity));
+    appendJsonField(oss, "loop", loop);
+    appendJsonField(oss, "access", access);
+    appendJsonField(oss, "message", message, /*last=*/true);
+    oss << "}";
+    return oss.str();
+}
+
+void
+DiagReport::add(Diag d)
+{
+    if (d.severity == Severity::Error)
+        ++errors_;
+    else if (d.severity == Severity::Warning)
+        ++warnings_;
+    diags_.push_back(std::move(d));
+}
+
+void
+DiagReport::clear()
+{
+    diags_.clear();
+    errors_ = 0;
+    warnings_ = 0;
+}
+
+const Diag *
+DiagReport::firstError() const
+{
+    for (const Diag &d : diags_) {
+        if (d.severity == Severity::Error)
+            return &d;
+    }
+    return nullptr;
+}
+
+std::string
+DiagReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < diags_.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << diags_[i].toJson();
+    }
+    oss << "]";
+    return oss.str();
+}
+
+VerifyError::VerifyError(Diag d)
+    : std::runtime_error(d.code + ": " + d.message), diag(std::move(d))
+{}
+
+} // namespace verify
+} // namespace ft

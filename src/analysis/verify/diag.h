@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Structured diagnostics for the static schedule verifier.
+ *
+ * A Diag pins one legality finding to a machine-readable code
+ * (FT-RACE-*, FT-OOB-*, FT-COV-*, FT-RES-*), a severity, and — when the
+ * finding is localized — the offending sub-loop and/or tensor access.
+ * Error-severity diagnostics gate evaluation and code generation;
+ * Warnings are advisory lint. Reports serialize to JSON so tools and CI
+ * can consume them without parsing human-readable text.
+ */
+#ifndef FLEXTENSOR_ANALYSIS_VERIFY_DIAG_H
+#define FLEXTENSOR_ANALYSIS_VERIFY_DIAG_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ft {
+namespace verify {
+
+/** How bad a finding is. Only Error gates evaluation/codegen. */
+enum class Severity { Info, Warning, Error };
+
+/** Lower-case name used in JSON and human output. */
+const char *severityName(Severity s);
+
+/** @name Diagnostic codes
+ * Dependence/race family (FT-RACE), access-bounds family (FT-OOB),
+ * iteration-coverage family (FT-COV), resource-legality family (FT-RES).
+ * @{ */
+inline constexpr const char *kRaceReduceParallel = "FT-RACE-001";
+inline constexpr const char *kRaceStrideAlias = "FT-RACE-002";
+inline constexpr const char *kRaceSerialAlias = "FT-RACE-003";
+inline constexpr const char *kOobUnderflow = "FT-OOB-001";
+inline constexpr const char *kOobOverflow = "FT-OOB-002";
+inline constexpr const char *kCovUnderCoverage = "FT-COV-001";
+inline constexpr const char *kResThreadsPerBlock = "FT-RES-001";
+inline constexpr const char *kResSharedMem = "FT-RES-002";
+inline constexpr const char *kResRegisters = "FT-RES-003";
+inline constexpr const char *kResVthreads = "FT-RES-004";
+inline constexpr const char *kResPeBudget = "FT-RES-005";
+inline constexpr const char *kResBramBudget = "FT-RES-006";
+inline constexpr const char *kResVectorLanes = "FT-RES-007";
+inline constexpr const char *kResPartition = "FT-RES-008";
+/** @} */
+
+/** One verifier finding. */
+struct Diag
+{
+    std::string code;     ///< e.g. "FT-RACE-001"
+    Severity severity = Severity::Error;
+    std::string loop;     ///< offending sub-loop name ("" when global)
+    std::string access;   ///< "tensor[dim]" for access findings ("" else)
+    std::string message;  ///< human-readable explanation
+
+    /** One JSON object with fixed key order. */
+    std::string toJson() const;
+};
+
+/** An ordered collection of findings for one lowered schedule. */
+class DiagReport
+{
+  public:
+    void add(Diag d);
+
+    /** Reset for reuse (keeps vector capacity: hot-loop friendly). */
+    void clear();
+
+    const std::vector<Diag> &diags() const { return diags_; }
+    bool empty() const { return diags_.empty(); }
+    size_t size() const { return diags_.size(); }
+
+    /** Whether any Error-severity finding is present. */
+    bool hasError() const { return errors_ > 0; }
+    int errorCount() const { return errors_; }
+    int warningCount() const { return warnings_; }
+
+    /** First Error-severity finding, or nullptr when clean. */
+    const Diag *firstError() const;
+
+    /** JSON array of every finding, in report order. */
+    std::string toJson() const;
+
+  private:
+    std::vector<Diag> diags_;
+    int errors_ = 0;
+    int warnings_ = 0;
+};
+
+/**
+ * Thrown by the code generators when asked to emit an Error-diagnosed
+ * nest. Carries the first gating diagnostic.
+ */
+class VerifyError : public std::runtime_error
+{
+  public:
+    explicit VerifyError(Diag d);
+
+    const Diag diag;
+};
+
+} // namespace verify
+} // namespace ft
+
+#endif // FLEXTENSOR_ANALYSIS_VERIFY_DIAG_H

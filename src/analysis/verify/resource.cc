@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Resource-legality lint (FT-RES-*): device limits over the features a
+ * generator extracted from the nest.
+ *
+ * The Error checks reproduce the legacy `NestFeatures::valid` heuristics
+ * that used to live inline in generator_gpu/fpga.cc — same predicates,
+ * same order, same message text — so the generator shim
+ * (applyResourceValidity) and the old if-chains are interchangeable and
+ * the exploration digests pinned by test_determinism stay put. The
+ * Warning checks are new advisory lint the old heuristics never ran.
+ */
+#include <string>
+
+#include "analysis/verify/verify.h"
+
+namespace ft {
+namespace verify {
+
+namespace {
+
+void
+checkGpu(const NestFeatures &f, const GpuSpec &spec, DiagReport &out)
+{
+    // Error checks in legacy order; messages must stay bit-identical to
+    // the old generator strings (tests match on them).
+    if (f.threadsPerBlock > spec.maxThreadsPerBlock) {
+        out.add({kResThreadsPerBlock, Severity::Error, "", "",
+                 "too many threads per block"});
+    }
+    if (f.sharedBytesPerBlock > spec.sharedMemPerBlock) {
+        out.add({kResSharedMem, Severity::Error, "", "",
+                 "shared memory tile exceeds per-block limit"});
+    }
+    if (f.regsPerThread > spec.regsPerThreadMax) {
+        out.add({kResRegisters, Severity::Error, "", "",
+                 "register tile exceeds per-thread budget"});
+    }
+    if (f.vthreads > 64) {
+        out.add({kResVthreads, Severity::Error, "", "",
+                 "too many virtual threads"});
+    }
+}
+
+void
+checkFpga(const NestFeatures &f, const FpgaSpec &spec,
+          const OpConfig *config, DiagReport &out)
+{
+    if (f.pe > spec.maxPe()) {
+        out.add({kResPeBudget, Severity::Error, "", "",
+                 "PE count exceeds DSP budget"});
+    }
+    if (f.bufferBytes > spec.bramBytes) {
+        out.add({kResBramBudget, Severity::Error, "", "",
+                 "on-chip buffer exceeds BRAM capacity"});
+    }
+    if (config && config->fpgaPartition > 1 &&
+        config->fpgaBufferRows % config->fpgaPartition != 0) {
+        out.add({kResPartition, Severity::Warning, "", "",
+                 "memory partition factor " +
+                     std::to_string(config->fpgaPartition) +
+                     " does not divide the " +
+                     std::to_string(config->fpgaBufferRows) +
+                     " buffered rows: banks fill unevenly"});
+    }
+}
+
+void
+checkCpu(const NestFeatures &f, const CpuSpec &spec,
+         const OpConfig *config, DiagReport &out)
+{
+    if (!config)
+        return;
+    if (config->vectorizeLen > spec.vecLanes) {
+        out.add({kResVectorLanes, Severity::Warning, "", "",
+                 "requested vector length " +
+                     std::to_string(config->vectorizeLen) + " exceeds the " +
+                     std::to_string(spec.vecLanes) + " SIMD lanes of " +
+                     spec.name});
+    } else if (f.vecLen < config->vectorizeLen) {
+        out.add({kResVectorLanes, Severity::Warning, "", "",
+                 "vectorize length " +
+                     std::to_string(config->vectorizeLen) +
+                     " is not filled by the innermost spatial extent "
+                     "(only " +
+                     std::to_string(f.vecLen) + " lanes used)"});
+    }
+}
+
+} // namespace
+
+void
+checkResources(const LoopNest &nest, const NestFeatures &features,
+               const Target &target, const OpConfig *config,
+               DiagReport &out)
+{
+    (void)nest; // limits are proven on the extracted features
+    switch (target.kind) {
+      case DeviceKind::Gpu:
+        checkGpu(features, *target.gpu, out);
+        break;
+      case DeviceKind::Cpu:
+        checkCpu(features, *target.cpu, config, out);
+        break;
+      case DeviceKind::Fpga:
+        checkFpga(features, *target.fpga, config, out);
+        break;
+    }
+}
+
+} // namespace verify
+} // namespace ft

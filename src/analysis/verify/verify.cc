@@ -1,0 +1,76 @@
+#include "analysis/verify/verify.h"
+
+namespace ft {
+namespace verify {
+
+bool
+isConcurrentAnno(LoopAnno anno)
+{
+    switch (anno) {
+      case LoopAnno::Parallel:
+      case LoopAnno::Vectorize:
+      case LoopAnno::BlockX:
+      case LoopAnno::VThread:
+      case LoopAnno::ThreadX:
+      case LoopAnno::PE:
+        return true;
+      case LoopAnno::Serial:
+      case LoopAnno::Unroll:
+        return false;
+    }
+    return false;
+}
+
+const char *
+annoName(LoopAnno anno)
+{
+    switch (anno) {
+      case LoopAnno::Serial: return "serial";
+      case LoopAnno::Parallel: return "parallel";
+      case LoopAnno::Vectorize: return "vectorize";
+      case LoopAnno::Unroll: return "unroll";
+      case LoopAnno::BlockX: return "blockIdx.x";
+      case LoopAnno::VThread: return "vthread";
+      case LoopAnno::ThreadX: return "threadIdx.x";
+      case LoopAnno::PE: return "pe";
+    }
+    return "?";
+}
+
+void
+checkStructural(const LoopNest &nest, DiagReport &out)
+{
+    checkRaces(nest, out);
+    checkAccessBounds(nest, out);
+}
+
+void
+verifyScheduleInto(const Scheduled &s, const Target &target,
+                   const OpConfig *config, DiagReport &out)
+{
+    checkRaces(s.nest, out);
+    checkAccessBounds(s.nest, out);
+    checkResources(s.nest, s.features, target, config, out);
+}
+
+DiagReport
+verifySchedule(const Scheduled &s, const Target &target,
+               const OpConfig *config)
+{
+    DiagReport out;
+    verifyScheduleInto(s, target, config, out);
+    return out;
+}
+
+void
+applyResourceValidity(Scheduled &s, const Target &target)
+{
+    DiagReport report;
+    checkResources(s.nest, s.features, target, /*config=*/nullptr, report);
+    const Diag *e = report.firstError();
+    s.features.valid = (e == nullptr);
+    s.features.invalidReason = e ? e->message : "";
+}
+
+} // namespace verify
+} // namespace ft

@@ -5,11 +5,26 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/verify/verify.h"
 #include "support/logging.h"
 
 namespace ft {
 
 namespace {
+
+/**
+ * Emission gate: refuse nests whose structural legality the verifier
+ * rejects (the emitters would otherwise produce racy or out-of-bounds
+ * code that compiles fine and corrupts memory at run time).
+ */
+void
+refuseIfIllegal(const LoopNest &nest)
+{
+    verify::DiagReport report;
+    verify::checkStructural(nest, report);
+    if (const verify::Diag *e = report.firstError())
+        throw verify::VerifyError(*e);
+}
 
 /** Make a string a valid C identifier. */
 std::string
@@ -258,6 +273,7 @@ kernelInputs(const LoopNest &nest)
 std::string
 emitC(const LoopNest &nest, const std::string &func_name)
 {
+    refuseIfIllegal(nest);
     Emitter e(nest);
     auto &oss = e.oss;
     oss << "// Generated by FlexTensor (CPU schedule)\n"
@@ -309,6 +325,7 @@ emitC(const LoopNest &nest, const std::string &func_name)
 std::string
 emitCuda(const LoopNest &nest, const std::string &func_name)
 {
+    refuseIfIllegal(nest);
     Emitter e(nest);
     auto &oss = e.oss;
     oss << "// Generated by FlexTensor (GPU schedule, illustrative)\n"
@@ -391,6 +408,7 @@ emitCuda(const LoopNest &nest, const std::string &func_name)
 std::string
 emitHls(const LoopNest &nest, const std::string &func_name)
 {
+    refuseIfIllegal(nest);
     Emitter e(nest);
     auto &oss = e.oss;
     oss << "// Generated by FlexTensor (FPGA three-stage design, "
@@ -425,6 +443,24 @@ emitHls(const LoopNest &nest, const std::string &func_name)
     }
     oss << "}\n";
     return oss.str();
+}
+
+std::string
+emitVerified(const Scheduled &s, const Target &target,
+             const std::string &func_name)
+{
+    verify::DiagReport report = verify::verifySchedule(s, target);
+    if (const verify::Diag *e = report.firstError())
+        throw verify::VerifyError(*e);
+    switch (target.kind) {
+      case DeviceKind::Gpu:
+        return emitCuda(s.nest, func_name);
+      case DeviceKind::Fpga:
+        return emitHls(s.nest, func_name);
+      case DeviceKind::Cpu:
+        break;
+    }
+    return emitC(s.nest, func_name);
 }
 
 } // namespace ft

@@ -20,6 +20,12 @@
  * Signature convention for emitted kernels:
  *   void NAME(const float* in0, ..., const float* inN, float* out);
  * where in0..inN are the anchor's input tensors in graph post-order.
+ *
+ * Emission refuses illegal nests: each emitter runs the static
+ * verifier's structural passes (races, write coverage, access bounds)
+ * first and throws verify::VerifyError carrying the first
+ * Error-severity diagnostic rather than emitting racy or out-of-bounds
+ * code. emitVerified additionally applies the target's resource lint.
  */
 #ifndef FLEXTENSOR_CODEGEN_CODEGEN_H
 #define FLEXTENSOR_CODEGEN_CODEGEN_H
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "schedule/loop_nest.h"
+#include "sim/hw_spec.h"
 
 namespace ft {
 
@@ -42,6 +49,15 @@ std::string emitCuda(const LoopNest &nest, const std::string &func_name);
 
 /** Emit HLS-style C++ for an FPGA schedule (illustrative). */
 std::string emitHls(const LoopNest &nest, const std::string &func_name);
+
+/**
+ * Fully-verified emission: run every verifier pass (structural and
+ * resource) against `target`, throw verify::VerifyError on the first
+ * Error-severity diagnostic, and otherwise dispatch to the emitter
+ * matching the target's device kind.
+ */
+std::string emitVerified(const Scheduled &s, const Target &target,
+                         const std::string &func_name);
 
 } // namespace ft
 

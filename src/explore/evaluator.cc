@@ -1,7 +1,9 @@
 #include "explore/evaluator.h"
 
 #include <chrono>
+#include <string>
 
+#include "analysis/verify/verify.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/logging.h"
@@ -34,6 +36,19 @@ defaultMeasureCost(const Target &target)
     }
     return 1.0;
 }
+
+/**
+ * Error-severity diagnostic codes that can gate a schedule. Each gets a
+ * dedicated "verify.reject.<code>" counter when metrics are attached.
+ */
+constexpr const char *kGatingCodes[] = {
+    verify::kRaceReduceParallel, verify::kRaceStrideAlias,
+    verify::kOobUnderflow,       verify::kOobOverflow,
+    verify::kCovUnderCoverage,   verify::kResThreadsPerBlock,
+    verify::kResSharedMem,       verify::kResRegisters,
+    verify::kResVthreads,        verify::kResPeBudget,
+    verify::kResBramBudget,
+};
 
 } // namespace
 
@@ -74,12 +89,27 @@ Evaluator::evaluate(const Point &p, PointKey key)
         auto t2 = WallClock::now();
         int64_t lower_ns = nsBetween(t1, t2);
         obs_.trace->end("eval.lower", simSeconds_, {tint("ns", lower_ns)});
+        obs_.trace->begin("eval.verify", simSeconds_);
+        bool rejected = verifyRejects(config, scratch_);
+        auto t3 = WallClock::now();
+        int64_t verify_ns = nsBetween(t2, t3);
+        obs_.trace->end("eval.verify", simSeconds_,
+                        {tint("ns", verify_ns)});
         if (decodeNsCounter_) {
             decodeNsCounter_->add(static_cast<uint64_t>(decode_ns));
             lowerNsCounter_->add(static_cast<uint64_t>(lower_ns));
         }
-        PerfResult perf = modelPerf(scratch_.sched.features, target_);
-        gflops = perf.valid ? perf.gflops : kInvalidGflops;
+        if (verifyNsCounter_)
+            verifyNsCounter_->add(static_cast<uint64_t>(verify_ns));
+        if (rejected) {
+            obs_.trace->point(
+                "verify.reject", simSeconds_,
+                {tstr("code", scratch_.diags.firstError()->code)});
+            gflops = kInvalidGflops;
+        } else {
+            PerfResult perf = modelPerf(scratch_.sched.features, target_);
+            gflops = perf.valid ? perf.gflops : kInvalidGflops;
+        }
     } else {
         gflops = scoreOnly(p, scratch_);
     }
@@ -106,15 +136,49 @@ Evaluator::scoreOnly(const Point &p, EvalScratch &scratch) const
         auto t1 = WallClock::now();
         generateInto(anchor_, config, target_, scratch.sched);
         auto t2 = WallClock::now();
+        bool rejected = verifyRejects(config, scratch);
+        auto t3 = WallClock::now();
         decodeNsCounter_->add(static_cast<uint64_t>(nsBetween(t0, t1)));
         lowerNsCounter_->add(static_cast<uint64_t>(nsBetween(t1, t2)));
+        if (verifyNsCounter_)
+            verifyNsCounter_->add(static_cast<uint64_t>(nsBetween(t2, t3)));
+        if (rejected)
+            return kInvalidGflops;
         PerfResult perf = modelPerf(scratch.sched.features, target_);
         return perf.valid ? perf.gflops : kInvalidGflops;
     }
     const OpConfig &config = space_.decodeInto(p, scratch.decode);
     generateInto(anchor_, config, target_, scratch.sched);
+    if (verifyRejects(config, scratch))
+        return kInvalidGflops;
     PerfResult perf = modelPerf(scratch.sched.features, target_);
     return perf.valid ? perf.gflops : kInvalidGflops;
+}
+
+bool
+Evaluator::verifyRejects(const OpConfig &config, EvalScratch &scratch) const
+{
+    scratch.diags.clear();
+    verify::verifyScheduleInto(scratch.sched, target_, &config,
+                               scratch.diags);
+    if (verifyCheckedCounter_)
+        verifyCheckedCounter_->add();
+    if (!scratch.diags.hasError())
+        return false;
+    if (verifyRejectedCounter_) {
+        verifyRejectedCounter_->add();
+        // Attribute the rejection to its gating (first-error) code so
+        // the per-code counters sum to verify.rejected and agree with
+        // the "verify.reject" trace points.
+        const verify::Diag *e = scratch.diags.firstError();
+        for (const auto &[code, counter] : verifyCodeCounters_) {
+            if (e->code == code) {
+                counter->add();
+                break;
+            }
+        }
+    }
+    return true;
 }
 
 void
@@ -129,9 +193,20 @@ Evaluator::setObs(const ObsContext &obs)
     if (obs_.wallProfile) {
         decodeNsCounter_ = maybeCounter(obs_.metrics, "eval.decode.ns");
         lowerNsCounter_ = maybeCounter(obs_.metrics, "eval.lower.ns");
+        verifyNsCounter_ = maybeCounter(obs_.metrics, "eval.verify.ns");
     } else {
         decodeNsCounter_ = nullptr;
         lowerNsCounter_ = nullptr;
+        verifyNsCounter_ = nullptr;
+    }
+    verifyCheckedCounter_ = maybeCounter(obs_.metrics, "verify.checked");
+    verifyRejectedCounter_ = maybeCounter(obs_.metrics, "verify.rejected");
+    verifyCodeCounters_.clear();
+    if (obs_.metrics) {
+        for (const char *code : kGatingCodes)
+            verifyCodeCounters_.emplace_back(
+                code, maybeCounter(obs_.metrics,
+                                   std::string("verify.reject.") + code));
     }
 }
 

@@ -14,8 +14,10 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "analysis/verify/diag.h"
 #include "obs/obs.h"
 #include "schedule/generator.h"
 #include "sim/perf_model.h"
@@ -38,14 +40,16 @@ struct Evaluated
 };
 
 /**
- * Reusable per-caller scoring buffers: the incremental decode state and
- * the lowered schedule. Scoring through one of these is allocation-free
- * once warm; concurrent scorers must each own their own scratch.
+ * Reusable per-caller scoring buffers: the incremental decode state,
+ * the lowered schedule, and the verifier report for it. Scoring through
+ * one of these is allocation-free once warm; concurrent scorers must
+ * each own their own scratch.
  */
 struct EvalScratch
 {
     DecodeScratch decode;
     Scheduled sched;
+    verify::DiagReport diags;
 };
 
 class Evaluator
@@ -60,8 +64,10 @@ class Evaluator
 
     /**
      * Performance value of a point (GFLOPS; kInvalidGflops when the
-     * lowered schedule violates a hardware limit). Cached: re-evaluating
-     * a known point is free on the simulated clock.
+     * static verifier finds an Error-severity diagnostic — a race,
+     * out-of-bounds access, or hardware-limit violation — or the model
+     * itself rejects the schedule). Cached: re-evaluating a known point
+     * is free on the simulated clock.
      */
     double evaluate(const Point &p) { return evaluate(p, p.key64()); }
 
@@ -168,6 +174,19 @@ class Evaluator
     /** Wall-profiling counters (null unless obs.wallProfile). */
     Counter *decodeNsCounter_ = nullptr;
     Counter *lowerNsCounter_ = nullptr;
+    Counter *verifyNsCounter_ = nullptr;
+    /** Verifier gate counters (null when metrics are off). */
+    Counter *verifyCheckedCounter_ = nullptr;
+    Counter *verifyRejectedCounter_ = nullptr;
+    /** Per-code rejection counters ("verify.reject.<code>"). */
+    std::vector<std::pair<const char *, Counter *>> verifyCodeCounters_;
+
+    /**
+     * Run the static verifier on the lowered schedule in `scratch`,
+     * updating the verify.* counters. True when an Error-severity
+     * diagnostic gates the schedule (score is kInvalidGflops).
+     */
+    bool verifyRejects(const OpConfig &config, EvalScratch &scratch) const;
 
     /** Scoring buffers for the single-threaded evaluate() path. */
     mutable EvalScratch scratch_;

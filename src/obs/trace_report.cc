@@ -22,6 +22,7 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
         std::vector<double> openBegins; ///< stack: nested same-name spans
     };
     std::map<std::string, PhaseAcc> phases;
+    std::map<std::string, uint64_t> rejects;
 
     for (const ParsedTraceEvent &e : events) {
         if (e.type != 'M')
@@ -57,6 +58,8 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 double best = e.real("best");
                 out.bestGflops = std::max(out.bestGflops, best);
                 out.curve.emplace_back(out.trials, best);
+            } else if (e.name == "verify.reject") {
+                ++rejects[e.str("code")];
             }
             break;
           }
@@ -80,6 +83,8 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                       return a.simSeconds > b.simSeconds;
                   return a.name < b.name;
               });
+    for (const auto &[code, count] : rejects)
+        out.verifyRejects.emplace_back(code, count);
     return out;
 }
 
@@ -138,6 +143,15 @@ renderTraceReport(const TraceReport &report, int curvePoints)
         oss << "\n";
     }
 
+    if (!report.verifyRejects.empty()) {
+        oss << "\nverifier rejections by code:\n";
+        for (const auto &[code, count] : report.verifyRejects) {
+            std::snprintf(buf, sizeof(buf), "  %-14s %8llu\n",
+                          code.c_str(), (unsigned long long)count);
+            oss << buf;
+        }
+    }
+
     if (!report.curve.empty() && curvePoints > 0) {
         oss << "\nbest GFLOPS vs. trials (Fig. 7 series):\n";
         // Sample evenly, always keeping the final point.
@@ -177,7 +191,14 @@ traceReportJson(const TraceReport &report)
             << ",\"simSeconds\":" << formatTraceDouble(p.simSeconds)
             << ",\"wallNs\":" << p.wallNs << "}";
     }
-    oss << "],\"curve\":[";
+    oss << "],\"verifyRejects\":{";
+    for (size_t i = 0; i < report.verifyRejects.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << "\"" << report.verifyRejects[i].first
+            << "\":" << report.verifyRejects[i].second;
+    }
+    oss << "},\"curve\":[";
     for (size_t i = 0; i < report.curve.size(); ++i) {
         if (i)
             oss << ",";

@@ -50,6 +50,13 @@ struct TraceReport
     /** Sorted by descending simSeconds, then name. */
     std::vector<PhaseBreakdown> phases;
 
+    /**
+     * Verifier rejections by diagnostic code, folded from
+     * "verify.reject" point events (sorted by code). Empty for traces
+     * recorded without wall profiling or with no rejected schedules.
+     */
+    std::vector<std::pair<std::string, uint64_t>> verifyRejects;
+
     /** (trial index 1.., best-so-far GFLOPS) — the Fig. 7 series. */
     std::vector<std::pair<int, double>> curve;
 };

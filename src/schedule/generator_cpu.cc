@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/flops.h"
+#include "analysis/verify/verify.h"
 #include "schedule/generator_util.h"
 #include "support/logging.h"
 #include "support/math_util.h"
@@ -160,7 +161,8 @@ generateCpuInto(const Operation &anchor, const OpConfig &config,
     dram += f.outputElems * 4;
     f.cpuDramBytes = dram;
 
-    f.valid = true;
+    // No CPU device limit gates validity; the shim keeps valid == true.
+    verify::applyResourceValidity(out, Target::forCpu(spec));
 }
 
 } // namespace ft

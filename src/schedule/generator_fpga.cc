@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/flops.h"
+#include "analysis/verify/verify.h"
 #include "schedule/generator_util.h"
 #include "support/logging.h"
 #include "support/math_util.h"
@@ -82,13 +83,7 @@ generateFpgaInto(const Operation &anchor, const OpConfig &config,
         static_cast<double>(f.outputElems) * 4.0 / rounds;
     f.bufferBytes = tile_bytes + streamed_bytes * (rows - 1);
 
-    if (f.pe > spec.maxPe()) {
-        f.valid = false;
-        f.invalidReason = "PE count exceeds DSP budget";
-    } else if (f.bufferBytes > spec.bramBytes) {
-        f.valid = false;
-        f.invalidReason = "on-chip buffer exceeds BRAM capacity";
-    }
+    verify::applyResourceValidity(out, Target::forFpga(spec));
 }
 
 } // namespace ft

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "analysis/flops.h"
+#include "analysis/verify/verify.h"
 #include "schedule/generator_util.h"
 #include "support/logging.h"
 #include "support/math_util.h"
@@ -217,20 +218,10 @@ generateGpuInto(const Operation &anchor, const OpConfig &config,
         }
     }
 
-    // Validity.
-    if (f.threadsPerBlock > spec.maxThreadsPerBlock) {
-        f.valid = false;
-        f.invalidReason = "too many threads per block";
-    } else if (f.sharedBytesPerBlock > spec.sharedMemPerBlock) {
-        f.valid = false;
-        f.invalidReason = "shared memory tile exceeds per-block limit";
-    } else if (f.regsPerThread > spec.regsPerThreadMax) {
-        f.valid = false;
-        f.invalidReason = "register tile exceeds per-thread budget";
-    } else if (f.vthreads > 64) {
-        f.valid = false;
-        f.invalidReason = "too many virtual threads";
-    }
+    // Validity: the verifier's resource lint owns the device-limit
+    // checks; the shim derives valid/invalidReason exactly as the old
+    // inline if-chain did.
+    verify::applyResourceValidity(out, Target::forGpu(spec));
 }
 
 } // namespace ft

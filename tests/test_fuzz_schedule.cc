@@ -9,7 +9,11 @@
  *      (decode/encode and serialize/parse are inverses on the space),
  *   3. for a sampled subset, the interpreted schedule computes the same
  *      tensor as the reference executor (with a float tolerance, since
- *      reduction order differs between schedules).
+ *      reduction order differs between schedules),
+ *   4. the static verifier agrees with the legacy validity heuristics
+ *      on every generator-produced nest (structural passes never fire;
+ *      the gating verdict and first message match NestFeatures), and
+ *      verified emission refuses exactly the rejected points.
  *
  * The sample count per space defaults to 200 and can be reduced via the
  * FLEXTENSOR_FUZZ_SAMPLES environment variable (the sanitizer CI job
@@ -20,6 +24,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "analysis/verify/verify.h"
+#include "codegen/codegen.h"
 #include "exec/interpreter.h"
 #include "exec/reference.h"
 #include "ops/ops.h"
@@ -101,6 +107,21 @@ TEST_P(ScheduleFuzzTest, RandomPointsSatisfyInvariants)
         }) << "point " << p.key();
         ASSERT_FALSE(s.nest.loops.empty()) << cfg.toString();
 
+        // (4) The verifier's verdict matches the legacy heuristics:
+        // on generator-produced nests only resource diagnostics can
+        // gate, and the first one carries the legacy reason verbatim.
+        verify::DiagReport report =
+            verify::verifySchedule(s, target, &cfg);
+        EXPECT_EQ(report.hasError(), !s.features.valid)
+            << cfg.toString() << "\n" << report.toJson();
+        if (const verify::Diag *e = report.firstError()) {
+            EXPECT_EQ(e->message, s.features.invalidReason);
+            for (const auto &d : report.diags()) {
+                if (d.severity == verify::Severity::Error)
+                    EXPECT_EQ(d.code.rfind("FT-RES-", 0), 0u) << d.code;
+            }
+        }
+
         // (2a) The serialized line parses back to the same config.
         const std::string line = serializeConfig(cfg);
         auto parsed = parseConfig(line);
@@ -113,8 +134,13 @@ TEST_P(ScheduleFuzzTest, RandomPointsSatisfyInvariants)
         ASSERT_TRUE(p2.has_value()) << line;
         EXPECT_EQ(serializeConfig(space.decode(*p2)), line);
 
-        // (3) Interpreted execution matches the reference.
+        // (3) Interpreted execution matches the reference; rejected
+        // points must be refused by verified emission instead.
         if (trial % exec_stride == 0) {
+            if (report.hasError()) {
+                EXPECT_THROW(emitVerified(s, target, "fuzz_kernel"),
+                             verify::VerifyError);
+            }
             BufferMap buffers = reference;
             buffers.erase(anchor.get());
             runScheduled(s.nest, buffers, 1 + trial % 3);

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Adversarial tests for the static schedule verifier.
+ *
+ * The corpus is built by mutating *accepted* lowered nests into broken
+ * ones — a reduce loop bound to a parallel annotation, a stride edited
+ * into an aliasing mixed-radix map, an inner extent widened past the
+ * data, a sub-loop dropped from an axis. The legacy NestFeatures
+ * heuristics accept every one of these (they only look at device
+ * limits); each test asserts the verifier pins the exact diagnostic
+ * code, and that code generation refuses the nest.
+ *
+ * The flip side is proven too: verifier-clean schedules (including
+ * guard-heavy inlined padding) execute through the interpreter and
+ * match the reference output.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/static_analyzer.h"
+#include "analysis/verify/verify.h"
+#include "codegen/codegen.h"
+#include "exec/interpreter.h"
+#include "exec/reference.h"
+#include "explore/evaluator.h"
+#include "ir/inline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_report.h"
+#include "ops/ops.h"
+#include "schedule/generator.h"
+#include "sim/library_model.h"
+#include "sim/perf_model.h"
+#include "space/builder.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace {
+
+using verify::DiagReport;
+using verify::Severity;
+
+/** A small GEMM whose CPU splits below divide the extents exactly. */
+Tensor
+smallGemm()
+{
+    Tensor a = placeholder("A", {6, 18});
+    Tensor b = placeholder("B", {18, 8});
+    return ops::gemm(a, b);
+}
+
+/** Lower smallGemm() for the CPU with fixed, exact splits. */
+Scheduled
+lowerSmallGemm(Operation &anchor_out)
+{
+    Tensor c = smallGemm();
+    anchor_out = c.op();
+    OpConfig cfg = defaultConfig(anchor_out, Target::forCpu(xeonE5()));
+    cfg.spatialSplits = {{3, 1, 2}, {2, 2, 2}};
+    cfg.reduceSplits = {{3, 6}};
+    return generateCpu(anchor_out, cfg, xeonE5());
+}
+
+/** Index of the sub-loop with the given origin and level, or -1. */
+int
+findLoop(const LoopNest &nest, const IterVarNode *origin, int level)
+{
+    for (size_t i = 0; i < nest.loops.size(); ++i) {
+        if (nest.loops[i].origin == origin &&
+            nest.loops[i].level == level)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+bool
+hasCode(const DiagReport &report, const char *code, Severity severity)
+{
+    for (const auto &d : report.diags()) {
+        if (d.code == code && d.severity == severity)
+            return true;
+    }
+    return false;
+}
+
+TEST(VerifyRace, ReduceLoopBoundToParallelIsARace)
+{
+    Operation anchor;
+    Scheduled s = lowerSmallGemm(anchor);
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+    int idx = findLoop(s.nest, op->reduceAxis()[0].get(), 0);
+    ASSERT_GE(idx, 0);
+    ASSERT_GT(s.nest.loops[idx].extent, 1);
+    s.nest.loops[idx].anno = LoopAnno::Parallel;
+
+    // The legacy heuristics accept this nest: no device limit is hit.
+    EXPECT_TRUE(s.features.valid);
+    EXPECT_TRUE(modelPerf(s.features, Target::forCpu(xeonE5())).valid);
+
+    DiagReport report =
+        verify::verifySchedule(s, Target::forCpu(xeonE5()));
+    EXPECT_TRUE(hasCode(report, verify::kRaceReduceParallel,
+                        Severity::Error));
+    EXPECT_THROW(emitC(s.nest, "race"), verify::VerifyError);
+}
+
+TEST(VerifyRace, AliasingStridesUnderParallelAreARace)
+{
+    Operation anchor;
+    Scheduled s = lowerSmallGemm(anchor);
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+    // Axis i is split {3, 1, 2} with strides {2, 2, 1}; rewriting the
+    // outer (Parallel) stride to 1 makes iterations {outer=1, inner=0}
+    // and {outer=0, inner=1} write the same output row.
+    int idx = findLoop(s.nest, op->axis()[0].get(), 0);
+    ASSERT_GE(idx, 0);
+    ASSERT_EQ(s.nest.loops[idx].anno, LoopAnno::Parallel);
+    s.nest.loops[idx].stride = 1;
+
+    EXPECT_TRUE(s.features.valid);
+    EXPECT_TRUE(modelPerf(s.features, Target::forCpu(xeonE5())).valid);
+
+    DiagReport report =
+        verify::verifySchedule(s, Target::forCpu(xeonE5()));
+    EXPECT_TRUE(hasCode(report, verify::kRaceStrideAlias,
+                        Severity::Error));
+    EXPECT_THROW(emitC(s.nest, "alias"), verify::VerifyError);
+}
+
+TEST(VerifyBounds, WidenedInnerExtentOverflowsTheBuffer)
+{
+    Operation anchor;
+    Scheduled s = lowerSmallGemm(anchor);
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+    // Axis i realizes [0, 5]; widening the innermost factor from 2 to 4
+    // pushes the reconstructed index to 7.
+    int idx = findLoop(s.nest, op->axis()[0].get(), 2);
+    ASSERT_GE(idx, 0);
+    ASSERT_EQ(s.nest.loops[idx].extent, 2);
+    s.nest.loops[idx].extent = 4;
+
+    EXPECT_TRUE(s.features.valid);
+    EXPECT_TRUE(modelPerf(s.features, Target::forCpu(xeonE5())).valid);
+
+    DiagReport report =
+        verify::verifySchedule(s, Target::forCpu(xeonE5()));
+    EXPECT_TRUE(hasCode(report, verify::kOobOverflow, Severity::Error));
+    EXPECT_THROW(emitC(s.nest, "oob"), verify::VerifyError);
+}
+
+TEST(VerifyBounds, NegativeIndexUnderflowsTheBuffer)
+{
+    // A hand-written operator reading A[i - 1] with no guard: element 0
+    // reads A[-1]. No split or annotation is at fault — the access
+    // itself is out of bounds, and only the bounds prover sees it.
+    Tensor a = placeholder("A", {8});
+    Tensor out = compute("shifted", {8},
+                         [&](const std::vector<Expr> &iv) {
+                             return a({sub(iv[0], intImm(1))});
+                         });
+    Operation anchor = out.op();
+    OpConfig cfg = defaultConfig(anchor, Target::forCpu(xeonE5()));
+    Scheduled s = generateCpu(anchor, cfg, xeonE5());
+
+    EXPECT_TRUE(s.features.valid);
+    EXPECT_TRUE(modelPerf(s.features, Target::forCpu(xeonE5())).valid);
+
+    DiagReport report =
+        verify::verifySchedule(s, Target::forCpu(xeonE5()));
+    EXPECT_TRUE(hasCode(report, verify::kOobUnderflow, Severity::Error));
+    EXPECT_THROW(emitC(s.nest, "underflow"), verify::VerifyError);
+}
+
+TEST(VerifyCoverage, DroppedSubLoopLeavesIterationsUnwritten)
+{
+    Operation anchor;
+    Scheduled s = lowerSmallGemm(anchor);
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+    int idx = findLoop(s.nest, op->axis()[0].get(), 0);
+    ASSERT_GE(idx, 0);
+    ASSERT_GT(s.nest.loops[idx].extent, 1);
+    s.nest.loops.erase(s.nest.loops.begin() + idx);
+
+    EXPECT_TRUE(s.features.valid);
+    EXPECT_TRUE(modelPerf(s.features, Target::forCpu(xeonE5())).valid);
+
+    DiagReport report =
+        verify::verifySchedule(s, Target::forCpu(xeonE5()));
+    EXPECT_TRUE(hasCode(report, verify::kCovUnderCoverage,
+                        Severity::Error));
+    EXPECT_THROW(emitC(s.nest, "coverage"), verify::VerifyError);
+}
+
+TEST(VerifyResources, SharedMemoryLintAgreesWithLegacyHeuristics)
+{
+    Tensor a = placeholder("A", {512, 512});
+    Tensor b = placeholder("B", {512, 512});
+    Tensor c = ops::gemm(a, b);
+    OpConfig cfg;
+    cfg.spatialSplits = {{1, 1, 1, 512}, {1, 1, 1, 512}};
+    cfg.reduceSplits = {{1, 1, 512}};
+    Scheduled s = generateGpu(c.op(), cfg, v100());
+
+    // This nest the legacy heuristics DO reject; the verifier must
+    // reproduce the verdict and the message bit-for-bit.
+    ASSERT_FALSE(s.features.valid);
+    DiagReport report = verify::verifySchedule(s, Target::forGpu(v100()));
+    ASSERT_TRUE(report.hasError());
+    EXPECT_EQ(report.firstError()->code, verify::kResSharedMem);
+    EXPECT_EQ(report.firstError()->message, s.features.invalidReason);
+    EXPECT_THROW(
+        emitVerified(s, Target::forGpu(v100()), "smem"),
+        verify::VerifyError);
+}
+
+TEST(VerifyClean, InlinedPaddedConvIsCleanAndExecutes)
+{
+    Tensor input = placeholder("I", {1, 3, 8, 8});
+    Tensor weight = placeholder("W", {4, 3, 3, 3});
+    ops::ConvParams p;
+    p.padding = 1;
+    Tensor out = ops::conv2d(input, weight, p);
+    Tensor fused = inlineGraph(out);
+    MiniGraph g(fused);
+    Operation anchor = anchorOp(g);
+    Target target = Target::forCpu(xeonE5());
+    OpConfig cfg = expertConfig(anchor, target);
+    Scheduled s = generate(anchor, cfg, target);
+
+    // The padded read indices span [-1, 8] raw; the guard-aware prover
+    // must keep them in bounds instead of flagging the padding.
+    DiagReport report = verify::verifySchedule(s, target, &cfg);
+    EXPECT_FALSE(report.hasError()) << report.toJson();
+
+    Rng rng(31);
+    BufferMap reference = makeRandomInputs(g, rng);
+    runGraphReference(g, reference);
+    const Buffer &gold = reference.at(anchor.get());
+    BufferMap buffers = reference;
+    buffers.erase(anchor.get());
+    runScheduled(s.nest, buffers, 2);
+    const Buffer &got = buffers.at(anchor.get());
+    ASSERT_EQ(got.numel(), gold.numel());
+    for (int64_t i = 0; i < gold.numel(); ++i)
+        ASSERT_NEAR(got[i], gold[i], 1e-3) << "element " << i;
+}
+
+TEST(VerifyClean, SampledCleanPointsExecuteAgainstReference)
+{
+    Tensor c = smallGemm();
+    MiniGraph g(c);
+    Operation anchor = anchorOp(g);
+    Target target = Target::forCpu(xeonE5());
+    ScheduleSpace space = buildSpace(anchor, target);
+
+    Rng rng(47);
+    BufferMap reference = makeRandomInputs(g, rng);
+    runGraphReference(g, reference);
+    const Buffer &gold = reference.at(anchor.get());
+
+    int executed = 0;
+    for (int trial = 0; trial < 24 && executed < 6; ++trial) {
+        OpConfig cfg = space.decode(space.randomPoint(rng));
+        Scheduled s = generate(anchor, cfg, target);
+        DiagReport report = verify::verifySchedule(s, target, &cfg);
+        if (report.hasError())
+            continue;
+        ++executed;
+        BufferMap buffers = reference;
+        buffers.erase(anchor.get());
+        runScheduled(s.nest, buffers, 1 + trial % 3);
+        const Buffer &got = buffers.at(anchor.get());
+        ASSERT_EQ(got.numel(), gold.numel());
+        for (int64_t i = 0; i < gold.numel(); ++i)
+            ASSERT_NEAR(got[i], gold[i], 1e-3) << cfg.toString();
+    }
+    EXPECT_GT(executed, 0);
+}
+
+TEST(VerifyObs, ProfiledEvaluationEmitsSpansAndRejectCodes)
+{
+    // Wall-profiled evaluation must emit an eval.verify span per new
+    // point, bump the verify.* counters, and tag each rejection with
+    // its diagnostic code; trace-report folds those into a per-code
+    // table that matches the metrics.
+    Tensor a = placeholder("A", {512, 512});
+    Tensor b = placeholder("B", {512, 512});
+    Tensor c = ops::gemm(a, b);
+    Target target = Target::forGpu(v100());
+    ScheduleSpace space = buildSpace(c.op(), target);
+    Evaluator eval(c.op(), space, target);
+
+    TraceRecorder rec;
+    MetricsRegistry reg;
+    ObsContext obs;
+    obs.trace = &rec;
+    obs.metrics = &reg;
+    obs.wallProfile = true;
+    eval.setObs(obs);
+
+    Rng rng(91);
+    for (int i = 0; i < 200; ++i) {
+        Point p = space.randomPoint(rng);
+        if (eval.known(p))
+            continue;
+        eval.evaluate(p);
+        if (reg.snapshot().counter("verify.rejected") > 0 && i >= 8)
+            break;
+    }
+    auto snap = reg.snapshot();
+    uint64_t checked = snap.counter("verify.checked");
+    uint64_t rejected = snap.counter("verify.rejected");
+    ASSERT_GT(checked, 0u);
+    ASSERT_GT(rejected, 0u) << "no sampled point hit a device limit";
+    EXPECT_GT(snap.counter("eval.verify.ns"), 0u);
+
+    std::vector<ParsedTraceEvent> events;
+    for (const auto &line : rec.lines()) {
+        auto e = parseTraceLine(line);
+        ASSERT_TRUE(e.has_value()) << line;
+        events.push_back(*e);
+    }
+    TraceReport report = foldTrace(events);
+    bool saw_verify_phase = false;
+    for (const auto &ph : report.phases) {
+        if (ph.name == "eval.verify") {
+            saw_verify_phase = true;
+            EXPECT_EQ(ph.spans, checked);
+            EXPECT_GT(ph.wallNs, 0u);
+        }
+    }
+    EXPECT_TRUE(saw_verify_phase);
+
+    uint64_t folded = 0;
+    for (const auto &[code, count] : report.verifyRejects) {
+        // Generator-produced nests can only trip resource limits.
+        EXPECT_EQ(code.rfind("FT-RES-", 0), 0u) << code;
+        EXPECT_EQ(snap.counter("verify.reject." + code), count);
+        folded += count;
+    }
+    EXPECT_EQ(folded, rejected);
+    EXPECT_NE(renderTraceReport(report).find("verifier rejections"),
+              std::string::npos);
+}
+
+TEST(VerifyDiag, ReportsSerializeToJson)
+{
+    Operation anchor;
+    Scheduled s = lowerSmallGemm(anchor);
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+    int idx = findLoop(s.nest, op->reduceAxis()[0].get(), 0);
+    ASSERT_GE(idx, 0);
+    s.nest.loops[idx].anno = LoopAnno::Parallel;
+
+    DiagReport report =
+        verify::verifySchedule(s, Target::forCpu(xeonE5()));
+    std::string json = report.toJson();
+    EXPECT_NE(json.find("\"code\":\"FT-RACE-001\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos)
+        << json;
+    // The JSON array is well-bracketed and one object per finding.
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+}
+
+TEST(VerifyDiag, VerifyErrorCarriesTheDiagnostic)
+{
+    Operation anchor;
+    Scheduled s = lowerSmallGemm(anchor);
+    const auto *op = static_cast<const ComputeOp *>(anchor.get());
+    int idx = findLoop(s.nest, op->reduceAxis()[0].get(), 0);
+    ASSERT_GE(idx, 0);
+    s.nest.loops[idx].anno = LoopAnno::Parallel;
+    try {
+        emitC(s.nest, "carrier");
+        FAIL() << "emitC accepted a racy nest";
+    } catch (const verify::VerifyError &e) {
+        EXPECT_EQ(e.diag.code, verify::kRaceReduceParallel);
+        EXPECT_NE(std::string(e.what()).find("FT-RACE-001"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace ft

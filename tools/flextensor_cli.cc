@@ -57,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verify/diag.h"
 #include "codegen/codegen.h"
 #include "core/flextensor.h"
 #include "ir/inline.h"
@@ -475,24 +476,21 @@ main(int argc, char **argv)
 
     if (emit_code) {
         // Lower the tuned schedule on the inlined graph and print the
-        // generated source for the target kind.
+        // generated source for the target kind. Emission is verified:
+        // a schedule the static verifier rejects is refused rather than
+        // printed as plausible-looking but illegal code.
         Tensor fused = inlineGraph(out);
         MiniGraph fused_graph(fused);
         Operation anchor = anchorOp(fused_graph);
         Scheduled lowered = generate(anchor, report.config, target);
-        std::string code;
-        switch (target.kind) {
-          case DeviceKind::Cpu:
-            code = emitC(lowered.nest, op_name + "_kernel");
-            break;
-          case DeviceKind::Gpu:
-            code = emitCuda(lowered.nest, op_name + "_kernel");
-            break;
-          case DeviceKind::Fpga:
-            code = emitHls(lowered.nest, op_name + "_kernel");
-            break;
+        try {
+            std::string code =
+                emitVerified(lowered, target, op_name + "_kernel");
+            std::printf("\n%s", code.c_str());
+        } catch (const verify::VerifyError &err) {
+            warn("refusing to emit illegal schedule: ", err.what());
+            return 1;
         }
-        std::printf("\n%s", code.c_str());
     }
 
     if (!cache_path.empty() && !cache.save(cache_path))

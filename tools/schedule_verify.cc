@@ -1,0 +1,293 @@
+/**
+ * @file
+ * schedule-verify: run the static schedule verifier from the command line.
+ *
+ * Usage:
+ *   schedule-verify [options]
+ *   schedule-verify --list
+ *
+ * Options:
+ *   --op <abbr>      operator abbreviation (Table 3) incl. BCM, SHO
+ *                    (default C2D)
+ *   --case <id>      test-case id within the suite (default: first)
+ *   --target <name>  v100 | p100 | titanx | xeon | vu9p   (default v100)
+ *   --point <i,j,..> verify one explicit point (comma-separated sub-space
+ *                    indices); exit 1 when the verifier reports an Error
+ *   --sample <n>     verify n uniformly sampled points    (default 64)
+ *   --seed <n>       sampling RNG seed                    (default 0xc11)
+ *   --json <file>    write machine-readable results (summary + per-point
+ *                    diagnostics) to <file>
+ *   --list           print all operators and cases, then exit
+ *
+ * In sample mode the exit code is 0 (sampled spaces legitimately contain
+ * resource-illegal points; the summary reports the rejection profile).
+ * In --point mode the exit code mirrors the verdict so CI can gate on a
+ * named schedule.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/static_analyzer.h"
+#include "analysis/verify/verify.h"
+#include "ir/graph.h"
+#include "ir/inline.h"
+#include "ops/shapes.h"
+#include "schedule/generator.h"
+#include "sim/hw_spec.h"
+#include "space/builder.h"
+#include "support/logging.h"
+#include "support/rng.h"
+
+using namespace ft;
+
+namespace {
+
+Target
+parseTarget(const std::string &name)
+{
+    if (name == "v100")
+        return Target::forGpu(v100());
+    if (name == "p100")
+        return Target::forGpu(p100());
+    if (name == "titanx")
+        return Target::forGpu(titanX());
+    if (name == "xeon")
+        return Target::forCpu(xeonE5());
+    if (name == "vu9p")
+        return Target::forFpga(vu9p());
+    fatal("unknown target '", name, "' (v100|p100|titanx|xeon|vu9p)");
+}
+
+void
+listOperators()
+{
+    std::printf("%-6s %s\n", "op", "cases");
+    auto print_suite = [](const std::string &op) {
+        std::printf("%-6s", op.c_str());
+        for (const auto &tc : ops::table3Cases(op))
+            std::printf(" %s", tc.id.c_str());
+        std::printf("\n");
+    };
+    for (const auto &op : ops::table3Operators())
+        print_suite(op);
+    print_suite("BCM");
+    print_suite("SHO");
+}
+
+/** Parse "i,j,k" into sub-space indices; fatal on malformed input. */
+std::vector<int64_t>
+parsePoint(const std::string &text)
+{
+    std::vector<int64_t> idx;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t comma = text.find(',', pos);
+        std::string piece = text.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        if (piece.empty())
+            fatal("malformed --point '", text, "'");
+        char *end = nullptr;
+        long long v = std::strtoll(piece.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            fatal("malformed --point component '", piece, "'");
+        idx.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return idx;
+}
+
+std::string
+pointText(const Point &p)
+{
+    std::string s;
+    for (size_t i = 0; i < p.idx.size(); ++i) {
+        if (i)
+            s += ",";
+        s += std::to_string(p.idx[i]);
+    }
+    return s;
+}
+
+void
+printReport(const Point &p, const verify::DiagReport &report)
+{
+    if (report.empty()) {
+        std::printf("point %s: clean\n", pointText(p).c_str());
+        return;
+    }
+    std::printf("point %s: %d error(s), %d warning(s)\n",
+                pointText(p).c_str(), report.errorCount(),
+                report.warningCount());
+    for (const auto &d : report.diags()) {
+        std::printf("  [%s] %s: %s", severityName(d.severity),
+                    d.code.c_str(), d.message.c_str());
+        if (!d.loop.empty())
+            std::printf(" (loop %s)", d.loop.c_str());
+        if (!d.access.empty())
+            std::printf(" (access %s)", d.access.c_str());
+        std::printf("\n");
+    }
+}
+
+/** One verified point for the JSON export. */
+struct PointResult
+{
+    std::string point;
+    std::string diagsJson;
+    bool hasError;
+};
+
+void
+writeJson(const std::string &path, const std::string &op,
+          const std::string &case_id, const std::string &target,
+          const std::map<std::string, int> &summary,
+          const std::vector<PointResult> &points)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("could not write JSON to ", path);
+        return;
+    }
+    out << "{\"op\": \"" << op << "\", \"case\": \"" << case_id
+        << "\", \"target\": \"" << target << "\",\n \"summary\": {";
+    bool first = true;
+    for (const auto &[code, count] : summary) {
+        if (!first)
+            out << ", ";
+        first = false;
+        out << "\"" << code << "\": " << count;
+    }
+    out << "},\n \"points\": [";
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (i)
+            out << ",";
+        out << "\n  {\"point\": \"" << points[i].point
+            << "\", \"has_error\": "
+            << (points[i].hasError ? "true" : "false")
+            << ", \"diags\": " << points[i].diagsJson << "}";
+    }
+    out << "\n ]}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string op_name = "C2D", case_id, target_name = "v100";
+    std::string point_text, json_path;
+    int samples = 64;
+    uint64_t seed = 0xc11;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc)
+                fatal("missing value for ", flag);
+            return true;
+        };
+        if (std::strcmp(argv[i], "--list") == 0) {
+            listOperators();
+            return 0;
+        } else if (arg("--op")) {
+            op_name = argv[++i];
+        } else if (arg("--case")) {
+            case_id = argv[++i];
+        } else if (arg("--target")) {
+            target_name = argv[++i];
+        } else if (arg("--point")) {
+            point_text = argv[++i];
+        } else if (arg("--sample")) {
+            samples = std::atoi(argv[++i]);
+        } else if (arg("--seed")) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg("--json")) {
+            json_path = argv[++i];
+        } else {
+            fatal("unknown argument '", argv[i], "'");
+        }
+    }
+
+    auto cases = ops::table3Cases(op_name);
+    if (cases.empty())
+        fatal("unknown operator '", op_name, "' (see --list)");
+    const ops::TestCase *tc = &cases.front();
+    if (!case_id.empty()) {
+        tc = nullptr;
+        for (const auto &c : cases) {
+            if (c.id == case_id)
+                tc = &c;
+        }
+        if (tc == nullptr)
+            fatal("unknown case '", case_id, "' for ", op_name,
+                  " (see --list)");
+    }
+
+    Target target = parseTarget(target_name);
+    Tensor fused = inlineGraph(tc->build());
+    MiniGraph graph(fused);
+    Operation anchor = anchorOp(graph);
+    ScheduleSpace space = buildSpace(anchor, target, {});
+
+    std::vector<Point> points;
+    if (!point_text.empty()) {
+        Point p{parsePoint(point_text)};
+        if (static_cast<int>(p.idx.size()) != space.numSubSpaces())
+            fatal("--point has ", p.idx.size(), " indices; the ", op_name,
+                  " space on ", target_name, " has ",
+                  space.numSubSpaces(), " sub-spaces");
+        for (int d = 0; d < space.numSubSpaces(); ++d) {
+            if (p.idx[d] < 0 || p.idx[d] >= space.sub(d).size())
+                fatal("--point index ", p.idx[d], " out of range for "
+                      "sub-space ", space.sub(d).name(), " (size ",
+                      space.sub(d).size(), ")");
+        }
+        points.push_back(std::move(p));
+    } else {
+        Rng rng(seed);
+        for (int i = 0; i < samples; ++i)
+            points.push_back(space.randomPoint(rng));
+    }
+
+    std::map<std::string, int> summary;
+    std::vector<PointResult> results;
+    int error_points = 0;
+    for (const Point &p : points) {
+        OpConfig config = space.decode(p);
+        Scheduled s = generate(anchor, config, target);
+        verify::DiagReport report =
+            verify::verifySchedule(s, target, &config);
+        for (const auto &d : report.diags())
+            summary[d.code]++;
+        if (report.hasError())
+            ++error_points;
+        if (!point_text.empty() || report.hasError())
+            printReport(p, report);
+        results.push_back(
+            {pointText(p), report.toJson(), report.hasError()});
+    }
+
+    std::printf("%s:%s on %s: %zu point(s) verified, %d with errors\n",
+                op_name.c_str(), tc->id.c_str(), target_name.c_str(),
+                points.size(), error_points);
+    if (!summary.empty()) {
+        std::printf("%-14s %s\n", "code", "count");
+        for (const auto &[code, count] : summary)
+            std::printf("%-14s %d\n", code.c_str(), count);
+    }
+    if (!json_path.empty())
+        writeJson(json_path, op_name, tc->id, target_name, summary,
+                  results);
+
+    if (!point_text.empty())
+        return error_points > 0 ? 1 : 0;
+    return 0;
+}
