@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shape-family tuning vs per-shape dedicated tuning.
+ *
+ * Tunes one conv2d layer over a dynamic batch range two ways:
+ *
+ *  - family: ONE shape-generic space, one exploration run per shape
+ *    bucket with joint (multi-instance) scoring — trials scale with the
+ *    number of buckets, not the number of shapes;
+ *  - dedicated: one full tuning run per concrete batch size in the
+ *    range (the FlexTensor baseline).
+ *
+ * For every bucket the family schedule's modeled GFLOPS at the bucket's
+ * upper shape is compared against the dedicated run of that exact
+ * shape. Results go to stdout and BENCH_family.json (per-bucket ratios,
+ * total-trial counts, and the trials ratio), so CI can track both the
+ * quality gap and the trial savings.
+ *
+ * Usage:
+ *   bench_family [--layer C8] [--range 1:64] [--trials N]
+ *                [--samples K] [--method q|p|random|autotvm]
+ *                [--seed N] [--out BENCH_family.json]
+ */
+#include "bench_util.h"
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "family/tune_family.h"
+
+using namespace ft;
+
+namespace {
+
+Method
+parseMethod(const std::string &name)
+{
+    if (name == "q")
+        return Method::QMethod;
+    if (name == "p")
+        return Method::PMethod;
+    if (name == "random")
+        return Method::Random;
+    return Method::AutoTvm;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string layer_name = "C8", method_name = "q";
+    std::string out_path = "BENCH_family.json";
+    int64_t range_lo = 1, range_hi = 64;
+    int trials = 60, samples = 2;
+    uint64_t seed = 0xfa217;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        };
+        if (arg("--layer")) {
+            layer_name = argv[++i];
+        } else if (arg("--range")) {
+            std::string range = argv[++i];
+            auto colon = range.find(':');
+            range_lo = std::atoll(range.substr(0, colon).c_str());
+            range_hi = std::atoll(range.substr(colon + 1).c_str());
+        } else if (arg("--trials")) {
+            trials = std::atoi(argv[++i]);
+        } else if (arg("--samples")) {
+            samples = std::atoi(argv[++i]);
+        } else if (arg("--method")) {
+            method_name = argv[++i];
+        } else if (arg("--seed")) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg("--out")) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+            return 1;
+        }
+    }
+
+    const ops::Conv2dLayer *layer = nullptr;
+    for (const auto &l : ops::yoloLayers()) {
+        if (l.name == layer_name)
+            layer = &l;
+    }
+    if (!layer) {
+        std::fprintf(stderr, "unknown layer '%s'\n", layer_name.c_str());
+        return 1;
+    }
+
+    ShapeVar batch;
+    batch.name = "batch";
+    batch.lo = range_lo;
+    batch.hi = range_hi;
+    ShapeFamily family = conv2dOverBatch(*layer, batch);
+    Target target = Target::forGpu(v100());
+
+    ftbench::header("Shape-family tuning: " + family.name + " on " +
+                    target.deviceName());
+
+    FamilyTuneOptions family_options;
+    family_options.method = parseMethod(method_name);
+    family_options.explore.trials = trials;
+    family_options.explore.seed = seed;
+    family_options.samplesPerBucket = samples;
+    FamilyTuneReport fam = tuneFamily(family, target, family_options);
+
+    // Dedicated baseline: one full tuning run per concrete batch size.
+    TuneOptions dedicated_options;
+    dedicated_options.method = parseMethod(method_name);
+    dedicated_options.explore.trials = trials;
+    dedicated_options.explore.seed = seed;
+    int dedicated_trials = 0;
+    std::vector<double> dedicated_at(batch.hi + 1, 0.0);
+    for (int64_t b = batch.lo; b <= batch.hi; ++b) {
+        TuneReport report =
+            tuneOp(family.instanceAnchor(b), target, dedicated_options);
+        dedicated_trials += report.trials;
+        dedicated_at[b] = report.gflops;
+    }
+
+    ftbench::row({"bucket", "family", "dedicated", "ratio", "trials"}, 12);
+    double min_ratio = 1e9;
+    for (const FamilyBucketReport &bucket : fam.buckets) {
+        double dedicated = dedicated_at[bucket.bucket.hi];
+        double ratio = dedicated > 0.0 ? bucket.repGflops / dedicated : 0.0;
+        min_ratio = std::min(min_ratio, ratio);
+        ftbench::row({"[" + std::to_string(bucket.bucket.lo) + "," +
+                          std::to_string(bucket.bucket.hi) + "]",
+                      ftbench::num(bucket.repGflops, 1),
+                      ftbench::num(dedicated, 1), ftbench::num(ratio, 3),
+                      std::to_string(bucket.trials)},
+                     12);
+    }
+    double trials_ratio =
+        fam.totalTrials > 0
+            ? static_cast<double>(dedicated_trials) / fam.totalTrials
+            : 0.0;
+    std::printf("family %d trials vs dedicated %d trials -> %.1fx fewer; "
+                "worst bucket at %.1f%% of dedicated\n",
+                fam.totalTrials, dedicated_trials, trials_ratio,
+                min_ratio * 100.0);
+
+    std::ofstream json(out_path);
+    json << "{\n"
+         << "  \"family\": \"" << family.name << "\",\n"
+         << "  \"device\": \"" << target.deviceName() << "\",\n"
+         << "  \"method\": \"" << methodName(family_options.method)
+         << "\",\n"
+         << "  \"range\": [" << batch.lo << ", " << batch.hi << "],\n"
+         << "  \"trials_per_run\": " << trials << ",\n"
+         << "  \"family_total_trials\": " << fam.totalTrials << ",\n"
+         << "  \"dedicated_total_trials\": " << dedicated_trials << ",\n"
+         << "  \"trials_ratio\": " << trials_ratio << ",\n"
+         << "  \"min_bucket_ratio\": " << min_ratio << ",\n"
+         << "  \"buckets\": [\n";
+    for (size_t i = 0; i < fam.buckets.size(); ++i) {
+        const FamilyBucketReport &bucket = fam.buckets[i];
+        double dedicated = dedicated_at[bucket.bucket.hi];
+        json << "    {\"lo\": " << bucket.bucket.lo
+             << ", \"hi\": " << bucket.bucket.hi
+             << ", \"family_gflops\": " << bucket.repGflops
+             << ", \"dedicated_gflops\": " << dedicated
+             << ", \"ratio\": "
+             << (dedicated > 0.0 ? bucket.repGflops / dedicated : 0.0)
+             << ", \"trials\": " << bucket.trials << "}"
+             << (i + 1 < fam.buckets.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("bench json -> %s\n", out_path.c_str());
+    return 0;
+}

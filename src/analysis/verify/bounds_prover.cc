@@ -462,6 +462,20 @@ checkAccessBounds(const LoopNest &nest, DiagReport &out)
         it->second.hi += std::max<int64_t>(reach, 0);
     }
 
+    // Guarded (imperfectly tiled) axes declare that executors and
+    // emitters skip every iteration with value >= extent, so the range
+    // the body actually sees is the raw span clamped to the data. An
+    // axis that overshoots WITHOUT being declared guarded keeps its raw
+    // span and fails the proofs below — this is how the prover gates
+    // imperfect tiles instead of the old divisibility assertion.
+    for (const IterVarNode *g : nest.guardedAxes) {
+        auto it = ctx.ranges.find(g);
+        if (it == ctx.ranges.end())
+            continue;
+        it->second.lo = std::max<int64_t>(it->second.lo, 0);
+        it->second.hi = std::min<int64_t>(it->second.hi, g->extent - 1);
+    }
+
     // Output write O[i1..iM]: each spatial index must stay within the
     // output extent (an over-wide split writes past the buffer).
     const auto &shape = op->outputShape();

@@ -213,11 +213,36 @@ struct Emitter
             declare(iv);
     }
 
+    /**
+     * Open the `if (axis < extent)` guard imperfectly tiled axes
+     * require (LoopNest::guardedAxes). Returns true when a guard was
+     * emitted; the caller indents the body one level deeper and closes
+     * the brace.
+     */
+    bool
+    emitGuardOpen(int depth)
+    {
+        if (nest.guardedAxes.empty())
+            return false;
+        indent(depth);
+        oss << "if (";
+        for (size_t i = 0; i < nest.guardedAxes.size(); ++i) {
+            const IterVarNode *g = nest.guardedAxes[i];
+            if (i)
+                oss << " && ";
+            oss << sanitize(g->name) << " < " << g->extent;
+        }
+        oss << ") {  // imperfect-tile guard\n";
+        return true;
+    }
+
     /** The innermost statement: out[...] += body. */
     void
     emitBody(int depth)
     {
         emitOriginalVars(depth);
+        if (emitGuardOpen(depth))
+            ++depth;
         indent(depth);
         oss << "out[";
         auto strides = stridesOf(op->outputShape());
@@ -233,6 +258,11 @@ struct Emitter
         oss << "] += ";
         emitExpr(oss, op->body(), names);
         oss << ";\n";
+        if (!nest.guardedAxes.empty()) {
+            --depth;
+            indent(depth);
+            oss << "}\n";
+        }
     }
 
     void
@@ -385,10 +415,17 @@ emitCuda(const LoopNest &nest, const std::string &func_name)
         ++depth;
     }
     e.emitOriginalVars(depth);
+    if (e.emitGuardOpen(depth))
+        ++depth;
     e.indent(depth);
     oss << "acc += ";
     emitExpr(oss, e.op->body(), e.names);
     oss << ";\n";
+    if (!nest.guardedAxes.empty()) {
+        --depth;
+        e.indent(depth);
+        oss << "}\n";
+    }
     for (size_t i = serial.size(); i-- > 0;) {
         --depth;
         e.indent(depth);

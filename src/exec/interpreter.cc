@@ -11,11 +11,18 @@ namespace {
 
 /** Serial recursion over loops [depth, end), accumulating into `out`. */
 void
-runSerial(const std::vector<SubLoop> &loops, size_t depth,
-          const ComputeOp *op, VarVals &vals, std::vector<int64_t> &idx,
-          Buffer &out, const BufferMap &buffers)
+runSerial(const LoopNest &nest, size_t depth, const ComputeOp *op,
+          VarVals &vals, std::vector<int64_t> &idx, Buffer &out,
+          const BufferMap &buffers)
 {
+    const std::vector<SubLoop> &loops = nest.loops;
     if (depth == loops.size()) {
+        // Imperfect tiles realize indices past the extent; the guard
+        // contract (LoopNest::guardedAxes) skips those iterations.
+        for (const IterVarNode *g : nest.guardedAxes) {
+            if (vals[g] >= g->extent)
+                return;
+        }
         for (size_t d = 0; d < op->axis().size(); ++d)
             idx[d] = vals[op->axis()[d].get()];
         out.at(idx) += evalFloatExpr(op->body(), vals, buffers);
@@ -24,9 +31,15 @@ runSerial(const std::vector<SubLoop> &loops, size_t depth,
     const SubLoop &l = loops[depth];
     int64_t &slot = vals[l.origin];
     const int64_t base = slot;
+    // Guarded axes are monotone in v here (base fixed, stride > 0), so
+    // once the value overshoots the extent the rest of the loop would
+    // only produce guarded-off iterations.
+    const bool prune = !nest.guardedAxes.empty() && nest.isGuarded(l.origin);
     for (int64_t v = 0; v < l.extent; ++v) {
         slot = base + v * l.stride;
-        runSerial(loops, depth + 1, op, vals, idx, out, buffers);
+        if (prune && slot >= l.origin->extent)
+            break;
+        runSerial(nest, depth + 1, op, vals, idx, out, buffers);
     }
     slot = base;
 }
@@ -78,7 +91,7 @@ runScheduled(const LoopNest &nest, BufferMap &buffers, int num_threads)
                 rest /= l.extent;
                 vals[l.origin] += v * l.stride;
             }
-            runSerial(nest.loops, prefix, op, vals, idx, out, buffers);
+            runSerial(nest, prefix, op, vals, idx, out, buffers);
         }
     };
 

@@ -71,50 +71,48 @@ Evaluator::evaluate(const Point &p, PointKey key)
     auto it = cache_.find(key);
     if (it != cache_.end())
         return it->second;
-    double gflops;
-    if (obs_.wallProfile && obs_.trace) {
-        // Profiled single-threaded path: time decode and lowering
-        // separately, emit them as spans carrying wall nanoseconds (the
-        // span clock itself is the simulated clock, which does not
-        // advance inside one evaluation).
-        auto t0 = WallClock::now();
-        obs_.trace->begin("eval.decode", simSeconds_);
-        const OpConfig &config = space_.decodeInto(p, scratch_.decode);
-        auto t1 = WallClock::now();
-        int64_t decode_ns = nsBetween(t0, t1);
-        obs_.trace->end("eval.decode", simSeconds_,
-                        {tint("ns", decode_ns)});
-        obs_.trace->begin("eval.lower", simSeconds_);
-        generateInto(anchor_, config, target_, scratch_.sched);
-        auto t2 = WallClock::now();
-        int64_t lower_ns = nsBetween(t1, t2);
-        obs_.trace->end("eval.lower", simSeconds_, {tint("ns", lower_ns)});
-        obs_.trace->begin("eval.verify", simSeconds_);
-        bool rejected = verifyRejects(config, scratch_);
-        auto t3 = WallClock::now();
-        int64_t verify_ns = nsBetween(t2, t3);
-        obs_.trace->end("eval.verify", simSeconds_,
-                        {tint("ns", verify_ns)});
-        if (decodeNsCounter_) {
-            decodeNsCounter_->add(static_cast<uint64_t>(decode_ns));
-            lowerNsCounter_->add(static_cast<uint64_t>(lower_ns));
-        }
-        if (verifyNsCounter_)
-            verifyNsCounter_->add(static_cast<uint64_t>(verify_ns));
-        if (rejected) {
-            obs_.trace->point(
-                "verify.reject", simSeconds_,
-                {tstr("code", scratch_.diags.firstError()->code)});
-            gflops = kInvalidGflops;
-        } else {
-            PerfResult perf = modelPerf(scratch_.sched.features, target_);
-            gflops = perf.valid ? perf.gflops : kInvalidGflops;
-        }
-    } else {
-        gflops = scoreOnly(p, scratch_);
-    }
+    double gflops = obs_.wallProfile && obs_.trace ? scoreProfiled(p)
+                                                   : scoreOnly(p, scratch_);
     commitMeasured(p, key, gflops, measureCost_);
     return gflops;
+}
+
+double
+Evaluator::scoreProfiled(const Point &p)
+{
+    // Profiled single-threaded path: time decode and lowering
+    // separately, emit them as spans carrying wall nanoseconds (the
+    // span clock itself is the simulated clock, which does not
+    // advance inside one evaluation).
+    auto t0 = WallClock::now();
+    obs_.trace->begin("eval.decode", simSeconds_);
+    const OpConfig &config = space_.decodeInto(p, scratch_.decode);
+    auto t1 = WallClock::now();
+    int64_t decode_ns = nsBetween(t0, t1);
+    obs_.trace->end("eval.decode", simSeconds_, {tint("ns", decode_ns)});
+    obs_.trace->begin("eval.lower", simSeconds_);
+    generateInto(anchor_, config, target_, scratch_.sched);
+    auto t2 = WallClock::now();
+    int64_t lower_ns = nsBetween(t1, t2);
+    obs_.trace->end("eval.lower", simSeconds_, {tint("ns", lower_ns)});
+    obs_.trace->begin("eval.verify", simSeconds_);
+    bool rejected = verifyRejects(config, scratch_);
+    auto t3 = WallClock::now();
+    int64_t verify_ns = nsBetween(t2, t3);
+    obs_.trace->end("eval.verify", simSeconds_, {tint("ns", verify_ns)});
+    if (decodeNsCounter_) {
+        decodeNsCounter_->add(static_cast<uint64_t>(decode_ns));
+        lowerNsCounter_->add(static_cast<uint64_t>(lower_ns));
+    }
+    if (verifyNsCounter_)
+        verifyNsCounter_->add(static_cast<uint64_t>(verify_ns));
+    if (rejected) {
+        obs_.trace->point("verify.reject", simSeconds_,
+                          {tstr("code", scratch_.diags.firstError()->code)});
+        return kInvalidGflops;
+    }
+    PerfResult perf = modelPerf(scratch_.sched.features, target_);
+    return perf.valid ? perf.gflops : kInvalidGflops;
 }
 
 double

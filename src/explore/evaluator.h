@@ -50,6 +50,12 @@ struct EvalScratch
     DecodeScratch decode;
     Scheduled sched;
     verify::DiagReport diags;
+    /**
+     * Per-instance adapted config for family (joint) scoring: the
+     * decoded generic config with the dynamic axis's split re-fit to
+     * one concrete shape. Unused by single-shape evaluation.
+     */
+    OpConfig adapted;
 };
 
 class Evaluator
@@ -61,6 +67,8 @@ class Evaluator
      * @param target the device to model
      */
     Evaluator(Operation anchor, const ScheduleSpace &space, Target target);
+
+    virtual ~Evaluator() = default;
 
     /**
      * Performance value of a point (GFLOPS; kInvalidGflops when the
@@ -84,10 +92,13 @@ class Evaluator
      * callers (decode + generate + perf model only); the serving layer
      * scores batches with this in parallel, then commits in order.
      * The scratch overload reuses the caller's buffers; each concurrent
-     * scorer must own a distinct EvalScratch.
+     * scorer must own a distinct EvalScratch. Virtual so a joint (shape
+     * family) evaluator can swap the scoring function while reusing the
+     * explorers, the cache/history machinery, and the batch layer
+     * unchanged.
      */
     double scoreOnly(const Point &p) const;
-    double scoreOnly(const Point &p, EvalScratch &scratch) const;
+    virtual double scoreOnly(const Point &p, EvalScratch &scratch) const;
 
     /**
      * Record a measurement scored elsewhere: insert into H and the cache,
@@ -159,6 +170,23 @@ class Evaluator
     const Operation &anchor() const { return anchor_; }
     const Target &target() const { return target_; }
 
+  protected:
+    /**
+     * Wall-profiled scoring for the single-threaded evaluate() path:
+     * emits eval.decode / eval.lower / eval.verify spans (the span
+     * clock is the simulated clock, which does not advance inside one
+     * evaluation). Only called when obs().wallProfile and a trace sink
+     * are attached. Subclasses override to emit their own span shape.
+     */
+    virtual double scoreProfiled(const Point &p);
+
+    /**
+     * Run the static verifier on the lowered schedule in `scratch`,
+     * updating the verify.* counters. True when an Error-severity
+     * diagnostic gates the schedule (score is kInvalidGflops).
+     */
+    bool verifyRejects(const OpConfig &config, EvalScratch &scratch) const;
+
   private:
     Operation anchor_;
     const ScheduleSpace &space_;
@@ -180,13 +208,6 @@ class Evaluator
     Counter *verifyRejectedCounter_ = nullptr;
     /** Per-code rejection counters ("verify.reject.<code>"). */
     std::vector<std::pair<const char *, Counter *>> verifyCodeCounters_;
-
-    /**
-     * Run the static verifier on the lowered schedule in `scratch`,
-     * updating the verify.* counters. True when an Error-severity
-     * diagnostic gates the schedule (score is kInvalidGflops).
-     */
-    bool verifyRejects(const OpConfig &config, EvalScratch &scratch) const;
 
     /** Scoring buffers for the single-threaded evaluate() path. */
     mutable EvalScratch scratch_;

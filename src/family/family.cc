@@ -1,0 +1,46 @@
+#include "family/family.h"
+
+#include "analysis/static_analyzer.h"
+#include "ops/ops.h"
+#include "support/logging.h"
+
+namespace ft {
+
+Operation
+ShapeFamily::instanceAnchor(int64_t v) const
+{
+    FT_ASSERT(var.contains(v), "shape value ", v, " outside the range of '",
+              var.name, "' [", var.lo, ", ", var.hi, "]");
+    Tensor root = instantiate(v);
+    MiniGraph graph(root);
+    return anchorOp(graph);
+}
+
+ShapeFamily
+conv2dOverBatch(const ops::Conv2dLayer &layer, ShapeVar batch)
+{
+    ShapeFamily family;
+    family.name = "conv2d_" + layer.name + "_over_" + batch.name;
+    family.var = std::move(batch);
+    family.dynamicAxis = 0; // conv2d output is (n, k, oh, ow)
+    family.instantiate = [layer](int64_t n) { return layer.build(n); };
+    return family;
+}
+
+ShapeFamily
+gemmOverM(int64_t n, int64_t k, ShapeVar m)
+{
+    ShapeFamily family;
+    family.name = "gemm_n" + std::to_string(n) + "_k" + std::to_string(k) +
+                  "_over_" + m.name;
+    family.var = std::move(m);
+    family.dynamicAxis = 0; // gemm output is (m, n)
+    family.instantiate = [n, k](int64_t mv) {
+        Tensor a = placeholder("A", {mv, k});
+        Tensor b = placeholder("B", {k, n});
+        return ops::gemm(a, b);
+    };
+    return family;
+}
+
+} // namespace ft

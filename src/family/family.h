@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shape families: one operator template over a dynamic dimension.
+ *
+ * FlexTensor tunes one concrete shape per run; a ShapeFamily declares a
+ * whole range of shapes (conv2d over batch size, gemm over M) as a
+ * single tuning task. The family instantiates a concrete tensor graph
+ * per sampled shape value; the family layer builds one shape-generic
+ * schedule space from the padded upper bound and scores candidates
+ * jointly across sampled instances (family_eval.h), then records the
+ * per-bucket winners in a dispatch table (dispatch.h).
+ */
+#ifndef FLEXTENSOR_FAMILY_FAMILY_H
+#define FLEXTENSOR_FAMILY_FAMILY_H
+
+#include <functional>
+#include <string>
+
+#include "family/shape_var.h"
+#include "ir/graph.h"
+#include "ops/shapes.h"
+
+namespace ft {
+
+/** An op template instantiating concrete graphs per shape value. */
+struct ShapeFamily
+{
+    /** Stable family name (part of the dispatch/cache identity). */
+    std::string name;
+    /** The dynamic dimension and its declared range. */
+    ShapeVar var;
+    /** Spatial axis index of the anchor op that `var` controls. */
+    int dynamicAxis = 0;
+    /** Build the operator graph for one concrete shape value. */
+    std::function<Tensor(int64_t)> instantiate;
+
+    /** Anchor compute node of the instance at shape value `v`. */
+    Operation instanceAnchor(int64_t v) const;
+};
+
+/** conv2d with a dynamic batch dimension (anchor spatial axis 0). */
+ShapeFamily conv2dOverBatch(const ops::Conv2dLayer &layer, ShapeVar batch);
+
+/** gemm (M,K)x(K,N) with a dynamic M dimension (spatial axis 0). */
+ShapeFamily gemmOverM(int64_t n, int64_t k, ShapeVar m);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_FAMILY_FAMILY_H

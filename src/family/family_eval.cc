@@ -1,0 +1,109 @@
+#include "family/family_eval.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace ft {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+int64_t
+nsBetween(WallClock::time_point a, WallClock::time_point b)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+        .count();
+}
+
+} // namespace
+
+void
+adaptSplitToExtent(OpConfig &config, int dynamicAxis, int64_t extent)
+{
+    FT_ASSERT(dynamicAxis >= 0 &&
+                  dynamicAxis <
+                      static_cast<int>(config.spatialSplits.size()),
+              "dynamic axis ", dynamicAxis, " outside config");
+    std::vector<int64_t> &row = config.spatialSplits[dynamicAxis];
+    FT_ASSERT(!row.empty(), "empty split row");
+    int64_t inner = 1;
+    for (size_t lvl = 1; lvl < row.size(); ++lvl)
+        inner *= row[lvl];
+    row[0] = ceilDiv(extent, inner);
+}
+
+FamilyEvaluator::FamilyEvaluator(
+    const ShapeFamily &family, Operation genericAnchor,
+    const ScheduleSpace &space, Target target,
+    const std::vector<std::pair<int64_t, double>> &instances)
+    : Evaluator(std::move(genericAnchor), space, target),
+      dynamicAxis_(family.dynamicAxis)
+{
+    FT_ASSERT(!instances.empty(), "family scoring needs >= 1 instance");
+    double totalWeight = 0.0;
+    for (const auto &[value, weight] : instances) {
+        FT_ASSERT(weight > 0.0, "instance weights must be positive");
+        anchors_.push_back(family.instanceAnchor(value));
+        extents_.push_back(value);
+        weights_.push_back(weight);
+        totalWeight += weight;
+    }
+    for (double &w : weights_)
+        w /= totalWeight;
+}
+
+double
+FamilyEvaluator::instanceGflops(const OpConfig &generic, size_t i,
+                                EvalScratch &scratch) const
+{
+    scratch.adapted = generic;
+    adaptSplitToExtent(scratch.adapted, dynamicAxis_, extents_[i]);
+    generateInto(anchors_[i], scratch.adapted, target(), scratch.sched);
+    if (verifyRejects(scratch.adapted, scratch))
+        return 0.0;
+    PerfResult perf = modelPerf(scratch.sched.features, target());
+    return perf.valid ? perf.gflops : 0.0;
+}
+
+double
+FamilyEvaluator::scoreOnly(const Point &p, EvalScratch &scratch) const
+{
+    const OpConfig &generic = space().decodeInto(p, scratch.decode);
+    double total = 0.0;
+    for (size_t i = 0; i < anchors_.size(); ++i) {
+        double gflops = instanceGflops(generic, i, scratch);
+        if (gflops <= 0.0)
+            return kInvalidGflops;
+        total += weights_[i] * gflops;
+    }
+    return total;
+}
+
+double
+FamilyEvaluator::scoreProfiled(const Point &p)
+{
+    TraceRecorder *trace = obs().trace;
+    const double sim = simulatedSeconds();
+    const OpConfig &generic =
+        space().decodeInto(p, profiledScratch_.decode);
+    double total = 0.0;
+    for (size_t i = 0; i < anchors_.size(); ++i) {
+        auto t0 = WallClock::now();
+        trace->begin("family.instance", sim);
+        double gflops = instanceGflops(generic, i, profiledScratch_);
+        int64_t ns = nsBetween(t0, WallClock::now());
+        trace->end("family.instance", sim,
+                   {tint("shape", extents_[i]), tint("ns", ns),
+                    treal("gflops", gflops)});
+        if (gflops <= 0.0)
+            return kInvalidGflops;
+        total += weights_[i] * gflops;
+    }
+    return total;
+}
+
+} // namespace ft

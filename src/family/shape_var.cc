@@ -1,0 +1,78 @@
+#include "family/shape_var.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace ft {
+
+int64_t
+nextPow2(int64_t n)
+{
+    FT_ASSERT(n >= 1, "nextPow2 of non-positive value ", n);
+    int64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+std::vector<ShapeBucket>
+bucketsOf(const ShapeVar &var)
+{
+    FT_ASSERT(var.lo >= 1 && var.hi >= var.lo, "ShapeVar '", var.name,
+              "' has an empty or non-positive range [", var.lo, ", ",
+              var.hi, "]");
+    std::vector<ShapeBucket> out;
+    if (var.bucketing == Bucketing::FixedWidth) {
+        FT_ASSERT(var.bucketWidth >= 1, "bucketWidth must be positive");
+        for (int64_t lo = var.lo; lo <= var.hi; lo += var.bucketWidth) {
+            out.push_back(
+                {lo, std::min<int64_t>(lo + var.bucketWidth - 1, var.hi)});
+        }
+        return out;
+    }
+    // Pow2: boundaries at powers of two, clipped to the declared range.
+    int64_t lo = var.lo;
+    while (lo <= var.hi) {
+        int64_t hi = std::min<int64_t>(nextPow2(lo), var.hi);
+        out.push_back({lo, hi});
+        lo = hi + 1;
+    }
+    return out;
+}
+
+int
+bucketIndexOf(const ShapeVar &var, int64_t value)
+{
+    if (!var.contains(value))
+        return -1;
+    const std::vector<ShapeBucket> buckets = bucketsOf(var);
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i].contains(value))
+            return static_cast<int>(i);
+    }
+    return -1; // unreachable: bucketsOf is total over the range
+}
+
+std::vector<int64_t>
+sampleBucket(const ShapeBucket &bucket, int k)
+{
+    FT_ASSERT(k >= 1, "need at least one sample per bucket");
+    const int64_t width = bucket.hi - bucket.lo + 1;
+    std::vector<int64_t> out;
+    if (width <= k) {
+        for (int64_t v = bucket.lo; v <= bucket.hi; ++v)
+            out.push_back(v);
+        return out;
+    }
+    // Spread k samples over the bucket, anchored at the upper bound (the
+    // instance with the least padding slack under the bucket schedule).
+    for (int i = 0; i < k - 1; ++i)
+        out.push_back(bucket.lo + (width - 1) * i / (k - 1 + 1));
+    out.push_back(bucket.hi);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace ft

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Dynamic shape dimensions for shape-family tuning.
+ *
+ * A ShapeVar declares one named dimension of an operator as dynamic over
+ * an inclusive integer range, plus the bucketing policy that partitions
+ * the range into dispatch buckets. One schedule is tuned per bucket (the
+ * DietCode-style micro-kernel dispatch model); serve-time lookup maps a
+ * concrete shape to its bucket's schedule.
+ */
+#ifndef FLEXTENSOR_FAMILY_SHAPE_VAR_H
+#define FLEXTENSOR_FAMILY_SHAPE_VAR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/** How a ShapeVar's range is partitioned into dispatch buckets. */
+enum class Bucketing {
+    /** Power-of-two boundaries: [1], [2], [3,4], [5,8], ... */
+    Pow2,
+    /** Contiguous fixed-width buckets of `bucketWidth` values. */
+    FixedWidth,
+};
+
+/** One contiguous bucket of shape values (inclusive). */
+struct ShapeBucket
+{
+    int64_t lo = 0;
+    int64_t hi = 0;
+
+    bool contains(int64_t v) const { return v >= lo && v <= hi; }
+};
+
+/** A named dynamic dimension with an integer range and bucket policy. */
+struct ShapeVar
+{
+    std::string name;
+    int64_t lo = 1; ///< smallest shape value served (inclusive)
+    int64_t hi = 1; ///< largest shape value served (inclusive)
+    Bucketing bucketing = Bucketing::Pow2;
+    int64_t bucketWidth = 8; ///< FixedWidth only
+
+    bool contains(int64_t v) const { return v >= lo && v <= hi; }
+};
+
+/** Smallest power of two >= n. Requires n >= 1. */
+int64_t nextPow2(int64_t n);
+
+/**
+ * The bucket partition of the declared range: contiguous, ascending,
+ * and total (every in-range value falls into exactly one bucket).
+ */
+std::vector<ShapeBucket> bucketsOf(const ShapeVar &var);
+
+/**
+ * Index into bucketsOf(var) of the bucket containing `value`, or -1
+ * when the value is outside the declared range.
+ */
+int bucketIndexOf(const ShapeVar &var, int64_t value);
+
+/**
+ * Deterministic sample of up to `k` shape values from one bucket for
+ * joint scoring. Always includes the bucket's upper bound (the padded
+ * worst case); the rest spread evenly across the bucket.
+ */
+std::vector<int64_t> sampleBucket(const ShapeBucket &bucket, int k);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_FAMILY_SHAPE_VAR_H

@@ -1,0 +1,160 @@
+#include "family/tune_family.h"
+
+#include "analysis/verify/verify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace ft {
+
+double
+instanceGflopsFor(const ShapeFamily &family, const OpConfig &generic,
+                  int64_t shape, const Target &target)
+{
+    OpConfig adapted = generic;
+    adaptSplitToExtent(adapted, family.dynamicAxis, shape);
+    Operation anchor = family.instanceAnchor(shape);
+    Scheduled s = generate(anchor, adapted, target);
+    verify::DiagReport diags;
+    verify::verifyScheduleInto(s, target, &adapted, diags);
+    if (diags.hasError())
+        return 0.0;
+    PerfResult perf = modelPerf(s.features, target);
+    return perf.valid ? perf.gflops : 0.0;
+}
+
+FamilyTuneReport
+tuneFamily(const ShapeFamily &family, const Target &target,
+           const FamilyTuneOptions &options)
+{
+    FT_ASSERT(options.samplesPerBucket >= 1,
+              "family tuning needs >= 1 sample per bucket");
+    const ObsContext &obs = options.explore.obs;
+    const std::vector<ShapeBucket> buckets = bucketsOf(family.var);
+
+    if (obs.trace) {
+        obs.trace->meta(
+            "family_run",
+            {tstr("family", family.name),
+             tstr("device", target.deviceName()),
+             tstr("method", methodName(options.method)),
+             tint("seed", static_cast<int64_t>(options.explore.seed)),
+             tint("buckets", static_cast<int64_t>(buckets.size())),
+             tint("lo", family.var.lo), tint("hi", family.var.hi)});
+        obs.trace->begin("space_build", 0.0);
+    }
+
+    // One shape-generic space built from the padded upper bound serves
+    // every bucket: the dynamic axis's split sub-space enumerates
+    // factors of nextPow2(hi), and per-instance overshoot lowers to a
+    // guarded imperfect tile.
+    const Operation generic = family.instanceAnchor(family.var.hi);
+    SpaceOptions space_options = options.space;
+    space_options.templateRestricted = options.space.templateRestricted ||
+                                       options.method == Method::AutoTvm;
+    if (static_cast<int>(space_options.spatialExtentOverride.size()) <=
+        family.dynamicAxis)
+        space_options.spatialExtentOverride.resize(family.dynamicAxis + 1, 0);
+    space_options.spatialExtentOverride[family.dynamicAxis] =
+        nextPow2(family.var.hi);
+    ScheduleSpace space = buildSpace(generic, target, space_options);
+
+    if (obs.trace) {
+        obs.trace->end("space_build", 0.0,
+                       {treal("size", space.size()),
+                        tint("dims", space.numSubSpaces()),
+                        tint("directions", space.numDirections())});
+    }
+    if (obs.metrics)
+        obs.metrics->counter("family.runs").add();
+
+    FamilyTuneReport report;
+    report.table = DispatchTable(family.name, target.deviceName(), family.var);
+    report.spaceSize = space.size();
+    report.device = target.deviceName();
+
+    // Bucket winners carry forward as seed points for later buckets:
+    // neighboring buckets share most of their schedule structure, so a
+    // warm start closes most of the gap to dedicated per-shape tuning
+    // without extra trials.
+    std::vector<Point> carried;
+    for (size_t bi = 0; bi < buckets.size(); ++bi) {
+        const ShapeBucket &bucket = buckets[bi];
+        // Weight each sampled instance by its shape value: the dynamic
+        // dimension scales the instance's FLOPs linearly, so the upper
+        // end of a bucket dominates real execution time and the joint
+        // score must not trade it away for the cheap small shapes.
+        std::vector<std::pair<int64_t, double>> instances;
+        for (int64_t value :
+             sampleBucket(bucket, options.samplesPerBucket))
+            instances.emplace_back(value, static_cast<double>(value));
+
+        FamilyEvaluator eval(family, generic, space, target, instances);
+        ExploreOptions explore = options.explore;
+        // Decorrelate bucket searches; one family seed still pins the
+        // whole run (fixed-seed family runs are bit-identical).
+        explore.seed = options.explore.seed +
+                       static_cast<uint64_t>(bi) * 0x9e3779b97f4a7c15ULL;
+        explore.seedPoints.insert(explore.seedPoints.end(),
+                                  carried.begin(), carried.end());
+
+        if (obs.trace)
+            obs.trace->begin("family.bucket", report.simSeconds);
+        ExploreResult result;
+        switch (options.method) {
+          case Method::QMethod:
+            result = exploreQMethod(eval, explore);
+            break;
+          case Method::PMethod:
+            result = explorePMethod(eval, explore);
+            break;
+          case Method::Random:
+            result = exploreRandom(eval, explore);
+            break;
+          case Method::AutoTvm:
+            result = exploreAutoTvm(eval, explore);
+            break;
+        }
+
+        FamilyBucketReport bucket_report;
+        bucket_report.bucket = bucket;
+        bucket_report.config = space.decode(result.bestPoint);
+        bucket_report.familyGflops = result.bestGflops;
+        bucket_report.repGflops = instanceGflopsFor(
+            family, bucket_report.config, bucket.hi, target);
+        bucket_report.trials = result.trialsUsed;
+        bucket_report.simSeconds = result.simSeconds;
+
+        report.table.addEntry({bucket.lo, bucket.hi, bucket_report.config,
+                               result.bestGflops, result.trialsUsed});
+        report.totalTrials += result.trialsUsed;
+        report.simSeconds += result.simSeconds;
+        carried.push_back(result.bestPoint);
+        if (obs.trace) {
+            obs.trace->end("family.bucket", report.simSeconds,
+                           {tint("lo", bucket.lo), tint("hi", bucket.hi),
+                            treal("best", result.bestGflops),
+                            tint("trials", result.trialsUsed)});
+        }
+        report.buckets.push_back(std::move(bucket_report));
+    }
+
+    if (obs.trace) {
+        obs.trace->point(
+            "family.report", report.simSeconds,
+            {tint("buckets", static_cast<int64_t>(buckets.size())),
+             tint("trials", report.totalTrials),
+             tbool("total", report.table.total())});
+    }
+    if (obs.metrics)
+        obs.metrics->counter("family.buckets_tuned")
+            .add(static_cast<uint64_t>(buckets.size()));
+
+    inform("tuned family ", family.name, " on ", report.device, " with ",
+           methodName(options.method), ": ", buckets.size(),
+           " buckets over [", family.var.lo, ", ", family.var.hi, "], ",
+           report.totalTrials, " total trials");
+    return report;
+}
+
+} // namespace ft

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shape-family tuning: one exploration run per shape bucket over a
+ * single shape-generic space, producing a serve-time dispatch table.
+ *
+ * Instead of tuning every concrete shape, tuneFamily() builds ONE
+ * schedule space from the family's padded upper bound, then reuses the
+ * existing explorers per bucket with a FamilyEvaluator that scores each
+ * candidate jointly on sampled instances of that bucket. The per-bucket
+ * winners become DispatchTable entries; serve-time lookup adapts the
+ * winning generic config's dynamic split to the concrete shape.
+ */
+#ifndef FLEXTENSOR_FAMILY_TUNE_FAMILY_H
+#define FLEXTENSOR_FAMILY_TUNE_FAMILY_H
+
+#include <vector>
+
+#include "explore/tuner.h"
+#include "family/dispatch.h"
+#include "family/family.h"
+#include "family/family_eval.h"
+
+namespace ft {
+
+/** Options for one family tuning run. */
+struct FamilyTuneOptions
+{
+    Method method = Method::QMethod;
+    ExploreOptions explore;
+    /** Shape instances jointly scored per bucket (>= 1). */
+    int samplesPerBucket = 2;
+    /** Extra space-construction options (extent overrides are set by
+     *  tuneFamily itself; other knobs pass through). */
+    SpaceOptions space;
+};
+
+/** Outcome of tuning one bucket of a family. */
+struct FamilyBucketReport
+{
+    ShapeBucket bucket;
+    OpConfig config;           ///< best generic schedule for the bucket
+    double familyGflops = 0.0; ///< joint score over sampled instances
+    /** Modeled GFLOPS at the bucket's representative (upper) shape. */
+    double repGflops = 0.0;
+    int trials = 0;
+    double simSeconds = 0.0;
+};
+
+/** Outcome of one tuneFamily() run. */
+struct FamilyTuneReport
+{
+    DispatchTable table; ///< total over the declared range on success
+    std::vector<FamilyBucketReport> buckets;
+    int totalTrials = 0;
+    double simSeconds = 0.0;
+    double spaceSize = 0.0;
+    std::string device;
+};
+
+/** Tune every bucket of `family` for `target`. */
+FamilyTuneReport tuneFamily(const ShapeFamily &family, const Target &target,
+                            const FamilyTuneOptions &options = {});
+
+/**
+ * Modeled GFLOPS of one concrete shape under a generic config (the
+ * dynamic split re-fit to the shape's extent), or 0 when the schedule
+ * is gated by the verifier or rejected by the device model. Used for
+ * dispatch-vs-dedicated comparisons.
+ */
+double instanceGflopsFor(const ShapeFamily &family, const OpConfig &generic,
+                         int64_t shape, const Target &target);
+
+} // namespace ft
+
+#endif // FLEXTENSOR_FAMILY_TUNE_FAMILY_H

@@ -34,6 +34,13 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 out.device = e.str("device");
                 out.method = e.str("method");
                 out.seed = static_cast<uint64_t>(e.integer("seed"));
+            } else if (e.name == "family_run") {
+                // Family runs label the timeline with the family name
+                // in place of a single operator.
+                out.op = e.str("family");
+                out.device = e.str("device");
+                out.method = e.str("method");
+                out.seed = static_cast<uint64_t>(e.integer("seed"));
             }
             break;
           case 'B':

@@ -102,6 +102,7 @@ generateCpuInto(const Operation &anchor, const OpConfig &config,
             l.anno = LoopAnno::Unroll;
     }
     loops.insert(loops.end(), inner.begin(), inner.end());
+    gen::recordGuardedAxes(op, out.nest);
 
     // ------------------------------------------------------------------
     // Features.

@@ -44,6 +44,7 @@ generateFpgaInto(const Operation &anchor, const OpConfig &config,
     }
     for (const auto &row : rd)
         loops.push_back(row[1]);
+    gen::recordGuardedAxes(op, out.nest);
 
     // ------------------------------------------------------------------
     // Features for the three-stage pipeline model (Section 5.2):

@@ -106,6 +106,7 @@ generateGpuInto(const Operation &anchor, const OpConfig &config,
         inner[inner.size() - 1 - u].anno = LoopAnno::Unroll;
     }
     loops.insert(loops.end(), inner.begin(), inner.end());
+    gen::recordGuardedAxes(op, out.nest);
 
     // ------------------------------------------------------------------
     // Features.

@@ -70,19 +70,41 @@ checkSplits(const ComputeOp *op, const OpConfig &config, int spatial_levels,
         FT_ASSERT(static_cast<int>(config.spatialSplits[i].size()) ==
                       spatial_levels,
                   "spatial split row must have ", spatial_levels, " levels");
-        FT_ASSERT(product(config.spatialSplits[i]) ==
+        FT_ASSERT(product(config.spatialSplits[i]) >=
                       op->axis()[i]->extent,
                   "spatial split of ", op->axis()[i]->name,
-                  " does not multiply to extent");
+                  " multiplies below extent");
     }
     for (size_t i = 0; i < config.reduceSplits.size(); ++i) {
         FT_ASSERT(static_cast<int>(config.reduceSplits[i].size()) ==
                       reduce_levels,
                   "reduce split row must have ", reduce_levels, " levels");
-        FT_ASSERT(product(config.reduceSplits[i]) ==
+        FT_ASSERT(product(config.reduceSplits[i]) >=
                       op->reduceAxis()[i]->extent,
                   "reduce split of ", op->reduceAxis()[i]->name,
-                  " does not multiply to extent");
+                  " multiplies below extent");
+    }
+}
+
+void
+recordGuardedAxes(const ComputeOp *op, LoopNest &nest)
+{
+    nest.guardedAxes.clear();
+    auto span = [&nest](const IterVarNode *origin) {
+        int64_t hi = 0;
+        for (const SubLoop &l : nest.loops) {
+            if (l.origin == origin)
+                hi += (l.extent - 1) * l.stride;
+        }
+        return hi;
+    };
+    for (const auto &iv : op->axis()) {
+        if (span(iv.get()) > iv->extent - 1)
+            nest.guardedAxes.push_back(iv.get());
+    }
+    for (const auto &iv : op->reduceAxis()) {
+        if (span(iv.get()) > iv->extent - 1)
+            nest.guardedAxes.push_back(iv.get());
     }
 }
 

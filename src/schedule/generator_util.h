@@ -41,9 +41,20 @@ std::vector<InputFootprint> inputFootprints(const ComputeOp *op,
 /** Sum of the footprints, in bytes of fp32. */
 int64_t footprintBytes(const std::vector<InputFootprint> &fps);
 
-/** Validate that split rows match the op's loops and multiply correctly. */
+/**
+ * Validate that split rows match the op's loops and multiply to at
+ * least each loop's extent (exactly for divisible splits; an overshoot
+ * is an imperfect tile the executors guard).
+ */
 void checkSplits(const ComputeOp *op, const OpConfig &config,
                  int spatial_levels, int reduce_levels);
+
+/**
+ * Record on the nest every original axis whose sub-loops overshoot its
+ * extent (see LoopNest::guardedAxes). Clears any previous recording, so
+ * the nest-reusing generate*Into paths stay correct.
+ */
+void recordGuardedAxes(const ComputeOp *op, LoopNest &nest);
 
 } // namespace gen
 } // namespace ft

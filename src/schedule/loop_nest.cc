@@ -7,6 +7,16 @@
 
 namespace ft {
 
+bool
+LoopNest::isGuarded(const IterVarNode *origin) const
+{
+    for (const IterVarNode *g : guardedAxes) {
+        if (g == origin)
+            return true;
+    }
+    return false;
+}
+
 int64_t
 LoopNest::extentOf(LoopAnno anno) const
 {
@@ -23,8 +33,8 @@ splitLoop(const IterVar &iv, const std::vector<int64_t> &factors,
           const std::string &suffix_base)
 {
     FT_ASSERT(!factors.empty(), "splitLoop with no factors");
-    FT_ASSERT(product(factors) == iv->extent, "split of ", iv->name,
-              " does not multiply to extent ", iv->extent);
+    FT_ASSERT(product(factors) >= iv->extent, "split of ", iv->name,
+              " multiplies below extent ", iv->extent);
     std::vector<SubLoop> out(factors.size());
     int64_t stride = 1;
     for (size_t lvl = factors.size(); lvl-- > 0;) {

@@ -53,6 +53,20 @@ struct LoopNest
     Operation op;               ///< the scheduled compute node
     std::vector<SubLoop> loops; ///< outer to inner
 
+    /**
+     * Original axes whose sub-loops overshoot the axis extent (an
+     * "imperfect tile": the split factors multiply past the extent, as
+     * happens when one schedule serves a whole shape family and a
+     * dynamic dimension is not divisible by the tile). Executors and
+     * emitters guard the loop body with `value < extent` for exactly
+     * these axes; the bounds prover clamps their realized ranges under
+     * the same contract.
+     */
+    std::vector<const IterVarNode *> guardedAxes;
+
+    /** Whether `origin` is one of the guarded (imperfectly tiled) axes. */
+    bool isGuarded(const IterVarNode *origin) const;
+
     /** Product of the extents of loops with the given annotation. */
     int64_t extentOf(LoopAnno anno) const;
 };
@@ -104,7 +118,10 @@ struct Scheduled
 
 /**
  * Expand one original loop into sub-loops per the split factors.
- * Returns sub-loops outer-to-inner with correct strides.
+ * Returns sub-loops outer-to-inner with correct strides. The factors
+ * must multiply to at least the extent; an overshoot yields an
+ * imperfect tile whose out-of-range iterations the executors guard off
+ * (the generators record such axes in LoopNest::guardedAxes).
  */
 std::vector<SubLoop> splitLoop(const IterVar &iv,
                                const std::vector<int64_t> &factors,

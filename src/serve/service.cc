@@ -1,11 +1,51 @@
 #include "serve/service.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "analysis/static_analyzer.h"
 #include "support/logging.h"
 
 namespace ft {
+
+namespace {
+
+/**
+ * FNV-1a request fingerprinting. Same constants as Point::key64(); the
+ * collision-checked identity string behind each slot makes an unlucky
+ * 64-bit collision a cache miss, never a wrong answer.
+ */
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void
+fnvU64(uint64_t &h, uint64_t v)
+{
+    for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (b * 8)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvStr(uint64_t &h, const std::string &s)
+{
+    fnvU64(h, s.size());
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvReal(uint64_t &h, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    fnvU64(h, bits);
+}
+
+} // namespace
 
 TuningService::TuningService(const ServiceOptions &options)
     : options_(options),
@@ -22,12 +62,57 @@ TuningService::TuningService(const ServiceOptions &options)
       retries_(metrics_.counter("service.retries")),
       timeouts_(metrics_.counter("service.timeouts")),
       quarantined_(metrics_.counter("service.quarantined")),
-      degradedReports_(metrics_.counter("service.degraded_reports"))
+      degradedReports_(metrics_.counter("service.degraded_reports")),
+      familyRequests_(metrics_.counter("service.family_requests")),
+      dispatchHits_(metrics_.counter("service.dispatch_hits"))
 {}
 
+uint64_t
+TuningService::requestFingerprint(const Operation &anchor,
+                                  const Target &target,
+                                  const TuneOptions &options)
+{
+    FT_ASSERT(!anchor->isPlaceholder(), "request fingerprint of placeholder");
+    const auto *c = static_cast<const ComputeOp *>(anchor.get());
+    const ExploreOptions &e = options.explore;
+    uint64_t h = kFnvOffset;
+    // Operator + shape + device: the tuningKeyFor() fields, hashed from
+    // the raw values instead of an assembled string.
+    fnvStr(h, anchor->name());
+    fnvU64(h, c->axis().size());
+    for (const auto &iv : c->axis())
+        fnvU64(h, static_cast<uint64_t>(iv->extent));
+    fnvU64(h, c->reduceAxis().size());
+    for (const auto &iv : c->reduceAxis())
+        fnvU64(h, static_cast<uint64_t>(iv->extent));
+    fnvStr(h, target.deviceName());
+    // The options that shape the result.
+    fnvU64(h, static_cast<uint64_t>(options.method));
+    fnvU64(h, static_cast<uint64_t>(e.trials));
+    fnvU64(h, static_cast<uint64_t>(e.startingPoints));
+    fnvU64(h, static_cast<uint64_t>(e.warmupPoints));
+    fnvU64(h, e.seed);
+    fnvReal(h, e.targetGflops);
+    fnvU64(h, options.templateRestricted ? 1 : 0);
+    fnvReal(h, e.deadlineSimSeconds);
+    fnvStr(h, e.checkpointPath);
+    fnvU64(h, e.seedPoints.size());
+    for (const Point &p : e.seedPoints)
+        fnvU64(h, p.key64());
+    const ResilienceOptions &r = e.resilience;
+    if (r.injector && r.injector->profile().enabled()) {
+        fnvStr(h, r.injector->profile().fingerprint());
+        fnvU64(h, static_cast<uint64_t>(r.maxRetries));
+        fnvReal(h, r.backoffBaseSeconds);
+        fnvReal(h, r.trialDeadlineSeconds);
+        fnvU64(h, static_cast<uint64_t>(r.repeats));
+    }
+    return h;
+}
+
 std::string
-TuningService::requestKey(const Operation &anchor, const Target &target,
-                          const TuneOptions &options)
+TuningService::requestIdentity(const Operation &anchor, const Target &target,
+                               const TuneOptions &options)
 {
     std::ostringstream oss;
     const ExploreOptions &e = options.explore;
@@ -63,29 +148,104 @@ TuningService::requestKey(const Operation &anchor, const Target &target,
     return oss.str();
 }
 
+uint64_t
+TuningService::familyFingerprint(const ShapeFamily &family,
+                                 const Target &target,
+                                 const FamilyTuneOptions &options)
+{
+    const ExploreOptions &e = options.explore;
+    uint64_t h = kFnvOffset;
+    fnvStr(h, family.name);
+    fnvU64(h, static_cast<uint64_t>(family.var.lo));
+    fnvU64(h, static_cast<uint64_t>(family.var.hi));
+    fnvU64(h, static_cast<uint64_t>(family.var.bucketing));
+    fnvU64(h, static_cast<uint64_t>(family.var.bucketWidth));
+    fnvU64(h, static_cast<uint64_t>(family.dynamicAxis));
+    fnvStr(h, target.deviceName());
+    fnvU64(h, static_cast<uint64_t>(options.method));
+    fnvU64(h, static_cast<uint64_t>(options.samplesPerBucket));
+    fnvU64(h, static_cast<uint64_t>(e.trials));
+    fnvU64(h, static_cast<uint64_t>(e.startingPoints));
+    fnvU64(h, static_cast<uint64_t>(e.warmupPoints));
+    fnvU64(h, e.seed);
+    fnvReal(h, e.targetGflops);
+    fnvReal(h, e.deadlineSimSeconds);
+    fnvU64(h, options.space.templateRestricted ? 1 : 0);
+    fnvU64(h, options.space.pow2Splits ? 1 : 0);
+    fnvU64(h, options.space.exploreReorderUnroll ? 1 : 0);
+    fnvU64(h, options.space.exploreCacheAt ? 1 : 0);
+    return h;
+}
+
+std::string
+TuningService::familyIdentity(const ShapeFamily &family, const Target &target,
+                              const FamilyTuneOptions &options)
+{
+    std::ostringstream oss;
+    const ExploreOptions &e = options.explore;
+    oss << family.name << "[" << family.var.lo << "," << family.var.hi
+        << ",b" << static_cast<int>(family.var.bucketing) << ","
+        << family.var.bucketWidth << ",ax" << family.dynamicAxis << "]@"
+        << target.deviceName() << "#" << methodName(options.method)
+        << "|k=" << options.samplesPerBucket
+        << "|trials=" << e.trials
+        << "|starts=" << e.startingPoints
+        << "|warmup=" << e.warmupPoints
+        << "|seed=" << e.seed
+        << "|target=" << e.targetGflops
+        << "|deadline=" << e.deadlineSimSeconds
+        << "|tmpl=" << options.space.templateRestricted
+        << "|pow2=" << options.space.pow2Splits
+        << "|ru=" << options.space.exploreReorderUnroll
+        << "|ca=" << options.space.exploreCacheAt;
+    return oss.str();
+}
+
+uint64_t
+TuningService::dispatchFingerprint(const std::string &familyName,
+                                   const std::string &device)
+{
+    uint64_t h = kFnvOffset;
+    fnvStr(h, familyName);
+    fnvStr(h, device);
+    return h;
+}
+
+std::string
+TuningService::dispatchIdentity(const std::string &familyName,
+                                const std::string &device)
+{
+    return familyName + "@" + device;
+}
+
 const TuneReport *
-TuningService::lruGet(const std::string &key)
+TuningService::lruGet(uint64_t key, const std::string &identity)
 {
     auto it = lruIndex_.find(key);
     if (it == lruIndex_.end())
         return nullptr;
+    if (it->second->identity != identity)
+        return nullptr; // fingerprint collision: a miss, never a wrong hit
     lru_.splice(lru_.begin(), lru_, it->second);
-    return &lru_.front().second;
+    return &lru_.front().report;
 }
 
 void
-TuningService::lruPut(const std::string &key, const TuneReport &report)
+TuningService::lruPut(uint64_t key, const std::string &identity,
+                      const TuneReport &report)
 {
     auto it = lruIndex_.find(key);
     if (it != lruIndex_.end()) {
+        if (it->second->identity != identity)
+            return; // collision: leave the resident entry alone
         lru_.splice(lru_.begin(), lru_, it->second);
-        lru_.front().second = report;
+        lru_.front().report = report;
         return;
     }
-    lru_.emplace_front(key, report);
+    lru_.emplace_front(CachedReport{key, identity, report});
     lruIndex_[key] = lru_.begin();
     while (lru_.size() > options_.resultCacheCapacity) {
-        lruIndex_.erase(lru_.back().first);
+        lruIndex_.erase(lru_.back().key);
         lru_.pop_back();
     }
 }
@@ -94,29 +254,47 @@ TuneReport
 TuningService::tuneAnchor(const Operation &anchor, const Target &target,
                           TuneOptions options)
 {
-    const std::string key = requestKey(anchor, target, options);
+    const uint64_t key = requestFingerprint(anchor, target, options);
     requests_.add();
     metrics_.counter("service.method." + methodName(options.method)).add();
+    // The identity string is materialized only when a fingerprint slot
+    // is actually hit (collision check) or a run is registered — the
+    // pure-miss probe and the fingerprint itself never assemble strings.
+    std::string identity;
+    auto identityOf = [&]() -> const std::string & {
+        if (identity.empty())
+            identity = requestIdentity(anchor, target, options);
+        return identity;
+    };
     std::promise<TuneReport> promise;
     std::shared_future<TuneReport> shared;
     bool owner = false;
+    bool registered = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (const TuneReport *hit = lruGet(key)) {
-            resultCacheHits_.add();
-            TuneReport report = *hit;
-            report.fromCache = true;
-            return report;
+        if (lruIndex_.count(key)) {
+            if (const TuneReport *hit = lruGet(key, identityOf())) {
+                resultCacheHits_.add();
+                TuneReport report = *hit;
+                report.fromCache = true;
+                return report;
+            }
         }
         auto it = inflight_.find(key);
-        if (it != inflight_.end()) {
+        if (it != inflight_.end() && it->second.identity == identityOf()) {
             coalescedJoins_.add();
-            shared = it->second;
+            shared = it->second.future;
         } else {
             tuningRuns_.add();
             owner = true;
             shared = promise.get_future().share();
-            inflight_.emplace(key, shared);
+            if (it == inflight_.end()) {
+                inflight_.emplace(key,
+                                  InflightRun{identityOf(), shared});
+                registered = true;
+            }
+            // else: fingerprint collision with a different in-flight
+            // request — run standalone without coalescing.
         }
     }
     if (!owner) {
@@ -148,8 +326,9 @@ TuningService::tuneAnchor(const Operation &anchor, const Target &target,
         persistentCacheHits_.add();
     {
         std::lock_guard<std::mutex> lock(mu_);
-        lruPut(key, report);
-        inflight_.erase(key);
+        lruPut(key, identityOf(), report);
+        if (registered)
+            inflight_.erase(key);
     }
     promise.set_value(report);
     return report;
@@ -176,6 +355,118 @@ TuningService::submit(const Tensor &output, const Target &target,
     return future;
 }
 
+FamilyTuneReport
+TuningService::runFamily(const ShapeFamily &family, const Target &target,
+                         FamilyTuneOptions options)
+{
+    const uint64_t key = familyFingerprint(family, target, options);
+    const std::string identity = familyIdentity(family, target, options);
+    std::promise<FamilyTuneReport> promise;
+    std::shared_future<FamilyTuneReport> shared;
+    bool owner = false;
+    bool registered = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = familyInflight_.find(key);
+        if (it != familyInflight_.end() && it->second.identity == identity) {
+            coalescedJoins_.add();
+            shared = it->second.future;
+        } else {
+            tuningRuns_.add();
+            owner = true;
+            shared = promise.get_future().share();
+            if (it == familyInflight_.end()) {
+                familyInflight_.emplace(
+                    key, InflightFamilyRun{identity, shared});
+                registered = true;
+            }
+        }
+    }
+    if (!owner)
+        return shared.get();
+
+    options.explore.evalPool = &evalPool_;
+    if (options.explore.measureParallelism == 0)
+        options.explore.measureParallelism = evalPool_.numThreads();
+    if (!options.explore.obs.metrics)
+        options.explore.obs.metrics = &metrics_;
+    FamilyTuneReport report = ft::tuneFamily(family, target, options);
+    evaluations_.add(static_cast<uint64_t>(report.totalTrials));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (report.table.total()) {
+            const uint64_t slot =
+                dispatchFingerprint(family.name, report.device);
+            dispatch_[slot] = DispatchSlot{
+                dispatchIdentity(family.name, report.device), report.table};
+        }
+        if (registered)
+            familyInflight_.erase(key);
+    }
+    promise.set_value(report);
+    return report;
+}
+
+FamilyTuneReport
+TuningService::tuneFamily(const ShapeFamily &family, const Target &target,
+                          FamilyTuneOptions options)
+{
+    familyRequests_.add();
+    return runFamily(family, target, std::move(options));
+}
+
+FamilyServeResult
+TuningService::serveShape(const ShapeFamily &family, int64_t shape,
+                          const Target &target, FamilyTuneOptions options)
+{
+    FT_ASSERT(family.var.contains(shape), "shape ", shape,
+              " outside the declared range of family ", family.name);
+    familyRequests_.add();
+    const uint64_t slot =
+        dispatchFingerprint(family.name, target.deviceName());
+    const std::string slotIdentity =
+        dispatchIdentity(family.name, target.deviceName());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = dispatch_.find(slot);
+        if (it != dispatch_.end() && it->second.identity == slotIdentity) {
+            const DispatchEntry &entry = it->second.table.lookup(shape);
+            dispatchHits_.add();
+            FamilyServeResult out;
+            out.config = entry.config;
+            adaptSplitToExtent(out.config, family.dynamicAxis, shape);
+            out.gflops = entry.gflops;
+            out.bucket = {entry.lo, entry.hi};
+            out.fromDispatch = true;
+            return out;
+        }
+    }
+    // No table yet: tune the family (coalescing with concurrent
+    // requests), then serve from the fresh table.
+    FamilyTuneReport report = runFamily(family, target, std::move(options));
+    const DispatchEntry &entry = report.table.lookup(shape);
+    FamilyServeResult out;
+    out.config = entry.config;
+    adaptSplitToExtent(out.config, family.dynamicAxis, shape);
+    out.gflops = entry.gflops;
+    out.bucket = {entry.lo, entry.hi};
+    out.fromDispatch = false;
+    return out;
+}
+
+std::optional<DispatchTable>
+TuningService::dispatchTableFor(const std::string &familyName,
+                                const std::string &device) const
+{
+    const uint64_t slot = dispatchFingerprint(familyName, device);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = dispatch_.find(slot);
+    if (it == dispatch_.end() ||
+        it->second.identity != dispatchIdentity(familyName, device))
+        return std::nullopt;
+    return it->second.table;
+}
+
 ServiceStats
 TuningService::stats() const
 {
@@ -196,9 +487,12 @@ TuningService::stats() const
     out.timeouts = out.metrics.counter("service.timeouts");
     out.quarantined = out.metrics.counter("service.quarantined");
     out.degradedReports = out.metrics.counter("service.degraded_reports");
+    out.familyRequests = out.metrics.counter("service.family_requests");
+    out.dispatchHits = out.metrics.counter("service.dispatch_hits");
     std::lock_guard<std::mutex> lock(mu_);
-    out.inflight = inflight_.size();
+    out.inflight = inflight_.size() + familyInflight_.size();
     out.resultCacheSize = lru_.size();
+    out.dispatchTables = dispatch_.size();
     return out;
 }
 

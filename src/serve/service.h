@@ -6,13 +6,20 @@
  * (submit()), one scoring measurement batches inside each request — and
  * layers three levels of result reuse over the tuner:
  *
- *   1. An in-memory LRU cache of complete TuneReports keyed by the full
- *      request identity (operator + shape + device + method + options).
+ *   1. An in-memory LRU cache of complete TuneReports keyed by a 64-bit
+ *      FNV-1a request fingerprint (operator + shape + device + method +
+ *      options), with the full identity string kept behind the hash for
+ *      collision checking.
  *   2. Request coalescing: concurrent identical requests share a single
  *      in-flight tuning run; joiners block on a shared future and all
  *      receive the same report.
  *   3. The persistent TuningCache (best schedule per operator/device),
  *      consulted and updated by the underlying tuner.
+ *
+ * Shape families get the same treatment one level up: tuneFamily()
+ * requests coalesce, and finished runs publish their DispatchTable so
+ * serveShape() can answer any in-range shape from the table without
+ * tuning again.
  *
  * Per-service counters expose the request mix for monitoring.
  */
@@ -23,11 +30,13 @@
 #include <future>
 #include <list>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "explore/tuner.h"
+#include "family/tune_family.h"
 #include "obs/metrics.h"
 #include "serve/thread_pool.h"
 
@@ -67,11 +76,25 @@ struct ServiceStats
     uint64_t timeouts = 0;           ///< measurements killed at the deadline
     uint64_t quarantined = 0;        ///< points quarantined as unmeasurable
     uint64_t degradedReports = 0;    ///< runs cut short by their deadline
+    uint64_t familyRequests = 0;     ///< tuneFamily()/serveShape() calls
+    uint64_t dispatchHits = 0;       ///< shapes served from a dispatch table
     size_t inflight = 0;             ///< runs currently executing
     size_t resultCacheSize = 0;      ///< reports currently in the LRU
+    size_t dispatchTables = 0;       ///< dispatch tables published
     size_t evalQueueDepth = 0;       ///< jobs queued on the evaluation pool
     /** Full registry snapshot the fields above were read from. */
     MetricsSnapshot metrics;
+};
+
+/** Outcome of serving one concrete shape of a family. */
+struct FamilyServeResult
+{
+    /** Bucket's best schedule, dynamic split re-fit to the shape. */
+    OpConfig config;
+    double gflops = 0.0; ///< recorded family score of the bucket entry
+    ShapeBucket bucket;  ///< bucket that served the shape
+    /** True when an already-published dispatch table answered. */
+    bool fromDispatch = false;
 };
 
 class TuningService
@@ -99,6 +122,30 @@ class TuningService
                                    const Target &target,
                                    TuneOptions options = {});
 
+    /**
+     * Tune a whole shape family. Thread-safe; identical concurrent
+     * family requests coalesce into one run. On success the family's
+     * DispatchTable is published for serveShape().
+     */
+    FamilyTuneReport tuneFamily(const ShapeFamily &family,
+                                const Target &target,
+                                FamilyTuneOptions options = {});
+
+    /**
+     * Serve one concrete shape of a family: a published dispatch table
+     * answers immediately (a dispatch hit); otherwise the family is
+     * tuned first (coalescing with concurrent requests) and the fresh
+     * table answers. The shape must be inside the declared range.
+     */
+    FamilyServeResult serveShape(const ShapeFamily &family, int64_t shape,
+                                 const Target &target,
+                                 FamilyTuneOptions options = {});
+
+    /** Copy of the published table for a family/device, if any. */
+    std::optional<DispatchTable>
+    dispatchTableFor(const std::string &familyName,
+                     const std::string &device) const;
+
     /** Counter snapshot (one consistent MetricsRegistry snapshot). */
     ServiceStats stats() const;
 
@@ -115,16 +162,81 @@ class TuningService
     const ServiceOptions &options() const { return options_; }
 
   private:
+    /** One LRU slot: fingerprint, collision-check identity, report. */
+    struct CachedReport
+    {
+        uint64_t key;
+        std::string identity;
+        TuneReport report;
+    };
+
+    /** One in-flight run: collision-check identity + shared result. */
+    struct InflightRun
+    {
+        std::string identity;
+        std::shared_future<TuneReport> future;
+    };
+
+    struct InflightFamilyRun
+    {
+        std::string identity;
+        std::shared_future<FamilyTuneReport> future;
+    };
+
+    /** A published dispatch table plus its collision-check identity. */
+    struct DispatchSlot
+    {
+        std::string identity;
+        DispatchTable table;
+    };
+
+    /**
+     * 64-bit FNV-1a over the raw request fields (no string assembly on
+     * the hot path). The LRU and the in-flight map are keyed by this;
+     * requestIdentity() is materialized only on a fingerprint hit to
+     * rule out collisions.
+     */
+    static uint64_t requestFingerprint(const Operation &anchor,
+                                       const Target &target,
+                                       const TuneOptions &options);
+
     /** Full request identity: tuning key + the options that shape it. */
-    static std::string requestKey(const Operation &anchor,
-                                  const Target &target,
-                                  const TuneOptions &options);
+    static std::string requestIdentity(const Operation &anchor,
+                                       const Target &target,
+                                       const TuneOptions &options);
 
-    /** LRU lookup; promotes the entry on hit. Caller holds mu_. */
-    const TuneReport *lruGet(const std::string &key);
+    /** Fingerprint/identity of a whole-family tuning request. */
+    static uint64_t familyFingerprint(const ShapeFamily &family,
+                                      const Target &target,
+                                      const FamilyTuneOptions &options);
+    static std::string familyIdentity(const ShapeFamily &family,
+                                      const Target &target,
+                                      const FamilyTuneOptions &options);
 
-    /** LRU insert with eviction. Caller holds mu_. */
-    void lruPut(const std::string &key, const TuneReport &report);
+    /** Fingerprint/identity of a (family, device) dispatch slot. */
+    static uint64_t dispatchFingerprint(const std::string &familyName,
+                                        const std::string &device);
+    static std::string dispatchIdentity(const std::string &familyName,
+                                        const std::string &device);
+
+    /**
+     * LRU lookup; promotes the entry on hit. Returns null on a
+     * fingerprint collision (identity mismatch). Caller holds mu_.
+     */
+    const TuneReport *lruGet(uint64_t key, const std::string &identity);
+
+    /**
+     * LRU insert with eviction. A fingerprint collision (slot taken by
+     * a different identity) leaves the existing entry in place. Caller
+     * holds mu_.
+     */
+    void lruPut(uint64_t key, const std::string &identity,
+                const TuneReport &report);
+
+    /** The coalescing family run behind tuneFamily()/serveShape(). */
+    FamilyTuneReport runFamily(const ShapeFamily &family,
+                               const Target &target,
+                               FamilyTuneOptions options);
 
     ServiceOptions options_;
     ThreadPool evalPool_;
@@ -143,15 +255,16 @@ class TuningService
     Counter &timeouts_;
     Counter &quarantined_;
     Counter &degradedReports_;
+    Counter &familyRequests_;
+    Counter &dispatchHits_;
 
     mutable std::mutex mu_;
-    std::unordered_map<std::string, std::shared_future<TuneReport>>
-        inflight_;
-    std::list<std::pair<std::string, TuneReport>> lru_; ///< front = newest
-    std::unordered_map<
-        std::string,
-        std::list<std::pair<std::string, TuneReport>>::iterator>
+    std::unordered_map<uint64_t, InflightRun> inflight_;
+    std::list<CachedReport> lru_; ///< front = newest
+    std::unordered_map<uint64_t, std::list<CachedReport>::iterator>
         lruIndex_;
+    std::unordered_map<uint64_t, InflightFamilyRun> familyInflight_;
+    std::unordered_map<uint64_t, DispatchSlot> dispatch_;
 };
 
 } // namespace ft

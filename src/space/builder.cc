@@ -26,15 +26,24 @@ buildSpace(const Operation &anchor, const Target &target,
     const bool knobs =
         options.exploreReorderUnroll && !options.templateRestricted;
 
+    auto extentOf = [](const std::vector<int64_t> &overrides, size_t i,
+                       int64_t declared) {
+        return i < overrides.size() && overrides[i] > 0 ? overrides[i]
+                                                        : declared;
+    };
     for (size_t i = 0; i < op->axis().size(); ++i) {
         space.add(std::make_unique<SplitSubSpace>(
             KnobRole::SpatialSplit, static_cast<int>(i),
-            op->axis()[i]->extent, sl, pow2));
+            extentOf(options.spatialExtentOverride, i,
+                     op->axis()[i]->extent),
+            sl, pow2));
     }
     for (size_t i = 0; i < op->reduceAxis().size(); ++i) {
         space.add(std::make_unique<SplitSubSpace>(
             KnobRole::ReduceSplit, static_cast<int>(i),
-            op->reduceAxis()[i]->extent, rl, pow2));
+            extentOf(options.reduceExtentOverride, i,
+                     op->reduceAxis()[i]->extent),
+            rl, pow2));
     }
 
     if (knobs) {

@@ -39,6 +39,19 @@ struct SpaceOptions
      * measurably slows time-to-performance on the Fig. 6d protocol).
      */
     bool exploreCacheAt = false;
+
+    /**
+     * Shape-generic spaces: when non-empty, entry i (> 0) replaces the
+     * extent of spatial/reduce axis i when enumerating split factors.
+     * The family layer passes the padded (next power of two) upper
+     * bound of a dynamic dimension here, so one split sub-space stays
+     * valid across the whole declared shape range — the divisibility
+     * filter is relaxed to the padded extent, and per-instance
+     * overshoot lowers to an imperfect tile the verifier's interval
+     * prover gates instead.
+     */
+    std::vector<int64_t> spatialExtentOverride;
+    std::vector<int64_t> reduceExtentOverride;
 };
 
 /** Build the schedule space of one compute node for a target. */

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "explore/tuner.h"
+#include "family/tune_family.h"
 #include "obs/trace.h"
 #include "ops/ops.h"
 #include "space/builder.h"
@@ -155,6 +156,50 @@ determinismName(const ::testing::TestParamInfo<DeterminismCase> &info)
 INSTANTIATE_TEST_SUITE_P(Determinism, DeterminismTest,
                          ::testing::ValuesIn(kDeterminismCases),
                          determinismName);
+
+/**
+ * Shape-family runs are pinned the same way: the digest folds the
+ * serialized dispatch table (bucket bounds, hexfloat GFLOPS, config
+ * lines) with the trial total and the hexfloat simulated clock, so any
+ * perturbation of the per-bucket searches, the cascade seeding order,
+ * or the table serialization fails against the recorded value.
+ */
+uint64_t
+familyRunDigest()
+{
+    ShapeVar m;
+    m.name = "m";
+    m.lo = 1;
+    m.hi = 16;
+    ShapeFamily family = gemmOverM(64, 64, m);
+
+    FamilyTuneOptions options;
+    options.method = Method::QMethod;
+    options.explore.trials = 12;
+    options.explore.warmupPoints = 6;
+    options.explore.seed = 0xfa5eed;
+    options.samplesPerBucket = 2;
+    FamilyTuneReport report =
+        tuneFamily(family, Target::forGpu(v100()), options);
+
+    std::ostringstream os;
+    os << report.table.serialize() << '|' << report.totalTrials << '|'
+       << std::hexfloat << report.simSeconds;
+    return fnv1a(os.str());
+}
+
+// Suite name starts with "Determinism" so the sanitizer CI selection
+// regex picks this test up too.
+TEST(DeterminismFamilyTest, FixedSeedFamilyRunReproducesRecordedDigest)
+{
+    const uint64_t first = familyRunDigest();
+    const uint64_t second = familyRunDigest();
+    EXPECT_EQ(first, second)
+        << "two same-seed family runs diverged in-process";
+    EXPECT_EQ(first, 9800590346717069058ULL)
+        << "family tuning no longer reproduces the recorded run "
+        << "(actual digest " << first << "ULL)";
+}
 
 } // namespace
 } // namespace ft

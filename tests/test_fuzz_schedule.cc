@@ -13,7 +13,13 @@
  *   4. the static verifier agrees with the legacy validity heuristics
  *      on every generator-produced nest (structural passes never fire;
  *      the gating verdict and first message match NestFeatures), and
- *      verified emission refuses exactly the rejected points.
+ *      verified emission refuses exactly the rejected points,
+ *   5. imperfect tiles (splits that multiply past a non-divisible
+ *      extent, drawn from a shape-generic padded space) are accepted
+ *      exactly when the bounds prover succeeds: with the guard contract
+ *      declared the prover clamps the overshooting axes and the
+ *      interpreter matches the reference; with the declaration stripped
+ *      the same nest must fail the proof.
  *
  * The sample count per space defaults to 200 and can be reduced via the
  * FLEXTENSOR_FUZZ_SAMPLES environment variable (the sanitizer CI job
@@ -26,6 +32,7 @@
 
 #include "analysis/verify/verify.h"
 #include "codegen/codegen.h"
+#include "family/shape_var.h"
 #include "exec/interpreter.h"
 #include "exec/reference.h"
 #include "ops/ops.h"
@@ -171,6 +178,108 @@ fuzzName(const ::testing::TestParamInfo<FuzzCase> &info)
 // The instantiation is named "Fuzz" so the sanitizer CI job can select
 // these tests with `ctest -R '^(Fuzz|Determinism)'`.
 INSTANTIATE_TEST_SUITE_P(Fuzz, ScheduleFuzzTest,
+                         ::testing::ValuesIn(kFuzzCases), fuzzName);
+
+/**
+ * Imperfect-tile fuzzing over a shape-generic padded space: every axis
+ * extent is overridden to its next power of two, so random points
+ * routinely pick splits whose product overshoots the true extent —
+ * exactly the regime the family layer tunes in.
+ */
+class ImperfectTileFuzzTest : public ::testing::TestWithParam<FuzzCase>
+{};
+
+TEST_P(ImperfectTileFuzzTest, GuardedOvershootIsProvenAndExact)
+{
+    const FuzzCase &fc = GetParam();
+    Tensor out = fc.build();
+    Target target = fc.target == 0 ? Target::forGpu(v100())
+                                   : Target::forCpu(xeonE5());
+    MiniGraph g(out);
+    Operation anchor = anchorOp(g);
+
+    // Pad every non-divisible extent up to a power of two; split factor
+    // enumeration then ignores true-extent divisibility, the same way
+    // the family layer's dynamic-axis override does.
+    SpaceOptions space_options;
+    const auto *compute = static_cast<const ComputeOp *>(anchor.get());
+    for (const auto &iv : compute->axis())
+        space_options.spatialExtentOverride.push_back(nextPow2(iv->extent));
+    for (const auto &iv : compute->reduceAxis())
+        space_options.reduceExtentOverride.push_back(nextPow2(iv->extent));
+    ScheduleSpace space = buildSpace(anchor, target, space_options);
+
+    Rng rng(0x1f22u + static_cast<uint64_t>(fc.target));
+    BufferMap reference = makeRandomInputs(g, rng);
+    runGraphReference(g, reference);
+    const Buffer &gold = reference.at(anchor.get());
+
+    const int samples = fuzzSamples();
+    const int exec_stride = samples > 8 ? samples / 8 : 1;
+    int guarded_points = 0;
+    for (int trial = 0; trial < samples; ++trial) {
+        Point p = space.randomPoint(rng);
+        OpConfig cfg;
+        Scheduled s;
+        ASSERT_NO_THROW({
+            cfg = space.decode(p);
+            s = generate(anchor, cfg, target);
+        }) << "point " << p.key();
+        if (s.nest.guardedAxes.empty())
+            continue; // divisible draw; nothing imperfect to check
+        ++guarded_points;
+
+        // (5a) With the guard contract declared the bounds prover clamps
+        // the overshooting axes: the proof must go through — any gating
+        // diagnostic left is a resource limit, never an access bound.
+        verify::DiagReport report =
+            verify::verifySchedule(s, target, &cfg);
+        for (const auto &d : report.diags()) {
+            if (d.severity == verify::Severity::Error) {
+                EXPECT_EQ(d.code.rfind("FT-OOB-", 0), std::string::npos)
+                    << d.code << ": " << d.message << "\n"
+                    << cfg.toString();
+            }
+        }
+
+        // (5b) Strip the declaration: the identical nest with undeclared
+        // overshoot keeps its raw spans and must FAIL the proof. The
+        // verifier accepts imperfect tiles only because the guard is
+        // part of the schedule's contract.
+        Scheduled stripped = s;
+        stripped.nest.guardedAxes.clear();
+        verify::DiagReport undeclared;
+        verify::checkAccessBounds(stripped.nest, undeclared);
+        EXPECT_TRUE(undeclared.hasError())
+            << "undeclared overshoot passed the bounds prover: "
+            << cfg.toString();
+
+        // (5c) Guarded execution skips the overshot iterations: the
+        // interpreted result matches the reference exactly where the
+        // proof succeeded. Points the verifier rejects (on resource
+        // grounds) must still be refused by verified emission.
+        if (trial % exec_stride == 0) {
+            if (report.hasError()) {
+                EXPECT_THROW(emitVerified(s, target, "fuzz_kernel"),
+                             verify::VerifyError);
+            }
+            BufferMap buffers = reference;
+            buffers.erase(anchor.get());
+            runScheduled(s.nest, buffers, 1 + trial % 3);
+            const Buffer &got = buffers.at(anchor.get());
+            ASSERT_EQ(got.numel(), gold.numel());
+            for (int64_t i = 0; i < gold.numel(); ++i) {
+                ASSERT_NEAR(got[i], gold[i], 1e-3)
+                    << "config " << cfg.toString() << " element " << i;
+            }
+        }
+    }
+    // The padded space must actually exercise the imperfect-tile
+    // regime, or every check above was vacuous.
+    EXPECT_GT(guarded_points, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, ImperfectTileFuzzTest,
                          ::testing::ValuesIn(kFuzzCases), fuzzName);
 
 } // namespace

@@ -6,6 +6,7 @@
  *   flextensor-cli --op C2D --case C8 --target v100 [options]
  *   flextensor-cli batch [options] SPEC...
  *   flextensor-cli serve [options]        (SPECs read from stdin)
+ *   flextensor-cli family [options]       (tune a whole shape family)
  *   flextensor-cli --list
  *
  * A SPEC is an operator abbreviation with an optional case id, e.g.
@@ -46,12 +47,24 @@
  *   --request-threads <n> concurrent tuning runs          (default 4)
  *   --repeat <n>          passes over the spec list       (default 1)
  *
+ * family options (one schedule per shape bucket, joint scoring):
+ *   --family gemm|conv2d  op template over a dynamic dim  (default gemm)
+ *   --layer <C1..C15>     conv2d: the YOLO layer          (default C8)
+ *   --n <n> --k <k>       gemm: the fixed dimensions      (default 512)
+ *   --range <lo:hi>       dynamic dimension range         (default 1:64)
+ *   --bucket pow2|fixed:<w>  bucketing policy             (default pow2)
+ *   --samples <k>         shape instances scored/bucket   (default 2)
+ *   --table <file>        write the serialized dispatch table
+ *   --lookup <shape>      after tuning, serve one concrete shape
+ *                         (repeatable; must be inside --range)
+ *
  * In batch/serve mode a malformed or unknown SPEC is skipped with a
  * warning; the exit code is nonzero only when every spec was invalid.
  */
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -321,6 +334,169 @@ runService(bool from_stdin, int argc, char **argv)
     return 0;
 }
 
+/** `family` subcommand: tune a shape family into a dispatch table. */
+int
+runFamily(int argc, char **argv)
+{
+    std::string family_kind = "gemm", layer_name = "C8";
+    std::string target_name = "v100", method_name = "q";
+    std::string bucket_spec = "pow2", table_path, trace_path;
+    int64_t gemm_n = 512, gemm_k = 512, range_lo = 1, range_hi = 64;
+    int trials = 200, samples = 2;
+    uint64_t seed = 0xc11;
+    bool print_metrics = false;
+    std::vector<int64_t> lookups;
+
+    for (int i = 2; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc)
+                fatal("missing value for ", flag);
+            return true;
+        };
+        if (arg("--family")) {
+            family_kind = argv[++i];
+        } else if (arg("--layer")) {
+            layer_name = argv[++i];
+        } else if (arg("--n")) {
+            gemm_n = std::atoll(argv[++i]);
+        } else if (arg("--k")) {
+            gemm_k = std::atoll(argv[++i]);
+        } else if (arg("--range")) {
+            std::string range = argv[++i];
+            auto colon = range.find(':');
+            if (colon == std::string::npos)
+                fatal("bad --range '", range, "' (want lo:hi)");
+            range_lo = std::atoll(range.substr(0, colon).c_str());
+            range_hi = std::atoll(range.substr(colon + 1).c_str());
+        } else if (arg("--bucket")) {
+            bucket_spec = argv[++i];
+        } else if (arg("--samples")) {
+            samples = std::atoi(argv[++i]);
+        } else if (arg("--table")) {
+            table_path = argv[++i];
+        } else if (arg("--lookup")) {
+            lookups.push_back(std::atoll(argv[++i]));
+        } else if (arg("--target")) {
+            target_name = argv[++i];
+        } else if (arg("--method")) {
+            method_name = argv[++i];
+        } else if (arg("--trials")) {
+            trials = std::atoi(argv[++i]);
+        } else if (arg("--seed")) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg("--trace")) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            print_metrics = true;
+        } else {
+            fatal("unknown argument '", argv[i], "' (see header comment)");
+        }
+    }
+    if (range_lo < 1 || range_hi < range_lo)
+        fatal("bad --range ", range_lo, ":", range_hi);
+
+    ShapeVar var;
+    var.name = family_kind == "gemm" ? "M" : "batch";
+    var.lo = range_lo;
+    var.hi = range_hi;
+    if (bucket_spec == "pow2") {
+        var.bucketing = Bucketing::Pow2;
+    } else if (bucket_spec.rfind("fixed:", 0) == 0) {
+        var.bucketing = Bucketing::FixedWidth;
+        var.bucketWidth = std::atoll(bucket_spec.substr(6).c_str());
+        if (var.bucketWidth < 1)
+            fatal("bad --bucket width in '", bucket_spec, "'");
+    } else {
+        fatal("unknown --bucket '", bucket_spec, "' (pow2|fixed:<w>)");
+    }
+
+    ShapeFamily family;
+    if (family_kind == "gemm") {
+        family = gemmOverM(gemm_n, gemm_k, var);
+    } else if (family_kind == "conv2d") {
+        const ops::Conv2dLayer *layer = nullptr;
+        for (const auto &l : ops::yoloLayers()) {
+            if (l.name == layer_name)
+                layer = &l;
+        }
+        if (!layer)
+            fatal("unknown --layer '", layer_name, "' (C1..C15)");
+        family = conv2dOverBatch(*layer, var);
+    } else {
+        fatal("unknown --family '", family_kind, "' (gemm|conv2d)");
+    }
+
+    Target target = parseTarget(target_name);
+    FamilyTuneOptions options;
+    options.method = parseMethod(method_name);
+    options.explore.trials = trials;
+    options.explore.seed = seed;
+    options.samplesPerBucket = samples;
+    TraceRecorder recorder;
+    MetricsRegistry registry;
+    if (!trace_path.empty()) {
+        options.explore.obs.trace = &recorder;
+        // Record the per-instance scoring spans ("family.instance", one
+        // per sampled shape per evaluation) so `trace-report` can fold
+        // where joint-scoring time goes.
+        options.explore.obs.wallProfile = true;
+    }
+    if (print_metrics)
+        options.explore.obs.metrics = &registry;
+
+    std::printf("tuning family %s over %s in [%lld, %lld] on %s with %s "
+                "(%d steps/bucket, %d samples)\n",
+                family.name.c_str(), var.name.c_str(),
+                (long long)var.lo, (long long)var.hi,
+                target.deviceName().c_str(),
+                methodName(options.method).c_str(), trials, samples);
+
+    FamilyTuneReport report = tuneFamily(family, target, options);
+    for (const FamilyBucketReport &bucket : report.buckets) {
+        std::printf("bucket [%3lld, %3lld]  family %8.1f GFLOPS  "
+                    "@hi %8.1f GFLOPS  %4d trials\n",
+                    (long long)bucket.bucket.lo, (long long)bucket.bucket.hi,
+                    bucket.familyGflops, bucket.repGflops, bucket.trials);
+    }
+    std::printf("\n%zu buckets, %d total trials, space %.2e, table %s\n",
+                report.buckets.size(), report.totalTrials, report.spaceSize,
+                report.table.total() ? "total" : "PARTIAL");
+
+    for (int64_t shape : lookups) {
+        const DispatchEntry &entry = report.table.lookup(shape);
+        OpConfig adapted = entry.config;
+        adaptSplitToExtent(adapted, family.dynamicAxis, shape);
+        std::printf("lookup %lld -> bucket [%lld, %lld]  %.1f GFLOPS  %s\n",
+                    (long long)shape, (long long)entry.lo,
+                    (long long)entry.hi,
+                    instanceGflopsFor(family, entry.config, shape, target),
+                    serializeConfig(adapted).c_str());
+    }
+
+    if (!table_path.empty()) {
+        std::ofstream out(table_path);
+        out << report.table.serialize();
+        if (out.good())
+            std::printf("dispatch table -> %s\n", table_path.c_str());
+        else
+            warn("could not write dispatch table to ", table_path);
+    }
+    if (!trace_path.empty()) {
+        if (recorder.writeFile(trace_path)) {
+            std::printf("trace: %llu events -> %s\n",
+                        (unsigned long long)recorder.eventCount(),
+                        trace_path.c_str());
+        } else {
+            warn("could not write trace to ", trace_path);
+        }
+    }
+    if (print_metrics)
+        std::printf("\nmetrics:\n%s", registry.snapshot().toString().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -330,6 +506,8 @@ main(int argc, char **argv)
         return runService(/*from_stdin=*/false, argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
         return runService(/*from_stdin=*/true, argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "family") == 0)
+        return runFamily(argc, argv);
     std::string op_name = "C2D", case_id, target_name = "v100";
     std::string method_name = "q", cache_path, checkpoint_path;
     std::string trace_path;
