@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/journal.h"
 #include "support/logging.h"
 
 namespace ft {
@@ -142,8 +143,16 @@ spaceSignature(const ScheduleSpace &space)
     return oss.str();
 }
 
-bool
-saveCheckpoint(const std::string &path, const CheckpointState &state)
+/** Journal kind tag for checkpoint snapshot frames. */
+constexpr char kCheckpointKind[] = "ckpt";
+
+/**
+ * Render one snapshot as the versioned line-oriented text body (header
+ * line through the `end|n=` count footer). This is the exact format the
+ * legacy whole-file checkpoints used, now carried as one journal frame.
+ */
+static std::string
+serializeCheckpointBody(const CheckpointState &state)
 {
     std::ostringstream body;
     size_t lines = 0;
@@ -211,40 +220,41 @@ saveCheckpoint(const std::string &path, const CheckpointState &state)
         appendIdx(oss, p.idx);
         emit(oss.str());
     }
-
-    // Same crash-safe pattern as TuningCache::save: temp file + rename,
-    // plus a trailing record count so truncation is detectable.
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp);
-        if (!out)
-            return false;
-        out << body.str() << "end|n=" << lines << "\n";
-        if (!out) {
-            out.close();
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    body << "end|n=" << lines << "\n";
+    return body.str();
 }
 
-std::optional<CheckpointState>
-loadCheckpoint(const std::string &path)
+bool
+saveCheckpoint(const std::string &path, const CheckpointState &state)
 {
-    std::ifstream in(path);
-    if (!in)
-        return std::nullopt; // a missing checkpoint is a normal first run
+    // Each snapshot is one whole frame appended to the journal: a crash
+    // mid-append can only tear the in-flight frame, and resume falls
+    // back to the previous snapshot — which is still bit-identical to
+    // an uninterrupted run from that point. Once enough superseded
+    // snapshots accumulate, compact by atomically rewriting the journal
+    // with just the newest frame (only the latest snapshot matters).
+    constexpr size_t kCompactAfterFrames = 8;
+    const std::string body = serializeCheckpointBody(state);
+    JournalContents existing = readJournal(path);
+    if (existing.valid && existing.kind == kCheckpointKind &&
+        existing.records.size() >= kCompactAfterFrames) {
+        JournalWriter writer(kCheckpointKind);
+        writer.append(body);
+        return writer.commit(path);
+    }
+    return journalAppend(path, kCheckpointKind, body);
+}
 
+/** Parse one snapshot body (the legacy file format / one frame). */
+static std::optional<CheckpointState>
+parseCheckpointBody(const std::string &text)
+{
     CheckpointState state;
     bool saw_header = false, saw_end = false, ok = true;
     int version = 0;
     size_t lines = 0, declared = 0;
     std::string line;
+    std::istringstream in(text);
     while (ok && std::getline(in, line)) {
         if (line.empty())
             continue;
@@ -338,10 +348,60 @@ loadCheckpoint(const std::string &path)
     }
     if (!ok || !saw_header || !saw_end || declared != lines ||
         state.trial < 0) {
-        warn("ignoring truncated or corrupt checkpoint ", path);
         return std::nullopt;
     }
     return state;
+}
+
+std::optional<CheckpointState>
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt; // a missing checkpoint is a normal first run
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    in.close();
+
+    if (!looksLikeJournal(bytes)) {
+        // Legacy pre-journal checkpoint: the whole file is one body.
+        auto state = parseCheckpointBody(bytes);
+        if (!state)
+            warn("ignoring truncated or corrupt checkpoint ", path);
+        return state;
+    }
+
+    JournalContents journal = parseJournal(bytes);
+    if (!journal.valid || journal.kind != kCheckpointKind) {
+        warn("ignoring corrupt checkpoint journal ", path, " (",
+             journal.diag.empty() ? "wrong journal kind" : journal.diag,
+             ")");
+        return std::nullopt;
+    }
+    if (journal.torn) {
+        warn("checkpoint journal ", path, " has a torn tail (",
+             journal.diag, "); recovering to last valid frame");
+        if (!truncateToValid(path, journal))
+            warn("could not repair torn checkpoint journal ", path);
+    }
+    // Newest snapshot wins; skip backwards over any frame whose body
+    // fails to parse (a framed-but-bad snapshot should never happen,
+    // but resume from an older good one beats starting over).
+    for (auto it = journal.records.rbegin(); it != journal.records.rend();
+         ++it) {
+        auto state = parseCheckpointBody(*it);
+        if (state) {
+            if (it != journal.records.rbegin())
+                warn("checkpoint journal ", path, " skipped ",
+                     it - journal.records.rbegin(),
+                     " unparseable snapshot frame(s)");
+            return state;
+        }
+    }
+    warn("ignoring checkpoint journal ", path,
+         " with no parseable snapshot frames");
+    return std::nullopt;
 }
 
 bool

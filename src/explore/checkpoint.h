@@ -10,14 +10,17 @@
  * accumulators) and the replay buffer (as point/direction triples; the
  * feature vectors and rewards are recomputed from H on resume).
  *
- * The file is a versioned line-oriented text format written with the
- * same temp-file + atomic-rename pattern as TuningCache, with a trailing
- * record-count line so a truncated file is detected and ignored instead
- * of resuming from half a snapshot. Floating-point values round-trip
- * exactly (hexfloat), which is what makes the guarantee hold: a run
- * killed and resumed from its last snapshot produces bit-identical
- * results — history, best point, and simulated clock — to a run that was
- * never interrupted, for the same seed and fault profile.
+ * Each snapshot is a versioned line-oriented text body (with a trailing
+ * record-count line) carried as one CRC32-framed record in a crash-safe
+ * journal (support/journal.h): snapshots append a frame, so a crash
+ * mid-write can only tear the in-flight frame, and resume recovers the
+ * newest intact snapshot — still bit-identical to an uninterrupted run
+ * from that point. Legacy whole-file (pre-journal) checkpoints are
+ * still read. Floating-point values round-trip exactly (hexfloat),
+ * which is what makes the guarantee hold: a run killed and resumed from
+ * its last snapshot produces bit-identical results — history, best
+ * point, and simulated clock — to a run that was never interrupted, for
+ * the same seed and fault profile.
  */
 #ifndef FLEXTENSOR_EXPLORE_CHECKPOINT_H
 #define FLEXTENSOR_EXPLORE_CHECKPOINT_H
@@ -66,13 +69,15 @@ struct CheckpointState
 /** Cheap structural identity of a space ("numSubSpaces/numDirections"). */
 std::string spaceSignature(const ScheduleSpace &space);
 
-/** Atomically write a snapshot (temp file + rename). */
+/** Append a snapshot frame to the checkpoint journal (crash-safe). */
 bool saveCheckpoint(const std::string &path, const CheckpointState &state);
 
 /**
- * Load a snapshot. Returns nullopt when the file is missing, truncated,
- * corrupt, or from an unknown version (a warning is logged for anything
- * but a missing file — the caller starts fresh).
+ * Load the newest intact snapshot. A torn journal tail is recovered
+ * from (and repaired in place) with a loud structured diagnostic.
+ * Returns nullopt when the file is missing, corrupt beyond recovery,
+ * or from an unknown version (a warning is logged for anything but a
+ * missing file — the caller starts fresh).
  */
 std::optional<CheckpointState> loadCheckpoint(const std::string &path);
 

@@ -2,15 +2,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "schedule/serialize.h"
+#include "support/journal.h"
 #include "support/logging.h"
 
 namespace ft {
 
 namespace {
+
+/** Journal kind tag for persisted dispatch tables. */
+constexpr char kDispatchKind[] = "dispatch";
 
 /** Bit-exact double rendering (round-trips through strtod). */
 std::string
@@ -162,6 +167,56 @@ DispatchTable::deserialize(const std::string &text)
     if (!sawVar)
         return std::nullopt;
     return out;
+}
+
+bool
+DispatchTable::saveToFile(const std::string &path) const
+{
+    JournalWriter writer(kDispatchKind);
+    writer.append(serialize());
+    return writer.commit(path);
+}
+
+std::optional<DispatchTable>
+DispatchTable::loadFromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    in.close();
+
+    if (!looksLikeJournal(bytes)) {
+        // Legacy bare serialize() text.
+        auto table = deserialize(bytes);
+        if (!table)
+            warn("ignoring malformed dispatch table file ", path);
+        return table;
+    }
+
+    JournalContents journal = parseJournal(bytes);
+    if (!journal.valid || journal.kind != kDispatchKind) {
+        warn("ignoring dispatch table ", path, " (",
+             journal.diag.empty() ? "wrong journal kind" : journal.diag,
+             ")");
+        return std::nullopt;
+    }
+    if (journal.torn)
+        warn("dispatch table ", path, " has a torn tail (", journal.diag,
+             "); using last intact frame");
+    if (journal.records.empty()) {
+        warn("ignoring dispatch table ", path, " with no intact frames");
+        return std::nullopt;
+    }
+    // Newest frame wins (saveToFile writes exactly one, but a partial
+    // upgrade or future append-style writer stays readable).
+    auto table = deserialize(journal.records.back());
+    if (!table)
+        warn("ignoring dispatch table ", path,
+             " whose frame body fails to parse");
+    return table;
 }
 
 } // namespace ft

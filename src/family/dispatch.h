@@ -71,6 +71,21 @@ class DispatchTable
     /** Parse serialize() output. Returns nullopt on malformed input. */
     static std::optional<DispatchTable> deserialize(const std::string &text);
 
+    /**
+     * Persist to a CRC32-framed journal file (kind "dispatch"), one
+     * frame holding the serialize() text, committed atomically via temp
+     * file + rename. Returns false on I/O error.
+     */
+    bool saveToFile(const std::string &path) const;
+
+    /**
+     * Load a table persisted by saveToFile(). Legacy bare serialize()
+     * text files are still read. A torn or corrupt journal fails with a
+     * loud structured diagnostic; returns nullopt on any failure
+     * (missing file included).
+     */
+    static std::optional<DispatchTable> loadFromFile(const std::string &path);
+
   private:
     std::string familyName_;
     std::string device_;

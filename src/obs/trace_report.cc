@@ -23,6 +23,23 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
     };
     std::map<std::string, PhaseAcc> phases;
     std::map<std::string, uint64_t> rejects;
+    std::map<int64_t, uint64_t> queueDepths;
+    std::map<std::string, uint64_t> admReasons;
+
+    // "code=FT-ADM-... depth=N why=..." -> the code token.
+    auto reasonCode = [](const std::string &reason) -> std::string {
+        const std::string prefix = "code=";
+        if (reason.rfind(prefix, 0) != 0)
+            return reason.empty() ? "?" : reason;
+        const size_t end = reason.find(' ', prefix.size());
+        return reason.substr(prefix.size(), end == std::string::npos
+                                                ? std::string::npos
+                                                : end - prefix.size());
+    };
+    auto admissionDepth = [&](const ParsedTraceEvent &e) {
+        if (e.has("depth"))
+            ++queueDepths[e.integer("depth")];
+    };
 
     for (const ParsedTraceEvent &e : events) {
         if (e.type != 'M')
@@ -67,6 +84,25 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 out.curve.emplace_back(out.trials, best);
             } else if (e.name == "verify.reject") {
                 ++rejects[e.str("code")];
+            } else if (e.name == "admission.admit") {
+                ++out.serve.admitted;
+                admissionDepth(e);
+            } else if (e.name == "admission.shed") {
+                ++out.serve.shed;
+                admissionDepth(e);
+                ++admReasons[reasonCode(e.str("reason"))];
+            } else if (e.name == "admission.brownout") {
+                ++out.serve.brownouts;
+                admissionDepth(e);
+                ++admReasons[reasonCode(e.str("reason"))];
+            } else if (e.name == "admission.breaker_reject") {
+                ++out.serve.breakerRejects;
+                admissionDepth(e);
+                ++admReasons[reasonCode(e.str("reason"))];
+            } else if (e.name == "admission.breaker_open") {
+                ++out.serve.breakerOpens;
+            } else if (e.name == "admission.breaker_close") {
+                ++out.serve.breakerCloses;
             }
             break;
           }
@@ -92,6 +128,10 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
               });
     for (const auto &[code, count] : rejects)
         out.verifyRejects.emplace_back(code, count);
+    for (const auto &[depth, count] : queueDepths)
+        out.serve.queueDepths.emplace_back(depth, count);
+    for (const auto &[code, count] : admReasons)
+        out.serve.reasons.emplace_back(code, count);
     return out;
 }
 
@@ -159,6 +199,38 @@ renderTraceReport(const TraceReport &report, int curvePoints)
         }
     }
 
+    if (report.serve.any()) {
+        const ServeBreakdown &s = report.serve;
+        oss << "\nserve (admission control):\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  admitted %llu, shed %llu, brownouts %llu, "
+                      "breaker rejects %llu (opened %llu, closed %llu)\n",
+                      (unsigned long long)s.admitted,
+                      (unsigned long long)s.shed,
+                      (unsigned long long)s.brownouts,
+                      (unsigned long long)s.breakerRejects,
+                      (unsigned long long)s.breakerOpens,
+                      (unsigned long long)s.breakerCloses);
+        oss << buf;
+        if (!s.reasons.empty()) {
+            oss << "  rejection reasons by code:\n";
+            for (const auto &[code, count] : s.reasons) {
+                std::snprintf(buf, sizeof(buf), "    %-20s %8llu\n",
+                              code.c_str(), (unsigned long long)count);
+                oss << buf;
+            }
+        }
+        if (!s.queueDepths.empty()) {
+            oss << "  queue depth at decision:\n";
+            for (const auto &[depth, count] : s.queueDepths) {
+                std::snprintf(buf, sizeof(buf), "    depth %4lld %8llu\n",
+                              (long long)depth,
+                              (unsigned long long)count);
+                oss << buf;
+            }
+        }
+    }
+
     if (!report.curve.empty() && curvePoints > 0) {
         oss << "\nbest GFLOPS vs. trials (Fig. 7 series):\n";
         // Sample evenly, always keeping the final point.
@@ -205,7 +277,26 @@ traceReportJson(const TraceReport &report)
         oss << "\"" << report.verifyRejects[i].first
             << "\":" << report.verifyRejects[i].second;
     }
-    oss << "},\"curve\":[";
+    oss << "},\"serve\":{";
+    const ServeBreakdown &s = report.serve;
+    oss << "\"admitted\":" << s.admitted << ",\"shed\":" << s.shed
+        << ",\"brownouts\":" << s.brownouts
+        << ",\"breakerRejects\":" << s.breakerRejects
+        << ",\"breakerOpens\":" << s.breakerOpens
+        << ",\"breakerCloses\":" << s.breakerCloses << ",\"reasons\":{";
+    for (size_t i = 0; i < s.reasons.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << "\"" << s.reasons[i].first << "\":" << s.reasons[i].second;
+    }
+    oss << "},\"queueDepths\":[";
+    for (size_t i = 0; i < s.queueDepths.size(); ++i) {
+        if (i)
+            oss << ",";
+        oss << "[" << s.queueDepths[i].first << ","
+            << s.queueDepths[i].second << "]";
+    }
+    oss << "]},\"curve\":[";
     for (size_t i = 0; i < report.curve.size(); ++i) {
         if (i)
             oss << ",";

@@ -35,6 +35,27 @@ struct PhaseBreakdown
     uint64_t wallNs = 0;
 };
 
+/** Admission-control activity folded from `admission.*` point events. */
+struct ServeBreakdown
+{
+    uint64_t admitted = 0;
+    uint64_t shed = 0;           ///< queue-full + deadline sheds
+    uint64_t brownouts = 0;      ///< requests deflected to cache-only
+    uint64_t breakerRejects = 0; ///< requests refused by an open breaker
+    uint64_t breakerOpens = 0;
+    uint64_t breakerCloses = 0;
+    /** Queue-depth-at-decision occurrences, sorted by depth. */
+    std::vector<std::pair<int64_t, uint64_t>> queueDepths;
+    /** Rejection reasons by structured code (FT-ADM-*), sorted. */
+    std::vector<std::pair<std::string, uint64_t>> reasons;
+
+    bool any() const
+    {
+        return admitted || shed || brownouts || breakerRejects ||
+               breakerOpens || breakerCloses;
+    }
+};
+
 /** Everything trace_report derives from one timeline. */
 struct TraceReport
 {
@@ -59,6 +80,9 @@ struct TraceReport
 
     /** (trial index 1.., best-so-far GFLOPS) — the Fig. 7 series. */
     std::vector<std::pair<int, double>> curve;
+
+    /** Admission-control section (empty for pure exploration traces). */
+    ServeBreakdown serve;
 };
 
 /** Fold parsed events into a report. */

@@ -5,11 +5,15 @@
 #include <sstream>
 
 #include "analysis/static_analyzer.h"
+#include "support/journal.h"
 #include "support/logging.h"
 
 namespace ft {
 
 namespace {
+
+/** Journal kind tag for tuning-cache files (format v3). */
+constexpr char kCacheKind[] = "tcache";
 
 void
 appendSplits(std::ostringstream &oss,
@@ -176,55 +180,105 @@ TuningCache::size() const
     return records_.size();
 }
 
+namespace {
+
+/** One cache record as a frame payload: "key\tgflops\tconfig". */
+std::optional<TuningRecord>
+parseCacheRecord(const std::string &line)
+{
+    auto tab1 = line.find('\t');
+    auto tab2 = line.find('\t', tab1 + 1);
+    if (tab1 == std::string::npos || tab2 == std::string::npos)
+        return std::nullopt;
+    TuningRecord record;
+    record.key = line.substr(0, tab1);
+    try {
+        record.gflops = std::stod(line.substr(tab1 + 1, tab2 - tab1 - 1));
+    } catch (...) {
+        return std::nullopt;
+    }
+    auto config = parseConfig(line.substr(tab2 + 1));
+    if (!config)
+        return std::nullopt;
+    record.config = std::move(*config);
+    return record;
+}
+
+} // namespace
+
 bool
 TuningCache::save(const std::string &path) const
 {
-    // Write-then-rename so readers never observe a partial file and a
-    // crashed writer cannot truncate an existing cache.
-    const std::string tmp = path + ".tmp";
+    // Format v3: a CRC32-framed journal, one record per frame, committed
+    // atomically (temp file + rename) so readers never observe a partial
+    // file. Unlike the v2 count-footer format — which could only detect
+    // truncation and discard everything — per-frame checksums let load()
+    // recover every record before a torn tail.
+    JournalWriter writer(kCacheKind);
     {
-        std::ofstream out(tmp);
-        if (!out)
-            return false;
         std::lock_guard<std::mutex> lock(mu_);
-        // Header + record-count footer let load() distinguish a complete
-        // cache from one truncated by a crashed writer or a bad disk.
-        out << "#flextensor-cache v2\n";
         for (const auto &[key, record] : records_) {
-            out << key << "\t" << record.gflops << "\t"
-                << serializeConfig(record.config) << "\n";
-        }
-        out << "#count=" << records_.size() << "\n";
-        if (!out) {
-            out.close();
-            std::remove(tmp.c_str());
-            return false;
+            std::ostringstream oss;
+            oss << key << "\t" << record.gflops << "\t"
+                << serializeConfig(record.config);
+            writer.append(oss.str());
         }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return writer.commit(path);
 }
 
 bool
 TuningCache::load(const std::string &path)
 {
-    std::ifstream in(path);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         return false;
-    // Records are staged and merged only once the file proves complete:
-    // a v2 file whose footer is missing or whose count disagrees was
-    // truncated mid-write (or corrupted), and is discarded with a
-    // warning instead of poisoning a running service. Legacy files
-    // (no header) keep the lenient skip-bad-lines behavior.
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    in.close();
+
+    if (looksLikeJournal(bytes)) {
+        JournalContents journal = parseJournal(bytes);
+        if (!journal.valid || journal.kind != kCacheKind) {
+            warn("tuning cache ", path, " is not a usable journal (",
+                 journal.diag.empty() ? "wrong journal kind" : journal.diag,
+                 "); starting with an empty cache");
+            return true;
+        }
+        if (journal.torn) {
+            // Torn tail: every intact frame before the tear is real
+            // data — keep it. Repair the file so future appends and
+            // readers see a clean journal.
+            warn("tuning cache ", path, " has a torn tail (", journal.diag,
+                 "); recovered ", journal.records.size(),
+                 " records before the tear");
+            if (!truncateToValid(path, journal))
+                warn("could not repair torn tuning cache ", path);
+        }
+        for (const std::string &payload : journal.records) {
+            auto record = parseCacheRecord(payload);
+            if (!record) {
+                warn("skipping unparseable tuning record frame: ", payload);
+                continue;
+            }
+            put(*record);
+        }
+        return true;
+    }
+
+    // Legacy formats. v2: header + record-count footer — a missing
+    // footer or count mismatch means truncation mid-write (or
+    // corruption), and the whole file is discarded with a warning
+    // instead of poisoning a running service. v1 (no header) keeps the
+    // lenient skip-bad-lines behavior.
     std::vector<TuningRecord> staged;
     bool versioned = false, first = true, corrupt = false;
     bool saw_footer = false;
     size_t declared = 0;
     std::string line;
-    while (std::getline(in, line)) {
+    std::istringstream text(bytes);
+    while (std::getline(text, line)) {
         if (line.empty())
             continue;
         if (first) {
@@ -245,31 +299,13 @@ TuningCache::load(const std::string &path)
             }
             continue;
         }
-        auto tab1 = line.find('\t');
-        auto tab2 = line.find('\t', tab1 + 1);
-        if (tab1 == std::string::npos || tab2 == std::string::npos) {
+        auto record = parseCacheRecord(line);
+        if (!record) {
             warn("skipping malformed tuning record: ", line);
             corrupt = true;
             continue;
         }
-        TuningRecord record;
-        record.key = line.substr(0, tab1);
-        try {
-            record.gflops =
-                std::stod(line.substr(tab1 + 1, tab2 - tab1 - 1));
-        } catch (...) {
-            warn("skipping tuning record with bad value: ", line);
-            corrupt = true;
-            continue;
-        }
-        auto config = parseConfig(line.substr(tab2 + 1));
-        if (!config) {
-            warn("skipping tuning record with bad config: ", line);
-            corrupt = true;
-            continue;
-        }
-        record.config = std::move(*config);
-        staged.push_back(std::move(record));
+        staged.push_back(std::move(*record));
     }
     if (versioned &&
         (corrupt || !saw_footer || declared != staged.size())) {

@@ -48,9 +48,11 @@ struct TuningRecord
  * A persistent best-schedule store keyed by tuningKey.
  *
  * Safe for concurrent lookup/store from multiple tuning threads (an
- * internal mutex guards the record map). save() writes via a temp file
- * plus atomic rename so a crashed or interrupted writer can never leave
- * a truncated cache behind.
+ * internal mutex guards the record map). save() writes a CRC32-framed
+ * journal (support/journal.h) via a temp file plus atomic rename, so a
+ * crashed or interrupted writer can never leave a truncated cache
+ * behind, and load() recovers every intact record before a torn tail.
+ * Legacy v2 (count-footer) and v1 (headerless) files are still read.
  */
 class TuningCache
 {
@@ -65,8 +67,8 @@ class TuningCache
     size_t size() const;
 
     /**
-     * Write all records to a file (one per line). The file is replaced
-     * atomically: records go to `path + ".tmp"` first, then rename.
+     * Write all records as a journal (one frame per record). The file
+     * is replaced atomically: bytes go to `path + ".tmp"`, then rename.
      */
     bool save(const std::string &path) const;
 

@@ -1,6 +1,10 @@
 #include "serve/service.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 
 #include "analysis/static_analyzer.h"
@@ -64,8 +68,26 @@ TuningService::TuningService(const ServiceOptions &options)
       quarantined_(metrics_.counter("service.quarantined")),
       degradedReports_(metrics_.counter("service.degraded_reports")),
       familyRequests_(metrics_.counter("service.family_requests")),
-      dispatchHits_(metrics_.counter("service.dispatch_hits"))
-{}
+      dispatchHits_(metrics_.counter("service.dispatch_hits")),
+      brownoutServed_(metrics_.counter("service.brownout_served"))
+{
+    if (!options_.clock) {
+        options_.clock = [] {
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now()
+                           .time_since_epoch())
+                .count();
+        };
+    }
+    AdmissionOptions admission = options_.admission;
+    if (admission.workers <= 0)
+        admission.workers = std::max(1, options_.requestThreads);
+    if (!admission.metrics)
+        admission.metrics = &metrics_;
+    admission_ = std::make_unique<AdmissionController>(admission);
+    if (!options_.dispatchDir.empty())
+        reloadDispatchTables();
+}
 
 uint64_t
 TuningService::requestFingerprint(const Operation &anchor,
@@ -392,19 +414,88 @@ TuningService::runFamily(const ShapeFamily &family, const Target &target,
         options.explore.obs.metrics = &metrics_;
     FamilyTuneReport report = ft::tuneFamily(family, target, options);
     evaluations_.add(static_cast<uint64_t>(report.totalTrials));
+    if (report.table.total())
+        publishDispatchTable(family.name, report.table);
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (report.table.total()) {
-            const uint64_t slot =
-                dispatchFingerprint(family.name, report.device);
-            dispatch_[slot] = DispatchSlot{
-                dispatchIdentity(family.name, report.device), report.table};
-        }
         if (registered)
             familyInflight_.erase(key);
     }
     promise.set_value(report);
     return report;
+}
+
+namespace {
+
+/** Filesystem-safe name for a (family, device) dispatch slot. */
+std::string
+dispatchFileName(const std::string &familyName, const std::string &device)
+{
+    std::string name = familyName + "@" + device;
+    for (char &c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                        c == '@' || c == '.';
+        if (!ok)
+            c = '_';
+    }
+    return name + ".dispatch";
+}
+
+} // namespace
+
+void
+TuningService::publishDispatchTable(const std::string &familyName,
+                                    const DispatchTable &table)
+{
+    const std::string &device = table.device();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const uint64_t slot = dispatchFingerprint(familyName, device);
+        dispatch_[slot] =
+            DispatchSlot{dispatchIdentity(familyName, device), table};
+    }
+    if (options_.dispatchDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(options_.dispatchDir, ec);
+    const std::string path =
+        (std::filesystem::path(options_.dispatchDir) /
+         dispatchFileName(familyName, device))
+            .string();
+    if (!table.saveToFile(path))
+        warn("could not persist dispatch table to ", path);
+}
+
+void
+TuningService::reloadDispatchTables()
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator dir(options_.dispatchDir, ec);
+    if (ec)
+        return; // no directory yet: nothing published before
+    size_t loaded = 0;
+    for (const auto &entry : dir) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".dispatch")
+            continue;
+        auto table = DispatchTable::loadFromFile(entry.path().string());
+        if (!table) {
+            warn("skipping unreadable dispatch table ",
+                 entry.path().string());
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        const uint64_t slot =
+            dispatchFingerprint(table->familyName(), table->device());
+        dispatch_[slot] = DispatchSlot{
+            dispatchIdentity(table->familyName(), table->device()),
+            std::move(*table)};
+        ++loaded;
+    }
+    if (loaded)
+        metrics_.counter("service.dispatch_reloaded")
+            .add(static_cast<uint64_t>(loaded));
 }
 
 FamilyTuneReport
@@ -454,6 +545,250 @@ TuningService::serveShape(const ShapeFamily &family, int64_t shape,
     return out;
 }
 
+void
+TuningService::propagateBudget(ExploreOptions &explore,
+                               double budgetSeconds) const
+{
+    if (options_.simBudgetPerSecond <= 0.0 ||
+        !std::isfinite(budgetSeconds))
+        return;
+    const double simBudget =
+        std::max(0.0, budgetSeconds) * options_.simBudgetPerSecond;
+    // The run-level simulated deadline: never extend one the caller
+    // already set, only tighten.
+    if (explore.deadlineSimSeconds <= 0.0 ||
+        explore.deadlineSimSeconds > simBudget)
+        explore.deadlineSimSeconds = simBudget;
+    // No single trial may consume the whole remaining budget either.
+    if (explore.resilience.trialDeadlineSeconds > simBudget)
+        explore.resilience.trialDeadlineSeconds = simBudget;
+}
+
+AdmittedReport
+TuningService::tuneAnchorAdmitted(const Operation &anchor,
+                                  const Target &target, TuneOptions options,
+                                  RequestOptions request)
+{
+    const std::string opKey = tuningKeyFor(anchor, target.deviceName());
+    const double now = options_.clock();
+    const double deadline = now + request.deadlineSeconds;
+    const AdmissionDecision decision =
+        admission_->admit(opKey, request.priority, now, deadline);
+
+    AdmittedReport out;
+    out.outcome = decision.outcome;
+    out.reason = decision.reason;
+    switch (decision.outcome) {
+      case AdmissionOutcome::Shed:
+      case AdmissionOutcome::BreakerOpen:
+        return out;
+      case AdmissionOutcome::Brownout: {
+        // Degraded mode: only the LRU report cache may answer — never
+        // start fresh tuning work while saturated.
+        const uint64_t key = requestFingerprint(anchor, target, options);
+        const std::string identity =
+            requestIdentity(anchor, target, options);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (const TuneReport *hit = lruGet(key, identity)) {
+            resultCacheHits_.add();
+            brownoutServed_.add();
+            out.report = *hit;
+            out.report->fromCache = true;
+            out.degradedAnswer = true;
+            out.reason.clear();
+        }
+        return out;
+      }
+      case AdmissionOutcome::Admitted:
+        break;
+    }
+
+    propagateBudget(options.explore, decision.budgetSeconds);
+    bool success = false;
+    try {
+        out.report = tuneAnchor(anchor, target, std::move(options));
+        success = out.report->gflops > 0.0;
+    } catch (...) {
+        admission_->onComplete(opKey, decision.ticket, options_.clock(),
+                               false);
+        throw;
+    }
+    admission_->onComplete(opKey, decision.ticket, options_.clock(),
+                           success);
+    if (!success) {
+        out.outcome = AdmissionOutcome::Shed;
+        out.reason = "code=FT-ADM-RUN-FAILED why=\"tuning run produced no "
+                     "valid schedule\"";
+        out.report.reset();
+    }
+    return out;
+}
+
+AdmittedReport
+TuningService::tuneAdmitted(const Tensor &output, const Target &target,
+                            TuneOptions options, RequestOptions request)
+{
+    MiniGraph graph(output);
+    return tuneAnchorAdmitted(anchorOp(graph), target, std::move(options),
+                              request);
+}
+
+std::future<AdmittedReport>
+TuningService::submitAdmitted(const Tensor &output, const Target &target,
+                              TuneOptions options, RequestOptions request)
+{
+    // The admission decision happens here, synchronously: a shed
+    // request is refused before it ever occupies a request-pool slot.
+    MiniGraph graph(output);
+    const Operation anchor = anchorOp(graph);
+    const std::string opKey = tuningKeyFor(anchor, target.deviceName());
+    const double now = options_.clock();
+    const double deadline = now + request.deadlineSeconds;
+    const AdmissionDecision decision =
+        admission_->admit(opKey, request.priority, now, deadline);
+
+    if (decision.outcome != AdmissionOutcome::Admitted) {
+        AdmittedReport out;
+        out.outcome = decision.outcome;
+        out.reason = decision.reason;
+        if (decision.outcome == AdmissionOutcome::Brownout) {
+            const uint64_t key =
+                requestFingerprint(anchor, target, options);
+            const std::string identity =
+                requestIdentity(anchor, target, options);
+            std::lock_guard<std::mutex> lock(mu_);
+            if (const TuneReport *hit = lruGet(key, identity)) {
+                resultCacheHits_.add();
+                brownoutServed_.add();
+                out.report = *hit;
+                out.report->fromCache = true;
+                out.degradedAnswer = true;
+                out.reason.clear();
+            }
+        }
+        std::promise<AdmittedReport> ready;
+        ready.set_value(std::move(out));
+        return ready.get_future();
+    }
+
+    propagateBudget(options.explore, decision.budgetSeconds);
+    auto task = std::make_shared<std::packaged_task<AdmittedReport()>>(
+        [this, anchor, target, opKey, ticket = decision.ticket,
+         options = std::move(options)]() mutable {
+            AdmittedReport out;
+            out.outcome = AdmissionOutcome::Admitted;
+            bool success = false;
+            try {
+                out.report = tuneAnchor(anchor, target, std::move(options));
+                success = out.report->gflops > 0.0;
+            } catch (...) {
+                admission_->onComplete(opKey, ticket, options_.clock(),
+                                       false);
+                throw;
+            }
+            admission_->onComplete(opKey, ticket, options_.clock(),
+                                   success);
+            if (!success) {
+                out.outcome = AdmissionOutcome::Shed;
+                out.reason = "code=FT-ADM-RUN-FAILED why=\"tuning run "
+                             "produced no valid schedule\"";
+                out.report.reset();
+            }
+            return out;
+        });
+    std::future<AdmittedReport> future = task->get_future();
+    requestPool_.submit([task] { (*task)(); });
+    return future;
+}
+
+AdmittedServeResult
+TuningService::serveShapeAdmitted(const ShapeFamily &family, int64_t shape,
+                                  const Target &target,
+                                  FamilyTuneOptions options,
+                                  RequestOptions request)
+{
+    const std::string opKey =
+        dispatchIdentity(family.name, target.deviceName());
+    const double now = options_.clock();
+    const double deadline = now + request.deadlineSeconds;
+    const AdmissionDecision decision =
+        admission_->admit(opKey, request.priority, now, deadline);
+
+    AdmittedServeResult out;
+    out.outcome = decision.outcome;
+    out.reason = decision.reason;
+
+    // A published dispatch table answers a lookup without tuning — in
+    // brownout it is the *only* permitted answer; on an admitted
+    // request it is simply the fast path.
+    auto fromTable = [&]() -> bool {
+        const uint64_t slot =
+            dispatchFingerprint(family.name, target.deviceName());
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = dispatch_.find(slot);
+        if (it == dispatch_.end() || it->second.identity != opKey ||
+            !it->second.table.var().contains(shape))
+            return false;
+        const DispatchEntry &entry = it->second.table.lookup(shape);
+        dispatchHits_.add();
+        FamilyServeResult result;
+        result.config = entry.config;
+        adaptSplitToExtent(result.config, family.dynamicAxis, shape);
+        result.gflops = entry.gflops;
+        result.bucket = {entry.lo, entry.hi};
+        result.fromDispatch = true;
+        out.result = std::move(result);
+        return true;
+    };
+
+    switch (decision.outcome) {
+      case AdmissionOutcome::Shed:
+      case AdmissionOutcome::BreakerOpen:
+        return out;
+      case AdmissionOutcome::Brownout:
+        familyRequests_.add();
+        if (fromTable()) {
+            brownoutServed_.add();
+            out.degradedAnswer = true;
+            out.reason.clear();
+        }
+        return out;
+      case AdmissionOutcome::Admitted:
+        break;
+    }
+
+    familyRequests_.add();
+    if (fromTable()) {
+        admission_->onComplete(opKey, decision.ticket, options_.clock(),
+                               true);
+        out.reason.clear();
+        return out;
+    }
+    propagateBudget(options.explore, decision.budgetSeconds);
+    bool success = false;
+    try {
+        FamilyTuneReport report =
+            runFamily(family, target, std::move(options));
+        const DispatchEntry &entry = report.table.lookup(shape);
+        FamilyServeResult result;
+        result.config = entry.config;
+        adaptSplitToExtent(result.config, family.dynamicAxis, shape);
+        result.gflops = entry.gflops;
+        result.bucket = {entry.lo, entry.hi};
+        result.fromDispatch = false;
+        out.result = std::move(result);
+        success = true;
+    } catch (...) {
+        admission_->onComplete(opKey, decision.ticket, options_.clock(),
+                               false);
+        throw;
+    }
+    admission_->onComplete(opKey, decision.ticket, options_.clock(),
+                           success);
+    out.reason.clear();
+    return out;
+}
+
 std::optional<DispatchTable>
 TuningService::dispatchTableFor(const std::string &familyName,
                                 const std::string &device) const
@@ -489,6 +824,8 @@ TuningService::stats() const
     out.degradedReports = out.metrics.counter("service.degraded_reports");
     out.familyRequests = out.metrics.counter("service.family_requests");
     out.dispatchHits = out.metrics.counter("service.dispatch_hits");
+    out.brownoutServed = out.metrics.counter("service.brownout_served");
+    out.admission = admission_->stats();
     std::lock_guard<std::mutex> lock(mu_);
     out.inflight = inflight_.size() + familyInflight_.size();
     out.resultCacheSize = lru_.size();

@@ -27,8 +27,11 @@
 #define FLEXTENSOR_SERVE_SERVICE_H
 
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <limits>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -38,6 +41,7 @@
 #include "explore/tuner.h"
 #include "family/tune_family.h"
 #include "obs/metrics.h"
+#include "serve/admission.h"
 #include "serve/thread_pool.h"
 
 namespace ft {
@@ -53,6 +57,26 @@ struct ServiceOptions
     size_t resultCacheCapacity = 128;
     /** Optional persistent best-schedule store (not owned). */
     TuningCache *persistentCache = nullptr;
+    /** Admission-control policy for the *Admitted request paths. The
+     *  worker count defaults to requestThreads when left at <= 0. */
+    AdmissionOptions admission;
+    /**
+     * Simulated exploration seconds one wall second of request budget
+     * buys: the exchange rate for end-to-end deadline propagation
+     * (request deadline → explore.deadlineSimSeconds → per-trial
+     * deadline). 0 disables propagation into the explorer.
+     */
+    double simBudgetPerSecond = 0.0;
+    /** Clock behind admission decisions, seconds. Defaults to the
+     *  steady clock; tests and benches inject a manual one. */
+    std::function<double()> clock;
+    /**
+     * Directory for published DispatchTable files. When set, family
+     * runs persist their table here (journal format, atomic rename)
+     * and the constructor reloads every table found, so published
+     * tables survive a process restart.
+     */
+    std::string dispatchDir;
 };
 
 /**
@@ -78,10 +102,13 @@ struct ServiceStats
     uint64_t degradedReports = 0;    ///< runs cut short by their deadline
     uint64_t familyRequests = 0;     ///< tuneFamily()/serveShape() calls
     uint64_t dispatchHits = 0;       ///< shapes served from a dispatch table
+    uint64_t brownoutServed = 0;     ///< degraded answers from caches
     size_t inflight = 0;             ///< runs currently executing
     size_t resultCacheSize = 0;      ///< reports currently in the LRU
     size_t dispatchTables = 0;       ///< dispatch tables published
     size_t evalQueueDepth = 0;       ///< jobs queued on the evaluation pool
+    /** Admission-control state (the *Admitted request paths). */
+    AdmissionStats admission;
     /** Full registry snapshot the fields above were read from. */
     MetricsSnapshot metrics;
 };
@@ -95,6 +122,42 @@ struct FamilyServeResult
     ShapeBucket bucket;  ///< bucket that served the shape
     /** True when an already-published dispatch table answered. */
     bool fromDispatch = false;
+};
+
+/** Per-request admission parameters for the *Admitted entry points. */
+struct RequestOptions
+{
+    /** Interactive lookups outrank batch tunes under pressure. */
+    RequestPriority priority = RequestPriority::Batch;
+    /** Wall seconds from submission until the answer is worthless;
+     *  infinity means no deadline. */
+    double deadlineSeconds = std::numeric_limits<double>::infinity();
+};
+
+/** An admission-gated tuning answer. */
+struct AdmittedReport
+{
+    AdmissionOutcome outcome = AdmissionOutcome::Shed;
+    /** Structured rejection reason; empty when a report is present. */
+    std::string reason;
+    /** True when a brownout was answered from the LRU report cache. */
+    bool degradedAnswer = false;
+    /** The report, when admitted or brownout-served. */
+    std::optional<TuneReport> report;
+
+    bool served() const { return report.has_value(); }
+};
+
+/** An admission-gated family serve answer. */
+struct AdmittedServeResult
+{
+    AdmissionOutcome outcome = AdmissionOutcome::Shed;
+    std::string reason;
+    /** True when a brownout was answered from a published table. */
+    bool degradedAnswer = false;
+    std::optional<FamilyServeResult> result;
+
+    bool served() const { return result.has_value(); }
 };
 
 class TuningService
@@ -121,6 +184,47 @@ class TuningService
     std::future<TuneReport> submit(const Tensor &output,
                                    const Target &target,
                                    TuneOptions options = {});
+
+    /**
+     * Admission-gated tune: the controller decides *synchronously* —
+     * shed and breaker rejections return immediately with a structured
+     * reason, a brownout is answered from the LRU report cache or
+     * refused, and an admitted request runs with its remaining wall
+     * budget propagated into the explorer's simulated deadline and the
+     * per-trial deadline (see ServiceOptions::simBudgetPerSecond).
+     */
+    AdmittedReport tuneAdmitted(const Tensor &output, const Target &target,
+                                TuneOptions options = {},
+                                RequestOptions request = {});
+
+    /** tuneAdmitted() for one specific compute node. */
+    AdmittedReport tuneAnchorAdmitted(const Operation &anchor,
+                                      const Target &target,
+                                      TuneOptions options = {},
+                                      RequestOptions request = {});
+
+    /**
+     * Admission-gated submit: the admission decision happens now, on
+     * the caller's thread (a shed request never occupies a queue slot);
+     * only admitted work is enqueued. The returned future is always
+     * valid and yields the same AdmittedReport tuneAdmitted() would.
+     */
+    std::future<AdmittedReport> submitAdmitted(const Tensor &output,
+                                               const Target &target,
+                                               TuneOptions options = {},
+                                               RequestOptions request = {});
+
+    /**
+     * Admission-gated serveShape(). Defaults to Interactive priority:
+     * table lookups are the traffic the queue headroom protects. In
+     * brownout only a published dispatch table may answer.
+     */
+    AdmittedServeResult
+    serveShapeAdmitted(const ShapeFamily &family, int64_t shape,
+                       const Target &target, FamilyTuneOptions options = {},
+                       RequestOptions request = {RequestPriority::Interactive,
+                                                 std::numeric_limits<
+                                                     double>::infinity()});
 
     /**
      * Tune a whole shape family. Thread-safe; identical concurrent
@@ -158,6 +262,9 @@ class TuningService
 
     /** The measurement pool (shared by all requests). */
     ThreadPool &evalPool() { return evalPool_; }
+
+    /** The admission controller behind the *Admitted entry points. */
+    AdmissionController &admission() { return *admission_; }
 
     const ServiceOptions &options() const { return options_; }
 
@@ -238,9 +345,27 @@ class TuningService
                                const Target &target,
                                FamilyTuneOptions options);
 
+    /**
+     * Clamp the explorer's simulated budget (run deadline + per-trial
+     * deadline) to what `budgetSeconds` of wall time buys at the
+     * configured exchange rate. No-op when propagation is disabled or
+     * the request has no deadline.
+     */
+    void propagateBudget(ExploreOptions &explore,
+                         double budgetSeconds) const;
+
+    /** Publish one table under mu_ and persist it when dispatchDir is
+     *  set. Caller must NOT hold mu_. */
+    void publishDispatchTable(const std::string &familyName,
+                              const DispatchTable &table);
+
+    /** Load every persisted table from options_.dispatchDir. */
+    void reloadDispatchTables();
+
     ServiceOptions options_;
     ThreadPool evalPool_;
     ThreadPool requestPool_;
+    std::unique_ptr<AdmissionController> admission_;
 
     /** All service counters live here (atomic; snapshot-consistent). */
     MetricsRegistry metrics_;
@@ -257,6 +382,7 @@ class TuningService
     Counter &degradedReports_;
     Counter &familyRequests_;
     Counter &dispatchHits_;
+    Counter &brownoutServed_;
 
     mutable std::mutex mu_;
     std::unordered_map<uint64_t, InflightRun> inflight_;

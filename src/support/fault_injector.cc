@@ -1,5 +1,6 @@
 #include "support/fault_injector.h"
 
+#include <fstream>
 #include <sstream>
 
 #include "support/logging.h"
@@ -162,6 +163,51 @@ FaultInjector::apply(const std::string &key, int attempt,
         break;
     }
     return out;
+}
+
+size_t
+FaultInjector::crashOffsetFor(const std::string &path, size_t totalBytes,
+                              uint64_t schedule) const
+{
+    FT_ASSERT(totalBytes >= 2, "crash offset needs at least 2 bytes");
+    const uint64_t h =
+        mix64(hashKey(path) ^ profile_.seed ^ mix64(schedule + 1));
+    // Offsets in [1, totalBytes): a zero-byte "write" is a no-op and a
+    // full write is not a crash.
+    return 1 + static_cast<size_t>(h % (totalBytes - 1));
+}
+
+bool
+FaultInjector::writeTorn(const std::string &path, std::string_view bytes,
+                         size_t crashAtByte)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    const size_t n = crashAtByte < bytes.size() ? crashAtByte : bytes.size();
+    out.write(bytes.data(), static_cast<std::streamsize>(n));
+    return static_cast<bool>(out);
+}
+
+bool
+FaultInjector::flipBit(const std::string &path, uint64_t bitIndex)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    if (bytes.empty())
+        return false;
+    const uint64_t bit = bitIndex % (bytes.size() * 8);
+    bytes[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
 }
 
 } // namespace ft

@@ -25,9 +25,11 @@
 #ifndef FLEXTENSOR_SUPPORT_FAULT_INJECTOR_H
 #define FLEXTENSOR_SUPPORT_FAULT_INJECTOR_H
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace ft {
 
@@ -97,6 +99,31 @@ class FaultInjector
      */
     FaultOutcome apply(const std::string &key, int attempt,
                        double trueGflops) const;
+
+    /**
+     * Crash-at-byte-offset shim for durability tests: the byte offset
+     * at which a write of `totalBytes` to `path` is torn, in
+     * [1, totalBytes), as a pure function of (profile seed, path,
+     * schedule). Iterating `schedule` yields a deterministic crash
+     * schedule for the same file, so every seeded crash point is
+     * replayable. totalBytes must be >= 2.
+     */
+    size_t crashOffsetFor(const std::string &path, size_t totalBytes,
+                          uint64_t schedule = 0) const;
+
+    /**
+     * Torn-write shim: write `bytes` to `path` but stop (as a crash
+     * would) after `crashAtByte` bytes, leaving a torn tail in place.
+     * Unlike the production writers there is deliberately no temp
+     * file + rename — this models the unsafe write the journal layer
+     * must recover from.
+     */
+    static bool writeTorn(const std::string &path, std::string_view bytes,
+                          size_t crashAtByte);
+
+    /** Flip one bit of the file in place (bit `bitIndex` modulo the
+     *  file's size in bits) — the bit-rot corruption shim. */
+    static bool flipBit(const std::string &path, uint64_t bitIndex);
 
   private:
     FaultProfile profile_;

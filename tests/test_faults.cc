@@ -433,7 +433,7 @@ TEST(FaultService, DeadlineAndFaultCountersFlowThroughService)
     EXPECT_GT(report.gflops, 0.0); // best-so-far, not an error sentinel
 }
 
-TEST(FaultCache, TruncatedCacheFileStartsEmpty)
+TEST(FaultCache, TruncatedCacheFileKeepsOnlyIntactRecords)
 {
     const std::string path = "/tmp/flextensor_cache_truncated.txt";
     TuningCache cache;
@@ -445,7 +445,8 @@ TEST(FaultCache, TruncatedCacheFileStartsEmpty)
     cache.put(record);
     ASSERT_TRUE(cache.save(path));
 
-    // Chop off the record-count footer, as a crash mid-write would.
+    // Chop off the final line, as a crash mid-write would. The cache is
+    // journalled one frame per record, so this tears the last frame only.
     std::ifstream in(path);
     std::stringstream kept;
     std::string line, prev;
@@ -460,8 +461,10 @@ TEST(FaultCache, TruncatedCacheFileStartsEmpty)
     std::ofstream(path) << kept.str();
 
     TuningCache loaded;
-    EXPECT_TRUE(loaded.load(path)); // readable, but discarded
-    EXPECT_EQ(loaded.size(), 0u);
+    EXPECT_TRUE(loaded.load(path)); // torn frame dropped, intact prefix kept
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.lookup("gemm:256,256,r:256,@V100").has_value());
+    EXPECT_FALSE(loaded.lookup("gemm:512,512,r:512,@V100").has_value());
     std::remove(path.c_str());
 }
 

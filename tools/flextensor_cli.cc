@@ -46,6 +46,23 @@
  *   --threads <n>         measurement workers per run     (default 4)
  *   --request-threads <n> concurrent tuning runs          (default 4)
  *   --repeat <n>          passes over the spec list       (default 1)
+ *   --admit               route requests through admission control:
+ *                         overload sheds with a structured reason
+ *                         instead of queueing unboundedly
+ *   --request-deadline <sec>  wall deadline per request (with --admit);
+ *                         requests that cannot meet it are shed at
+ *                         submit time
+ *   --max-queue <n>       admitted-but-incomplete request bound
+ *   --brownout <n>        queue depth where brownout (serve from
+ *                         caches only) begins
+ *   --sim-rate <r>        simulated seconds one wall second of budget
+ *                         buys (deadline propagation; default 0 = off)
+ *   --dispatch-dir <dir>  persist/reload published dispatch tables
+ *   --trace <file>        write the admission event timeline (JSONL)
+ *
+ * batch/serve handle SIGINT/SIGTERM with a graceful drain: admission
+ * stops, in-flight runs finish, and metrics/trace/cache files are
+ * flushed before exit.
  *
  * family options (one schedule per shape bucket, joint scoring):
  *   --family gemm|conv2d  op template over a dynamic dim  (default gemm)
@@ -62,10 +79,12 @@
  * warning; the exit code is nonzero only when every spec was invalid.
  */
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -181,15 +200,33 @@ parseFaultsArg(const std::string &spec)
     return *profile;
 }
 
+/**
+ * SIGINT/SIGTERM request a graceful drain: stop admitting new work,
+ * finish what is in flight, flush durable state, then exit. The flag is
+ * the only thing the handler touches (async-signal-safe); the drain
+ * itself happens on the main thread between submissions.
+ */
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void
+requestDrain(int)
+{
+    g_drain_requested = 1;
+}
+
 /** `batch`/`serve` subcommands: tune many specs through TuningService. */
 int
 runService(bool from_stdin, int argc, char **argv)
 {
     std::string target_name = "v100", method_name = "q", cache_path;
+    std::string dispatch_dir, trace_path;
     int trials = 200, threads = 4, request_threads = 4, repeat = 1;
     uint64_t seed = 0xc11;
     double deadline = 0.0;
-    bool print_metrics = false;
+    double request_deadline = std::numeric_limits<double>::infinity();
+    double sim_rate = 0.0;
+    int max_queue = 0, brownout_depth = 0;
+    bool print_metrics = false, admit = false;
     FaultProfile faults;
     std::vector<std::string> specs;
 
@@ -221,6 +258,23 @@ runService(bool from_stdin, int argc, char **argv)
             request_threads = std::atoi(argv[++i]);
         } else if (arg("--repeat")) {
             repeat = std::atoi(argv[++i]);
+        } else if (arg("--request-deadline")) {
+            request_deadline = std::atof(argv[++i]);
+            admit = true;
+        } else if (arg("--max-queue")) {
+            max_queue = std::atoi(argv[++i]);
+            admit = true;
+        } else if (arg("--brownout")) {
+            brownout_depth = std::atoi(argv[++i]);
+            admit = true;
+        } else if (arg("--sim-rate")) {
+            sim_rate = std::atof(argv[++i]);
+        } else if (arg("--dispatch-dir")) {
+            dispatch_dir = argv[++i];
+        } else if (arg("--trace")) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--admit") == 0) {
+            admit = true;
         } else if (std::strcmp(argv[i], "--metrics") == 0) {
             print_metrics = true;
         } else if (argv[i][0] == '-') {
@@ -249,7 +303,25 @@ runService(bool from_stdin, int argc, char **argv)
     service_options.requestThreads = request_threads;
     if (!cache_path.empty())
         service_options.persistentCache = &cache;
+    if (max_queue > 0)
+        service_options.admission.maxQueueDepth =
+            static_cast<size_t>(max_queue);
+    if (brownout_depth > 0)
+        service_options.admission.brownoutDepth =
+            static_cast<size_t>(brownout_depth);
+    service_options.simBudgetPerSecond = sim_rate;
+    service_options.dispatchDir = dispatch_dir;
+    TraceRecorder admission_trace;
+    if (!trace_path.empty())
+        service_options.admission.trace = &admission_trace;
     TuningService service(service_options);
+
+    // Graceful drain on SIGINT/SIGTERM: the handler only sets a flag;
+    // the loop below stops admitting, finishes in-flight work, and
+    // falls through to the flush-and-save epilogue.
+    g_drain_requested = 0;
+    std::signal(SIGINT, requestDrain);
+    std::signal(SIGTERM, requestDrain);
 
     TuneOptions tune_options;
     tune_options.method = parseMethod(method_name);
@@ -281,28 +353,89 @@ runService(bool from_stdin, int argc, char **argv)
                 "threads, %d request threads\n",
                 from_stdin ? "serve" : "batch", work.size(), repeat,
                 target.deviceName().c_str(), threads, request_threads);
-    for (int pass = 0; pass < repeat; ++pass) {
+    bool drained = false;
+    for (int pass = 0; pass < repeat && !drained; ++pass) {
+        RequestOptions request;
+        request.priority = RequestPriority::Batch;
+        request.deadlineSeconds = request_deadline;
+        std::vector<std::future<AdmittedReport>> admitted_futures;
         std::vector<std::future<TuneReport>> futures;
-        futures.reserve(work.size());
-        for (auto &[name, tensor] : work)
-            futures.push_back(service.submit(tensor, target, tune_options));
-        for (size_t i = 0; i < futures.size(); ++i) {
-            TuneReport report = futures[i].get();
-            std::printf("pass %d  %-10s %8.1f GFLOPS  kernel %8.3f ms  "
-                        "%4d trials%s%s\n",
-                        pass + 1, work[i].first.c_str(), report.gflops,
-                        report.kernelSeconds * 1e3, report.trials,
-                        report.fromCache ? "  [cached]" : "",
-                        report.degraded ? "  [degraded]" : "");
+        std::vector<size_t> submitted;
+        for (size_t w = 0; w < work.size(); ++w) {
+            if (g_drain_requested) {
+                // Admission stops here; everything already submitted
+                // still runs to completion below.
+                drained = true;
+                break;
+            }
+            submitted.push_back(w);
+            if (admit) {
+                admitted_futures.push_back(service.submitAdmitted(
+                    work[w].second, target, tune_options, request));
+            } else {
+                futures.push_back(
+                    service.submit(work[w].second, target, tune_options));
+            }
         }
+        for (size_t i = 0; i < submitted.size(); ++i) {
+            const char *name = work[submitted[i]].first.c_str();
+            if (admit) {
+                AdmittedReport answer = admitted_futures[i].get();
+                if (!answer.served()) {
+                    std::printf("pass %d  %-10s REJECTED [%s]  %s\n",
+                                pass + 1, name,
+                                admissionOutcomeName(answer.outcome),
+                                answer.reason.c_str());
+                    continue;
+                }
+                const TuneReport &report = *answer.report;
+                std::printf("pass %d  %-10s %8.1f GFLOPS  kernel %8.3f "
+                            "ms  %4d trials%s%s%s\n",
+                            pass + 1, name, report.gflops,
+                            report.kernelSeconds * 1e3, report.trials,
+                            report.fromCache ? "  [cached]" : "",
+                            report.degraded ? "  [degraded]" : "",
+                            answer.degradedAnswer ? "  [brownout]" : "");
+            } else {
+                TuneReport report = futures[i].get();
+                std::printf("pass %d  %-10s %8.1f GFLOPS  kernel %8.3f "
+                            "ms  %4d trials%s%s\n",
+                            pass + 1, name, report.gflops,
+                            report.kernelSeconds * 1e3, report.trials,
+                            report.fromCache ? "  [cached]" : "",
+                            report.degraded ? "  [degraded]" : "");
+            }
+        }
+        if (g_drain_requested)
+            drained = true;
         if (print_metrics) {
             // A periodic snapshot: one consistent registry read per pass.
             std::printf("\nmetrics after pass %d:\n%s", pass + 1,
                         service.stats().metrics.toString().c_str());
         }
     }
+    if (drained)
+        std::printf("\ndrain: admission stopped on signal; in-flight "
+                    "work finished, flushing state\n");
 
     ServiceStats stats = service.stats();
+    if (admit) {
+        std::printf("\nadmission stats:\n"
+                    "  admitted          %llu\n"
+                    "  shed (queue full) %llu\n"
+                    "  shed (deadline)   %llu\n"
+                    "  brownouts         %llu\n"
+                    "  brownout served   %llu\n"
+                    "  breaker rejects   %llu\n"
+                    "  breakers opened   %llu\n",
+                    (unsigned long long)stats.admission.admitted,
+                    (unsigned long long)stats.admission.shedQueueFull,
+                    (unsigned long long)stats.admission.shedDeadline,
+                    (unsigned long long)stats.admission.brownouts,
+                    (unsigned long long)stats.brownoutServed,
+                    (unsigned long long)stats.admission.breakerRejects,
+                    (unsigned long long)stats.admission.breakersOpened);
+    }
     std::printf("\nservice stats:\n"
                 "  requests          %llu\n"
                 "  tuning runs       %llu\n"
@@ -329,6 +462,16 @@ runService(bool from_stdin, int argc, char **argv)
                 (unsigned long long)stats.degradedReports,
                 stats.evalQueueDepth);
 
+    // Flush durable state last — also the tail of a graceful drain.
+    if (!trace_path.empty()) {
+        if (admission_trace.writeFile(trace_path)) {
+            std::printf("admission trace: %llu events -> %s\n",
+                        (unsigned long long)admission_trace.eventCount(),
+                        trace_path.c_str());
+        } else {
+            warn("could not write admission trace to ", trace_path);
+        }
+    }
     if (!cache_path.empty() && !cache.save(cache_path))
         warn("could not write tuning cache to ", cache_path);
     return 0;
@@ -476,9 +619,9 @@ runFamily(int argc, char **argv)
     }
 
     if (!table_path.empty()) {
-        std::ofstream out(table_path);
-        out << report.table.serialize();
-        if (out.good())
+        // Journal format with an atomic rename: the file survives a
+        // crash mid-write and TuningService reloads it on startup.
+        if (report.table.saveToFile(table_path))
             std::printf("dispatch table -> %s\n", table_path.c_str());
         else
             warn("could not write dispatch table to ", table_path);
