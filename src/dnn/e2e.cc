@@ -1,9 +1,26 @@
 #include "dnn/e2e.h"
 
 #include "analysis/flops.h"
+#include "graph/dag.h"
+#include "graph/partition.h"
+#include "graph/schedule_dag.h"
 #include "support/logging.h"
 
 namespace ft {
+
+const char *
+fuseModeName(FuseMode mode)
+{
+    switch (mode) {
+      case FuseMode::None:
+        return "none";
+      case FuseMode::Epilogue:
+        return "epilogue";
+      case FuseMode::Graph:
+        return "graph";
+    }
+    return "epilogue";
+}
 
 namespace {
 
@@ -30,7 +47,51 @@ scheduleNetwork(const Network &net, const Target &target,
     NetworkReport report;
     report.network = net.name;
     report.device = target.deviceName();
+    report.fuseMode = options.fuse;
 
+    // Traffic accounting is shared across modes: the epilogue-only
+    // partition is the baseline every mode is compared against.
+    graph::ComputeDag dag = graph::dagFromNetwork(net);
+    report.baselineTrafficBytes =
+        graph::epiloguePartition(dag, target).totalTrafficBytes;
+
+    if (options.fuse == FuseMode::Graph) {
+        TuneOptions tune_options;
+        tune_options.method = options.method;
+        tune_options.explore = options.explore;
+        tune_options.cache = options.cache;
+        graph::DagTuneReport tuned =
+            graph::tuneDag(dag, target, tune_options);
+        report.totalSeconds = tuned.totalSeconds;
+        report.simExploreSeconds = tuned.simExploreSeconds;
+        report.modeledTrafficBytes = tuned.trafficBytes;
+        report.ephemeralBytes = tuned.ephemeralBytes;
+        report.trafficSavedBytes =
+            report.baselineTrafficBytes - report.modeledTrafficBytes;
+        for (const auto &sub : tuned.groups) {
+            LayerReport layer;
+            layer.name = sub.name;
+            layer.seconds = sub.seconds;
+            layer.gflops = sub.tuned ? sub.report.gflops : 0.0;
+            layer.tuned = sub.tuned;
+            report.layers.push_back(std::move(layer));
+        }
+        return report;
+    }
+
+    {
+        graph::Partition chosen =
+            options.fuse == FuseMode::None
+                ? graph::nonePartition(dag, target)
+                : graph::epiloguePartition(dag, target);
+        report.modeledTrafficBytes = chosen.totalTrafficBytes;
+        report.ephemeralBytes = chosen.ephemeralBytes;
+        report.trafficSavedBytes =
+            report.baselineTrafficBytes - report.modeledTrafficBytes;
+    }
+
+    const bool fuse_elt =
+        options.fuseElementwise && options.fuse != FuseMode::None;
     const double bw = deviceBandwidthGBs(target) * 1e9;
     auto fused_ops = partitionAndFuse(net);
 
@@ -66,7 +127,7 @@ scheduleNetwork(const Network &net, const Target &target,
             layer.tuned = true;
             report.simExploreSeconds += tuned.simExploreSeconds;
 
-            if (!options.fuseElementwise) {
+            if (!fuse_elt) {
                 // Unfused ablation: each epilogue op re-reads and
                 // re-writes the activation.
                 layer.seconds += fused.fusedElementwise * 2.0 *

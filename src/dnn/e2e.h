@@ -24,13 +24,33 @@ struct LayerReport
     bool tuned = false; ///< false for bandwidth-bound layers
 };
 
+/** How aggressively the network is partitioned before tuning. */
+enum class FuseMode
+{
+    None,     ///< every op is its own group (epilogues pay round trips)
+    Epilogue, ///< legacy: elementwise epilogues sink into their producer
+    Graph,    ///< graph-level: roofline-guided beam partition (src/graph)
+};
+
+/** Stable lowercase name of a fuse mode (CLI/JSON spelling). */
+const char *fuseModeName(FuseMode mode);
+
 /** Whole-network outcome. */
 struct NetworkReport
 {
     std::string network;
     std::string device;
+    FuseMode fuseMode = FuseMode::Epilogue;
     double totalSeconds = 0.0;
     double simExploreSeconds = 0.0;
+    /** Modeled tier-3 traffic of the chosen partition. */
+    int64_t modeledTrafficBytes = 0;
+    /** Traffic of the epilogue-only partition (the comparison baseline). */
+    int64_t baselineTrafficBytes = 0;
+    /** baseline - modeled; positive when graph fusion saves DRAM trips. */
+    int64_t trafficSavedBytes = 0;
+    /** Intermediate bytes kept on chip by the chosen partition. */
+    int64_t ephemeralBytes = 0;
     std::vector<LayerReport> layers;
 };
 
@@ -39,6 +59,7 @@ struct E2eOptions
 {
     Method method = Method::QMethod;
     ExploreOptions explore;
+    FuseMode fuse = FuseMode::Epilogue;
     bool fuseElementwise = true; ///< ablation: pay epilogue round trips
     /**
      * Optional tuning cache shared across layers. Networks repeat layer

@@ -1,0 +1,458 @@
+#include "graph/fused_exec.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace ft {
+namespace graph {
+
+DagTensor::DagTensor(const std::vector<int64_t> &s) : shape(s)
+{
+    int64_t n = 1;
+    for (int64_t d : s)
+        n *= d;
+    data.assign(static_cast<size_t>(n), 0.0f);
+}
+
+DagBuffers
+makeDagInputs(const ComputeDag &dag, Rng &rng)
+{
+    DagBuffers buffers;
+    for (size_t i = 0; i < dag.nodes.size(); ++i) {
+        if (dag.nodes[i].kind != NodeKind::Input)
+            continue;
+        DagTensor t(dag.nodes[i].shape);
+        for (float &v : t.data)
+            v = static_cast<float>(rng.uniform(-1.0, 1.0));
+        buffers.emplace(static_cast<int>(i), std::move(t));
+    }
+    return buffers;
+}
+
+namespace {
+
+/**
+ * The per-element arithmetic, shared verbatim by the unfused reference
+ * and the fused streaming path (the reader is the only thing that
+ * differs), so any fused-vs-unfused difference is a streaming bug, not
+ * a kernel divergence. Orders mirror ops/: conv accumulates over
+ * (c, r, s), pooling folds r-outer/s-inner.
+ */
+template <class Rd>
+float
+convElem(const ComputeDag &dag, const DagNode &node, Rd &read, int64_t n,
+         int64_t k, int64_t oh, int64_t ow)
+{
+    const int data = node.inputs[0], weight = node.inputs[1];
+    const DagNode &d = dag.nodes[data];
+    const int64_t C = d.shape[1], H = d.shape[2], W = d.shape[3];
+    float acc = 0.0f;
+    for (int64_t c = 0; c < C; ++c)
+        for (int64_t r = 0; r < node.kernel; ++r)
+            for (int64_t s = 0; s < node.kernel; ++s) {
+                const int64_t ih = oh * node.stride - node.padding + r;
+                const int64_t iw = ow * node.stride - node.padding + s;
+                if (ih < 0 || ih >= H || iw < 0 || iw >= W)
+                    continue; // zero-padded tap contributes nothing
+                acc += read.at4(data, n, c, ih, iw) *
+                       read.at4(weight, k, c, r, s);
+            }
+    return acc;
+}
+
+template <class Rd>
+float
+denseElem(const ComputeDag &dag, const DagNode &node, Rd &read, int64_t n,
+          int64_t j)
+{
+    const int data = node.inputs[0], weight = node.inputs[1];
+    const int64_t features = dag.nodes[weight].shape[1];
+    float acc = 0.0f;
+    for (int64_t k = 0; k < features; ++k)
+        acc += read.flat(data, n * features + k) *
+               read.at2(weight, j, k);
+    return acc;
+}
+
+template <class Rd>
+float
+poolElem(const ComputeDag &dag, const DagNode &node, Rd &read, int64_t n,
+         int64_t c, int64_t oh, int64_t ow)
+{
+    const int data = node.inputs[0];
+    (void)dag;
+    float best = 0.0f;
+    bool first = true;
+    for (int64_t r = 0; r < node.kernel; ++r)
+        for (int64_t s = 0; s < node.kernel; ++s) {
+            const float v = read.at4(data, n, c, oh * node.stride + r,
+                                     ow * node.stride + s);
+            best = first ? v : std::max(best, v);
+            first = false;
+        }
+    return best;
+}
+
+/** Reader over fully materialized buffers (the unfused reference). */
+struct FullReader
+{
+    const ComputeDag &dag;
+    const DagBuffers &buffers;
+
+    float
+    at4(int id, int64_t n, int64_t c, int64_t h, int64_t w) const
+    {
+        const DagTensor &t = buffers.at(id);
+        return t.data[((n * t.shape[1] + c) * t.shape[2] + h) *
+                          t.shape[3] +
+                      w];
+    }
+    float
+    at2(int id, int64_t i, int64_t j) const
+    {
+        const DagTensor &t = buffers.at(id);
+        return t.data[i * t.shape[1] + j];
+    }
+    float
+    at1(int id, int64_t i) const
+    {
+        return buffers.at(id).data[i];
+    }
+    float
+    flat(int id, int64_t i) const
+    {
+        return buffers.at(id).data[i];
+    }
+};
+
+/** Compute one full-buffer element of `node` through reader `read`. */
+template <class Rd>
+float
+elemOf(const ComputeDag &dag, const DagNode &node, Rd &read,
+       const std::vector<int64_t> &idx)
+{
+    switch (node.kind) {
+      case NodeKind::Conv:
+        return convElem(dag, node, read, idx[0], idx[1], idx[2], idx[3]);
+      case NodeKind::Dense:
+        return denseElem(dag, node, read, idx[0], idx[1]);
+      case NodeKind::Pool:
+        return poolElem(dag, node, read, idx[0], idx[1], idx[2], idx[3]);
+      case NodeKind::Bias: {
+        const float b = read.at1(node.inputs[1], idx[1]);
+        if (idx.size() == 4)
+            return read.at4(node.inputs[0], idx[0], idx[1], idx[2],
+                            idx[3]) +
+                   b;
+        return read.at2(node.inputs[0], idx[0], idx[1]) + b;
+      }
+      case NodeKind::Relu: {
+        const float v =
+            idx.size() == 4
+                ? read.at4(node.inputs[0], idx[0], idx[1], idx[2], idx[3])
+                : read.at2(node.inputs[0], idx[0], idx[1]);
+        return std::max(v, 0.0f);
+      }
+      case NodeKind::Add: {
+        if (idx.size() == 4)
+            return read.at4(node.inputs[0], idx[0], idx[1], idx[2],
+                            idx[3]) +
+                   read.at4(node.inputs[1], idx[0], idx[1], idx[2],
+                            idx[3]);
+        return read.at2(node.inputs[0], idx[0], idx[1]) +
+               read.at2(node.inputs[1], idx[0], idx[1]);
+      }
+      case NodeKind::Input:
+        break;
+    }
+    FT_ASSERT(false, "elemOf on a non-compute node");
+    return 0.0f;
+}
+
+} // namespace
+
+void
+runDagNode(const ComputeDag &dag, int id, DagBuffers &buffers)
+{
+    const DagNode &node = dag.nodes[id];
+    FT_ASSERT(node.kind != NodeKind::Input,
+              "runDagNode on an Input node");
+    FullReader read{dag, buffers};
+    DagTensor out(node.shape);
+    std::vector<int64_t> idx(node.shape.size(), 0);
+    for (int64_t flat = 0; flat < out.numel(); ++flat) {
+        int64_t rem = flat;
+        for (int d = static_cast<int>(node.shape.size()) - 1; d >= 0; --d) {
+            idx[d] = rem % node.shape[d];
+            rem /= node.shape[d];
+        }
+        out.data[flat] = elemOf(dag, node, read, idx);
+    }
+    buffers[id] = std::move(out);
+}
+
+void
+runDagReference(const ComputeDag &dag, DagBuffers &buffers)
+{
+    for (size_t i = 0; i < dag.nodes.size(); ++i) {
+        if (dag.nodes[i].kind == NodeKind::Input) {
+            FT_ASSERT(buffers.count(static_cast<int>(i)),
+                      "Input node ", dag.nodes[i].name, " has no data");
+            continue;
+        }
+        if (buffers.count(static_cast<int>(i)))
+            continue; // precomputed (e.g. a scheduled anchor) — share it
+        runDagNode(dag, static_cast<int>(i), buffers);
+    }
+}
+
+namespace {
+
+/** Streaming state of one group member. */
+struct MemberState
+{
+    int id = -1;
+    bool ring = false;      ///< ephemeral: rows live in the ring only
+    bool precomputed = false; ///< full buffer existed on entry
+    int64_t rows = 0;       ///< total row slabs
+    int64_t slabElems = 0;  ///< elements per row slab
+    int64_t cap = 0;        ///< ring capacity in rows
+    int64_t done = 0;       ///< rows produced so far
+    std::vector<float> ringData;
+    std::vector<int> groupConsumers; ///< member indices consuming this
+    std::vector<int> groupProducers; ///< member indices this consumes
+};
+
+int64_t
+slabElemsOf(const DagNode &node)
+{
+    if (node.shape.size() == 4)
+        return node.shape[0] * node.shape[1] * node.shape[3];
+    int64_t n = 1;
+    for (size_t d = 1; d < node.shape.size(); ++d)
+        n *= node.shape[d];
+    return n;
+}
+
+/** Reader over the group's mixed storage (rings + full buffers). */
+struct GroupReader
+{
+    const ComputeDag &dag;
+    DagBuffers &buffers;
+    std::vector<MemberState> &states;
+    const std::vector<int> &stateOf; ///< node id -> state index or -1
+
+    float
+    value(int id, int64_t row, int64_t slabOff, int64_t fullOff) const
+    {
+        const int s = stateOf[id];
+        if (s >= 0) {
+            const MemberState &st = states[s];
+            FT_ASSERT(row < st.done, "read of an unproduced row");
+            if (st.ring) {
+                FT_ASSERT(row >= st.done - st.cap,
+                          "read of an evicted ring row");
+                return st.ringData[(row % st.cap) * st.slabElems +
+                                   slabOff];
+            }
+        }
+        return buffers.at(id).data[fullOff];
+    }
+    float
+    at4(int id, int64_t n, int64_t c, int64_t h, int64_t w) const
+    {
+        const auto &shape = dag.nodes[id].shape;
+        return value(id, h, (n * shape[1] + c) * shape[3] + w,
+                     ((n * shape[1] + c) * shape[2] + h) * shape[3] + w);
+    }
+    float
+    at2(int id, int64_t i, int64_t j) const
+    {
+        const auto &shape = dag.nodes[id].shape;
+        return value(id, i, j, i * shape[1] + j);
+    }
+    float
+    at1(int id, int64_t i) const
+    {
+        FT_ASSERT(stateOf[id] < 0, "1D tensors are always external");
+        return buffers.at(id).data[i];
+    }
+    float
+    flat(int id, int64_t i) const
+    {
+        const int s = stateOf[id];
+        FT_ASSERT(s < 0 || !states[s].ring,
+                  "flat read requires a full buffer");
+        return buffers.at(id).data[i];
+    }
+};
+
+/** First producer row the member needs for its output row `r`. */
+int64_t
+neededFrom(const DagNode &consumer, int64_t r)
+{
+    return consumer.kind == NodeKind::Pool ? r * consumer.stride : r;
+}
+
+/** One past the last producer row needed for output row `r`. */
+int64_t
+neededUntil(const DagNode &consumer, int64_t r)
+{
+    return consumer.kind == NodeKind::Pool
+               ? r * consumer.stride + consumer.kernel
+               : r + 1;
+}
+
+} // namespace
+
+void
+runFusedGroup(const ComputeDag &dag, const FusionGroup &group,
+              DagBuffers &buffers, int64_t scratchCapBytes,
+              FusedRunStats *stats)
+{
+    const auto consumers = dag.consumers();
+    std::vector<int> stateOf(dag.nodes.size(), -1);
+    std::vector<MemberState> states(group.members.size());
+
+    int64_t scratchBytes = 0;
+    for (size_t m = 0; m < group.members.size(); ++m) {
+        const int id = group.members[m];
+        const DagNode &node = dag.nodes[id];
+        MemberState &st = states[m];
+        st.id = id;
+        st.rows = numRowSlabs(node);
+        st.slabElems = slabElemsOf(node);
+        st.precomputed = buffers.count(id) > 0;
+        stateOf[id] = static_cast<int>(m);
+        if (st.precomputed) {
+            st.done = st.rows; // stream from the existing buffer
+            continue;
+        }
+        if (group.ephemeral[m]) {
+            st.ring = true;
+            int64_t window = 1;
+            for (int c : consumers[id])
+                window = std::max(window,
+                                  consumerWindowRows(dag.nodes[c]));
+            st.cap = std::min(window, st.rows);
+            st.ringData.assign(
+                static_cast<size_t>(st.cap * st.slabElems), 0.0f);
+            scratchBytes += st.cap * st.slabElems * 4;
+        } else {
+            buffers[id] = DagTensor(node.shape);
+        }
+    }
+    FT_ASSERT(scratchCapBytes < 0 || scratchBytes <= scratchCapBytes,
+              "fused group scratch ", scratchBytes,
+              " exceeds the working-set cap ", scratchCapBytes);
+    if (stats) {
+        stats->scratchPeakBytes =
+            std::max(stats->scratchPeakBytes, scratchBytes);
+        for (size_t m = 0; m < group.members.size(); ++m)
+            if (states[m].ring)
+                stats->ephemeralBytes += dag.nodes[group.members[m]].bytes();
+    }
+
+    // Intra-group dataflow edges, by member index.
+    for (size_t m = 0; m < group.members.size(); ++m) {
+        const DagNode &node = dag.nodes[group.members[m]];
+        FT_ASSERT(!node.isHeavy() || m == 0 || states[m].precomputed,
+                  "heavy member must lead its group");
+        for (int in : node.inputs)
+            if (stateOf[in] >= 0) {
+                FT_ASSERT(!node.isHeavy(),
+                          "heavy anchors read external tensors only");
+                states[m].groupProducers.push_back(stateOf[in]);
+                states[stateOf[in]].groupConsumers.push_back(
+                    static_cast<int>(m));
+            }
+    }
+
+    GroupReader read{dag, buffers, states, stateOf};
+
+    auto canProduce = [&](const MemberState &st) {
+        if (st.done >= st.rows)
+            return false;
+        const DagNode &node = dag.nodes[st.id];
+        for (int p : st.groupProducers)
+            if (neededUntil(node, st.done) > states[p].done)
+                return false;
+        // Producing this row evicts row done - cap from the ring; every
+        // in-group consumer must already be past it.
+        if (st.ring && st.done >= st.cap) {
+            const int64_t evicted = st.done - st.cap;
+            for (int c : st.groupConsumers)
+                if (neededFrom(dag.nodes[states[c].id], states[c].done) <=
+                    evicted)
+                    return false;
+        }
+        return true;
+    };
+
+    auto produceRow = [&](MemberState &st) {
+        const DagNode &node = dag.nodes[st.id];
+        const int64_t row = st.done;
+        // Destination of one slab element: the ring slot (slab-local
+        // offset) or the full buffer (row-major offset).
+        float *ringRow =
+            st.ring ? &st.ringData[(row % st.cap) * st.slabElems]
+                    : nullptr;
+        float *full = st.ring ? nullptr : buffers.at(st.id).data.data();
+        if (node.shape.size() == 4) {
+            const int64_t N = node.shape[0], C = node.shape[1],
+                          H = node.shape[2], W = node.shape[3];
+            for (int64_t n = 0; n < N; ++n)
+                for (int64_t c = 0; c < C; ++c)
+                    for (int64_t w = 0; w < W; ++w) {
+                        const std::vector<int64_t> idx = {n, c, row, w};
+                        const float v = elemOf(dag, node, read, idx);
+                        if (ringRow)
+                            ringRow[(n * C + c) * W + w] = v;
+                        else
+                            full[((n * C + c) * H + row) * W + w] = v;
+                    }
+        } else {
+            const int64_t F = node.shape[1];
+            for (int64_t j = 0; j < F; ++j) {
+                const std::vector<int64_t> idx = {row, j};
+                const float v = elemOf(dag, node, read, idx);
+                if (ringRow)
+                    ringRow[j] = v;
+                else
+                    full[row * F + j] = v;
+            }
+        }
+        ++st.done;
+    };
+
+    // Round-robin the members until every row of every member exists;
+    // the gates above make this a bounded-scratch streaming schedule.
+    for (;;) {
+        bool progress = false, allDone = true;
+        for (MemberState &st : states) {
+            while (canProduce(st)) {
+                produceRow(st);
+                progress = true;
+            }
+            allDone = allDone && st.done >= st.rows;
+        }
+        if (allDone)
+            break;
+        FT_ASSERT(progress, "fused group deadlocked (ring too small)");
+    }
+}
+
+void
+runFusedPartition(const ComputeDag &dag, const Partition &partition,
+                  const Target &target, DagBuffers &buffers,
+                  FusedRunStats *stats)
+{
+    const int64_t cap = tierSpecFor(target).tier2Bytes;
+    for (const FusionGroup &group : partition.groups)
+        runFusedGroup(dag, group, buffers, cap, stats);
+}
+
+} // namespace graph
+} // namespace ft

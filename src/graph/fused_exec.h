@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Functional executors for the compute DAG: the layer-by-layer unfused
+ * reference and the fused streaming interpreter.
+ *
+ * Both paths evaluate every element with the SAME per-kind arithmetic
+ * (conv accumulates over (c, r, s) in order, pooling folds its window
+ * r-outer/s-inner — mirroring ops/ and exec/reference.cc), so a fused
+ * group's outputs must match the unfused reference bit-for-bit. What the
+ * differential tests actually exercise is everything that *differs*: the
+ * fused path streams row slabs through bounded ring buffers, never
+ * materializes ephemeral members, and interleaves producers with
+ * consumers — any indexing, retention, or scheduling bug in that
+ * machinery breaks exact equality.
+ *
+ * The ring capacity of an ephemeral member is its consumers' retention
+ * window (graph/roofline.h `consumerWindowRows`), so the executor
+ * enforces at run time exactly the working-set bound the roofline model
+ * charges — the model and the execution semantics cannot drift.
+ */
+#ifndef FLEXTENSOR_GRAPH_FUSED_EXEC_H
+#define FLEXTENSOR_GRAPH_FUSED_EXEC_H
+
+#include <map>
+#include <vector>
+
+#include "graph/partition.h"
+
+namespace ft {
+
+class Rng;
+
+namespace graph {
+
+/** Dense row-major fp32 storage for one DAG node's output. */
+struct DagTensor
+{
+    std::vector<int64_t> shape;
+    std::vector<float> data;
+
+    DagTensor() = default;
+    explicit DagTensor(const std::vector<int64_t> &s);
+
+    int64_t numel() const { return static_cast<int64_t>(data.size()); }
+};
+
+/** Node outputs keyed by node id. */
+using DagBuffers = std::map<int, DagTensor>;
+
+/** Random data for every Input node (deterministic in node-id order). */
+DagBuffers makeDagInputs(const ComputeDag &dag, Rng &rng);
+
+/**
+ * Unfused reference: materialize node `id`'s full output from its
+ * producers' full buffers.
+ */
+void runDagNode(const ComputeDag &dag, int id, DagBuffers &buffers);
+
+/**
+ * Run every compute node layer by layer, materializing every
+ * intermediate. Nodes already present in `buffers` are kept as-is (so a
+ * precomputed anchor — e.g. from a sampled schedule — is shared with the
+ * fused side).
+ */
+void runDagReference(const ComputeDag &dag, DagBuffers &buffers);
+
+/** Scratch accounting of a fused run. */
+struct FusedRunStats
+{
+    /** Ring-buffer bytes of the largest group executed. */
+    int64_t scratchPeakBytes = 0;
+    /** Total ephemeral bytes that never touched a full buffer. */
+    int64_t ephemeralBytes = 0;
+};
+
+/**
+ * Execute one fusion group in streaming order. Ephemeral members live
+ * only in ring buffers sized to their consumers' retention windows;
+ * non-ephemeral members are materialized into `buffers`. If the group's
+ * anchor is already present in `buffers` its rows are streamed from that
+ * buffer instead of recomputed (scheduled-anchor mode). A positive
+ * `scratchCapBytes` makes the executor fail hard if the rings exceed it.
+ */
+void runFusedGroup(const ComputeDag &dag, const FusionGroup &group,
+                   DagBuffers &buffers, int64_t scratchCapBytes = -1,
+                   FusedRunStats *stats = nullptr);
+
+/**
+ * Execute a whole partition group by group. The scratch cap is the
+ * target's tier-2 capacity — the same bound the partitioner enforced —
+ * so an infeasible group aborts instead of silently over-buffering.
+ * After the run, `buffers` holds Inputs and non-ephemeral outputs only:
+ * ephemeral tensors provably never materialized.
+ */
+void runFusedPartition(const ComputeDag &dag, const Partition &partition,
+                       const Target &target, DagBuffers &buffers,
+                       FusedRunStats *stats = nullptr);
+
+} // namespace graph
+} // namespace ft
+
+#endif // FLEXTENSOR_GRAPH_FUSED_EXEC_H

@@ -1,0 +1,71 @@
+#include "graph/lower.h"
+
+#include "ops/ops.h"
+#include "support/logging.h"
+
+namespace ft {
+namespace graph {
+
+LoweredAnchor
+lowerAnchor(const ComputeDag &dag, int anchorId)
+{
+    const DagNode &node = dag.nodes[anchorId];
+    FT_ASSERT(node.isHeavy(), "lowerAnchor expects a conv/dense node");
+    LoweredAnchor lowered;
+
+    if (node.kind == NodeKind::Conv) {
+        const DagNode &data = dag.nodes[node.inputs[0]];
+        const DagNode &weight = dag.nodes[node.inputs[1]];
+        Tensor i = placeholder(data.name, data.shape);
+        Tensor w = placeholder(weight.name, weight.shape);
+        ops::ConvParams p;
+        p.stride = node.stride;
+        p.padding = node.padding;
+        lowered.output = ops::conv2d(i, w, p);
+        lowered.operands = {{node.inputs[0], i}, {node.inputs[1], w}};
+        return lowered;
+    }
+
+    const DagNode &data = dag.nodes[node.inputs[0]];
+    const DagNode &weight = dag.nodes[node.inputs[1]];
+    int64_t features = 1;
+    for (size_t d = 1; d < data.shape.size(); ++d)
+        features *= data.shape[d];
+    // Dense reads its activation flattened; the row-major bytes are the
+    // same, so the 2D placeholder shares the producer's data verbatim.
+    Tensor i = placeholder(data.name, {data.shape[0], features});
+    Tensor w = placeholder(weight.name, weight.shape);
+    lowered.output = ops::dense(i, w);
+    lowered.operands = {{node.inputs[0], i}, {node.inputs[1], w}};
+    return lowered;
+}
+
+BufferMap
+bindOperands(const LoweredAnchor &lowered, const DagBuffers &buffers)
+{
+    BufferMap bound;
+    for (const auto &operand : lowered.operands) {
+        const DagTensor &src = buffers.at(operand.first);
+        Buffer buf(operand.second.op());
+        FT_ASSERT(buf.numel() == src.numel(),
+                  "operand data does not fit the placeholder");
+        buf.data() = src.data;
+        bound.emplace(operand.second.op().get(), std::move(buf));
+    }
+    return bound;
+}
+
+void
+adoptAnchorOutput(const LoweredAnchor &lowered, const BufferMap &irBuffers,
+                  int anchorId, const ComputeDag &dag, DagBuffers &buffers)
+{
+    const Buffer &out = irBuffers.at(lowered.output.op().get());
+    DagTensor t(dag.nodes[anchorId].shape);
+    FT_ASSERT(t.numel() == out.numel(),
+              "anchor output shape mismatch during adoption");
+    t.data = out.data();
+    buffers[anchorId] = std::move(t);
+}
+
+} // namespace graph
+} // namespace ft

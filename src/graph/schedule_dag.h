@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Graph-level tuning: partition the DAG, tune each subgraph's anchor
+ * through the existing explorers, and stitch the results.
+ *
+ * `tuneDag` is Algorithm 1 lifted one level: instead of scheduling a
+ * fixed per-layer decomposition, it first runs the fusion partitioner
+ * (beam search over the roofline model), then lowers each group's heavy
+ * anchor to the same IR the per-layer path tunes — same space, same
+ * explorers, same tuning-cache key — and charges each group
+ * max(tuned compute, roofline memory). Anchor-free groups (standalone
+ * pooling) are bandwidth-bound and take their roofline seconds directly.
+ *
+ * Tracing: a `graph_run` meta line, one `graph.partition` span around
+ * the search, and one `graph.subgraph` span per group (the per-anchor
+ * `run`/`space_build`/`report` events nest inside as usual), so
+ * `trace-report` can fold graph runs like any other.
+ */
+#ifndef FLEXTENSOR_GRAPH_SCHEDULE_DAG_H
+#define FLEXTENSOR_GRAPH_SCHEDULE_DAG_H
+
+#include "explore/tuner.h"
+#include "graph/partition.h"
+
+namespace ft {
+namespace graph {
+
+/** Outcome of tuning one fusion group. */
+struct SubgraphReport
+{
+    std::string name;         ///< anchor name, or first member's name
+    std::vector<int> members; ///< DAG node ids in the group
+    int anchor = -1;          ///< heavy node id, -1 if bandwidth-only
+    bool tuned = false;       ///< anchor went through an explorer
+    TuneReport report;        ///< valid when tuned
+    GroupCost cost;           ///< roofline score of the group
+    double seconds = 0.0;     ///< charged group time
+};
+
+/** Outcome of tuning a whole DAG. */
+struct DagTuneReport
+{
+    std::string dagName;
+    std::string device;
+    uint64_t fingerprint = 0; ///< ComputeDag::fingerprint()
+    Partition partition;
+    std::vector<SubgraphReport> groups;
+    double totalSeconds = 0.0;
+    double simExploreSeconds = 0.0;
+    /** Modeled DRAM traffic of the chosen partition. */
+    int64_t trafficBytes = 0;
+    /** Intermediate bytes that never touch DRAM. */
+    int64_t ephemeralBytes = 0;
+};
+
+/** Partition `dag` and tune every subgraph for `target`. */
+DagTuneReport tuneDag(const ComputeDag &dag, const Target &target,
+                      const TuneOptions &options = {},
+                      const PartitionOptions &partitionOptions = {});
+
+} // namespace graph
+} // namespace ft
+
+#endif // FLEXTENSOR_GRAPH_SCHEDULE_DAG_H

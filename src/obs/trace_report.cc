@@ -58,10 +58,26 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 out.device = e.str("device");
                 out.method = e.str("method");
                 out.seed = static_cast<uint64_t>(e.integer("seed"));
+            } else if (e.name == "graph_run") {
+                ++out.graph.runs;
+                out.graph.dag = e.str("dag");
+                out.graph.fingerprint =
+                    static_cast<uint64_t>(e.integer("fingerprint"));
+                out.graph.nodes = e.integer("nodes");
+                if (out.device.empty())
+                    out.device = e.str("device");
+                if (out.method.empty())
+                    out.method = e.str("method");
             }
             break;
           case 'B':
             phases[e.name].openBegins.push_back(e.sim);
+            if (e.name == "graph.subgraph") {
+                GraphSubgraph sub;
+                sub.name = e.str("group");
+                sub.members = e.integer("members");
+                out.graph.subgraphs.push_back(std::move(sub));
+            }
             break;
           case 'E': {
             PhaseAcc &acc = phases[e.name];
@@ -72,6 +88,18 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 int64_t ns = e.integer("ns");
                 if (ns > 0)
                     acc.wallNs += static_cast<uint64_t>(ns);
+            }
+            if (e.name == "graph.partition") {
+                out.graph.groups = e.integer("groups");
+                out.graph.trafficBytes = e.integer("traffic_bytes");
+                out.graph.ephemeralBytes = e.integer("ephemeral_bytes");
+            } else if (e.name == "graph.subgraph" &&
+                       !out.graph.subgraphs.empty()) {
+                GraphSubgraph &sub = out.graph.subgraphs.back();
+                sub.tuned = e.str("tuned") == "true";
+                sub.seconds = e.real("seconds");
+                sub.trafficBytes = e.integer("traffic_bytes");
+                sub.ephemeralBytes = e.integer("ephemeral_bytes");
             }
             break;
           }
@@ -231,6 +259,40 @@ renderTraceReport(const TraceReport &report, int curvePoints)
         }
     }
 
+    if (report.graph.any()) {
+        const GraphBreakdown &g = report.graph;
+        oss << "\ngraph scheduling:\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  dag %s: %lld nodes -> %lld groups "
+                      "(fingerprint %llu)\n",
+                      g.dag.empty() ? "?" : g.dag.c_str(),
+                      (long long)g.nodes, (long long)g.groups,
+                      (unsigned long long)g.fingerprint);
+        oss << buf;
+        std::snprintf(buf, sizeof(buf),
+                      "  modeled DRAM traffic %lld bytes, "
+                      "%lld ephemeral bytes kept on chip\n",
+                      (long long)g.trafficBytes,
+                      (long long)g.ephemeralBytes);
+        oss << buf;
+        if (!g.subgraphs.empty()) {
+            std::snprintf(buf, sizeof(buf),
+                          "  %-14s %7s %6s %12s %14s %12s\n", "group",
+                          "members", "tuned", "est-sec", "traffic-B",
+                          "ephemeral-B");
+            oss << buf;
+            for (const GraphSubgraph &sub : g.subgraphs) {
+                std::snprintf(buf, sizeof(buf),
+                              "  %-14s %7lld %6s %12.3e %14lld %12lld\n",
+                              sub.name.c_str(), (long long)sub.members,
+                              sub.tuned ? "yes" : "no", sub.seconds,
+                              (long long)sub.trafficBytes,
+                              (long long)sub.ephemeralBytes);
+                oss << buf;
+            }
+        }
+    }
+
     if (!report.curve.empty() && curvePoints > 0) {
         oss << "\nbest GFLOPS vs. trials (Fig. 7 series):\n";
         // Sample evenly, always keeping the final point.
@@ -295,6 +357,25 @@ traceReportJson(const TraceReport &report)
             oss << ",";
         oss << "[" << s.queueDepths[i].first << ","
             << s.queueDepths[i].second << "]";
+    }
+    oss << "]},\"graph\":{";
+    const GraphBreakdown &g = report.graph;
+    oss << "\"runs\":" << g.runs << ",\"dag\":\"" << g.dag
+        << "\",\"fingerprint\":" << g.fingerprint
+        << ",\"nodes\":" << g.nodes << ",\"groups\":" << g.groups
+        << ",\"trafficBytes\":" << g.trafficBytes
+        << ",\"ephemeralBytes\":" << g.ephemeralBytes
+        << ",\"subgraphs\":[";
+    for (size_t i = 0; i < g.subgraphs.size(); ++i) {
+        const GraphSubgraph &sub = g.subgraphs[i];
+        if (i)
+            oss << ",";
+        oss << "{\"name\":\"" << sub.name
+            << "\",\"members\":" << sub.members
+            << ",\"tuned\":" << (sub.tuned ? "true" : "false")
+            << ",\"seconds\":" << formatTraceDouble(sub.seconds)
+            << ",\"trafficBytes\":" << sub.trafficBytes
+            << ",\"ephemeralBytes\":" << sub.ephemeralBytes << "}";
     }
     oss << "]},\"curve\":[";
     for (size_t i = 0; i < report.curve.size(); ++i) {

@@ -56,6 +56,32 @@ struct ServeBreakdown
     }
 };
 
+/** One fused subgraph folded from a `graph.subgraph` span. */
+struct GraphSubgraph
+{
+    std::string name; ///< anchor (or first member) name
+    int64_t members = 0;
+    bool tuned = false;   ///< went through an explorer (has an anchor)
+    double seconds = 0.0; ///< stitched group estimate
+    int64_t trafficBytes = 0;
+    int64_t ephemeralBytes = 0;
+};
+
+/** Graph-level scheduling folded from `graph_run`/`graph.*` events. */
+struct GraphBreakdown
+{
+    uint64_t runs = 0; ///< graph_run meta events
+    std::string dag;
+    uint64_t fingerprint = 0;
+    int64_t nodes = 0;  ///< compute nodes in the DAG
+    int64_t groups = 0; ///< fusion groups the partitioner chose
+    int64_t trafficBytes = 0;
+    int64_t ephemeralBytes = 0;
+    std::vector<GraphSubgraph> subgraphs;
+
+    bool any() const { return runs > 0; }
+};
+
 /** Everything trace_report derives from one timeline. */
 struct TraceReport
 {
@@ -83,6 +109,9 @@ struct TraceReport
 
     /** Admission-control section (empty for pure exploration traces). */
     ServeBreakdown serve;
+
+    /** Graph-scheduling section (empty for single-op traces). */
+    GraphBreakdown graph;
 };
 
 /** Fold parsed events into a report. */

@@ -69,7 +69,9 @@ TuningService::TuningService(const ServiceOptions &options)
       degradedReports_(metrics_.counter("service.degraded_reports")),
       familyRequests_(metrics_.counter("service.family_requests")),
       dispatchHits_(metrics_.counter("service.dispatch_hits")),
-      brownoutServed_(metrics_.counter("service.brownout_served"))
+      brownoutServed_(metrics_.counter("service.brownout_served")),
+      graphRequests_(metrics_.counter("service.graph_requests")),
+      graphCacheHits_(metrics_.counter("service.graph_cache_hits"))
 {
     if (!options_.clock) {
         options_.clock = [] {
@@ -420,6 +422,107 @@ TuningService::runFamily(const ShapeFamily &family, const Target &target,
         std::lock_guard<std::mutex> lock(mu_);
         if (registered)
             familyInflight_.erase(key);
+    }
+    promise.set_value(report);
+    return report;
+}
+
+uint64_t
+TuningService::graphFingerprint(const graph::ComputeDag &dag,
+                                const Target &target,
+                                const TuneOptions &options)
+{
+    const ExploreOptions &e = options.explore;
+    uint64_t h = kFnvOffset;
+    // The DAG's own 64-bit fingerprint is the structural key; device and
+    // the result-shaping options fold in on top.
+    fnvU64(h, dag.fingerprint());
+    fnvStr(h, target.deviceName());
+    fnvU64(h, static_cast<uint64_t>(options.method));
+    fnvU64(h, static_cast<uint64_t>(e.trials));
+    fnvU64(h, static_cast<uint64_t>(e.startingPoints));
+    fnvU64(h, static_cast<uint64_t>(e.warmupPoints));
+    fnvU64(h, e.seed);
+    fnvReal(h, e.targetGflops);
+    fnvU64(h, options.templateRestricted ? 1 : 0);
+    fnvReal(h, e.deadlineSimSeconds);
+    return h;
+}
+
+std::string
+TuningService::graphIdentity(const graph::ComputeDag &dag,
+                             const Target &target,
+                             const TuneOptions &options)
+{
+    std::ostringstream oss;
+    const ExploreOptions &e = options.explore;
+    oss << dag.spec() << "@" << target.deviceName() << "#"
+        << methodName(options.method) << "|trials=" << e.trials
+        << "|starts=" << e.startingPoints << "|warmup=" << e.warmupPoints
+        << "|seed=" << e.seed << "|target=" << e.targetGflops
+        << "|tmpl=" << options.templateRestricted
+        << "|deadline=" << e.deadlineSimSeconds;
+    return oss.str();
+}
+
+graph::DagTuneReport
+TuningService::tuneDag(const graph::ComputeDag &dag, const Target &target,
+                       TuneOptions options)
+{
+    graphRequests_.add();
+    const uint64_t key = graphFingerprint(dag, target, options);
+    const std::string identity = graphIdentity(dag, target, options);
+    std::promise<graph::DagTuneReport> promise;
+    std::shared_future<graph::DagTuneReport> shared;
+    bool owner = false;
+    bool registered = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto cached = graphCache_.find(key);
+        if (cached != graphCache_.end() &&
+            cached->second.identity == identity) {
+            graphCacheHits_.add();
+            return cached->second.report;
+        }
+        auto it = graphInflight_.find(key);
+        if (it != graphInflight_.end() &&
+            it->second.identity == identity) {
+            coalescedJoins_.add();
+            shared = it->second.future;
+        } else {
+            tuningRuns_.add();
+            owner = true;
+            shared = promise.get_future().share();
+            if (it == graphInflight_.end()) {
+                graphInflight_.emplace(key,
+                                       InflightGraphRun{identity, shared});
+                registered = true;
+            }
+        }
+    }
+    if (!owner)
+        return shared.get();
+
+    if (!options.cache)
+        options.cache = options_.persistentCache;
+    options.explore.evalPool = &evalPool_;
+    if (options.explore.measureParallelism == 0)
+        options.explore.measureParallelism = evalPool_.numThreads();
+    if (!options.explore.obs.metrics)
+        options.explore.obs.metrics = &metrics_;
+    graph::DagTuneReport report = graph::tuneDag(dag, target, options);
+    for (const auto &sub : report.groups) {
+        if (!sub.tuned)
+            continue;
+        evaluations_.add(static_cast<uint64_t>(sub.report.trials));
+        if (sub.report.fromCache)
+            persistentCacheHits_.add();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        graphCache_[key] = GraphSlot{identity, report};
+        if (registered)
+            graphInflight_.erase(key);
     }
     promise.set_value(report);
     return report;
@@ -825,9 +928,12 @@ TuningService::stats() const
     out.familyRequests = out.metrics.counter("service.family_requests");
     out.dispatchHits = out.metrics.counter("service.dispatch_hits");
     out.brownoutServed = out.metrics.counter("service.brownout_served");
+    out.graphRequests = out.metrics.counter("service.graph_requests");
+    out.graphCacheHits = out.metrics.counter("service.graph_cache_hits");
     out.admission = admission_->stats();
     std::lock_guard<std::mutex> lock(mu_);
-    out.inflight = inflight_.size() + familyInflight_.size();
+    out.inflight = inflight_.size() + familyInflight_.size() +
+                   graphInflight_.size();
     out.resultCacheSize = lru_.size();
     out.dispatchTables = dispatch_.size();
     return out;

@@ -40,6 +40,7 @@
 
 #include "explore/tuner.h"
 #include "family/tune_family.h"
+#include "graph/schedule_dag.h"
 #include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/thread_pool.h"
@@ -102,6 +103,8 @@ struct ServiceStats
     uint64_t degradedReports = 0;    ///< runs cut short by their deadline
     uint64_t familyRequests = 0;     ///< tuneFamily()/serveShape() calls
     uint64_t dispatchHits = 0;       ///< shapes served from a dispatch table
+    uint64_t graphRequests = 0;      ///< tuneDag() calls
+    uint64_t graphCacheHits = 0;     ///< DAGs served from the graph cache
     uint64_t brownoutServed = 0;     ///< degraded answers from caches
     size_t inflight = 0;             ///< runs currently executing
     size_t resultCacheSize = 0;      ///< reports currently in the LRU
@@ -236,6 +239,18 @@ class TuningService
                                 FamilyTuneOptions options = {});
 
     /**
+     * Graph-level scheduling of a whole compute DAG. Requests are keyed
+     * by the DAG's 64-bit fingerprint plus device and tuning options: a
+     * repeat request is served from the graph report cache without
+     * re-partitioning or re-tuning, and concurrent identical requests
+     * coalesce into one run (the anchor tunes inside still hit the
+     * operator-level reuse layers).
+     */
+    graph::DagTuneReport tuneDag(const graph::ComputeDag &dag,
+                                 const Target &target,
+                                 TuneOptions options = {});
+
+    /**
      * Serve one concrete shape of a family: a published dispatch table
      * answers immediately (a dispatch hit); otherwise the family is
      * tuned first (coalescing with concurrent requests) and the fresh
@@ -290,6 +305,19 @@ class TuningService
         std::shared_future<FamilyTuneReport> future;
     };
 
+    struct InflightGraphRun
+    {
+        std::string identity;
+        std::shared_future<graph::DagTuneReport> future;
+    };
+
+    /** A cached whole-DAG report plus its collision-check identity. */
+    struct GraphSlot
+    {
+        std::string identity;
+        graph::DagTuneReport report;
+    };
+
     /** A published dispatch table plus its collision-check identity. */
     struct DispatchSlot
     {
@@ -319,6 +347,14 @@ class TuningService
     static std::string familyIdentity(const ShapeFamily &family,
                                       const Target &target,
                                       const FamilyTuneOptions &options);
+
+    /** Fingerprint/identity of a whole-DAG tuning request. */
+    static uint64_t graphFingerprint(const graph::ComputeDag &dag,
+                                     const Target &target,
+                                     const TuneOptions &options);
+    static std::string graphIdentity(const graph::ComputeDag &dag,
+                                     const Target &target,
+                                     const TuneOptions &options);
 
     /** Fingerprint/identity of a (family, device) dispatch slot. */
     static uint64_t dispatchFingerprint(const std::string &familyName,
@@ -383,6 +419,8 @@ class TuningService
     Counter &familyRequests_;
     Counter &dispatchHits_;
     Counter &brownoutServed_;
+    Counter &graphRequests_;
+    Counter &graphCacheHits_;
 
     mutable std::mutex mu_;
     std::unordered_map<uint64_t, InflightRun> inflight_;
@@ -391,6 +429,8 @@ class TuningService
         lruIndex_;
     std::unordered_map<uint64_t, InflightFamilyRun> familyInflight_;
     std::unordered_map<uint64_t, DispatchSlot> dispatch_;
+    std::unordered_map<uint64_t, InflightGraphRun> graphInflight_;
+    std::unordered_map<uint64_t, GraphSlot> graphCache_;
 };
 
 } // namespace ft

@@ -20,6 +20,7 @@
 
 #include "explore/tuner.h"
 #include "family/tune_family.h"
+#include "graph/schedule_dag.h"
 #include "obs/trace.h"
 #include "ops/ops.h"
 #include "space/builder.h"
@@ -198,6 +199,106 @@ TEST(DeterminismFamilyTest, FixedSeedFamilyRunReproducesRecordedDigest)
         << "two same-seed family runs diverged in-process";
     EXPECT_EQ(first, 9800590346717069058ULL)
         << "family tuning no longer reproduces the recorded run "
+        << "(actual digest " << first << "ULL)";
+}
+
+/**
+ * Graph-level tuning is pinned the same way: the digest folds the DAG
+ * fingerprint, the chosen partition (group membership and names), the
+ * hexfloat stitched totals, the traffic accounting, and the trace event
+ * count, so a perturbation of the beam search, the roofline scoring,
+ * or the per-anchor explorer runs fails against the recorded value.
+ */
+uint64_t
+graphRunDigest()
+{
+    graph::ComputeDag dag;
+    dag.name = "chain";
+    auto push = [&](graph::DagNode n) {
+        dag.nodes.push_back(std::move(n));
+        return static_cast<int>(dag.nodes.size()) - 1;
+    };
+    graph::DagNode data;
+    data.kind = graph::NodeKind::Input;
+    data.name = "data";
+    data.shape = {1, 4, 10, 10};
+    int d = push(data);
+    graph::DagNode w;
+    w.kind = graph::NodeKind::Input;
+    w.name = "conv.w";
+    w.shape = {6, 4, 3, 3};
+    int wi = push(w);
+    graph::DagNode conv;
+    conv.kind = graph::NodeKind::Conv;
+    conv.name = "conv";
+    conv.inputs = {d, wi};
+    conv.outChannels = 6;
+    conv.kernel = 3;
+    conv.stride = 1;
+    conv.padding = 1;
+    conv.shape = {1, 6, 10, 10};
+    int c = push(conv);
+    graph::DagNode bvec;
+    bvec.kind = graph::NodeKind::Input;
+    bvec.name = "conv.b";
+    bvec.shape = {6};
+    int bv = push(bvec);
+    graph::DagNode bias;
+    bias.kind = graph::NodeKind::Bias;
+    bias.name = "conv.bias";
+    bias.inputs = {c, bv};
+    bias.shape = conv.shape;
+    int b = push(bias);
+    graph::DagNode relu;
+    relu.kind = graph::NodeKind::Relu;
+    relu.name = "conv.relu";
+    relu.inputs = {b};
+    relu.shape = conv.shape;
+    int r = push(relu);
+    graph::DagNode pool;
+    pool.kind = graph::NodeKind::Pool;
+    pool.name = "pool";
+    pool.inputs = {r};
+    pool.kernel = 2;
+    pool.stride = 2;
+    pool.shape = {1, 6, 5, 5};
+    push(pool);
+
+    TuneOptions options;
+    options.method = Method::QMethod;
+    options.explore.trials = 12;
+    options.explore.warmupPoints = 6;
+    options.explore.seed = 0x96aced;
+    TraceRecorder trace;
+    options.explore.obs.trace = &trace;
+    graph::DagTuneReport report =
+        graph::tuneDag(dag, Target::forGpu(v100()), options);
+
+    std::ostringstream os;
+    os << report.fingerprint << '|' << report.partition.groups.size();
+    for (const graph::SubgraphReport &sub : report.groups) {
+        os << '|' << sub.name << ':';
+        for (int m : sub.members)
+            os << m << ',';
+        os << sub.tuned;
+    }
+    os << '|' << std::hexfloat << report.totalSeconds << '|'
+       << report.simExploreSeconds << '|' << std::dec
+       << report.trafficBytes << '|' << report.ephemeralBytes << '|'
+       << trace.eventCount();
+    return fnv1a(os.str());
+}
+
+// Suite name starts with "Determinism" so the sanitizer CI selection
+// regex picks this test up too.
+TEST(DeterminismGraphTest, FixedSeedGraphRunReproducesRecordedDigest)
+{
+    const uint64_t first = graphRunDigest();
+    const uint64_t second = graphRunDigest();
+    EXPECT_EQ(first, second)
+        << "two same-seed graph runs diverged in-process";
+    EXPECT_EQ(first, 9943629917423740432ULL)
+        << "graph tuning no longer reproduces the recorded run "
         << "(actual digest " << first << "ULL)";
 }
 

@@ -13,7 +13,9 @@
 #include <fstream>
 #include <thread>
 
+#include "dnn/models.h"
 #include "explore/tuner.h"
+#include "graph/dag.h"
 #include "ops/ops.h"
 #include "serve/batch_eval.h"
 #include "serve/service.h"
@@ -304,6 +306,42 @@ TEST(TuningService, ResultCacheServesRepeatedRequests)
     EXPECT_EQ(stats.tuningRuns, 2u);
     EXPECT_EQ(stats.resultCacheHits, 1u);
     EXPECT_GT(stats.evaluations, 0u);
+}
+
+TEST(TuningService, GraphRequestsAreKeyedByFingerprint)
+{
+    TuningService service;
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.method = Method::Random;
+    options.explore.trials = 6;
+
+    graph::ComputeDag dag = graph::dagFromNetwork(yoloV1(1));
+    graph::ComputeDag same = graph::dagFromNetwork(yoloV1(1));
+    ASSERT_EQ(dag.fingerprint(), same.fingerprint());
+
+    graph::DagTuneReport first = service.tuneDag(dag, target, options);
+    ASSERT_FALSE(first.groups.empty());
+    // A structurally identical DAG is the same request: served from the
+    // graph report cache without re-partitioning or re-tuning.
+    graph::DagTuneReport second = service.tuneDag(same, target, options);
+    EXPECT_EQ(second.fingerprint, first.fingerprint);
+    EXPECT_EQ(second.partition.groups.size(),
+              first.partition.groups.size());
+    EXPECT_DOUBLE_EQ(second.totalSeconds, first.totalSeconds);
+    EXPECT_EQ(second.trafficBytes, first.trafficBytes);
+
+    ServiceStats after_hit = service.stats();
+    EXPECT_EQ(after_hit.graphRequests, 2u);
+    EXPECT_EQ(after_hit.graphCacheHits, 1u);
+
+    // A different batch is a different fingerprint, so it tunes anew.
+    graph::ComputeDag bigger = graph::dagFromNetwork(yoloV1(2));
+    EXPECT_NE(bigger.fingerprint(), dag.fingerprint());
+    service.tuneDag(bigger, target, options);
+    ServiceStats after_miss = service.stats();
+    EXPECT_EQ(after_miss.graphRequests, 3u);
+    EXPECT_EQ(after_miss.graphCacheHits, 1u);
 }
 
 TEST(TuningService, LruEvictsBeyondCapacity)

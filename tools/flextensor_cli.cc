@@ -7,6 +7,7 @@
  *   flextensor-cli batch [options] SPEC...
  *   flextensor-cli serve [options]        (SPECs read from stdin)
  *   flextensor-cli family [options]       (tune a whole shape family)
+ *   flextensor-cli graph [options]        (graph-level network scheduling)
  *   flextensor-cli --list
  *
  * A SPEC is an operator abbreviation with an optional case id, e.g.
@@ -75,6 +76,13 @@
  *   --lookup <shape>      after tuning, serve one concrete shape
  *                         (repeatable; must be inside --range)
  *
+ * graph options (fusion-aware whole-network tuning, see src/graph/):
+ *   --network yolo|overfeat  the network to schedule       (default yolo)
+ *   --batch <n>           input batch size                 (default 1)
+ *   --fuse none|epilogue|graph  partitioning mode          (default graph)
+ *   --trace <file>        write the timeline incl. graph.partition /
+ *                         graph.subgraph spans (fold with `trace-report`)
+ *
  * In batch/serve mode a malformed or unknown SPEC is skipped with a
  * warning; the exit code is nonzero only when every spec was invalid.
  */
@@ -92,6 +100,8 @@
 #include "analysis/verify/diag.h"
 #include "codegen/codegen.h"
 #include "core/flextensor.h"
+#include "dnn/e2e.h"
+#include "dnn/models.h"
 #include "ir/inline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -640,11 +650,132 @@ runFamily(int argc, char **argv)
     return 0;
 }
 
+/** `graph` subcommand: fusion-aware scheduling of a whole network. */
+int
+runGraph(int argc, char **argv)
+{
+    std::string network_name = "yolo", target_name = "v100";
+    std::string method_name = "q", fuse_name = "graph";
+    std::string trace_path, cache_path;
+    int trials = 200;
+    int64_t batch = 1;
+    uint64_t seed = 0xc11;
+    bool print_metrics = false;
+
+    for (int i = 2; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc)
+                fatal("missing value for ", flag);
+            return true;
+        };
+        if (arg("--network")) {
+            network_name = argv[++i];
+        } else if (arg("--batch")) {
+            batch = std::atoll(argv[++i]);
+        } else if (arg("--fuse")) {
+            fuse_name = argv[++i];
+        } else if (arg("--target")) {
+            target_name = argv[++i];
+        } else if (arg("--method")) {
+            method_name = argv[++i];
+        } else if (arg("--trials")) {
+            trials = std::atoi(argv[++i]);
+        } else if (arg("--seed")) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg("--cache")) {
+            cache_path = argv[++i];
+        } else if (arg("--trace")) {
+            trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            print_metrics = true;
+        } else {
+            fatal("unknown argument '", argv[i], "' (see header comment)");
+        }
+    }
+
+    Network net;
+    if (network_name == "yolo") {
+        net = yoloV1(batch);
+    } else if (network_name == "overfeat") {
+        net = overFeat(batch);
+    } else {
+        fatal("unknown --network '", network_name, "' (yolo|overfeat)");
+    }
+
+    E2eOptions options;
+    if (fuse_name == "none") {
+        options.fuse = FuseMode::None;
+    } else if (fuse_name == "epilogue") {
+        options.fuse = FuseMode::Epilogue;
+    } else if (fuse_name == "graph") {
+        options.fuse = FuseMode::Graph;
+    } else {
+        fatal("unknown --fuse '", fuse_name, "' (none|epilogue|graph)");
+    }
+    Target target = parseTarget(target_name);
+    options.method = parseMethod(method_name);
+    options.explore.trials = trials;
+    options.explore.seed = seed;
+    TuningCache cache;
+    if (!cache_path.empty()) {
+        cache.load(cache_path);
+        options.cache = &cache;
+    }
+    TraceRecorder recorder;
+    MetricsRegistry registry;
+    if (!trace_path.empty())
+        options.explore.obs.trace = &recorder;
+    if (print_metrics)
+        options.explore.obs.metrics = &registry;
+
+    std::printf("scheduling %s (batch %lld) on %s with %s "
+                "(%d steps, fuse=%s)\n",
+                net.name.c_str(), (long long)batch,
+                target.deviceName().c_str(),
+                methodName(options.method).c_str(), trials,
+                fuseModeName(options.fuse));
+
+    NetworkReport report = scheduleNetwork(net, target, options);
+    for (const LayerReport &layer : report.layers) {
+        std::printf("%-24s %.3e s%s\n", layer.name.c_str(), layer.seconds,
+                    layer.tuned ? "" : "  [bandwidth-bound]");
+    }
+    std::printf("\ntotal %.3e s across %zu groups "
+                "(%.0f simulated explore seconds)\n",
+                report.totalSeconds, report.layers.size(),
+                report.simExploreSeconds);
+    std::printf("modeled DRAM traffic %lld bytes (epilogue baseline "
+                "%lld): %lld saved, %lld ephemeral bytes on chip\n",
+                (long long)report.modeledTrafficBytes,
+                (long long)report.baselineTrafficBytes,
+                (long long)report.trafficSavedBytes,
+                (long long)report.ephemeralBytes);
+
+    if (!trace_path.empty()) {
+        if (recorder.writeFile(trace_path)) {
+            std::printf("trace: %llu events -> %s\n",
+                        (unsigned long long)recorder.eventCount(),
+                        trace_path.c_str());
+        } else {
+            warn("could not write trace to ", trace_path);
+        }
+    }
+    if (print_metrics)
+        std::printf("\nmetrics:\n%s", registry.snapshot().toString().c_str());
+    if (!cache_path.empty() && !cache.save(cache_path))
+        warn("could not write tuning cache to ", cache_path);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "graph") == 0)
+        return runGraph(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "batch") == 0)
         return runService(/*from_stdin=*/false, argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
