@@ -1,8 +1,10 @@
 #include "explore/explorer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
+#include "ml/costmodel.h"
 #include "ml/gbt.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,6 +19,7 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
     eval.setObs(options.obs);
+    eval.setCostModel(options.costModel);
     TraceRecorder *trace = options.obs.trace;
     Counter *step_counter = maybeCounter(options.obs.metrics,
                                          "explore.steps");
@@ -74,6 +77,32 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
                 trace->end("step", eval.simulatedSeconds());
             break;
         }
+        const bool persistent_rank =
+            !model.trained() && options.costModel != nullptr &&
+            options.costModel->ready();
+        if (persistent_rank) {
+            // Cold rounds: the per-run GBT has no data yet, so the
+            // persistent model ranks the pool instead of leaving it in
+            // random order.
+            scores.resize(candidates.size());
+            std::vector<double> cost_feat;
+            for (size_t i = 0; i < candidates.size(); ++i) {
+                eval.costFeaturesFor(candidates[i], cost_feat);
+                scores[i] = options.costModel->predict(cost_feat);
+            }
+            rank.resize(candidates.size());
+            for (size_t i = 0; i < rank.size(); ++i)
+                rank[i] = i;
+            std::stable_sort(rank.begin(), rank.end(),
+                             [&](size_t a, size_t b) {
+                                 return scores[a] > scores[b];
+                             });
+            std::vector<Point> ranked;
+            ranked.reserve(candidates.size());
+            for (size_t i : rank)
+                ranked.push_back(std::move(candidates[i]));
+            candidates = std::move(ranked);
+        }
         if (model.trained()) {
             // Stable-sorting precomputed scores yields the exact
             // permutation the predict-in-comparator form produced
@@ -95,6 +124,34 @@ exploreAutoTvm(Evaluator &eval, const ExploreOptions &options)
             for (size_t i : rank)
                 ranked.push_back(std::move(candidates[i]));
             candidates = std::move(ranked);
+        }
+        // With pruning on, epsilon-greedy only draws from the ranked
+        // top fraction of the pool (never fewer than one batch).
+        if (options.costModel != nullptr && options.prunerKeep > 0.0 &&
+            options.costModel->ready() &&
+            (model.trained() || persistent_rank)) {
+            const size_t keep = std::max<size_t>(
+                static_cast<size_t>(batch),
+                static_cast<size_t>(std::ceil(
+                    options.prunerKeep *
+                    static_cast<double>(candidates.size()))));
+            if (keep < candidates.size()) {
+                if (trace) {
+                    trace->point(
+                        "costmodel.prune", eval.simulatedSeconds(),
+                        {tint("considered",
+                              static_cast<int64_t>(candidates.size())),
+                         tint("kept", static_cast<int64_t>(keep))});
+                }
+                if (options.obs.metrics) {
+                    options.obs.metrics->counter("costmodel.prune.kept")
+                        .add(keep);
+                    options.obs.metrics
+                        ->counter("costmodel.prune.dropped")
+                        .add(candidates.size() - keep);
+                }
+                candidates.resize(keep);
+            }
         }
         // Epsilon-greedy batch: mostly top-ranked, some random. Picks are
         // selected first, then measured as one parallel batch; the

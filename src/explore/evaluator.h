@@ -25,6 +25,7 @@
 
 namespace ft {
 
+class CostModel;
 class Counter;
 class Gauge;
 class Histogram;
@@ -160,6 +161,29 @@ class Evaluator
     /** The attached sinks (shared by the batch/resilient layers). */
     const ObsContext &obs() const { return obs_; }
 
+    /**
+     * Attach the persistent cost model (not owned; may be null). Every
+     * subsequent commit records a training trial (features, GFLOPS,
+     * workload group) with the model. Observation-only with respect to
+     * H, the cache, and the simulated clock.
+     */
+    void setCostModel(CostModel *model) { costModel_ = model; }
+    CostModel *costModel() const { return costModel_; }
+
+    /**
+     * Cost-model feature vector of a point (decode + lower only; no
+     * verifier run, no clock charge). Single-threaded like evaluate():
+     * reuses a dedicated scratch so it may interleave with scoring.
+     */
+    void costFeaturesFor(const Point &p, std::vector<double> &out) const;
+
+    /**
+     * Workload fingerprint grouping this evaluator's trials for the
+     * rank objective: FNV-1a over operator name, axis extents, and
+     * device name.
+     */
+    uint64_t workloadKey() const { return workloadKey_; }
+
     /** (simulated time, best-so-far) after each measurement. */
     const std::vector<std::pair<double, double>> &curve() const
     {
@@ -211,6 +235,12 @@ class Evaluator
 
     /** Scoring buffers for the single-threaded evaluate() path. */
     mutable EvalScratch scratch_;
+
+    /** Persistent cost model hookup (null = detached). */
+    CostModel *costModel_ = nullptr;
+    mutable EvalScratch costScratch_;
+    mutable std::vector<double> costFeat_;
+    uint64_t workloadKey_ = 0;
 
     std::unordered_map<PointKey, double> cache_;
     std::vector<Evaluated> history_;

@@ -26,6 +26,8 @@
 
 namespace ft {
 
+class CostModel;
+
 /** Options shared by the exploration methods. */
 struct ExploreOptions
 {
@@ -77,6 +79,24 @@ struct ExploreOptions
      */
     std::string checkpointPath;
     int checkpointEveryTrials = 10;
+    /**
+     * Persistent learned cost model (not owned; may be null). When
+     * attached, every committed measurement is recorded as a training
+     * trial, and — once the model is trained — warmup seeds from the
+     * model's top-ranked candidates instead of plain random points.
+     * Attaching a model changes the RNG draw schedule, so the pinned
+     * model-off determinism digests only hold when this is null.
+     */
+    CostModel *costModel = nullptr;
+    /**
+     * Model-guided candidate pruning (0 = off): each explorer scores
+     * candidate neighborhoods with the cost model and simulates only
+     * the top `prunerKeep` fraction (at least one). Requires a trained
+     * costModel; ignored without one. Off by default to preserve the
+     * model-off determinism digests — the pruned path has its own
+     * pinned digest.
+     */
+    double prunerKeep = 0.0;
     /**
      * Observability sinks (trace timeline + metrics registry; both
      * optional, not owned). Attached to the evaluator at run start so

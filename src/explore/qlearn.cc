@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "explore/checkpoint.h"
 #include "explore/sa.h"
+#include "ml/costmodel.h"
 #include "nn/mlp.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,6 +44,67 @@ wallNsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Candidates simulated given the keep fraction: at least one. */
+size_t
+keepCount(double keep, size_t n)
+{
+    return std::max<size_t>(
+        1, static_cast<size_t>(
+               std::ceil(keep * static_cast<double>(n))));
+}
+
+/** True when the options ask for model-guided candidate pruning and a
+ *  trained snapshot is available to score with. */
+bool
+pruningActive(const ExploreOptions &options)
+{
+    return options.costModel != nullptr && options.prunerKeep > 0.0 &&
+           options.costModel->ready();
+}
+
+/**
+ * Keep only the top prunerKeep fraction of `points` by predicted rank
+ * score (stable order among survivors). Emits the costmodel.prune trace
+ * point and kept/dropped counters.
+ */
+void
+pruneCandidates(Evaluator &eval, const ExploreOptions &options,
+                std::vector<Point> &points, std::vector<double> &feat,
+                std::vector<double> &scores, std::vector<size_t> &order)
+{
+    const size_t n = points.size();
+    const size_t keep = keepCount(options.prunerKeep, n);
+    if (keep >= n)
+        return;
+    CostModel &model = *options.costModel;
+    scores.resize(n);
+    order.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        eval.costFeaturesFor(points[i], feat);
+        scores[i] = model.predict(feat);
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return scores[a] > scores[b];
+    });
+    std::vector<Point> kept;
+    kept.reserve(keep);
+    for (size_t i = 0; i < keep; ++i)
+        kept.push_back(std::move(points[order[i]]));
+    points.swap(kept);
+    if (options.obs.trace) {
+        options.obs.trace->point(
+            "costmodel.prune", eval.simulatedSeconds(),
+            {tint("considered", static_cast<int64_t>(n)),
+             tint("kept", static_cast<int64_t>(keep))});
+    }
+    if (options.obs.metrics) {
+        options.obs.metrics->counter("costmodel.prune.kept").add(keep);
+        options.obs.metrics->counter("costmodel.prune.dropped")
+            .add(n - keep);
+    }
+}
+
 /** Seed H with random points so SA has something to choose from. */
 void
 warmup(ResilientEvaluator &reval, Rng &rng, const ExploreOptions &options)
@@ -52,8 +115,45 @@ warmup(ResilientEvaluator &reval, Rng &rng, const ExploreOptions &options)
     const ScheduleSpace &space = eval.space();
     std::vector<Point> points = options.seedPoints;
     points.reserve(points.size() + options.warmupPoints + 1);
-    for (int i = 0; i < options.warmupPoints; ++i)
-        points.push_back(space.randomPoint(rng));
+    CostModel *model = options.costModel;
+    const bool warm = model != nullptr && model->ready() &&
+                      options.warmupPoints > 0;
+    if (warm) {
+        // Model warm-start: oversample random candidates, rank them
+        // with the persistent model, and seed from the top-ranked
+        // subset instead of the raw draws. The extra RNG draws only
+        // happen with a model attached, so model-off runs keep their
+        // pinned digests.
+        const int oversample = 4 * options.warmupPoints;
+        std::vector<Point> cands;
+        cands.reserve(oversample);
+        for (int i = 0; i < oversample; ++i)
+            cands.push_back(space.randomPoint(rng));
+        std::vector<double> feat, scores(cands.size());
+        std::vector<size_t> order(cands.size());
+        for (size_t i = 0; i < cands.size(); ++i) {
+            eval.costFeaturesFor(cands[i], feat);
+            scores[i] = model->predict(feat);
+            order[i] = i;
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return scores[a] > scores[b];
+                         });
+        for (int i = 0; i < options.warmupPoints; ++i)
+            points.push_back(std::move(cands[order[i]]));
+        if (options.obs.trace) {
+            options.obs.trace->point(
+                "costmodel.warm_start", eval.simulatedSeconds(),
+                {tint("candidates", static_cast<int64_t>(cands.size())),
+                 tint("kept", options.warmupPoints)});
+        }
+        if (options.obs.metrics)
+            options.obs.metrics->counter("costmodel.warmstarts").add();
+    } else {
+        for (int i = 0; i < options.warmupPoints; ++i)
+            points.push_back(space.randomPoint(rng));
+    }
     points.push_back(space.initialPoint());
     if (options.obs.trace) {
         options.obs.trace->begin(
@@ -193,6 +293,7 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
     eval.setObs(options.obs);
+    eval.setCostModel(options.costModel);
     TraceRecorder *trace = options.obs.trace;
     MetricsRegistry *metrics = options.obs.metrics;
     Counter *step_counter = maybeCounter(metrics, "explore.steps");
@@ -242,6 +343,10 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
     std::vector<float> train_state;
     std::vector<int> train_action;
     std::vector<float> targets;
+    // Pruned-path buffers (untouched unless a trained model is attached).
+    std::vector<int> cand_dirs;
+    std::vector<Point> cand_points;
+    std::vector<double> prune_feat;
     Counter *qf_ns_counter = options.obs.wallProfile
                                  ? maybeCounter(metrics, "q.forward_batch.ns")
                                  : nullptr;
@@ -328,31 +433,81 @@ exploreQMethod(Evaluator &eval, const ExploreOptions &options)
             }
 
             // Take the best direction that leads to an unvisited point.
-            for (int d : order) {
-                auto next = space.move(start, d);
-                if (!next)
-                    continue;
-                const PointKey next_key = next->key64();
-                if (eval.known(next_key))
-                    continue;
+            // With pruning on, the persistent model re-ranks the top
+            // prunerKeep fraction of the Q-ordered candidates and the
+            // model-argmax is measured instead of the first.
+            int chosen_dir = -1;
+            std::optional<Point> chosen;
+            if (!pruningActive(options)) {
+                for (int d : order) {
+                    auto next = space.move(start, d);
+                    if (!next || eval.known(next->key64()))
+                        continue;
+                    chosen_dir = d;
+                    chosen = std::move(next);
+                    break;
+                }
+            } else {
+                cand_dirs.clear();
+                cand_points.clear();
+                for (int d : order) {
+                    auto next = space.move(start, d);
+                    if (!next || eval.known(next->key64()))
+                        continue;
+                    cand_dirs.push_back(d);
+                    cand_points.push_back(std::move(*next));
+                }
+                if (!cand_points.empty()) {
+                    const size_t consider = keepCount(
+                        options.prunerKeep, cand_points.size());
+                    size_t best_i = 0;
+                    double best_score = 0.0;
+                    for (size_t i = 0; i < consider; ++i) {
+                        eval.costFeaturesFor(cand_points[i], prune_feat);
+                        double score =
+                            options.costModel->predict(prune_feat);
+                        if (i == 0 || score > best_score) {
+                            best_score = score;
+                            best_i = i;
+                        }
+                    }
+                    chosen_dir = cand_dirs[best_i];
+                    chosen = std::move(cand_points[best_i]);
+                    if (trace) {
+                        trace->point(
+                            "costmodel.prune", eval.simulatedSeconds(),
+                            {tint("considered",
+                                  static_cast<int64_t>(consider)),
+                             tint("kept", 1)});
+                    }
+                    if (metrics) {
+                        metrics->counter("costmodel.prune.kept").add(1);
+                        metrics->counter("costmodel.prune.dropped")
+                            .add(consider - 1);
+                    }
+                }
+            }
+            if (chosen) {
+                const int d = chosen_dir;
+                const Point &next = *chosen;
+                const PointKey next_key = next.key64();
                 double e_start = eval.evaluate(start);
-                double e_next = reval.evaluate(*next, next_key);
+                double e_next = reval.evaluate(next, next_key);
                 float reward = static_cast<float>(
                     (e_next - e_start) / std::max(e_start, 1e-9));
                 const float *feat_row =
                     batch_feat.data() + static_cast<size_t>(s) * feature_dim;
-                space.featuresInto(*next, decode_scratch, feat_d);
+                space.featuresInto(next, decode_scratch, feat_d);
                 replay.push_back(
-                    {start, *next,
+                    {start, next,
                      std::vector<float>(feat_row, feat_row + feature_dim),
                      d, toFloat(feat_d), reward});
                 if (trace) {
                     trace->point("q_step", eval.simulatedSeconds(),
-                                 {tstr("key", next->key()), tint("dir", d),
+                                 {tstr("key", next.key()), tint("dir", d),
                                   treal("reward", reward),
                                   tbool("greedy", greedy)});
                 }
-                break;
             }
         }
 
@@ -433,6 +588,7 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
     eval.setObs(options.obs);
+    eval.setCostModel(options.costModel);
     TraceRecorder *trace = options.obs.trace;
     Counter *step_counter = maybeCounter(options.obs.metrics,
                                          "explore.steps");
@@ -443,6 +599,8 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
     // Reused across starts; a neighborhood holds at most num_dirs points.
     std::vector<Point> neighborhood;
     neighborhood.reserve(num_dirs);
+    std::vector<double> prune_feat, prune_scores;
+    std::vector<size_t> prune_order;
 
     int start_trial = 0;
     bool resumed = false;
@@ -486,6 +644,12 @@ explorePMethod(Evaluator &eval, const ExploreOptions &options)
                 if (next && !eval.known(*next))
                     neighborhood.push_back(std::move(*next));
             }
+            // Pruned mode simulates only the model's top fraction of
+            // the neighborhood instead of every direction.
+            if (pruningActive(options)) {
+                pruneCandidates(eval, options, neighborhood, prune_feat,
+                                prune_scores, prune_order);
+            }
             reval.evaluate(neighborhood);
         }
         eval.chargeOverhead(options.stepOverheadSeconds);
@@ -505,11 +669,15 @@ exploreRandom(Evaluator &eval, const ExploreOptions &options)
     Rng rng(options.seed);
     const ScheduleSpace &space = eval.space();
     eval.setObs(options.obs);
+    eval.setCostModel(options.costModel);
     TraceRecorder *trace = options.obs.trace;
     Counter *step_counter = maybeCounter(options.obs.metrics,
                                          "explore.steps");
     ResilientEvaluator reval(eval, options.evalPool,
                              options.measureParallelism, options.resilience);
+    std::vector<Point> draws;
+    std::vector<double> prune_feat, prune_scores;
+    std::vector<size_t> prune_order;
 
     int start_trial = 0;
     bool resumed = false;
@@ -536,7 +704,21 @@ exploreRandom(Evaluator &eval, const ExploreOptions &options)
             trace->begin("step", eval.simulatedSeconds(),
                          {tint("trial", trial)});
         }
-        reval.evaluate(space.randomPoint(rng));
+        if (pruningActive(options)) {
+            // Pruned random search draws a batch sized so that keeping
+            // the prunerKeep fraction measures ~one model-chosen point
+            // per trial — same measurement budget, model-guided picks.
+            const int n = std::max(
+                1, static_cast<int>(std::ceil(1.0 / options.prunerKeep)));
+            draws.clear();
+            for (int i = 0; i < n; ++i)
+                draws.push_back(space.randomPoint(rng));
+            pruneCandidates(eval, options, draws, prune_feat,
+                            prune_scores, prune_order);
+            reval.evaluate(draws);
+        } else {
+            reval.evaluate(space.randomPoint(rng));
+        }
         if (trace)
             trace->end("step", eval.simulatedSeconds());
         if (step_counter)

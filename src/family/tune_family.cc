@@ -67,6 +67,11 @@ tuneFamily(const ShapeFamily &family, const Target &target,
     }
     if (obs.metrics)
         obs.metrics->counter("family.runs").add();
+    // Every bucket's ExploreOptions copy carries the same CostModel
+    // pointer, so trials from early (small-shape) buckets warm the
+    // ranking that prunes and seeds the later ones.
+    if (obs.metrics && options.explore.costModel)
+        obs.metrics->counter("family.costmodel_shared").add();
 
     FamilyTuneReport report;
     report.table = DispatchTable(family.name, target.deviceName(), family.var);

@@ -1,0 +1,284 @@
+#include "ml/costmodel.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/journal.h"
+#include "support/rng.h"
+
+namespace ft {
+
+const char kCostModelJournalKind[] = "ftcost";
+
+namespace {
+
+/** Refit seed base; XORed with the running trial count so every refit
+ *  draws a distinct but reproducible stream. */
+constexpr uint64_t kRefitSeed = 0x5eedc057ULL;
+
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+bool
+parseDouble(std::istringstream &iss, double &out)
+{
+    std::string tok;
+    if (!(iss >> tok))
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end != tok.c_str() && *end == '\0';
+}
+
+} // namespace
+
+CostModel::CostModel(CostModelOptions options)
+    : options_(std::move(options))
+{
+}
+
+CostModel::~CostModel()
+{
+    stopBackgroundRefit();
+}
+
+void
+CostModel::appendTrialFrame(const CostTrial &trial)
+{
+    std::ostringstream oss;
+    char group[24];
+    std::snprintf(group, sizeof(group), "%" PRIx64, trial.group);
+    oss << "t " << group << ' ' << hexDouble(trial.gflops) << ' '
+        << trial.features.size();
+    for (double f : trial.features)
+        oss << ' ' << hexDouble(f);
+    std::lock_guard<std::mutex> lock(fileMu_);
+    journalAppend(options_.persistPath, kCostModelJournalKind, oss.str());
+}
+
+void
+CostModel::appendModelFrame(const GbtModel &model)
+{
+    std::lock_guard<std::mutex> lock(fileMu_);
+    journalAppend(options_.persistPath, kCostModelJournalKind,
+                  "m " + model.serialize());
+}
+
+bool
+CostModel::load()
+{
+    if (options_.persistPath.empty())
+        return false;
+    JournalContents contents = readJournal(options_.persistPath);
+    if (!contents.valid || contents.kind != kCostModelJournalKind)
+        return false;
+    if (contents.torn)
+        truncateToValid(options_.persistPath, contents);
+
+    std::vector<CostTrial> trials;
+    std::shared_ptr<const GbtModel> snapshot;
+    for (const std::string &rec : contents.records) {
+        if (rec.size() < 2)
+            continue;
+        if (rec[0] == 'm' && rec[1] == ' ') {
+            auto model = std::make_shared<GbtModel>();
+            if (model->deserialize(rec.substr(2)) && model->trained())
+                snapshot = std::move(model); // newest model frame wins
+            continue;
+        }
+        if (rec[0] != 't' || rec[1] != ' ')
+            continue;
+        std::istringstream iss(rec.substr(2));
+        std::string group_tok;
+        CostTrial trial;
+        size_t n = 0;
+        if (!(iss >> group_tok) || !parseDouble(iss, trial.gflops) ||
+            !(iss >> n)) {
+            continue;
+        }
+        trial.group = std::strtoull(group_tok.c_str(), nullptr, 16);
+        trial.features.resize(n);
+        bool ok = true;
+        for (size_t i = 0; i < n && ok; ++i)
+            ok = parseDouble(iss, trial.features[i]);
+        if (ok)
+            trials.push_back(std::move(trial));
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    recorded_ = trials.size();
+    if (trials.size() > options_.maxTrials) {
+        trials.erase(trials.begin(),
+                     trials.end() -
+                         static_cast<long>(options_.maxTrials));
+    }
+    trials_ = std::move(trials);
+    if (snapshot)
+        snapshot_ = std::move(snapshot);
+    sinceRefit_ = 0;
+    return true;
+}
+
+void
+CostModel::recordTrial(const std::vector<double> &features, double gflops,
+                       uint64_t group, const ObsContext *obs, double sim)
+{
+    CostTrial trial{features, gflops, group};
+    if (!options_.persistPath.empty())
+        appendTrialFrame(trial);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    trials_.push_back(std::move(trial));
+    if (trials_.size() > options_.maxTrials)
+        trials_.erase(trials_.begin());
+    ++recorded_;
+    ++sinceRefit_;
+    const bool due = sinceRefit_ >= options_.refitEvery;
+    if (due) {
+        if (options_.syncRefit) {
+            refitLocked(lock, obs, sim);
+        } else {
+            sinceRefit_ = 0;
+            kick_ = true;
+            cv_.notify_one();
+        }
+    }
+    lock.unlock();
+    if (obs && obs->metrics)
+        obs->metrics->counter("costmodel.trials").add(1);
+}
+
+bool
+CostModel::ready() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return snapshot_ != nullptr && snapshot_->trained();
+}
+
+double
+CostModel::predict(const std::vector<double> &features) const
+{
+    std::shared_ptr<const GbtModel> model;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        model = snapshot_;
+    }
+    return model ? model->predict(features) : 0.0;
+}
+
+void
+CostModel::refitNow(const ObsContext *obs, double sim)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    refitLocked(lock, obs, sim);
+}
+
+void
+CostModel::refitLocked(std::unique_lock<std::mutex> &lock,
+                       const ObsContext *obs, double sim)
+{
+    if (trials_.empty()) {
+        sinceRefit_ = 0;
+        return;
+    }
+    // Clone the window under the lock, fit outside it: predict() keeps
+    // serving the old snapshot for the whole (potentially long) fit.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    std::vector<uint64_t> groups;
+    x.reserve(trials_.size());
+    y.reserve(trials_.size());
+    groups.reserve(trials_.size());
+    for (const CostTrial &t : trials_) {
+        x.push_back(t.features);
+        y.push_back(t.gflops);
+        groups.push_back(t.group);
+    }
+    const uint64_t seed = kRefitSeed ^ recorded_;
+    sinceRefit_ = 0;
+    lock.unlock();
+
+    if (obs && obs->trace) {
+        obs->trace->begin("costmodel.train", sim,
+                          {tint("trials",
+                                static_cast<int64_t>(x.size()))});
+    }
+    auto model = std::make_shared<GbtModel>();
+    Rng rng(seed);
+    model->fitRank(x, y, groups, options_.gbt, rng);
+    if (obs && obs->trace)
+        obs->trace->end("costmodel.train", sim);
+    if (obs && obs->metrics)
+        obs->metrics->counter("costmodel.refits").add(1);
+    if (!options_.persistPath.empty())
+        appendModelFrame(*model);
+
+    lock.lock();
+    snapshot_ = std::move(model);
+    ++refits_;
+}
+
+void
+CostModel::startBackgroundRefit()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (trainer_.joinable())
+        return;
+    stop_ = false;
+    trainer_ = std::thread([this] { trainerLoop(); });
+}
+
+void
+CostModel::stopBackgroundRefit()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!trainer_.joinable())
+            return;
+        stop_ = true;
+        cv_.notify_one();
+    }
+    trainer_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    trainer_ = std::thread();
+    stop_ = false;
+}
+
+void
+CostModel::trainerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        cv_.wait(lock, [this] { return kick_ || stop_; });
+        if (stop_)
+            return;
+        kick_ = false;
+        refitLocked(lock, nullptr, 0.0);
+    }
+}
+
+size_t
+CostModel::numTrials() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return trials_.size();
+}
+
+uint64_t
+CostModel::refits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return refits_;
+}
+
+} // namespace ft

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Persistent learned cost model: a service-wide rank-loss GBT trained
+ * continuously from completed-trial records.
+ *
+ * Every committed measurement — any explorer, any request — lands here
+ * as (feature vector, GFLOPS, workload group). GFLOPS magnitudes are
+ * incomparable across workloads, so the model trains with the pairwise
+ * rank objective grouped by workload: it learns which schedule *of two*
+ * is faster, which is exactly what pruning and warm-starting need.
+ *
+ * Concurrency contract: predict() reads an immutable snapshot through
+ * one shared_ptr copy under a mutex, then evaluates lock-free, so
+ * inference never blocks on training. Refits run either inline
+ * (syncRefit, deterministic — the explorers' pinned-digest mode) or on
+ * a background thread that clones the trial window, fits outside the
+ * lock, and swaps the snapshot in.
+ *
+ * Durability: with persistPath set, each trial appends one CRC32
+ * journal frame and each refit appends the serialized model, so a
+ * crash loses at most the in-flight frame; load() replays the journal
+ * (tolerating a torn tail) and restores the newest model snapshot
+ * bit-identically via the hexfloat GBT serialization.
+ */
+#ifndef FLEXTENSOR_ML_COSTMODEL_H
+#define FLEXTENSOR_ML_COSTMODEL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ml/gbt.h"
+#include "obs/obs.h"
+
+namespace ft {
+
+struct CostModelOptions
+{
+    GbtOptions gbt;
+    /** Refit after this many newly recorded trials. */
+    int refitEvery = 64;
+    /** Sliding window of retained trials (oldest dropped beyond it). */
+    size_t maxTrials = 4096;
+    /**
+     * Refit inline inside recordTrial() instead of on the background
+     * thread. Deterministic (fixed refit seed derived from the trial
+     * count) — the mode the explorers' pinned digests rely on.
+     */
+    bool syncRefit = false;
+    /** Journal path for trials + model snapshots; empty = in-memory. */
+    std::string persistPath;
+};
+
+/** One completed-trial record. */
+struct CostTrial
+{
+    std::vector<double> features;
+    double gflops = 0.0;
+    uint64_t group = 0; ///< workload fingerprint (rank-pair scope)
+};
+
+class CostModel
+{
+  public:
+    explicit CostModel(CostModelOptions options);
+    ~CostModel();
+
+    CostModel(const CostModel &) = delete;
+    CostModel &operator=(const CostModel &) = delete;
+
+    /**
+     * Replay the persistence journal: re-ingest every trial record and
+     * restore the newest model snapshot. Torn tails are tolerated (the
+     * intact prefix loads; the file is repaired in place). False when
+     * persistPath is empty or the file is missing/not a journal.
+     */
+    bool load();
+
+    /**
+     * Record one completed trial. Appends a journal frame when
+     * persisting, then either refits inline (syncRefit) or kicks the
+     * background trainer once refitEvery new trials have accumulated.
+     * `obs` (nullable) receives the costmodel.train span and counters.
+     */
+    void recordTrial(const std::vector<double> &features, double gflops,
+                     uint64_t group, const ObsContext *obs = nullptr,
+                     double sim = 0.0);
+
+    /** True once a trained snapshot is available for predict(). */
+    bool ready() const;
+
+    /** Ranking score of a candidate (higher = predicted faster). */
+    double predict(const std::vector<double> &features) const;
+
+    /** Force a synchronous refit on the current trial window. */
+    void refitNow(const ObsContext *obs = nullptr, double sim = 0.0);
+
+    /** Start/stop the background refit thread (service lifecycle). */
+    void startBackgroundRefit();
+    void stopBackgroundRefit();
+
+    size_t numTrials() const;
+    uint64_t refits() const;
+
+  private:
+    void appendTrialFrame(const CostTrial &trial);
+    void appendModelFrame(const GbtModel &model);
+    /** Fit a fresh model on a copy of the window; swap it in. */
+    void refitLocked(std::unique_lock<std::mutex> &lock,
+                     const ObsContext *obs, double sim);
+    void trainerLoop();
+
+    CostModelOptions options_;
+
+    /** Serializes journal appends (requests may record concurrently). */
+    std::mutex fileMu_;
+    mutable std::mutex mu_;
+    std::vector<CostTrial> trials_;
+    std::shared_ptr<const GbtModel> snapshot_; ///< immutable once published
+    uint64_t recorded_ = 0;  ///< trials ever recorded (refit seed basis)
+    uint64_t refits_ = 0;
+    int sinceRefit_ = 0;
+
+    std::thread trainer_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    bool kick_ = false;
+};
+
+/**
+ * The journal kind tag of cost-model files ("ftcost"), exposed for the
+ * durability tests.
+ */
+extern const char kCostModelJournalKind[];
+
+} // namespace ft
+
+#endif // FLEXTENSOR_ML_COSTMODEL_H

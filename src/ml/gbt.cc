@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
+#include <sstream>
 
 #include "support/logging.h"
 #include "support/rng.h"
@@ -59,6 +62,22 @@ GbtModel::buildNode(Tree &tree, const std::vector<std::vector<double>> &x,
     int best_feature = -1;
     double best_threshold = 0.0;
     for (int f = 0; f < dims; ++f) {
+        // A constant feature can never split: every pivot puts all rows
+        // on the <= side, so each threshold probe would burn two full
+        // row scans for nothing. Detect it in one pass and skip the
+        // scans — but still consume the pivot draws, so the RNG stream
+        // (and with it every recorded determinism digest) is identical
+        // to the scanning code path.
+        double lo = x[rows[0]][f], hi = lo;
+        for (int r : rows) {
+            lo = std::min(lo, x[r][f]);
+            hi = std::max(hi, x[r][f]);
+        }
+        if (lo == hi) {
+            for (int t = 0; t < options.thresholdsPerFeature; ++t)
+                rng.index(rows.size());
+            continue;
+        }
         for (int t = 0; t < options.thresholdsPerFeature; ++t) {
             // Threshold from a random sample's feature value.
             int pivot = rows[rng.index(rows.size())];
@@ -121,6 +140,81 @@ GbtModel::buildTree(const std::vector<std::vector<double>> &x,
 }
 
 void
+GbtModel::boost(const std::vector<std::vector<double>> &x,
+                const std::vector<double> &y,
+                const std::vector<uint64_t> *group,
+                const GbtOptions &options, Rng &rng)
+{
+    learningRate_ = options.learningRate;
+    std::vector<int> rows(x.size());
+    std::iota(rows.begin(), rows.end(), 0);
+
+    // Regression boosts from the label mean; ranking scores are relative,
+    // so the rank objective boosts from zero.
+    bias_ = group ? 0.0 : meanOf(y, rows);
+
+    // Pair ranges for the rank objective: samples of one group occupy a
+    // contiguous index range of the recording order? They need not — so
+    // gather per-group row lists once up front.
+    std::vector<std::vector<int>> group_rows;
+    if (group) {
+        std::vector<std::pair<uint64_t, int>> tagged;
+        tagged.reserve(x.size());
+        for (size_t i = 0; i < x.size(); ++i)
+            tagged.emplace_back((*group)[i], static_cast<int>(i));
+        std::stable_sort(tagged.begin(), tagged.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        for (size_t i = 0; i < tagged.size();) {
+            size_t j = i;
+            group_rows.emplace_back();
+            while (j < tagged.size() &&
+                   tagged[j].first == tagged[i].first) {
+                group_rows.back().push_back(tagged[j].second);
+                ++j;
+            }
+            i = j;
+        }
+    }
+
+    std::vector<double> pred(x.size(), bias_);
+    std::vector<double> residual(x.size());
+    for (int t = 0; t < options.trees; ++t) {
+        if (!group) {
+            for (size_t i = 0; i < x.size(); ++i)
+                residual[i] = y[i] - pred[i];
+        } else {
+            // Lambda gradients of the pairwise logistic loss: for every
+            // within-group pair where y[i] > y[j], a force rho pushes
+            // score(i) up and score(j) down, with rho shrinking as the
+            // model already orders the pair correctly.
+            std::fill(residual.begin(), residual.end(), 0.0);
+            for (const std::vector<int> &g : group_rows) {
+                for (size_t a = 0; a < g.size(); ++a) {
+                    for (size_t b = a + 1; b < g.size(); ++b) {
+                        int i = g[a], j = g[b];
+                        if (y[i] == y[j])
+                            continue;
+                        if (y[i] < y[j])
+                            std::swap(i, j);
+                        double rho =
+                            1.0 / (1.0 + std::exp(pred[i] - pred[j]));
+                        residual[i] += rho;
+                        residual[j] -= rho;
+                    }
+                }
+            }
+        }
+        Tree tree = buildTree(x, residual, rows, options, rng);
+        for (size_t i = 0; i < x.size(); ++i)
+            pred[i] += learningRate_ * tree.eval(x[i]);
+        trees_.push_back(std::move(tree));
+    }
+    trained_ = true;
+}
+
+void
 GbtModel::fit(const std::vector<std::vector<double>> &x,
               const std::vector<double> &y, const GbtOptions &options,
               Rng &rng)
@@ -130,23 +224,22 @@ GbtModel::fit(const std::vector<std::vector<double>> &x,
     trained_ = false;
     if (x.empty())
         return;
+    boost(x, y, nullptr, options, rng);
+}
 
-    learningRate_ = options.learningRate;
-    std::vector<int> rows(x.size());
-    std::iota(rows.begin(), rows.end(), 0);
-    bias_ = meanOf(y, rows);
-
-    std::vector<double> pred(x.size(), bias_);
-    std::vector<double> residual(x.size());
-    for (int t = 0; t < options.trees; ++t) {
-        for (size_t i = 0; i < x.size(); ++i)
-            residual[i] = y[i] - pred[i];
-        Tree tree = buildTree(x, residual, rows, options, rng);
-        for (size_t i = 0; i < x.size(); ++i)
-            pred[i] += learningRate_ * tree.eval(x[i]);
-        trees_.push_back(std::move(tree));
-    }
-    trained_ = true;
+void
+GbtModel::fitRank(const std::vector<std::vector<double>> &x,
+                  const std::vector<double> &y,
+                  const std::vector<uint64_t> &group,
+                  const GbtOptions &options, Rng &rng)
+{
+    FT_ASSERT(x.size() == y.size() && x.size() == group.size(),
+              "GBT rank feature/label/group size mismatch");
+    trees_.clear();
+    trained_ = false;
+    if (x.empty())
+        return;
+    boost(x, y, &group, options, rng);
 }
 
 double
@@ -156,6 +249,112 @@ GbtModel::predict(const std::vector<double> &x) const
     for (const auto &tree : trees_)
         p += learningRate_ * tree.eval(x);
     return p;
+}
+
+namespace {
+
+/** Hexfloat rendering: round-trips every finite double bit-exactly. */
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+/**
+ * Read one double token through strtod: istream double extraction does
+ * not accept hexfloats, strtod does.
+ */
+bool
+readDouble(std::istream &is, double &out)
+{
+    std::string tok;
+    if (!(is >> tok))
+        return false;
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end != tok.c_str() && *end == '\0';
+}
+
+} // namespace
+
+std::string
+GbtModel::serialize() const
+{
+    std::ostringstream oss;
+    oss << "gbt v1 " << (trained_ ? 1 : 0) << ' ' << hexDouble(bias_)
+        << ' ' << hexDouble(learningRate_) << ' ' << trees_.size() << '\n';
+    for (const Tree &tree : trees_) {
+        oss << "tree " << tree.nodes.size() << '\n';
+        for (const Node &n : tree.nodes) {
+            oss << n.feature << ' ' << hexDouble(n.threshold) << ' '
+                << hexDouble(n.value) << ' ' << n.left << ' ' << n.right
+                << '\n';
+        }
+    }
+    return oss.str();
+}
+
+bool
+GbtModel::deserialize(std::string_view bytes)
+{
+    trees_.clear();
+    trained_ = false;
+    bias_ = 0.0;
+    learningRate_ = 0.3;
+
+    std::istringstream iss{std::string(bytes)};
+    std::string magic, version;
+    int trained_flag = 0;
+    size_t num_trees = 0;
+    if (!(iss >> magic >> version >> trained_flag) || magic != "gbt" ||
+        version != "v1" || !readDouble(iss, bias_) ||
+        !readDouble(iss, learningRate_) || !(iss >> num_trees)) {
+        bias_ = 0.0;
+        learningRate_ = 0.3;
+        return false;
+    }
+    trees_.reserve(num_trees);
+    for (size_t t = 0; t < num_trees; ++t) {
+        std::string tag;
+        size_t num_nodes = 0;
+        if (!(iss >> tag >> num_nodes) || tag != "tree") {
+            trees_.clear();
+            bias_ = 0.0;
+            learningRate_ = 0.3;
+            return false;
+        }
+        Tree tree;
+        tree.nodes.reserve(num_nodes);
+        for (size_t n = 0; n < num_nodes; ++n) {
+            Node node;
+            if (!(iss >> node.feature) ||
+                !readDouble(iss, node.threshold) ||
+                !readDouble(iss, node.value) ||
+                !(iss >> node.left >> node.right)) {
+                trees_.clear();
+                bias_ = 0.0;
+                learningRate_ = 0.3;
+                return false;
+            }
+            // Child indices must stay inside this tree and leaves must
+            // be terminal, or eval() could walk out of bounds.
+            const int limit = static_cast<int>(num_nodes);
+            const bool leaf = node.feature < 0;
+            if (!leaf && (node.left < 0 || node.left >= limit ||
+                          node.right < 0 || node.right >= limit)) {
+                trees_.clear();
+                bias_ = 0.0;
+                learningRate_ = 0.3;
+                return false;
+            }
+            tree.nodes.push_back(node);
+        }
+        trees_.push_back(std::move(tree));
+    }
+    trained_ = trained_flag != 0;
+    return true;
 }
 
 } // namespace ft

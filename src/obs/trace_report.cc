@@ -89,7 +89,9 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 if (ns > 0)
                     acc.wallNs += static_cast<uint64_t>(ns);
             }
-            if (e.name == "graph.partition") {
+            if (e.name == "costmodel.train") {
+                ++out.costModel.refits;
+            } else if (e.name == "graph.partition") {
                 out.graph.groups = e.integer("groups");
                 out.graph.trafficBytes = e.integer("traffic_bytes");
                 out.graph.ephemeralBytes = e.integer("ephemeral_bytes");
@@ -131,6 +133,16 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 ++out.serve.breakerOpens;
             } else if (e.name == "admission.breaker_close") {
                 ++out.serve.breakerCloses;
+            } else if (e.name == "costmodel.warm_start") {
+                ++out.costModel.warmStarts;
+            } else if (e.name == "costmodel.prune") {
+                ++out.costModel.pruneEvents;
+                const int64_t considered = e.integer("considered");
+                const int64_t kept = e.integer("kept");
+                out.costModel.kept += static_cast<uint64_t>(kept);
+                if (considered > kept)
+                    out.costModel.dropped +=
+                        static_cast<uint64_t>(considered - kept);
             }
             break;
           }
@@ -293,6 +305,20 @@ renderTraceReport(const TraceReport &report, int curvePoints)
         }
     }
 
+    if (report.costModel.any()) {
+        const CostModelBreakdown &c = report.costModel;
+        oss << "\nlearned cost model:\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  warm starts %llu, refits %llu, prune events "
+                      "%llu (kept %llu, dropped %llu)\n",
+                      (unsigned long long)c.warmStarts,
+                      (unsigned long long)c.refits,
+                      (unsigned long long)c.pruneEvents,
+                      (unsigned long long)c.kept,
+                      (unsigned long long)c.dropped);
+        oss << buf;
+    }
+
     if (!report.curve.empty() && curvePoints > 0) {
         oss << "\nbest GFLOPS vs. trials (Fig. 7 series):\n";
         // Sample evenly, always keeping the final point.
@@ -332,52 +358,75 @@ traceReportJson(const TraceReport &report)
             << ",\"simSeconds\":" << formatTraceDouble(p.simSeconds)
             << ",\"wallNs\":" << p.wallNs << "}";
     }
-    oss << "],\"verifyRejects\":{";
-    for (size_t i = 0; i < report.verifyRejects.size(); ++i) {
-        if (i)
-            oss << ",";
-        oss << "\"" << report.verifyRejects[i].first
-            << "\":" << report.verifyRejects[i].second;
+    oss << "]";
+    // Sections below are emitted only when non-empty: a pure
+    // exploration trace's JSON has no "serve"/"graph"/"verifyRejects"/
+    // "costmodel" keys at all.
+    if (!report.verifyRejects.empty()) {
+        oss << ",\"verifyRejects\":{";
+        for (size_t i = 0; i < report.verifyRejects.size(); ++i) {
+            if (i)
+                oss << ",";
+            oss << "\"" << report.verifyRejects[i].first
+                << "\":" << report.verifyRejects[i].second;
+        }
+        oss << "}";
     }
-    oss << "},\"serve\":{";
     const ServeBreakdown &s = report.serve;
-    oss << "\"admitted\":" << s.admitted << ",\"shed\":" << s.shed
-        << ",\"brownouts\":" << s.brownouts
-        << ",\"breakerRejects\":" << s.breakerRejects
-        << ",\"breakerOpens\":" << s.breakerOpens
-        << ",\"breakerCloses\":" << s.breakerCloses << ",\"reasons\":{";
-    for (size_t i = 0; i < s.reasons.size(); ++i) {
-        if (i)
-            oss << ",";
-        oss << "\"" << s.reasons[i].first << "\":" << s.reasons[i].second;
+    if (s.any()) {
+        oss << ",\"serve\":{";
+        oss << "\"admitted\":" << s.admitted << ",\"shed\":" << s.shed
+            << ",\"brownouts\":" << s.brownouts
+            << ",\"breakerRejects\":" << s.breakerRejects
+            << ",\"breakerOpens\":" << s.breakerOpens
+            << ",\"breakerCloses\":" << s.breakerCloses
+            << ",\"reasons\":{";
+        for (size_t i = 0; i < s.reasons.size(); ++i) {
+            if (i)
+                oss << ",";
+            oss << "\"" << s.reasons[i].first
+                << "\":" << s.reasons[i].second;
+        }
+        oss << "},\"queueDepths\":[";
+        for (size_t i = 0; i < s.queueDepths.size(); ++i) {
+            if (i)
+                oss << ",";
+            oss << "[" << s.queueDepths[i].first << ","
+                << s.queueDepths[i].second << "]";
+        }
+        oss << "]}";
     }
-    oss << "},\"queueDepths\":[";
-    for (size_t i = 0; i < s.queueDepths.size(); ++i) {
-        if (i)
-            oss << ",";
-        oss << "[" << s.queueDepths[i].first << ","
-            << s.queueDepths[i].second << "]";
-    }
-    oss << "]},\"graph\":{";
     const GraphBreakdown &g = report.graph;
-    oss << "\"runs\":" << g.runs << ",\"dag\":\"" << g.dag
-        << "\",\"fingerprint\":" << g.fingerprint
-        << ",\"nodes\":" << g.nodes << ",\"groups\":" << g.groups
-        << ",\"trafficBytes\":" << g.trafficBytes
-        << ",\"ephemeralBytes\":" << g.ephemeralBytes
-        << ",\"subgraphs\":[";
-    for (size_t i = 0; i < g.subgraphs.size(); ++i) {
-        const GraphSubgraph &sub = g.subgraphs[i];
-        if (i)
-            oss << ",";
-        oss << "{\"name\":\"" << sub.name
-            << "\",\"members\":" << sub.members
-            << ",\"tuned\":" << (sub.tuned ? "true" : "false")
-            << ",\"seconds\":" << formatTraceDouble(sub.seconds)
-            << ",\"trafficBytes\":" << sub.trafficBytes
-            << ",\"ephemeralBytes\":" << sub.ephemeralBytes << "}";
+    if (g.any()) {
+        oss << ",\"graph\":{";
+        oss << "\"runs\":" << g.runs << ",\"dag\":\"" << g.dag
+            << "\",\"fingerprint\":" << g.fingerprint
+            << ",\"nodes\":" << g.nodes << ",\"groups\":" << g.groups
+            << ",\"trafficBytes\":" << g.trafficBytes
+            << ",\"ephemeralBytes\":" << g.ephemeralBytes
+            << ",\"subgraphs\":[";
+        for (size_t i = 0; i < g.subgraphs.size(); ++i) {
+            const GraphSubgraph &sub = g.subgraphs[i];
+            if (i)
+                oss << ",";
+            oss << "{\"name\":\"" << sub.name
+                << "\",\"members\":" << sub.members
+                << ",\"tuned\":" << (sub.tuned ? "true" : "false")
+                << ",\"seconds\":" << formatTraceDouble(sub.seconds)
+                << ",\"trafficBytes\":" << sub.trafficBytes
+                << ",\"ephemeralBytes\":" << sub.ephemeralBytes << "}";
+        }
+        oss << "]}";
     }
-    oss << "]},\"curve\":[";
+    if (report.costModel.any()) {
+        const CostModelBreakdown &c = report.costModel;
+        oss << ",\"costmodel\":{\"warmStarts\":" << c.warmStarts
+            << ",\"refits\":" << c.refits
+            << ",\"pruneEvents\":" << c.pruneEvents
+            << ",\"kept\":" << c.kept << ",\"dropped\":" << c.dropped
+            << "}";
+    }
+    oss << ",\"curve\":[";
     for (size_t i = 0; i < report.curve.size(); ++i) {
         if (i)
             oss << ",";

@@ -82,6 +82,18 @@ struct GraphBreakdown
     bool any() const { return runs > 0; }
 };
 
+/** Learned-cost-model activity folded from `costmodel.*` events. */
+struct CostModelBreakdown
+{
+    uint64_t warmStarts = 0;  ///< explorer seedings ranked by the model
+    uint64_t pruneEvents = 0; ///< costmodel.prune point events
+    uint64_t kept = 0;        ///< candidates surviving pruning
+    uint64_t dropped = 0;     ///< candidates pruned away
+    uint64_t refits = 0;      ///< completed costmodel.train spans
+
+    bool any() const { return warmStarts || pruneEvents || refits; }
+};
+
 /** Everything trace_report derives from one timeline. */
 struct TraceReport
 {
@@ -112,6 +124,9 @@ struct TraceReport
 
     /** Graph-scheduling section (empty for single-op traces). */
     GraphBreakdown graph;
+
+    /** Cost-model section (empty when no model was attached). */
+    CostModelBreakdown costModel;
 };
 
 /** Fold parsed events into a report. */

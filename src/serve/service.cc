@@ -87,6 +87,13 @@ TuningService::TuningService(const ServiceOptions &options)
     if (!admission.metrics)
         admission.metrics = &metrics_;
     admission_ = std::make_unique<AdmissionController>(admission);
+    if (options_.enableCostModel) {
+        costModel_ = std::make_unique<CostModel>(options_.costModel);
+        if (!options_.costModel.persistPath.empty())
+            costModel_->load(); // a missing/fresh journal is fine
+        if (!options_.costModel.syncRefit)
+            costModel_->startBackgroundRefit();
+    }
     if (!options_.dispatchDir.empty())
         reloadDispatchTables();
 }
@@ -120,6 +127,11 @@ TuningService::requestFingerprint(const Operation &anchor,
     fnvU64(h, options.templateRestricted ? 1 : 0);
     fnvReal(h, e.deadlineSimSeconds);
     fnvStr(h, e.checkpointPath);
+    // A cost-model-guided run (warm-start and/or pruning) draws a
+    // different schedule than a model-off run with the same options, so
+    // neither the LRU nor coalescing may conflate the two.
+    fnvU64(h, e.costModel != nullptr ? 1 : 0);
+    fnvReal(h, e.prunerKeep);
     fnvU64(h, e.seedPoints.size());
     for (const Point &p : e.seedPoints)
         fnvU64(h, p.key64());
@@ -149,7 +161,9 @@ TuningService::requestIdentity(const Operation &anchor, const Target &target,
         << "|target=" << e.targetGflops
         << "|tmpl=" << options.templateRestricted
         << "|deadline=" << e.deadlineSimSeconds
-        << "|ckpt=" << e.checkpointPath;
+        << "|ckpt=" << e.checkpointPath
+        << "|cm=" << (e.costModel != nullptr)
+        << "|prune=" << e.prunerKeep;
     if (!e.seedPoints.empty()) {
         // Seeded starts steer the search, so two requests differing only
         // in their seed points must not coalesce; the 64-bit point keys
@@ -198,6 +212,8 @@ TuningService::familyFingerprint(const ShapeFamily &family,
     fnvU64(h, options.space.pow2Splits ? 1 : 0);
     fnvU64(h, options.space.exploreReorderUnroll ? 1 : 0);
     fnvU64(h, options.space.exploreCacheAt ? 1 : 0);
+    fnvU64(h, e.costModel != nullptr ? 1 : 0);
+    fnvReal(h, e.prunerKeep);
     return h;
 }
 
@@ -221,7 +237,9 @@ TuningService::familyIdentity(const ShapeFamily &family, const Target &target,
         << "|tmpl=" << options.space.templateRestricted
         << "|pow2=" << options.space.pow2Splits
         << "|ru=" << options.space.exploreReorderUnroll
-        << "|ca=" << options.space.exploreCacheAt;
+        << "|ca=" << options.space.exploreCacheAt
+        << "|cm=" << (e.costModel != nullptr)
+        << "|prune=" << e.prunerKeep;
     return oss.str();
 }
 
@@ -278,6 +296,10 @@ TuneReport
 TuningService::tuneAnchor(const Operation &anchor, const Target &target,
                           TuneOptions options)
 {
+    // Inject the service's cost model before fingerprinting so the
+    // model-on bit is part of the request key.
+    if (costModel_ && !options.explore.costModel)
+        options.explore.costModel = costModel_.get();
     const uint64_t key = requestFingerprint(anchor, target, options);
     requests_.add();
     metrics_.counter("service.method." + methodName(options.method)).add();
@@ -414,6 +436,10 @@ TuningService::runFamily(const ShapeFamily &family, const Target &target,
         options.explore.measureParallelism = evalPool_.numThreads();
     if (!options.explore.obs.metrics)
         options.explore.obs.metrics = &metrics_;
+    // One shared model across every bucket of the family: each bucket's
+    // trials train it, later buckets warm-start from the earlier ones.
+    if (costModel_ && !options.explore.costModel)
+        options.explore.costModel = costModel_.get();
     FamilyTuneReport report = ft::tuneFamily(family, target, options);
     evaluations_.add(static_cast<uint64_t>(report.totalTrials));
     if (report.table.total())
@@ -446,6 +472,8 @@ TuningService::graphFingerprint(const graph::ComputeDag &dag,
     fnvReal(h, e.targetGflops);
     fnvU64(h, options.templateRestricted ? 1 : 0);
     fnvReal(h, e.deadlineSimSeconds);
+    fnvU64(h, e.costModel != nullptr ? 1 : 0);
+    fnvReal(h, e.prunerKeep);
     return h;
 }
 
@@ -461,7 +489,9 @@ TuningService::graphIdentity(const graph::ComputeDag &dag,
         << "|starts=" << e.startingPoints << "|warmup=" << e.warmupPoints
         << "|seed=" << e.seed << "|target=" << e.targetGflops
         << "|tmpl=" << options.templateRestricted
-        << "|deadline=" << e.deadlineSimSeconds;
+        << "|deadline=" << e.deadlineSimSeconds
+        << "|cm=" << (e.costModel != nullptr)
+        << "|prune=" << e.prunerKeep;
     return oss.str();
 }
 
@@ -510,6 +540,8 @@ TuningService::tuneDag(const graph::ComputeDag &dag, const Target &target,
         options.explore.measureParallelism = evalPool_.numThreads();
     if (!options.explore.obs.metrics)
         options.explore.obs.metrics = &metrics_;
+    if (costModel_ && !options.explore.costModel)
+        options.explore.costModel = costModel_.get();
     graph::DagTuneReport report = graph::tuneDag(dag, target, options);
     for (const auto &sub : report.groups) {
         if (!sub.tuned)
@@ -931,6 +963,11 @@ TuningService::stats() const
     out.graphRequests = out.metrics.counter("service.graph_requests");
     out.graphCacheHits = out.metrics.counter("service.graph_cache_hits");
     out.admission = admission_->stats();
+    if (costModel_) {
+        out.costModelTrials = costModel_->numTrials();
+        out.costModelRefits = costModel_->refits();
+        out.costModelReady = costModel_->ready();
+    }
     std::lock_guard<std::mutex> lock(mu_);
     out.inflight = inflight_.size() + familyInflight_.size() +
                    graphInflight_.size();

@@ -41,6 +41,7 @@
 #include "explore/tuner.h"
 #include "family/tune_family.h"
 #include "graph/schedule_dag.h"
+#include "ml/costmodel.h"
 #include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/thread_pool.h"
@@ -78,6 +79,17 @@ struct ServiceOptions
      * tables survive a process restart.
      */
     std::string dispatchDir;
+    /**
+     * Enable the service-wide persistent learned cost model: every
+     * completed trial from every request trains one ranking GBT
+     * (batched refit on a background thread; inference reads an
+     * immutable snapshot), and requests opt into model-guided pruning
+     * per-request via TuneOptions.explore.prunerKeep. The model is
+     * reloaded from costModel.persistPath at startup when set.
+     */
+    bool enableCostModel = false;
+    /** Cost-model knobs (journal path, refit period, GBT options). */
+    CostModelOptions costModel;
 };
 
 /**
@@ -110,6 +122,10 @@ struct ServiceStats
     size_t resultCacheSize = 0;      ///< reports currently in the LRU
     size_t dispatchTables = 0;       ///< dispatch tables published
     size_t evalQueueDepth = 0;       ///< jobs queued on the evaluation pool
+    /** Learned cost model state (zero/false when disabled). */
+    size_t costModelTrials = 0;   ///< trials in the training window
+    uint64_t costModelRefits = 0; ///< refits performed since startup
+    bool costModelReady = false;  ///< a trained snapshot is serving
     /** Admission-control state (the *Admitted request paths). */
     AdmissionStats admission;
     /** Full registry snapshot the fields above were read from. */
@@ -281,6 +297,9 @@ class TuningService
     /** The admission controller behind the *Admitted entry points. */
     AdmissionController &admission() { return *admission_; }
 
+    /** The persistent cost model (null unless enableCostModel). */
+    CostModel *costModel() { return costModel_.get(); }
+
     const ServiceOptions &options() const { return options_; }
 
   private:
@@ -402,6 +421,7 @@ class TuningService
     ThreadPool evalPool_;
     ThreadPool requestPool_;
     std::unique_ptr<AdmissionController> admission_;
+    std::unique_ptr<CostModel> costModel_;
 
     /** All service counters live here (atomic; snapshot-consistent). */
     MetricsRegistry metrics_;

@@ -20,6 +20,7 @@
 
 #include "explore/tuner.h"
 #include "family/tune_family.h"
+#include "ml/costmodel.h"
 #include "graph/schedule_dag.h"
 #include "obs/trace.h"
 #include "ops/ops.h"
@@ -300,6 +301,71 @@ TEST(DeterminismGraphTest, FixedSeedGraphRunReproducesRecordedDigest)
     EXPECT_EQ(first, 9943629917423740432ULL)
         << "graph tuning no longer reproduces the recorded run "
         << "(actual digest " << first << "ULL)";
+}
+
+/**
+ * The cost-model-assisted path is pinned separately from the eight
+ * model-off cases above (which prove that merely COMPILING the model in
+ * changes nothing): a model is pretrained with synchronous refits (the
+ * deterministic mode — the refit seed derives from the trial count),
+ * then a second run warm-starts from its ranking and prunes every
+ * step's candidates. Both the training run and the assisted run fold
+ * into one digest, so a perturbation anywhere — feature extraction,
+ * rank-loss training, snapshot swap, warm-start ordering, prune
+ * tie-breaks — fails against the recorded value.
+ */
+uint64_t
+prunedRunDigest()
+{
+    Tensor a = placeholder("A", {256, 256});
+    Tensor b = placeholder("B", {256, 256});
+    Tensor out = ops::gemm(a, b);
+    Target target = Target::forGpu(v100());
+
+    CostModelOptions model_options;
+    model_options.syncRefit = true;
+    model_options.refitEvery = 32;
+    CostModel model(model_options);
+
+    ExploreOptions options;
+    options.trials = 16;
+    options.warmupPoints = 8;
+    options.seed = 0xd5eed;
+    options.costModel = &model;
+
+    ScheduleSpace space1 = buildSpace(out.op(), target);
+    Evaluator eval1(out.op(), space1, target);
+    ExploreResult train = exploreQMethod(eval1, options);
+
+    options.prunerKeep = 0.5;
+    TraceRecorder trace;
+    options.obs.trace = &trace;
+    ScheduleSpace space2 = buildSpace(out.op(), target);
+    Evaluator eval2(out.op(), space2, target);
+    ExploreResult assisted = exploreQMethod(eval2, options);
+
+    std::ostringstream os;
+    os << train.bestPoint.key() << '|' << std::hexfloat
+       << train.bestGflops << '|' << std::dec << model.refits() << '|'
+       << model.numTrials() << '|' << assisted.bestPoint.key() << '|'
+       << std::hexfloat << assisted.bestGflops << '|'
+       << assisted.simSeconds << '|' << std::dec << assisted.trialsUsed
+       << '|' << trace.eventCount();
+    return fnv1a(os.str());
+}
+
+// Suite name starts with "Determinism" so the sanitizer CI selection
+// regex picks this test up too.
+TEST(DeterminismCostModelTest, FixedSeedPrunedRunReproducesRecordedDigest)
+{
+    const uint64_t first = prunedRunDigest();
+    const uint64_t second = prunedRunDigest();
+    EXPECT_EQ(first, second)
+        << "two same-seed pruned runs diverged in-process";
+    EXPECT_EQ(first, 2985445411779289973ULL)
+        << "the cost-model-assisted (warm-start + pruned) path no "
+        << "longer reproduces the recorded run (actual digest " << first
+        << "ULL)";
 }
 
 } // namespace

@@ -10,6 +10,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include "explore/checkpoint.h"
 #include "explore/tuner.h"
 #include "family/dispatch.h"
+#include "ml/costmodel.h"
 #include "ops/ops.h"
 #include "schedule/serialize.h"
 #include "support/fault_injector.h"
@@ -485,6 +487,112 @@ TEST(DispatchDurability, TornAndBitFlippedFilesFailCleanly)
     // Missing file: quiet nullopt.
     std::remove(path.c_str());
     EXPECT_FALSE(DispatchTable::loadFromFile(path).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Cost-model journal adopter.
+
+/** Build a persisted cost model: N trials plus one model snapshot. */
+void
+writeCostModelJournal(const std::string &path, int trials)
+{
+    CostModelOptions options;
+    options.syncRefit = true;
+    options.refitEvery = trials; // exactly one refit, at the end
+    options.persistPath = path;
+    CostModel model(options);
+    for (int i = 0; i < trials; ++i) {
+        double a = static_cast<double>(i) / trials;
+        model.recordTrial({a, 1.0 - a}, a * 100.0, 11);
+    }
+}
+
+TEST(CostModelDurability, SurvivesEverySeededCrashOffset)
+{
+    const std::string path = ::testing::TempDir() + "ft_costmodel_crash.j";
+    std::remove(path.c_str());
+    const int trials = 24;
+    writeCostModelJournal(path, trials);
+    const std::string bytes = readBytes(path);
+    JournalContents intact = readJournal(path);
+    ASSERT_TRUE(intact.valid);
+    ASSERT_EQ(intact.kind, kCostModelJournalKind);
+    // trials + the model snapshot frame
+    ASSERT_EQ(intact.records.size(), static_cast<size_t>(trials) + 1);
+
+    // Tear the file at seeded crash offsets across its whole length: a
+    // reload must never fail, never see a phantom trial, and repair the
+    // tail so a subsequent recordTrial lands on a clean boundary.
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        FaultProfile profile;
+        profile.seed = seed;
+        FaultInjector injector(profile);
+        for (uint64_t schedule = 0; schedule < 8; ++schedule) {
+            const size_t crash_at =
+                injector.crashOffsetFor(path, bytes.size(), schedule) %
+                bytes.size();
+            ASSERT_TRUE(FaultInjector::writeTorn(path, bytes, crash_at));
+
+            CostModelOptions options;
+            options.persistPath = path;
+            CostModel reloaded(options);
+            reloaded.load(); // false is fine (header torn); no crash
+            EXPECT_LE(reloaded.numTrials(),
+                      static_cast<size_t>(trials))
+                << "seed " << seed << " schedule " << schedule
+                << " crash_at " << crash_at;
+            if (reloaded.ready())
+                EXPECT_TRUE(std::isfinite(reloaded.predict({0.5, 0.5})));
+
+            // The append-after-recovery contract: the repaired file
+            // accepts a new trial and stays a valid journal.
+            reloaded.recordTrial({0.5, 0.5}, 1.0, 11);
+            JournalContents after = readJournal(path);
+            if (crash_at > 0) {
+                EXPECT_TRUE(after.valid)
+                    << "seed " << seed << " schedule " << schedule;
+                EXPECT_FALSE(after.torn)
+                    << "seed " << seed << " schedule " << schedule;
+            }
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CostModelDurability, ModelSnapshotSurvivesTornTrialTail)
+{
+    // Tear INSIDE the last trial frame appended after the model
+    // snapshot: the reloaded model must still be ready with the exact
+    // snapshot predictions.
+    const std::string path = ::testing::TempDir() + "ft_costmodel_tail.j";
+    std::remove(path.c_str());
+    writeCostModelJournal(path, 16);
+
+    std::vector<double> before;
+    {
+        CostModelOptions options;
+        options.persistPath = path;
+        CostModel model(options);
+        ASSERT_TRUE(model.load());
+        ASSERT_TRUE(model.ready());
+        for (int i = 0; i < 8; ++i)
+            before.push_back(
+                model.predict({i / 8.0, 1.0 - i / 8.0}));
+        model.recordTrial({0.25, 0.75}, 5.0, 11); // post-snapshot trial
+    }
+    const std::string bytes = readBytes(path);
+    ASSERT_TRUE(
+        FaultInjector::writeTorn(path, bytes, bytes.size() - 10));
+
+    CostModelOptions options;
+    options.persistPath = path;
+    CostModel reloaded(options);
+    ASSERT_TRUE(reloaded.load());
+    ASSERT_TRUE(reloaded.ready());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(reloaded.predict({i / 8.0, 1.0 - i / 8.0}),
+                  before[i]);
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -247,6 +247,33 @@ TEST(FamilyTuneTest, FixedSeedRunsAreBitIdentical)
     EXPECT_EQ(c.table.serialize().empty(), false);
 }
 
+TEST(FamilyTuneTest, SharedCostModelAccruesTrialsAcrossBuckets)
+{
+    // One model rides through every bucket's ExploreOptions copy:
+    // after a family run it must hold trials from all buckets (more
+    // than any single bucket contributed) and be trained.
+    ShapeFamily family = smallGemmFamily(1, 16);
+    Target target = Target::forGpu(v100());
+
+    CostModelOptions model_options;
+    model_options.syncRefit = true;
+    model_options.refitEvery = 16;
+    CostModel model(model_options);
+
+    FamilyTuneOptions options = quickOptions();
+    options.explore.costModel = &model;
+    FamilyTuneReport report = tuneFamily(family, target, options);
+    ASSERT_GT(report.buckets.size(), 1u);
+
+    int max_bucket_trials = 0;
+    for (const FamilyBucketReport &bucket : report.buckets)
+        max_bucket_trials = std::max(max_bucket_trials, bucket.trials);
+    EXPECT_GT(model.numTrials(),
+              static_cast<size_t>(max_bucket_trials));
+    EXPECT_TRUE(model.ready());
+    EXPECT_GE(model.refits(), 1u);
+}
+
 TEST(FamilyServiceTest, ServeShapeHitsDispatchTableAfterTuning)
 {
     ServiceOptions service_options;

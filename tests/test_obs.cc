@@ -236,6 +236,81 @@ TEST(TraceReport, FoldsPhasesAndCurve)
               std::string::npos);
 }
 
+TEST(TraceReport, JsonOmitsEmptySections)
+{
+    // Schema contract: a pure exploration trace (no admission control,
+    // no graph scheduling, no verifier rejects, no cost model) must not
+    // emit those keys at all — consumers key off presence, not
+    // zero-filled placeholder objects.
+    Tensor out = obsGemm();
+    Target target = Target::forGpu(v100());
+    TraceRecorder rec;
+    TuneOptions options;
+    options.explore.trials = 8;
+    options.explore.warmupPoints = 4;
+    options.explore.seed = 0xabc;
+    options.explore.obs.trace = &rec;
+    tuneOp(out.op(), target, options);
+
+    std::vector<ParsedTraceEvent> events;
+    for (const auto &line : rec.lines()) {
+        auto e = parseTraceLine(line);
+        ASSERT_TRUE(e.has_value()) << line;
+        events.push_back(*e);
+    }
+    const std::string json = traceReportJson(foldTrace(events));
+    EXPECT_EQ(json.find("\"serve\""), std::string::npos);
+    EXPECT_EQ(json.find("\"graph\""), std::string::npos);
+    EXPECT_EQ(json.find("\"verifyRejects\""), std::string::npos);
+    EXPECT_EQ(json.find("\"costmodel\""), std::string::npos);
+    // The always-on keys are still there.
+    EXPECT_NE(json.find("\"phases\""), std::string::npos);
+    EXPECT_NE(json.find("\"curve\""), std::string::npos);
+}
+
+TEST(TraceReport, FoldsCostModelEvents)
+{
+    // A cost-model-assisted run emits warm-start and prune events; the
+    // report folds them into the costmodel section of text and JSON.
+    Tensor out = obsGemm();
+    Target target = Target::forGpu(v100());
+
+    CostModelOptions model_options;
+    model_options.syncRefit = true;
+    model_options.refitEvery = 16;
+    CostModel model(model_options);
+
+    TuneOptions train;
+    train.explore.trials = 12;
+    train.explore.warmupPoints = 6;
+    train.explore.seed = 0xabc;
+    train.explore.costModel = &model;
+    tuneOp(out.op(), target, train);
+    ASSERT_TRUE(model.ready());
+
+    TraceRecorder rec;
+    TuneOptions assisted = train;
+    assisted.explore.prunerKeep = 0.5;
+    assisted.explore.obs.trace = &rec;
+    tuneOp(out.op(), target, assisted);
+
+    std::vector<ParsedTraceEvent> events;
+    for (const auto &line : rec.lines()) {
+        auto e = parseTraceLine(line);
+        ASSERT_TRUE(e.has_value()) << line;
+        events.push_back(*e);
+    }
+    TraceReport report = foldTrace(events);
+    ASSERT_TRUE(report.costModel.any());
+    EXPECT_EQ(report.costModel.warmStarts, 1u);
+    EXPECT_GT(report.costModel.pruneEvents, 0u);
+    EXPECT_GT(report.costModel.kept, 0u);
+    EXPECT_NE(renderTraceReport(report).find("learned cost model"),
+              std::string::npos);
+    EXPECT_NE(traceReportJson(report).find("\"costmodel\""),
+              std::string::npos);
+}
+
 TEST(ServiceMetrics, StatsComeFromOneSnapshot)
 {
     ServiceOptions service_options;

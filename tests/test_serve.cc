@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -306,6 +307,80 @@ TEST(TuningService, ResultCacheServesRepeatedRequests)
     EXPECT_EQ(stats.tuningRuns, 2u);
     EXPECT_EQ(stats.resultCacheHits, 1u);
     EXPECT_GT(stats.evaluations, 0u);
+}
+
+TEST(TuningService, CostModelLifecycleAndStats)
+{
+    const std::string path =
+        ::testing::TempDir() + "ft_serve_costmodel.j";
+    std::remove(path.c_str());
+
+    ServiceOptions service_options;
+    service_options.enableCostModel = true;
+    service_options.costModel.persistPath = path;
+    service_options.costModel.refitEvery = 16;
+
+    Tensor out = serveGemm();
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.method = Method::Random;
+    options.explore.trials = 24;
+
+    size_t first_trials = 0;
+    {
+        TuningService service(service_options);
+        TuneReport report = service.tune(out, target, options);
+        EXPECT_FALSE(report.fromCache);
+        ServiceStats stats = service.stats();
+        EXPECT_GT(stats.costModelTrials, 0u);
+        first_trials = stats.costModelTrials;
+    } // shutdown stops the trainer and leaves the journal behind
+
+    // A new service restores the model from the journal at startup and
+    // keeps training it.
+    {
+        TuningService service(service_options);
+        ServiceStats cold = service.stats();
+        EXPECT_EQ(cold.costModelTrials, first_trials);
+        options.explore.seed += 1;
+        service.tune(out, target, options);
+        ServiceStats warm = service.stats();
+        EXPECT_GT(warm.costModelTrials, first_trials);
+        // The service refits on a background thread; give it a bounded
+        // window to publish the first snapshot before asserting.
+        for (int i = 0; i < 400 && !warm.costModelReady; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            warm = service.stats();
+        }
+        EXPECT_TRUE(warm.costModelReady);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TuningService, PruneKnobChangesRequestIdentity)
+{
+    // Same workload, same seed: model-on + prune must NOT coalesce
+    // with a model-off request — the fingerprint folds both knobs.
+    ServiceOptions service_options;
+    service_options.enableCostModel = true;
+    service_options.costModel.refitEvery = 16;
+    TuningService service(service_options);
+
+    Tensor out = serveGemm();
+    Target target = Target::forGpu(v100());
+    TuneOptions options;
+    options.method = Method::Random;
+    options.explore.trials = 24;
+
+    service.tune(out, target, options); // trains the service model
+    options.explore.prunerKeep = 0.5;
+    TuneReport pruned = service.tune(out, target, options);
+    EXPECT_FALSE(pruned.fromCache)
+        << "a pruned request must not be served from the unpruned "
+        << "request's cache entry";
+    EXPECT_GT(pruned.gflops, 0.0);
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.tuningRuns, 2u);
 }
 
 TEST(TuningService, GraphRequestsAreKeyedByFingerprint)

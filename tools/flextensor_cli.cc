@@ -34,6 +34,14 @@
  *                      outlier=0.1,seed=7" (also: flaky, hang, scale)
  *   --metrics         print a metrics snapshot (single-op: after the
  *                     run; batch/serve: after every pass)
+ *   --cost-model <file>  learned-cost-model journal: completed trials
+ *                     train a ranking GBT (persisted to the file and
+ *                     reloaded on the next invocation) that warm-starts
+ *                     exploration and, with --prune, prunes candidates
+ *   --prune <keep>    fraction (0,1] of model-ranked candidates kept
+ *                     per step (needs --cost-model). Changes the
+ *                     explored trajectory: fixed-seed runs are still
+ *                     deterministic, but differ from unpruned runs
  *
  * Single-op only:
  *   --checkpoint <file>  snapshot the run periodically and resume from
@@ -234,10 +242,11 @@ runService(bool from_stdin, int argc, char **argv)
     uint64_t seed = 0xc11;
     double deadline = 0.0;
     double request_deadline = std::numeric_limits<double>::infinity();
-    double sim_rate = 0.0;
+    double sim_rate = 0.0, prune_keep = 0.0;
     int max_queue = 0, brownout_depth = 0;
     bool print_metrics = false, admit = false;
     FaultProfile faults;
+    std::string cost_model_path;
     std::vector<std::string> specs;
 
     for (int i = 2; i < argc; ++i) {
@@ -281,6 +290,10 @@ runService(bool from_stdin, int argc, char **argv)
             sim_rate = std::atof(argv[++i]);
         } else if (arg("--dispatch-dir")) {
             dispatch_dir = argv[++i];
+        } else if (arg("--cost-model")) {
+            cost_model_path = argv[++i];
+        } else if (arg("--prune")) {
+            prune_keep = std::atof(argv[++i]);
         } else if (arg("--trace")) {
             trace_path = argv[++i];
         } else if (std::strcmp(argv[i], "--admit") == 0) {
@@ -321,6 +334,14 @@ runService(bool from_stdin, int argc, char **argv)
             static_cast<size_t>(brownout_depth);
     service_options.simBudgetPerSecond = sim_rate;
     service_options.dispatchDir = dispatch_dir;
+    if (prune_keep > 0.0 && cost_model_path.empty())
+        fatal("--prune needs --cost-model");
+    if (!cost_model_path.empty()) {
+        // Service-owned model: one ranking GBT shared by every request,
+        // trained on a background thread and journaled to the file.
+        service_options.enableCostModel = true;
+        service_options.costModel.persistPath = cost_model_path;
+    }
     TraceRecorder admission_trace;
     if (!trace_path.empty())
         service_options.admission.trace = &admission_trace;
@@ -338,6 +359,7 @@ runService(bool from_stdin, int argc, char **argv)
     tune_options.explore.trials = trials;
     tune_options.explore.seed = seed;
     tune_options.explore.deadlineSimSeconds = deadline;
+    tune_options.explore.prunerKeep = prune_keep;
     FaultInjector injector(faults); // outlives every run below
     if (faults.enabled())
         tune_options.explore.resilience.injector = &injector;
@@ -471,6 +493,12 @@ runService(bool from_stdin, int argc, char **argv)
                 (unsigned long long)stats.quarantined,
                 (unsigned long long)stats.degradedReports,
                 stats.evalQueueDepth);
+    if (!cost_model_path.empty()) {
+        std::printf("  cost model        %zu trials, %llu refits%s\n",
+                    stats.costModelTrials,
+                    (unsigned long long)stats.costModelRefits,
+                    stats.costModelReady ? "  [ready]" : "");
+    }
 
     // Flush durable state last — also the tail of a graceful drain.
     if (!trace_path.empty()) {
@@ -494,9 +522,11 @@ runFamily(int argc, char **argv)
     std::string family_kind = "gemm", layer_name = "C8";
     std::string target_name = "v100", method_name = "q";
     std::string bucket_spec = "pow2", table_path, trace_path;
+    std::string cost_model_path;
     int64_t gemm_n = 512, gemm_k = 512, range_lo = 1, range_hi = 64;
     int trials = 200, samples = 2;
     uint64_t seed = 0xc11;
+    double prune_keep = 0.0;
     bool print_metrics = false;
     std::vector<int64_t> lookups;
 
@@ -541,6 +571,10 @@ runFamily(int argc, char **argv)
             seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg("--trace")) {
             trace_path = argv[++i];
+        } else if (arg("--cost-model")) {
+            cost_model_path = argv[++i];
+        } else if (arg("--prune")) {
+            prune_keep = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--metrics") == 0) {
             print_metrics = true;
         } else {
@@ -549,6 +583,8 @@ runFamily(int argc, char **argv)
     }
     if (range_lo < 1 || range_hi < range_lo)
         fatal("bad --range ", range_lo, ":", range_hi);
+    if (prune_keep > 0.0 && cost_model_path.empty())
+        fatal("--prune needs --cost-model");
 
     ShapeVar var;
     var.name = family_kind == "gemm" ? "M" : "batch";
@@ -587,6 +623,15 @@ runFamily(int argc, char **argv)
     options.explore.trials = trials;
     options.explore.seed = seed;
     options.samplesPerBucket = samples;
+    CostModelOptions cost_model_options;
+    cost_model_options.persistPath = cost_model_path;
+    cost_model_options.syncRefit = true; // deterministic family runs
+    CostModel cost_model(cost_model_options);
+    if (!cost_model_path.empty()) {
+        cost_model.load();
+        options.explore.costModel = &cost_model;
+        options.explore.prunerKeep = prune_keep;
+    }
     TraceRecorder recorder;
     MetricsRegistry registry;
     if (!trace_path.empty()) {
@@ -784,10 +829,10 @@ main(int argc, char **argv)
         return runFamily(argc, argv);
     std::string op_name = "C2D", case_id, target_name = "v100";
     std::string method_name = "q", cache_path, checkpoint_path;
-    std::string trace_path;
+    std::string trace_path, cost_model_path;
     int trials = 200;
     uint64_t seed = 0xc11;
-    double deadline = 0.0;
+    double deadline = 0.0, prune_keep = 0.0;
     FaultProfile faults;
     bool with_baseline = false;
     bool emit_code = false;
@@ -830,12 +875,18 @@ main(int argc, char **argv)
             deadline = std::atof(argv[++i]);
         } else if (arg("--checkpoint")) {
             checkpoint_path = argv[++i];
+        } else if (arg("--cost-model")) {
+            cost_model_path = argv[++i];
+        } else if (arg("--prune")) {
+            prune_keep = std::atof(argv[++i]);
         } else if (arg("--inject-faults")) {
             faults = parseFaultsArg(argv[++i]);
         } else {
             fatal("unknown argument '", argv[i], "' (see --list / header)");
         }
     }
+    if (prune_keep > 0.0 && cost_model_path.empty())
+        fatal("--prune needs --cost-model");
 
     auto cases = ops::table3Cases(op_name);
     const ops::TestCase *chosen = &cases.front();
@@ -857,6 +908,18 @@ main(int argc, char **argv)
     options.explore.seed = seed;
     options.explore.deadlineSimSeconds = deadline;
     options.explore.checkpointPath = checkpoint_path;
+    // Synchronous refits keep the single-op CLI deterministic: the
+    // model trains inline at fixed trial counts instead of whenever a
+    // background thread gets scheduled.
+    CostModelOptions cost_model_options;
+    cost_model_options.persistPath = cost_model_path;
+    cost_model_options.syncRefit = true;
+    CostModel cost_model(cost_model_options);
+    if (!cost_model_path.empty()) {
+        cost_model.load();
+        options.explore.costModel = &cost_model;
+        options.explore.prunerKeep = prune_keep;
+    }
     FaultInjector injector(faults);
     if (faults.enabled())
         options.explore.resilience.injector = &injector;
