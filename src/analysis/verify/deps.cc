@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Affine dependence engine: exact per-axis iteration relations and the
+ * carried-dependence set of a lowered nest (see deps.h).
+ *
+ * The interpreter executes a nest by reconstructing each original index
+ * from its sub-loop variables and accumulating the body value into the
+ * output element (`out[spatial] += body(...)`). Equivalence with the
+ * reference program therefore hinges on the live iteration map being a
+ * bijection onto the original domain per axis, and on every carried
+ * dependence staying on serially ordered hardware. Both properties are
+ * separable per axis, which is what makes exact enumeration cheap: a
+ * schedule's tuple count per axis is the product of its split factors,
+ * i.e. on the order of the axis extent itself.
+ */
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/verify/deps.h"
+#include "analysis/verify/verify.h"
+
+namespace ft {
+namespace verify {
+
+namespace {
+
+std::string
+axisAccess(const ComputeOp *op, const IterVarNode *axis)
+{
+    return op->name() + "[" + axis->name + "]";
+}
+
+/**
+ * Conservative injectivity: with sub-loops sorted by descending stride,
+ * each stride must exceed the furthest index the inner sub-loops reach
+ * together. Exact mixed-radix splits satisfy this by construction.
+ */
+bool
+strideDominates(const AxisRelation &axis)
+{
+    std::vector<const SubLoop *> sorted;
+    for (const SubLoop *l : axis.loops) {
+        if (l->extent > 1)
+            sorted.push_back(l);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SubLoop *a, const SubLoop *b) {
+                  return a->stride > b->stride;
+              });
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        int64_t inner_span = 0;
+        for (size_t j = i + 1; j < sorted.size(); ++j)
+            inner_span += (sorted[j]->extent - 1) * sorted[j]->stride;
+        if (sorted[i]->stride <= inner_span)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Enumerate the axis's tuple set exactly, filling the hit count of every
+ * reconstructed index in [lo, hi]. Returns false when the enumeration
+ * budget (tuples or span) is exceeded.
+ */
+bool
+enumerateAxis(AxisRelation &a, std::vector<int32_t> &counts)
+{
+    const int64_t span = a.range.extent();
+    if (a.tuples > kExactTupleCap || span > (int64_t(1) << 22))
+        return false;
+    counts.assign(static_cast<size_t>(span), 0);
+    // Iterative mixed-radix walk over the extent>1 sub-loops.
+    std::vector<const SubLoop *> loops;
+    for (const SubLoop *l : a.loops) {
+        if (l->extent > 1)
+            loops.push_back(l);
+    }
+    std::vector<int64_t> idx(loops.size(), 0);
+    int64_t value = 0;
+    while (true) {
+        counts[static_cast<size_t>(value - a.range.lo)]++;
+        size_t d = loops.size();
+        while (d > 0) {
+            --d;
+            ++idx[d];
+            value += loops[d]->stride;
+            if (idx[d] < loops[d]->extent)
+                break;
+            value -= idx[d] * loops[d]->stride;
+            idx[d] = 0;
+            if (d == 0)
+                return true;
+        }
+        if (loops.empty())
+            return true;
+    }
+}
+
+} // namespace
+
+const char *
+depKindName(DepKind kind)
+{
+    switch (kind) {
+    case DepKind::Reduction:
+        return "reduction";
+    case DepKind::Output:
+        return "output";
+    }
+    return "?";
+}
+
+const AxisRelation *
+DependenceInfo::axisOf(const IterVarNode *origin) const
+{
+    for (const AxisRelation &a : axes) {
+        if (a.origin == origin)
+            return &a;
+    }
+    return nullptr;
+}
+
+std::vector<const Dependence *>
+DependenceInfo::carriedBy(const SubLoop *loop) const
+{
+    std::vector<const Dependence *> deps;
+    for (const Dependence &d : carried) {
+        if (d.loop == loop)
+            deps.push_back(&d);
+    }
+    return deps;
+}
+
+DependenceInfo
+analyzeDependences(const LoopNest &nest)
+{
+    DependenceInfo info;
+    if (!nest.op || nest.op->isPlaceholder())
+        return info;
+    const auto *op = static_cast<const ComputeOp *>(nest.op.get());
+
+    // One relation per original axis, in declaration order.
+    auto addAxis = [&info, &nest](const IterVarNode *origin) {
+        AxisRelation a;
+        a.origin = origin;
+        a.guarded = nest.isGuarded(origin);
+        info.axes.push_back(std::move(a));
+    };
+    for (const auto &iv : op->axis())
+        addAxis(iv.get());
+    for (const auto &iv : op->reduceAxis())
+        addAxis(iv.get());
+
+    auto relationOf = [&info](const IterVarNode *origin) -> AxisRelation & {
+        for (AxisRelation &a : info.axes) {
+            if (a.origin == origin)
+                return a;
+        }
+        info.axes.push_back(AxisRelation{});
+        info.axes.back().origin = origin;
+        return info.axes.back();
+    };
+    for (const SubLoop &l : nest.loops) {
+        if (!l.origin)
+            continue;
+        AxisRelation &a = relationOf(l.origin);
+        a.loops.push_back(&l);
+        int64_t reach = (l.extent - 1) * l.stride;
+        a.range.lo += std::min<int64_t>(reach, 0);
+        a.range.hi += std::max<int64_t>(reach, 0);
+        a.tuples *= std::max<int64_t>(l.extent, 1);
+        if (l.extent > 1 && l.stride <= 0)
+            a.positiveStrides = false;
+        a.anyConcurrent =
+            a.anyConcurrent || (l.extent > 1 && isConcurrentAnno(l.anno));
+    }
+
+    std::vector<int32_t> counts;
+    for (AxisRelation &a : info.axes) {
+        const int64_t extent = a.origin->extent;
+        a.overshoots = a.range.hi >= extent;
+        if (enumerateAxis(a, counts)) {
+            a.exact = true;
+            a.liveInjective = Tri::True;
+            a.covers = Tri::True;
+            for (int64_t v = 0; v < extent; ++v) {
+                int32_t hits = (v >= a.range.lo && v <= a.range.hi)
+                                   ? counts[static_cast<size_t>(v - a.range.lo)]
+                                   : 0;
+                if (hits == 0 && a.covers == Tri::True) {
+                    a.covers = Tri::False;
+                    a.holeWitness = v;
+                }
+                if (hits > 1 && a.liveInjective == Tri::True) {
+                    a.liveInjective = Tri::False;
+                    a.duplicateWitness = v;
+                }
+            }
+        } else {
+            // Budget exceeded: fall back to the conservative criterion.
+            a.exact = false;
+            if (strideDominates(a)) {
+                a.liveInjective = Tri::True;
+            } else {
+                a.liveInjective = Tri::Unknown;
+            }
+            int64_t span = a.range.extent();
+            int64_t reachable = std::min<int64_t>(a.tuples, span);
+            if (a.range.lo > 0 || a.range.hi < extent - 1 || reachable < extent)
+                a.covers = Tri::False; // provably under-covered
+            else
+                a.covers = Tri::Unknown;
+        }
+    }
+
+    // Carried dependences. A reduction op reads, updates, and writes one
+    // accumulator per spatial point: every reduce sub-loop with more than
+    // one iteration carries that read-modify-write at distance 1. A
+    // non-injective live map adds an output dependence between the
+    // duplicated writers, carried by every sub-loop of the axis.
+    const bool hasReduction = !op->reduceAxis().empty();
+    for (const AxisRelation &a : info.axes) {
+        const bool reduceAxis = a.origin->kind == IterKind::Reduce;
+        for (const SubLoop *l : a.loops) {
+            if (l->extent <= 1)
+                continue;
+            if (reduceAxis) {
+                Dependence d;
+                d.kind = DepKind::Reduction;
+                d.loop = l;
+                d.axis = a.origin;
+                d.distance = 1;
+                d.note = "accumulator read-modify-write between "
+                         "consecutive iterations of '" +
+                         l->name + "'";
+                info.carried.push_back(std::move(d));
+            }
+            if (a.liveInjective == Tri::False) {
+                Dependence d;
+                d.kind = DepKind::Output;
+                d.loop = l;
+                d.axis = a.origin;
+                d.distance = 1;
+                d.note =
+                    "duplicated iterations of axis '" + a.origin->name +
+                    "' (index " + std::to_string(a.duplicateWitness) +
+                    " runs twice) order-depend through the output element";
+                info.carried.push_back(std::move(d));
+            }
+        }
+        (void)hasReduction;
+    }
+    return info;
+}
+
+void
+checkDependences(const LoopNest &nest, DiagReport &out)
+{
+    if (!nest.op || nest.op->isPlaceholder())
+        return;
+    const auto *op = static_cast<const ComputeOp *>(nest.op.get());
+    DependenceInfo info = analyzeDependences(nest);
+
+    for (const AxisRelation &a : info.axes) {
+        const int64_t extent = a.origin->extent;
+        const std::string access = axisAccess(op, a.origin);
+        const std::string loop0 =
+            a.loops.empty() ? std::string() : a.loops[0]->name;
+        const bool reduceAxis = a.origin->kind == IterKind::Reduce;
+
+        if (a.guarded) {
+            // FT-DEP-005: the declared guard must cut exactly the
+            // overshoot — live map bijective onto [0, extent), nothing
+            // below zero, and monotone sub-loops so the executors'
+            // early-exit prune is sound.
+            if (a.range.lo != 0) {
+                out.add({kDepGuardInexact, Severity::Error, loop0, access,
+                         "guarded axis '" + a.origin->name +
+                             "' realizes indices from " +
+                             std::to_string(a.range.lo) +
+                             ": the `value < extent` guard only cuts the "
+                             "top, so the guard is not exact"});
+            }
+            if (!a.positiveStrides) {
+                out.add({kDepGuardInexact, Severity::Error, loop0, access,
+                         "guarded axis '" + a.origin->name +
+                             "' has a non-positive sub-loop stride: the "
+                             "executors' monotone guard prune is unsound "
+                             "for this nest"});
+            }
+            if (a.liveInjective == Tri::False) {
+                out.add({kDepGuardInexact, Severity::Error, loop0, access,
+                         "guarded axis '" + a.origin->name +
+                             "' duplicates live iteration " +
+                             std::to_string(a.duplicateWitness) +
+                             " (below the guard): the guard does not "
+                             "exactly cover the residual iterations"});
+            }
+            if (a.covers == Tri::False) {
+                out.add({kDepGuardInexact, Severity::Error, loop0, access,
+                         "guarded axis '" + a.origin->name +
+                             "' never reaches live iteration " +
+                             std::to_string(a.holeWitness) + " of [0, " +
+                             std::to_string(extent) +
+                             "): the guard cuts more than the overshoot"});
+            }
+        } else {
+            if (a.liveInjective == Tri::False) {
+                const char *code =
+                    reduceAxis ? kDepReduceDuplicate : kDepSpatialDuplicate;
+                const char *consequence =
+                    reduceAxis
+                        ? "the duplicated reduction terms are accumulated "
+                          "twice"
+                        : "the duplicated iterations re-accumulate the "
+                          "output element";
+                out.add({code, Severity::Error, loop0, access,
+                         "sub-loops of axis '" + a.origin->name +
+                             "' map two distinct iteration tuples to "
+                             "index " +
+                             std::to_string(a.duplicateWitness) + ": " +
+                             consequence});
+            }
+            if (a.covers == Tri::False || a.overshoots || a.range.lo < 0) {
+                std::string what;
+                if (a.covers == Tri::False) {
+                    what = "never reaches iteration " +
+                           std::to_string(a.holeWitness) + " of [0, " +
+                           std::to_string(extent) + ")";
+                } else {
+                    what = "runs unguarded iterations outside [0, " +
+                           std::to_string(extent) + ") (realized span [" +
+                           std::to_string(a.range.lo) + ", " +
+                           std::to_string(a.range.hi) + "])";
+                }
+                out.add({kDepDomainMismatch, Severity::Error, loop0,
+                         access,
+                         "iteration map of axis '" + a.origin->name +
+                             "' is not a bijection onto the original "
+                             "domain: " +
+                             what});
+            }
+        }
+    }
+
+    // FT-DEP-001: a carried dependence on concurrently ordered hardware.
+    for (const SubLoop &l : nest.loops) {
+        if (l.extent <= 1 || !isConcurrentAnno(l.anno))
+            continue;
+        for (const Dependence *d : info.carriedBy(&l)) {
+            out.add({kDepConcurrentCarried, Severity::Error, l.name,
+                     l.origin ? axisAccess(op, l.origin) : std::string(),
+                     "sub-loop '" + l.name + "' carries a " +
+                         std::string(depKindName(d->kind)) +
+                         " dependence (distance " +
+                         std::to_string(d->distance) +
+                         ", direction '<') but runs with concurrent "
+                         "annotation '" +
+                         annoName(l.anno) + "': " + d->note});
+        }
+    }
+}
+
+} // namespace verify
+} // namespace ft

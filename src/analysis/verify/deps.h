@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Affine dependence engine over lowered loop nests.
+ *
+ * Where the race pass (race.cc) applies fast conservative bounds, this
+ * engine extracts the *exact* affine relation each original axis realizes
+ * through its mixed-radix split map
+ *     original index = sum_j  v_j * stride_j,   v_j in [0, extent_j)
+ * and proves (or refutes, with a concrete witness iteration) the three
+ * properties a transformed nest must have to be equivalent to the
+ * reference program:
+ *
+ *  - the live iteration map (the tuples that survive any `value < extent`
+ *    guard) is injective — no original iteration runs twice, so no
+ *    reduction term is double-counted and no output element is
+ *    re-accumulated (FT-DEP-002 on reduce axes, FT-DEP-004 on spatial);
+ *  - the live map is onto [0, extent) and nothing escapes it — no
+ *    original iteration is dropped and no unguarded iteration runs past
+ *    the domain (FT-DEP-003);
+ *  - every dependence the nest carries (the accumulator read-modify-write
+ *    of a reduction, the output dependence between duplicated writers)
+ *    stays on serially ordered hardware: a concurrent annotation on a
+ *    dependence-carrying sub-loop is refuted (FT-DEP-001);
+ *  - a declared guarded axis (imperfect tile) gets a guard-exactness
+ *    proof: the guard must cut exactly the overshoot and nothing else
+ *    (FT-DEP-005) — this replaces the bounds prover's "declared guarded
+ *    axes" trust with a checked obligation.
+ *
+ * Exactness: because the split map is separable per axis, each axis can
+ * be analyzed independently by enumerating its (small) tuple set. Above
+ * `kExactTupleCap` tuples the engine falls back to the conservative
+ * stride-dominance criterion and reports Unknown instead of guessing.
+ */
+#ifndef FLEXTENSOR_ANALYSIS_VERIFY_DEPS_H
+#define FLEXTENSOR_ANALYSIS_VERIFY_DEPS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "analysis/verify/diag.h"
+#include "schedule/loop_nest.h"
+
+namespace ft {
+namespace verify {
+
+/** Enumeration budget per axis; above this the analysis degrades to the
+ *  conservative stride criterion (verdicts become Unknown, never wrong). */
+inline constexpr int64_t kExactTupleCap = int64_t(1) << 20;
+
+/** Three-valued analysis outcome. */
+enum class Tri { True, False, Unknown };
+
+/** Exact affine relation one original axis realizes. */
+struct AxisRelation
+{
+    const IterVarNode *origin = nullptr;
+    std::vector<const SubLoop *> loops; ///< nest order (outer to inner)
+    bool guarded = false;  ///< axis is in LoopNest::guardedAxes
+    /** Reconstructed index range the sub-loops realize (inclusive). */
+    Interval range;
+    int64_t tuples = 1;    ///< number of sub-loop index tuples
+    bool exact = false;    ///< tuple set enumerated (vs. conservative)
+    bool positiveStrides = true; ///< every extent>1 sub-loop has stride>0
+
+    /**
+     * Injectivity of the *live* map: tuples whose reconstructed index is
+     * < extent (all tuples when the axis never overshoots). A duplicate
+     * means some original iteration executes more than once.
+     */
+    Tri liveInjective = Tri::Unknown;
+    /** The live image covers every index in [0, extent). */
+    Tri covers = Tri::Unknown;
+    /** Witness index hit by two live tuples (-1 when none found). */
+    int64_t duplicateWitness = -1;
+    /** Witness index in [0, extent) never reached (-1 when none). */
+    int64_t holeWitness = -1;
+    /** Whether any tuple reconstructs an index >= extent. */
+    bool overshoots = false;
+    /** Whether any sub-loop with extent > 1 runs concurrently. */
+    bool anyConcurrent = false;
+};
+
+/** What kind of cross-iteration dependence a sub-loop carries. */
+enum class DepKind {
+    Reduction, ///< accumulator read-modify-write between its iterations
+    Output     ///< duplicated writers of one output element
+};
+
+const char *depKindName(DepKind kind);
+
+/**
+ * One carried dependence: iterating `loop` out of order (or in parallel)
+ * reorders the two endpoints of a dependence. Distance is measured in
+ * iterations of `loop` itself; direction is always '<' (the source
+ * precedes the sink in program order).
+ */
+struct Dependence
+{
+    DepKind kind = DepKind::Reduction;
+    const SubLoop *loop = nullptr;
+    const IterVarNode *axis = nullptr;
+    int64_t distance = 1;
+    std::string note; ///< human-readable derivation
+};
+
+/** The full dependence summary of one nest. */
+struct DependenceInfo
+{
+    std::vector<AxisRelation> axes;      ///< one per original axis
+    std::vector<Dependence> carried;     ///< all carried dependences
+
+    const AxisRelation *axisOf(const IterVarNode *origin) const;
+    /** Dependences carried by one specific sub-loop. */
+    std::vector<const Dependence *> carriedBy(const SubLoop *loop) const;
+};
+
+/**
+ * Analyze the nest: exact per-axis relations plus the carried-dependence
+ * set. Read-only over the nest; deterministic.
+ */
+DependenceInfo analyzeDependences(const LoopNest &nest);
+
+/**
+ * Dependence-preservation findings (FT-DEP-001..005) appended to `out`.
+ * Complements checkRaces: where the race pass bounds, this pass decides
+ * exactly (and so also catches duplication the bounds admit, e.g. an
+ * aliasing reduce split whose tuple count happens to cover the span).
+ */
+void checkDependences(const LoopNest &nest, DiagReport &out);
+
+} // namespace verify
+} // namespace ft
+
+#endif // FLEXTENSOR_ANALYSIS_VERIFY_DEPS_H

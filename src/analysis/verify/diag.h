@@ -3,7 +3,8 @@
  * Structured diagnostics for the static schedule verifier.
  *
  * A Diag pins one legality finding to a machine-readable code
- * (FT-RACE-*, FT-OOB-*, FT-COV-*, FT-RES-*), a severity, and — when the
+ * (FT-RACE-*, FT-OOB-*, FT-COV-*, FT-RES-*, FT-DEP-*), a severity, and
+ * — when the
  * finding is localized — the offending sub-loop and/or tensor access.
  * Error-severity diagnostics gate evaluation and code generation;
  * Warnings are advisory lint. Reports serialize to JSON so tools and CI
@@ -27,7 +28,9 @@ const char *severityName(Severity s);
 
 /** @name Diagnostic codes
  * Dependence/race family (FT-RACE), access-bounds family (FT-OOB),
- * iteration-coverage family (FT-COV), resource-legality family (FT-RES).
+ * iteration-coverage family (FT-COV), resource-legality family (FT-RES),
+ * dependence-preservation family (FT-DEP — the exact engine in deps.h
+ * and the fusion certificates in certificate.h).
  * @{ */
 inline constexpr const char *kRaceReduceParallel = "FT-RACE-001";
 inline constexpr const char *kRaceStrideAlias = "FT-RACE-002";
@@ -43,6 +46,12 @@ inline constexpr const char *kResPeBudget = "FT-RES-005";
 inline constexpr const char *kResBramBudget = "FT-RES-006";
 inline constexpr const char *kResVectorLanes = "FT-RES-007";
 inline constexpr const char *kResPartition = "FT-RES-008";
+inline constexpr const char *kDepConcurrentCarried = "FT-DEP-001";
+inline constexpr const char *kDepReduceDuplicate = "FT-DEP-002";
+inline constexpr const char *kDepDomainMismatch = "FT-DEP-003";
+inline constexpr const char *kDepSpatialDuplicate = "FT-DEP-004";
+inline constexpr const char *kDepGuardInexact = "FT-DEP-005";
+inline constexpr const char *kDepFusionIllegal = "FT-DEP-006";
 /** @} */
 
 /** One verifier finding. */

@@ -1,12 +1,44 @@
 #include "explore/tuner.h"
 
 #include "analysis/static_analyzer.h"
+#include "analysis/verify/certificate.h"
 #include "ir/inline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/logging.h"
 
 namespace ft {
+
+namespace {
+
+/**
+ * Certify the winning schedule and attach the result (TuneOptions::
+ * certify). Observation-only: runs after the search is fully decided.
+ */
+void
+attachCertificate(TuneReport &report, const Scheduled &s,
+                  const Target &target, const TuneOptions &options,
+                  double sim)
+{
+    if (!options.certify)
+        return;
+    auto cert = std::make_shared<verify::ScheduleCertificate>(
+        verify::certifySchedule(s, target, &report.config));
+    const ObsContext &obs = options.explore.obs;
+    if (obs.trace) {
+        obs.trace->point(
+            "certificate", sim,
+            {tstr("op", cert->op),
+             tstr("verdict", verify::verdictName(cert->verdict)),
+             tint("obligations",
+                  static_cast<int64_t>(cert->obligations.size())),
+             tint("refuted", cert->count(verify::Verdict::Refuted)),
+             tint("unknown", cert->count(verify::Verdict::Unknown))});
+    }
+    report.certificate = std::move(cert);
+}
+
+} // namespace
 
 std::string
 methodName(Method method)
@@ -72,6 +104,7 @@ tuneOp(const Operation &anchor, const Target &target,
                     }
                     if (obs.metrics)
                         obs.metrics->counter("tuner.cache_hits").add();
+                    attachCertificate(report, s, target, options, 0.0);
                     return report;
                 }
             }
@@ -115,6 +148,7 @@ tuneOp(const Operation &anchor, const Target &target,
 
     if (options.cache)
         options.cache->put({key, report.config, report.gflops});
+    attachCertificate(report, s, target, options, result.simSeconds);
 
     if (obs.trace) {
         obs.trace->point("report", result.simSeconds,

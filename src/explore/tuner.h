@@ -8,6 +8,7 @@
 #ifndef FLEXTENSOR_EXPLORE_TUNER_H
 #define FLEXTENSOR_EXPLORE_TUNER_H
 
+#include <memory>
 #include <string>
 
 #include "explore/explorer.h"
@@ -16,6 +17,10 @@
 #include "space/builder.h"
 
 namespace ft {
+
+namespace verify {
+struct ScheduleCertificate;
+} // namespace verify
 
 /** Which exploration method to run. */
 enum class Method { QMethod, PMethod, Random, AutoTvm };
@@ -36,6 +41,14 @@ struct TuneOptions
      * search the best result is stored back.
      */
     TuningCache *cache = nullptr;
+    /**
+     * Attach a transformation-legality certificate
+     * (analysis/verify/certificate.h) for the winning schedule to the
+     * report, and emit a "certificate" trace point when a trace sink is
+     * attached. Read-only over the search: certification never changes
+     * the tuned result (the determinism digests pin this).
+     */
+    bool certify = false;
 };
 
 /** Outcome of tuning one operator. */
@@ -61,6 +74,8 @@ struct TuneReport
     uint64_t retries = 0;
     uint64_t timeouts = 0;
     uint64_t quarantined = 0;
+    /** Legality certificate of `config` (null unless TuneOptions::certify). */
+    std::shared_ptr<const verify::ScheduleCertificate> certificate;
 };
 
 /** Tune the mini-graph rooted at `output` for `target` (anchor node). */

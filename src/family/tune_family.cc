@@ -23,6 +23,17 @@ instanceGflopsFor(const ShapeFamily &family, const OpConfig &generic,
     return perf.valid ? perf.gflops : 0.0;
 }
 
+verify::ScheduleCertificate
+certifyFamilyInstance(const ShapeFamily &family, const OpConfig &generic,
+                      int64_t shape, const Target &target)
+{
+    OpConfig adapted = generic;
+    adaptSplitToExtent(adapted, family.dynamicAxis, shape);
+    Operation anchor = family.instanceAnchor(shape);
+    Scheduled s = generate(anchor, adapted, target);
+    return verify::certifySchedule(s, target, &adapted);
+}
+
 FamilyTuneReport
 tuneFamily(const ShapeFamily &family, const Target &target,
            const FamilyTuneOptions &options)
@@ -129,6 +140,12 @@ tuneFamily(const ShapeFamily &family, const Target &target,
             family, bucket_report.config, bucket.hi, target);
         bucket_report.trials = result.trialsUsed;
         bucket_report.simSeconds = result.simSeconds;
+        if (options.certify) {
+            bucket_report.certificate =
+                std::make_shared<verify::ScheduleCertificate>(
+                    certifyFamilyInstance(family, bucket_report.config,
+                                          bucket.hi, target));
+        }
 
         report.table.addEntry({bucket.lo, bucket.hi, bucket_report.config,
                                result.bestGflops, result.trialsUsed});

@@ -13,8 +13,10 @@
 #ifndef FLEXTENSOR_FAMILY_TUNE_FAMILY_H
 #define FLEXTENSOR_FAMILY_TUNE_FAMILY_H
 
+#include <memory>
 #include <vector>
 
+#include "analysis/verify/certificate.h"
 #include "explore/tuner.h"
 #include "family/dispatch.h"
 #include "family/family.h"
@@ -32,6 +34,13 @@ struct FamilyTuneOptions
     /** Extra space-construction options (extent overrides are set by
      *  tuneFamily itself; other knobs pass through). */
     SpaceOptions space;
+    /**
+     * Certify each bucket's winning generic schedule at the bucket's
+     * representative (upper) shape — including the FT-DEP-005 guard
+     * exactness proof for its imperfect tiles — and attach the result
+     * to the bucket report. Read-only over the search.
+     */
+    bool certify = false;
 };
 
 /** Outcome of tuning one bucket of a family. */
@@ -44,6 +53,9 @@ struct FamilyBucketReport
     double repGflops = 0.0;
     int trials = 0;
     double simSeconds = 0.0;
+    /** Legality certificate at the representative shape (null unless
+     *  FamilyTuneOptions::certify). */
+    std::shared_ptr<const verify::ScheduleCertificate> certificate;
 };
 
 /** Outcome of one tuneFamily() run. */
@@ -69,6 +81,18 @@ FamilyTuneReport tuneFamily(const ShapeFamily &family, const Target &target,
  */
 double instanceGflopsFor(const ShapeFamily &family, const OpConfig &generic,
                          int64_t shape, const Target &target);
+
+/**
+ * Certify one concrete instance of a generic config: the dynamic split
+ * is re-fit to `shape`, the instance anchor lowered, and the full
+ * obligation set of certifySchedule() discharged — for imperfectly
+ * tiled instances this is the guard-exactness proof (FT-DEP-005) the
+ * bounds prover's "declared guarded axes" clamp used to take on trust.
+ */
+verify::ScheduleCertificate certifyFamilyInstance(const ShapeFamily &family,
+                                                  const OpConfig &generic,
+                                                  int64_t shape,
+                                                  const Target &target);
 
 } // namespace ft
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/verify/certificate.h"
 #include "support/logging.h"
 
 namespace ft {
@@ -232,7 +233,17 @@ partitionDag(const ComputeDag &dag, const Target &target,
     }
 
     FT_ASSERT(!beam.empty(), "beam search lost every state");
-    return finalizePartition(dag, beam[0].assignment, target);
+    // Fusion-legality gate (FT-DEP-006): before any tuning happens the
+    // winning assignment must carry a proven partition certificate —
+    // streaming order, retention windows, ephemeral non-escape, anchor
+    // uniqueness, on-chip capacity. An uncertifiable state falls back
+    // to the next beam rank; the fully unfused partition backstops.
+    for (const BeamState &state : beam) {
+        Partition p = finalizePartition(dag, state.assignment, target);
+        if (verify::certifyPartition(dag, p, target).equivalent())
+            return p;
+    }
+    return nonePartition(dag, target);
 }
 
 Partition

@@ -40,6 +40,23 @@ tuneDag(const ComputeDag &dag, const Target &target,
              tint("traffic_bytes", rep.trafficBytes),
              tint("ephemeral_bytes", rep.ephemeralBytes)});
     }
+    if (options.certify) {
+        auto cert = std::make_shared<verify::PartitionCertificate>(
+            verify::certifyPartition(dag, rep.partition, target));
+        if (obs.trace) {
+            obs.trace->point(
+                "certificate", 0.0,
+                {tstr("op", dag.name),
+                 tstr("verdict", verify::verdictName(cert->verdict)),
+                 tint("obligations",
+                      static_cast<int64_t>(cert->groups.size())),
+                 tint("refuted",
+                      cert->groupCount(verify::Verdict::Refuted)),
+                 tint("unknown",
+                      cert->groupCount(verify::Verdict::Unknown))});
+        }
+        rep.certificate = std::move(cert);
+    }
     if (obs.metrics)
         obs.metrics->counter("graph.runs").add();
 

@@ -19,6 +19,9 @@
 #ifndef FLEXTENSOR_GRAPH_SCHEDULE_DAG_H
 #define FLEXTENSOR_GRAPH_SCHEDULE_DAG_H
 
+#include <memory>
+
+#include "analysis/verify/certificate.h"
 #include "explore/tuner.h"
 #include "graph/partition.h"
 
@@ -51,6 +54,12 @@ struct DagTuneReport
     int64_t trafficBytes = 0;
     /** Intermediate bytes that never touch DRAM. */
     int64_t ephemeralBytes = 0;
+    /**
+     * Fusion-legality certificate of the chosen partition (null unless
+     * TuneOptions::certify). Per-anchor schedule certificates ride on
+     * each group's TuneReport.
+     */
+    std::shared_ptr<const verify::PartitionCertificate> certificate;
 };
 
 /** Partition `dag` and tune every subgraph for `target`. */

@@ -62,14 +62,14 @@ CostModel::appendTrialFrame(const CostTrial &trial)
         << trial.features.size();
     for (double f : trial.features)
         oss << ' ' << hexDouble(f);
-    std::lock_guard<std::mutex> lock(fileMu_);
+    MutexLock lock(fileMu_);
     journalAppend(options_.persistPath, kCostModelJournalKind, oss.str());
 }
 
 void
 CostModel::appendModelFrame(const GbtModel &model)
 {
-    std::lock_guard<std::mutex> lock(fileMu_);
+    MutexLock lock(fileMu_);
     journalAppend(options_.persistPath, kCostModelJournalKind,
                   "m " + model.serialize());
 }
@@ -115,7 +115,7 @@ CostModel::load()
             trials.push_back(std::move(trial));
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     recorded_ = trials.size();
     if (trials.size() > options_.maxTrials) {
         trials.erase(trials.begin(),
@@ -137,23 +137,27 @@ CostModel::recordTrial(const std::vector<double> &features, double gflops,
     if (!options_.persistPath.empty())
         appendTrialFrame(trial);
 
-    std::unique_lock<std::mutex> lock(mu_);
-    trials_.push_back(std::move(trial));
-    if (trials_.size() > options_.maxTrials)
-        trials_.erase(trials_.begin());
-    ++recorded_;
-    ++sinceRefit_;
-    const bool due = sinceRefit_ >= options_.refitEvery;
-    if (due) {
-        if (options_.syncRefit) {
-            refitLocked(lock, obs, sim);
-        } else {
-            sinceRefit_ = 0;
-            kick_ = true;
-            cv_.notify_one();
+    RefitJob job;
+    bool fitNow = false;
+    {
+        MutexLock lock(mu_);
+        trials_.push_back(std::move(trial));
+        if (trials_.size() > options_.maxTrials)
+            trials_.erase(trials_.begin());
+        ++recorded_;
+        ++sinceRefit_;
+        if (sinceRefit_ >= options_.refitEvery) {
+            if (options_.syncRefit) {
+                fitNow = snapshotWindowLocked(job);
+            } else {
+                sinceRefit_ = 0;
+                kick_ = true;
+                cv_.notify_one();
+            }
         }
     }
-    lock.unlock();
+    if (fitNow)
+        fitAndPublish(job, obs, sim);
     if (obs && obs->metrics)
         obs->metrics->counter("costmodel.trials").add(1);
 }
@@ -161,7 +165,7 @@ CostModel::recordTrial(const std::vector<double> &features, double gflops,
 bool
 CostModel::ready() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return snapshot_ != nullptr && snapshot_->trained();
 }
 
@@ -170,7 +174,7 @@ CostModel::predict(const std::vector<double> &features) const
 {
     std::shared_ptr<const GbtModel> model;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         model = snapshot_;
     }
     return model ? model->predict(features) : 0.0;
@@ -179,43 +183,48 @@ CostModel::predict(const std::vector<double> &features) const
 void
 CostModel::refitNow(const ObsContext *obs, double sim)
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    refitLocked(lock, obs, sim);
+    RefitJob job;
+    bool fit;
+    {
+        MutexLock lock(mu_);
+        fit = snapshotWindowLocked(job);
+    }
+    if (fit)
+        fitAndPublish(job, obs, sim);
+}
+
+bool
+CostModel::snapshotWindowLocked(RefitJob &job)
+{
+    sinceRefit_ = 0;
+    if (trials_.empty())
+        return false;
+    // Clone the window under the lock, fit outside it: predict() keeps
+    // serving the old snapshot for the whole (potentially long) fit.
+    job.x.reserve(trials_.size());
+    job.y.reserve(trials_.size());
+    job.groups.reserve(trials_.size());
+    for (const CostTrial &t : trials_) {
+        job.x.push_back(t.features);
+        job.y.push_back(t.gflops);
+        job.groups.push_back(t.group);
+    }
+    job.seed = kRefitSeed ^ recorded_;
+    return true;
 }
 
 void
-CostModel::refitLocked(std::unique_lock<std::mutex> &lock,
-                       const ObsContext *obs, double sim)
+CostModel::fitAndPublish(const RefitJob &job, const ObsContext *obs,
+                         double sim)
 {
-    if (trials_.empty()) {
-        sinceRefit_ = 0;
-        return;
-    }
-    // Clone the window under the lock, fit outside it: predict() keeps
-    // serving the old snapshot for the whole (potentially long) fit.
-    std::vector<std::vector<double>> x;
-    std::vector<double> y;
-    std::vector<uint64_t> groups;
-    x.reserve(trials_.size());
-    y.reserve(trials_.size());
-    groups.reserve(trials_.size());
-    for (const CostTrial &t : trials_) {
-        x.push_back(t.features);
-        y.push_back(t.gflops);
-        groups.push_back(t.group);
-    }
-    const uint64_t seed = kRefitSeed ^ recorded_;
-    sinceRefit_ = 0;
-    lock.unlock();
-
     if (obs && obs->trace) {
         obs->trace->begin("costmodel.train", sim,
                           {tint("trials",
-                                static_cast<int64_t>(x.size()))});
+                                static_cast<int64_t>(job.x.size()))});
     }
     auto model = std::make_shared<GbtModel>();
-    Rng rng(seed);
-    model->fitRank(x, y, groups, options_.gbt, rng);
+    Rng rng(job.seed);
+    model->fitRank(job.x, job.y, job.groups, options_.gbt, rng);
     if (obs && obs->trace)
         obs->trace->end("costmodel.train", sim);
     if (obs && obs->metrics)
@@ -223,7 +232,7 @@ CostModel::refitLocked(std::unique_lock<std::mutex> &lock,
     if (!options_.persistPath.empty())
         appendModelFrame(*model);
 
-    lock.lock();
+    MutexLock lock(mu_);
     snapshot_ = std::move(model);
     ++refits_;
 }
@@ -231,7 +240,7 @@ CostModel::refitLocked(std::unique_lock<std::mutex> &lock,
 void
 CostModel::startBackgroundRefit()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (trainer_.joinable())
         return;
     stop_ = false;
@@ -242,42 +251,51 @@ void
 CostModel::stopBackgroundRefit()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!trainer_.joinable())
             return;
         stop_ = true;
         cv_.notify_one();
     }
     trainer_.join();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     trainer_ = std::thread();
     stop_ = false;
 }
 
+// A condition wait releases and re-acquires mu_ inside cv_.wait(),
+// which the thread-safety analysis cannot follow; the loop holds mu_
+// at every access of kick_/stop_/the trial window, and drops it around
+// each fit, exactly like the annotated recordTrial() path.
 void
-CostModel::trainerLoop()
+CostModel::trainerLoop() FT_NO_THREAD_SAFETY_ANALYSIS
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_.native());
     while (true) {
         cv_.wait(lock, [this] { return kick_ || stop_; });
         if (stop_)
             return;
         kick_ = false;
-        refitLocked(lock, nullptr, 0.0);
+        RefitJob job;
+        if (!snapshotWindowLocked(job))
+            continue;
+        lock.unlock();
+        fitAndPublish(job, nullptr, 0.0);
+        lock.lock();
     }
 }
 
 size_t
 CostModel::numTrials() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return trials_.size();
 }
 
 uint64_t
 CostModel::refits() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return refits_;
 }
 

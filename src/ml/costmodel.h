@@ -35,6 +35,7 @@
 
 #include "ml/gbt.h"
 #include "obs/obs.h"
+#include "support/thread_annotations.h"
 
 namespace ft {
 
@@ -107,28 +108,45 @@ class CostModel
     uint64_t refits() const;
 
   private:
-    void appendTrialFrame(const CostTrial &trial);
-    void appendModelFrame(const GbtModel &model);
-    /** Fit a fresh model on a copy of the window; swap it in. */
-    void refitLocked(std::unique_lock<std::mutex> &lock,
-                     const ObsContext *obs, double sim);
+    /** One pending refit: the cloned trial window plus its seed. */
+    struct RefitJob
+    {
+        std::vector<std::vector<double>> x;
+        std::vector<double> y;
+        std::vector<uint64_t> groups;
+        uint64_t seed = 0;
+    };
+
+    void appendTrialFrame(const CostTrial &trial) FT_EXCLUDES(fileMu_);
+    void appendModelFrame(const GbtModel &model) FT_EXCLUDES(fileMu_);
+    /**
+     * Clone the trial window for fitting and reset the refit counter.
+     * False (and no job) when the window is empty.
+     */
+    bool snapshotWindowLocked(RefitJob &job) FT_REQUIRES(mu_);
+    /** Fit `job` outside the lock, then swap the snapshot in. */
+    void fitAndPublish(const RefitJob &job, const ObsContext *obs,
+                       double sim) FT_EXCLUDES(mu_);
     void trainerLoop();
 
     CostModelOptions options_;
 
     /** Serializes journal appends (requests may record concurrently). */
-    std::mutex fileMu_;
-    mutable std::mutex mu_;
-    std::vector<CostTrial> trials_;
-    std::shared_ptr<const GbtModel> snapshot_; ///< immutable once published
-    uint64_t recorded_ = 0;  ///< trials ever recorded (refit seed basis)
-    uint64_t refits_ = 0;
-    int sinceRefit_ = 0;
+    Mutex fileMu_;
+    mutable Mutex mu_;
+    std::vector<CostTrial> trials_ FT_GUARDED_BY(mu_);
+    /** Immutable once published. */
+    std::shared_ptr<const GbtModel> snapshot_ FT_GUARDED_BY(mu_);
+    /** Trials ever recorded (refit seed basis). */
+    uint64_t recorded_ FT_GUARDED_BY(mu_) = 0;
+    uint64_t refits_ FT_GUARDED_BY(mu_) = 0;
+    int sinceRefit_ FT_GUARDED_BY(mu_) = 0;
 
+    /** Start/stop happen under mu_; join() runs with mu_ released. */
     std::thread trainer_;
     std::condition_variable cv_;
-    bool stop_ = false;
-    bool kick_ = false;
+    bool stop_ FT_GUARDED_BY(mu_) = false;
+    bool kick_ FT_GUARDED_BY(mu_) = false;
 };
 
 /**

@@ -133,6 +133,20 @@ foldTrace(const std::vector<ParsedTraceEvent> &events)
                 ++out.serve.breakerOpens;
             } else if (e.name == "admission.breaker_close") {
                 ++out.serve.breakerCloses;
+            } else if (e.name == "certificate") {
+                CertificateEntry entry;
+                entry.op = e.str("op");
+                entry.verdict = e.str("verdict");
+                entry.obligations = e.integer("obligations");
+                entry.refuted = e.integer("refuted");
+                entry.unknown = e.integer("unknown");
+                if (entry.verdict == "proven")
+                    ++out.certificates.proven;
+                else if (entry.verdict == "refuted")
+                    ++out.certificates.refuted;
+                else
+                    ++out.certificates.unknown;
+                out.certificates.entries.push_back(std::move(entry));
             } else if (e.name == "costmodel.warm_start") {
                 ++out.costModel.warmStarts;
             } else if (e.name == "costmodel.prune") {
@@ -319,6 +333,28 @@ renderTraceReport(const TraceReport &report, int curvePoints)
         oss << buf;
     }
 
+    if (report.certificates.any()) {
+        const CertificateBreakdown &c = report.certificates;
+        oss << "\nlegality certificates:\n";
+        std::snprintf(buf, sizeof(buf),
+                      "  proven %llu, refuted %llu, unknown %llu\n",
+                      (unsigned long long)c.proven,
+                      (unsigned long long)c.refuted,
+                      (unsigned long long)c.unknown);
+        oss << buf;
+        for (const CertificateEntry &entry : c.entries) {
+            std::snprintf(buf, sizeof(buf),
+                          "  %-20s %-8s %4lld obligations "
+                          "(%lld refuted, %lld unknown)\n",
+                          entry.op.empty() ? "?" : entry.op.c_str(),
+                          entry.verdict.c_str(),
+                          (long long)entry.obligations,
+                          (long long)entry.refuted,
+                          (long long)entry.unknown);
+            oss << buf;
+        }
+    }
+
     if (!report.curve.empty() && curvePoints > 0) {
         oss << "\nbest GFLOPS vs. trials (Fig. 7 series):\n";
         // Sample evenly, always keeping the final point.
@@ -361,7 +397,7 @@ traceReportJson(const TraceReport &report)
     oss << "]";
     // Sections below are emitted only when non-empty: a pure
     // exploration trace's JSON has no "serve"/"graph"/"verifyRejects"/
-    // "costmodel" keys at all.
+    // "costmodel"/"certificates" keys at all.
     if (!report.verifyRejects.empty()) {
         oss << ",\"verifyRejects\":{";
         for (size_t i = 0; i < report.verifyRejects.size(); ++i) {
@@ -425,6 +461,23 @@ traceReportJson(const TraceReport &report)
             << ",\"pruneEvents\":" << c.pruneEvents
             << ",\"kept\":" << c.kept << ",\"dropped\":" << c.dropped
             << "}";
+    }
+    if (report.certificates.any()) {
+        const CertificateBreakdown &c = report.certificates;
+        oss << ",\"certificates\":{\"proven\":" << c.proven
+            << ",\"refuted\":" << c.refuted
+            << ",\"unknown\":" << c.unknown << ",\"entries\":[";
+        for (size_t i = 0; i < c.entries.size(); ++i) {
+            const CertificateEntry &entry = c.entries[i];
+            if (i)
+                oss << ",";
+            oss << "{\"op\":\"" << entry.op << "\",\"verdict\":\""
+                << entry.verdict
+                << "\",\"obligations\":" << entry.obligations
+                << ",\"refuted\":" << entry.refuted
+                << ",\"unknown\":" << entry.unknown << "}";
+        }
+        oss << "]}";
     }
     oss << ",\"curve\":[";
     for (size_t i = 0; i < report.curve.size(); ++i) {

@@ -94,6 +94,27 @@ struct CostModelBreakdown
     bool any() const { return warmStarts || pruneEvents || refits; }
 };
 
+/** One certified schedule/partition folded from a `certificate` point. */
+struct CertificateEntry
+{
+    std::string op;      ///< operator (or DAG) the certificate covers
+    std::string verdict; ///< Proven / Refuted / Unknown
+    int64_t obligations = 0;
+    int64_t refuted = 0; ///< refuted obligations (or groups, for DAGs)
+    int64_t unknown = 0; ///< undecided obligations (or groups)
+};
+
+/** Legality-certificate activity folded from `certificate` events. */
+struct CertificateBreakdown
+{
+    uint64_t proven = 0;  ///< certificates with every obligation proven
+    uint64_t refuted = 0; ///< certificates refuting >= 1 obligation
+    uint64_t unknown = 0; ///< certificates left undecided
+    std::vector<CertificateEntry> entries; ///< in emission order
+
+    bool any() const { return proven || refuted || unknown; }
+};
+
 /** Everything trace_report derives from one timeline. */
 struct TraceReport
 {
@@ -127,6 +148,9 @@ struct TraceReport
 
     /** Cost-model section (empty when no model was attached). */
     CostModelBreakdown costModel;
+
+    /** Certificate section (empty unless a run requested --certify). */
+    CertificateBreakdown certificates;
 };
 
 /** Fold parsed events into a report. */

@@ -76,7 +76,7 @@ AdmissionController::admit(const std::string &opKey,
                            double deadline)
 {
     AdmissionDecision out;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const size_t depth = inflight_.size();
     if (queueDepthHist_)
         queueDepthHist_->observe(static_cast<double>(depth));
@@ -205,7 +205,7 @@ void
 AdmissionController::onComplete(const std::string &opKey, uint64_t ticket,
                                 double now, bool success)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = inflight_.find(ticket);
     FT_ASSERT(it != inflight_.end(), "unknown admission ticket ", ticket);
     const Ticket t = it->second;
@@ -256,7 +256,7 @@ AdmissionController::onComplete(const std::string &opKey, uint64_t ticket,
 bool
 AdmissionController::breakerOpen(const std::string &opKey, double now) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = breakers_.find(opKey);
     if (it == breakers_.end() || !it->second.open)
         return false;
@@ -267,7 +267,7 @@ AdmissionStats
 AdmissionController::stats() const
 {
     AdmissionStats out;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.admitted = statAdmitted_;
     out.shedQueueFull = statShedQueueFull_;
     out.shedDeadline = statShedDeadline_;

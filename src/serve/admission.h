@@ -45,6 +45,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/thread_annotations.h"
 
 namespace ft {
 
@@ -177,7 +178,7 @@ class AdmissionController
     };
 
     /** Caller holds mu_. */
-    double predictedCostLocked() const;
+    double predictedCostLocked() const FT_REQUIRES(mu_);
 
     AdmissionOptions options_;
     Counter *admitted_ = nullptr;
@@ -188,19 +189,19 @@ class AdmissionController
     Counter *breakersOpened_ = nullptr;
     Histogram *queueDepthHist_ = nullptr;
 
-    mutable std::mutex mu_;
-    std::vector<double> workerFreeAt_;
-    std::unordered_map<uint64_t, Ticket> inflight_;
-    std::unordered_map<std::string, Breaker> breakers_;
-    uint64_t nextTicket_ = 1;
-    double costEwma_ = 0.0;
-    bool costObserved_ = false;
-    uint64_t statAdmitted_ = 0;
-    uint64_t statShedQueueFull_ = 0;
-    uint64_t statShedDeadline_ = 0;
-    uint64_t statBrownouts_ = 0;
-    uint64_t statBreakerRejects_ = 0;
-    uint64_t statBreakersOpened_ = 0;
+    mutable Mutex mu_;
+    std::vector<double> workerFreeAt_ FT_GUARDED_BY(mu_);
+    std::unordered_map<uint64_t, Ticket> inflight_ FT_GUARDED_BY(mu_);
+    std::unordered_map<std::string, Breaker> breakers_ FT_GUARDED_BY(mu_);
+    uint64_t nextTicket_ FT_GUARDED_BY(mu_) = 1;
+    double costEwma_ FT_GUARDED_BY(mu_) = 0.0;
+    bool costObserved_ FT_GUARDED_BY(mu_) = false;
+    uint64_t statAdmitted_ FT_GUARDED_BY(mu_) = 0;
+    uint64_t statShedQueueFull_ FT_GUARDED_BY(mu_) = 0;
+    uint64_t statShedDeadline_ FT_GUARDED_BY(mu_) = 0;
+    uint64_t statBrownouts_ FT_GUARDED_BY(mu_) = 0;
+    uint64_t statBreakerRejects_ FT_GUARDED_BY(mu_) = 0;
+    uint64_t statBreakersOpened_ FT_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace ft

@@ -317,7 +317,7 @@ TuningService::tuneAnchor(const Operation &anchor, const Target &target,
     bool owner = false;
     bool registered = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (lruIndex_.count(key)) {
             if (const TuneReport *hit = lruGet(key, identityOf())) {
                 resultCacheHits_.add();
@@ -371,7 +371,7 @@ TuningService::tuneAnchor(const Operation &anchor, const Target &target,
     if (report.fromCache)
         persistentCacheHits_.add();
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         lruPut(key, identityOf(), report);
         if (registered)
             inflight_.erase(key);
@@ -412,7 +412,7 @@ TuningService::runFamily(const ShapeFamily &family, const Target &target,
     bool owner = false;
     bool registered = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = familyInflight_.find(key);
         if (it != familyInflight_.end() && it->second.identity == identity) {
             coalescedJoins_.add();
@@ -445,7 +445,7 @@ TuningService::runFamily(const ShapeFamily &family, const Target &target,
     if (report.table.total())
         publishDispatchTable(family.name, report.table);
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (registered)
             familyInflight_.erase(key);
     }
@@ -507,7 +507,7 @@ TuningService::tuneDag(const graph::ComputeDag &dag, const Target &target,
     bool owner = false;
     bool registered = false;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto cached = graphCache_.find(key);
         if (cached != graphCache_.end() &&
             cached->second.identity == identity) {
@@ -551,7 +551,7 @@ TuningService::tuneDag(const graph::ComputeDag &dag, const Target &target,
             persistentCacheHits_.add();
     }
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         graphCache_[key] = GraphSlot{identity, report};
         if (registered)
             graphInflight_.erase(key);
@@ -585,7 +585,7 @@ TuningService::publishDispatchTable(const std::string &familyName,
 {
     const std::string &device = table.device();
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         const uint64_t slot = dispatchFingerprint(familyName, device);
         dispatch_[slot] =
             DispatchSlot{dispatchIdentity(familyName, device), table};
@@ -620,7 +620,7 @@ TuningService::reloadDispatchTables()
                  entry.path().string());
             continue;
         }
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         const uint64_t slot =
             dispatchFingerprint(table->familyName(), table->device());
         dispatch_[slot] = DispatchSlot{
@@ -653,7 +653,7 @@ TuningService::serveShape(const ShapeFamily &family, int64_t shape,
     const std::string slotIdentity =
         dispatchIdentity(family.name, target.deviceName());
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = dispatch_.find(slot);
         if (it != dispatch_.end() && it->second.identity == slotIdentity) {
             const DispatchEntry &entry = it->second.table.lookup(shape);
@@ -723,7 +723,7 @@ TuningService::tuneAnchorAdmitted(const Operation &anchor,
         const uint64_t key = requestFingerprint(anchor, target, options);
         const std::string identity =
             requestIdentity(anchor, target, options);
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (const TuneReport *hit = lruGet(key, identity)) {
             resultCacheHits_.add();
             brownoutServed_.add();
@@ -791,7 +791,7 @@ TuningService::submitAdmitted(const Tensor &output, const Target &target,
                 requestFingerprint(anchor, target, options);
             const std::string identity =
                 requestIdentity(anchor, target, options);
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             if (const TuneReport *hit = lruGet(key, identity)) {
                 resultCacheHits_.add();
                 brownoutServed_.add();
@@ -859,7 +859,7 @@ TuningService::serveShapeAdmitted(const ShapeFamily &family, int64_t shape,
     auto fromTable = [&]() -> bool {
         const uint64_t slot =
             dispatchFingerprint(family.name, target.deviceName());
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = dispatch_.find(slot);
         if (it == dispatch_.end() || it->second.identity != opKey ||
             !it->second.table.var().contains(shape))
@@ -929,7 +929,7 @@ TuningService::dispatchTableFor(const std::string &familyName,
                                 const std::string &device) const
 {
     const uint64_t slot = dispatchFingerprint(familyName, device);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = dispatch_.find(slot);
     if (it == dispatch_.end() ||
         it->second.identity != dispatchIdentity(familyName, device))
@@ -968,7 +968,7 @@ TuningService::stats() const
         out.costModelRefits = costModel_->refits();
         out.costModelReady = costModel_->ready();
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.inflight = inflight_.size() + familyInflight_.size() +
                    graphInflight_.size();
     out.resultCacheSize = lru_.size();

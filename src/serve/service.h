@@ -45,6 +45,7 @@
 #include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/thread_pool.h"
+#include "support/thread_annotations.h"
 
 namespace ft {
 
@@ -385,7 +386,8 @@ class TuningService
      * LRU lookup; promotes the entry on hit. Returns null on a
      * fingerprint collision (identity mismatch). Caller holds mu_.
      */
-    const TuneReport *lruGet(uint64_t key, const std::string &identity);
+    const TuneReport *lruGet(uint64_t key, const std::string &identity)
+        FT_REQUIRES(mu_);
 
     /**
      * LRU insert with eviction. A fingerprint collision (slot taken by
@@ -393,7 +395,7 @@ class TuningService
      * holds mu_.
      */
     void lruPut(uint64_t key, const std::string &identity,
-                const TuneReport &report);
+                const TuneReport &report) FT_REQUIRES(mu_);
 
     /** The coalescing family run behind tuneFamily()/serveShape(). */
     FamilyTuneReport runFamily(const ShapeFamily &family,
@@ -442,15 +444,21 @@ class TuningService
     Counter &graphRequests_;
     Counter &graphCacheHits_;
 
-    mutable std::mutex mu_;
-    std::unordered_map<uint64_t, InflightRun> inflight_;
-    std::list<CachedReport> lru_; ///< front = newest
+    mutable Mutex mu_;
+    std::unordered_map<uint64_t, InflightRun> inflight_
+        FT_GUARDED_BY(mu_);
+    /** front = newest */
+    std::list<CachedReport> lru_ FT_GUARDED_BY(mu_);
     std::unordered_map<uint64_t, std::list<CachedReport>::iterator>
-        lruIndex_;
-    std::unordered_map<uint64_t, InflightFamilyRun> familyInflight_;
-    std::unordered_map<uint64_t, DispatchSlot> dispatch_;
-    std::unordered_map<uint64_t, InflightGraphRun> graphInflight_;
-    std::unordered_map<uint64_t, GraphSlot> graphCache_;
+        lruIndex_ FT_GUARDED_BY(mu_);
+    std::unordered_map<uint64_t, InflightFamilyRun> familyInflight_
+        FT_GUARDED_BY(mu_);
+    std::unordered_map<uint64_t, DispatchSlot> dispatch_
+        FT_GUARDED_BY(mu_);
+    std::unordered_map<uint64_t, InflightGraphRun> graphInflight_
+        FT_GUARDED_BY(mu_);
+    std::unordered_map<uint64_t, GraphSlot> graphCache_
+        FT_GUARDED_BY(mu_);
 };
 
 } // namespace ft

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotations and annotated lock types.
+ *
+ * The macros expand to clang's `capability` attributes when the analysis
+ * is available (clang with -Wthread-safety) and to nothing elsewhere, so
+ * GCC builds are unaffected. libstdc++'s std::mutex is not annotated,
+ * so the concurrent subsystems lock through the `ft::Mutex` wrapper and
+ * the `ft::MutexLock` scoped guard below — the analysis then statically
+ * checks every FT_GUARDED_BY / FT_REQUIRES contract in serve/ and ml/
+ * (the clang CI job compiles with -Werror=thread-safety). Condition
+ * waits release and re-acquire in a way the analysis cannot follow;
+ * such loops (CostModel::trainerLoop) carry
+ * FT_NO_THREAD_SAFETY_ANALYSIS with the contract stated in a comment.
+ */
+#ifndef FLEXTENSOR_SUPPORT_THREAD_ANNOTATIONS_H
+#define FLEXTENSOR_SUPPORT_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FT_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define FT_CAPABILITY(x) FT_THREAD_ANNOTATION(capability(x))
+
+/** Marks a RAII type that acquires a capability for its lifetime. */
+#define FT_SCOPED_CAPABILITY FT_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only with `x` held. */
+#define FT_GUARDED_BY(x) FT_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is protected by `x`. */
+#define FT_PT_GUARDED_BY(x) FT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with the listed capabilities held. */
+#define FT_REQUIRES(...) \
+    FT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with the capabilities NOT held. */
+#define FT_EXCLUDES(...) FT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the listed capabilities. */
+#define FT_ACQUIRE(...) \
+    FT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the listed capabilities. */
+#define FT_RELEASE(...) \
+    FT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Escape hatch: function body is exempt from the analysis. */
+#define FT_NO_THREAD_SAFETY_ANALYSIS \
+    FT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ft {
+
+/**
+ * std::mutex with the `capability` attribute so members can be declared
+ * FT_GUARDED_BY(mu_). Drop-in: same lock/unlock surface, and `native()`
+ * exposes the underlying std::mutex for condition variables.
+ */
+class FT_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() FT_ACQUIRE() { mu_.lock(); }
+    void unlock() FT_RELEASE() { mu_.unlock(); }
+
+    std::mutex &native() { return mu_; }
+
+  private:
+    std::mutex mu_;
+};
+
+/** std::lock_guard equivalent over ft::Mutex, visible to the analysis. */
+class FT_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) FT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() FT_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+} // namespace ft
+
+#endif // FLEXTENSOR_SUPPORT_THREAD_ANNOTATIONS_H

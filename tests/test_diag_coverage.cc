@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Diagnostic-code completeness: every FT-* code declared in
+ * src/analysis/verify/diag.h must (a) be triggerable — this file
+ * constructs at least one fixture per code and collects the codes the
+ * verifier/certifier actually emit — and (b) be documented in the
+ * README diagnostics table. The declared set is parsed out of diag.h
+ * at runtime, so adding a code without a fixture here or a README row
+ * fails this suite rather than silently shipping an undocumented,
+ * untested diagnostic.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/static_analyzer.h"
+#include "analysis/verify/certificate.h"
+#include "analysis/verify/deps.h"
+#include "analysis/verify/verify.h"
+#include "graph/dag.h"
+#include "graph/partition.h"
+#include "ops/ops.h"
+#include "schedule/generator.h"
+
+namespace ft {
+namespace {
+
+using verify::DiagReport;
+using verify::Severity;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** Every FT-* code literal declared in diag.h. */
+std::set<std::string>
+declaredCodes()
+{
+    const std::string text =
+        readFile(std::string(FT_SOURCE_DIR) +
+                 "/src/analysis/verify/diag.h");
+    std::set<std::string> codes;
+    std::regex pat("\"(FT-[A-Z]+-[0-9]+)\"");
+    for (std::sregex_iterator it(text.begin(), text.end(), pat), end;
+         it != end; ++it)
+        codes.insert((*it)[1]);
+    return codes;
+}
+
+void
+collect(const DiagReport &report, std::set<std::string> &into)
+{
+    for (const auto &d : report.diags())
+        into.insert(d.code);
+}
+
+SubLoop
+subLoop(const IterVarNode *origin, int64_t extent, int64_t stride, int level,
+    LoopAnno anno = LoopAnno::Serial)
+{
+    SubLoop l;
+    l.name = origin->name + "." + std::to_string(level);
+    l.extent = extent;
+    l.anno = anno;
+    l.origin = origin;
+    l.stride = stride;
+    l.level = level;
+    return l;
+}
+
+/** Gemm anchor plus axis handles for hand-built adversarial nests. */
+struct GemmRig
+{
+    MiniGraph g;
+    Operation anchor;
+    const IterVarNode *i;
+    const IterVarNode *j;
+    const IterVarNode *k;
+
+    explicit GemmRig(int64_t m, int64_t n, int64_t kk)
+        : g(ops::gemm(placeholder("A", {m, kk}),
+                      placeholder("B", {kk, n})))
+    {
+        anchor = anchorOp(g);
+        const auto *op = static_cast<const ComputeOp *>(anchor.get());
+        i = op->axis()[0].get();
+        j = op->axis()[1].get();
+        k = op->reduceAxis()[0].get();
+    }
+};
+
+/**
+ * Trigger every declared diagnostic at least once and return the set of
+ * codes observed. One fixture per family member; certificate-only
+ * refutation codes (FT-DEP-006) are collected from the obligation that
+ * refutes them.
+ */
+std::set<std::string>
+triggeredCodes()
+{
+    std::set<std::string> seen;
+    const Target cpu = Target::forCpu(xeonE5());
+    const Target gpu = Target::forGpu(v100());
+
+    // FT-RACE-001: reduce axis bound to a concurrent annotation.
+    {
+        GemmRig rig(4, 4, 4);
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 4, 1, 0), subLoop(rig.j, 4, 1, 0),
+                      subLoop(rig.k, 4, 1, 0, LoopAnno::Parallel)};
+        DiagReport r;
+        verify::checkRaces(nest, r);
+        collect(r, seen);
+    }
+
+    // FT-RACE-002 / FT-COV-001: aliasing spatial strides under a
+    // concurrent binding (the duplicate visits also leave original
+    // iterations uncovered elsewhere, reported as under-coverage).
+    {
+        GemmRig rig(4, 4, 4);
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 2, 1, 0, LoopAnno::Parallel),
+                      subLoop(rig.i, 2, 1, 1), subLoop(rig.j, 4, 1, 0),
+                      subLoop(rig.k, 4, 1, 0)};
+        DiagReport r;
+        verify::checkRaces(nest, r);
+        collect(r, seen);
+    }
+
+    // FT-RACE-003: the same alias with every sub-loop serial is an
+    // advisory finding (duplicated work, not a race).
+    {
+        GemmRig rig(4, 4, 4);
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 2, 1, 0), subLoop(rig.i, 2, 1, 1),
+                      subLoop(rig.j, 4, 1, 0), subLoop(rig.k, 4, 1, 0)};
+        DiagReport r;
+        verify::checkRaces(nest, r);
+        collect(r, seen);
+    }
+
+    // FT-OOB-001: A[i - 1] with no guard reads A[-1] at i = 0.
+    {
+        Tensor a = placeholder("A", {8});
+        Tensor out = compute("shifted", {8},
+                             [&](const std::vector<Expr> &iv) {
+                                 return a({sub(iv[0], intImm(1))});
+                             });
+        Operation anchor = out.op();
+        OpConfig cfg = defaultConfig(anchor, cpu);
+        Scheduled s = generateCpu(anchor, cfg, xeonE5());
+        DiagReport r;
+        verify::checkAccessBounds(s.nest, r);
+        collect(r, seen);
+    }
+
+    // FT-OOB-002: unguarded overshoot past the axis extent.
+    {
+        GemmRig rig(6, 4, 4);
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 2, 4, 0), subLoop(rig.i, 4, 1, 1),
+                      subLoop(rig.j, 4, 1, 0), subLoop(rig.k, 4, 1, 0)};
+        DiagReport r;
+        verify::checkAccessBounds(nest, r);
+        collect(r, seen);
+    }
+
+    // FT-RES-*: limits are proven on extracted features, so drive
+    // checkResources with features past every device budget.
+    {
+        GemmRig rig(4, 4, 4);
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 4, 1, 0), subLoop(rig.j, 4, 1, 0),
+                      subLoop(rig.k, 4, 1, 0)};
+
+        NestFeatures f;
+        f.threadsPerBlock = v100().maxThreadsPerBlock + 1;
+        f.sharedBytesPerBlock = v100().sharedMemPerBlock + 1;
+        f.regsPerThread = v100().regsPerThreadMax + 1;
+        f.vthreads = 65;
+        DiagReport r;
+        verify::checkResources(nest, f, gpu, nullptr, r);
+        collect(r, seen);
+
+        NestFeatures ff;
+        ff.pe = vu9p().maxPe() + 1;
+        ff.bufferBytes = vu9p().bramBytes + 1;
+        OpConfig fcfg;
+        fcfg.fpgaPartition = 3;
+        fcfg.fpgaBufferRows = 4; // 3 does not divide 4
+        DiagReport rf;
+        verify::checkResources(nest, ff, Target::forFpga(vu9p()), &fcfg,
+                               rf);
+        collect(rf, seen);
+
+        NestFeatures fc;
+        fc.vecLen = 1;
+        OpConfig ccfg;
+        ccfg.vectorizeLen = xeonE5().vecLanes * 2;
+        DiagReport rc;
+        verify::checkResources(nest, fc, cpu, &ccfg, rc);
+        collect(rc, seen);
+    }
+
+    // FT-DEP-001..005: the exact dependence engine on illegal nests.
+    {
+        GemmRig rig(4, 4, 4); // concurrent carried reduce
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 4, 1, 0, LoopAnno::BlockX),
+                      subLoop(rig.j, 4, 1, 0, LoopAnno::ThreadX),
+                      subLoop(rig.k, 4, 1, 0, LoopAnno::ThreadX)};
+        DiagReport r;
+        verify::checkDependences(nest, r);
+        collect(r, seen);
+    }
+    {
+        GemmRig rig(4, 4, 4); // duplicated reduce terms
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 4, 1, 0), subLoop(rig.j, 4, 1, 0),
+                      subLoop(rig.k, 2, 1, 0), subLoop(rig.k, 2, 1, 1),
+                      subLoop(rig.k, 2, 1, 2)};
+        DiagReport r;
+        verify::checkDependences(nest, r);
+        collect(r, seen);
+    }
+    {
+        GemmRig rig(6, 4, 4); // domain hole
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 2, 4, 0), subLoop(rig.i, 2, 1, 1),
+                      subLoop(rig.j, 4, 1, 0), subLoop(rig.k, 4, 1, 0)};
+        DiagReport r;
+        verify::checkDependences(nest, r);
+        collect(r, seen);
+    }
+    {
+        GemmRig rig(4, 4, 4); // duplicated spatial visits
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 2, 1, 0), subLoop(rig.i, 2, 1, 1),
+                      subLoop(rig.j, 4, 1, 0), subLoop(rig.k, 4, 1, 0)};
+        DiagReport r;
+        verify::checkDependences(nest, r);
+        collect(r, seen);
+    }
+    {
+        GemmRig rig(4, 4, 5); // inexact guard (dupes below the clip)
+        LoopNest nest;
+        nest.op = rig.anchor;
+        nest.loops = {subLoop(rig.i, 4, 1, 0), subLoop(rig.j, 4, 1, 0),
+                      subLoop(rig.k, 3, 2, 0), subLoop(rig.k, 3, 1, 1)};
+        nest.guardedAxes = {rig.k};
+        DiagReport r;
+        verify::checkDependences(nest, r);
+        collect(r, seen);
+    }
+
+    // FT-DEP-006: an illegal fusion partition refutes certification;
+    // the code lives on the refuted obligation.
+    {
+        graph::ComputeDag dag;
+        dag.name = "coverage";
+        graph::DagNode data;
+        data.kind = graph::NodeKind::Input;
+        data.name = "data";
+        data.shape = {1, 3, 8, 8};
+        dag.nodes.push_back(data);
+        graph::DagNode relu;
+        relu.kind = graph::NodeKind::Relu;
+        relu.name = "relu";
+        relu.inputs = {0};
+        relu.shape = {1, 3, 8, 8};
+        dag.nodes.push_back(relu);
+        std::string why;
+        EXPECT_TRUE(dag.validate(&why)) << why;
+
+        graph::Partition p = graph::nonePartition(dag, gpu);
+        EXPECT_FALSE(p.groups.empty());
+        p.groups.front().members.clear(); // break assignment coverage
+        p.groups.front().ephemeral.clear();
+        verify::PartitionCertificate cert =
+            verify::certifyPartition(dag, p, gpu);
+        EXPECT_EQ(cert.verdict, verify::Verdict::Refuted);
+        for (const auto &o : cert.obligations)
+            if (o.verdict == verify::Verdict::Refuted)
+                seen.insert(o.code);
+    }
+
+    return seen;
+}
+
+TEST(DiagCoverageTest, EveryDeclaredCodeHasATriggeringFixture)
+{
+    const std::set<std::string> declared = declaredCodes();
+    ASSERT_GE(declared.size(), 20u); // 3 RACE + 2 OOB + 1 COV + 8 RES + 6 DEP
+    const std::set<std::string> seen = triggeredCodes();
+    for (const std::string &code : declared)
+        EXPECT_TRUE(seen.count(code))
+            << code << " is declared in diag.h but no fixture in "
+            << "test_diag_coverage.cc triggers it";
+    // And the converse: fixtures only emit declared codes.
+    for (const std::string &code : seen)
+        EXPECT_TRUE(declared.count(code))
+            << code << " was emitted but is not declared in diag.h";
+}
+
+TEST(DiagCoverageTest, EveryDeclaredCodeIsDocumentedInReadme)
+{
+    const std::set<std::string> declared = declaredCodes();
+    const std::string readme =
+        readFile(std::string(FT_SOURCE_DIR) + "/README.md");
+    // The diagnostics table rows are `| FT-XXX-nnn | ... |`.
+    std::set<std::string> documented;
+    std::regex row("\\|\\s*`?(FT-[A-Z]+-[0-9]+)`?\\s*\\|");
+    for (std::sregex_iterator it(readme.begin(), readme.end(), row), end;
+         it != end; ++it)
+        documented.insert((*it)[1]);
+    for (const std::string &code : declared)
+        EXPECT_TRUE(documented.count(code))
+            << code
+            << " is declared in diag.h but missing from the README "
+            << "diagnostics table";
+}
+
+} // namespace
+} // namespace ft

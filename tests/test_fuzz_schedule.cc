@@ -28,7 +28,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "analysis/verify/verify.h"
 #include "codegen/codegen.h"
@@ -80,6 +82,34 @@ struct FuzzCase
     int target; ///< 0 = GPU (V100), 1 = CPU (Xeon)
 };
 
+/**
+ * Committed regression corpus for one fuzz case: serialized config
+ * lines from tests/corpus/<op>_<target>.point ('#' starts a comment).
+ * Replayed deterministically before any random sampling, so a point
+ * that once exposed a bug keeps guarding against its recurrence no
+ * matter what the sampler draws (see CONTRIBUTING.md).
+ */
+std::vector<std::string>
+corpusLines(const FuzzCase &fc)
+{
+    const std::string path = std::string(FT_TEST_CORPUS_DIR) + "/" +
+                             fc.name +
+                             (fc.target == 0 ? "_gpu" : "_cpu") +
+                             ".point";
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        while (!line.empty() &&
+               (line.back() == '\r' || line.back() == ' '))
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        lines.push_back(line);
+    }
+    return lines;
+}
+
 class ScheduleFuzzTest : public ::testing::TestWithParam<FuzzCase>
 {};
 
@@ -97,6 +127,34 @@ TEST_P(ScheduleFuzzTest, RandomPointsSatisfyInvariants)
     BufferMap reference = makeRandomInputs(g, rng);
     runGraphReference(g, reference);
     const Buffer &gold = reference.at(anchor.get());
+
+    // Replay the committed corpus first: every line must parse, encode
+    // back into the space, lower, and execute against the reference.
+    const std::vector<std::string> corpus = corpusLines(fc);
+    ASSERT_FALSE(corpus.empty())
+        << "missing or empty corpus file for " << fc.name;
+    for (const std::string &line : corpus) {
+        auto cfg = parseConfig(line);
+        ASSERT_TRUE(cfg.has_value()) << "unparseable corpus line: "
+                                     << line;
+        auto p = space.pointOf(*cfg);
+        ASSERT_TRUE(p.has_value())
+            << "corpus line no longer encodes into the space: " << line;
+        Scheduled s = generate(anchor, *cfg, target);
+        ASSERT_FALSE(s.nest.loops.empty()) << line;
+        verify::DiagReport report =
+            verify::verifySchedule(s, target, &*cfg);
+        EXPECT_EQ(report.hasError(), !s.features.valid)
+            << line << "\n" << report.toJson();
+        BufferMap buffers = reference;
+        buffers.erase(anchor.get());
+        runScheduled(s.nest, buffers, 1);
+        const Buffer &got = buffers.at(anchor.get());
+        ASSERT_EQ(got.numel(), gold.numel());
+        for (int64_t i = 0; i < gold.numel(); ++i)
+            ASSERT_NEAR(got[i], gold[i], 1e-3)
+                << "corpus " << line << " element " << i;
+    }
 
     const int samples = fuzzSamples();
     // Execution is the expensive invariant: spread ~8 executed samples

@@ -263,9 +263,46 @@ TEST(TraceReport, JsonOmitsEmptySections)
     EXPECT_EQ(json.find("\"graph\""), std::string::npos);
     EXPECT_EQ(json.find("\"verifyRejects\""), std::string::npos);
     EXPECT_EQ(json.find("\"costmodel\""), std::string::npos);
+    EXPECT_EQ(json.find("\"certificates\""), std::string::npos);
     // The always-on keys are still there.
     EXPECT_NE(json.find("\"phases\""), std::string::npos);
     EXPECT_NE(json.find("\"curve\""), std::string::npos);
+}
+
+TEST(TraceReport, FoldsCertificateEvents)
+{
+    // A certified tuning run emits one "certificate" trace point for
+    // the winning schedule; the report folds it into a verdict tally
+    // plus a per-op entry in text and JSON.
+    Tensor out = obsGemm();
+    Target target = Target::forGpu(v100());
+    TraceRecorder rec;
+    TuneOptions options;
+    options.explore.trials = 8;
+    options.explore.warmupPoints = 4;
+    options.explore.seed = 0xabc;
+    options.explore.obs.trace = &rec;
+    options.certify = true;
+    TuneReport tune = tuneOp(out.op(), target, options);
+    ASSERT_NE(tune.certificate, nullptr);
+
+    std::vector<ParsedTraceEvent> events;
+    for (const auto &line : rec.lines()) {
+        auto e = parseTraceLine(line);
+        ASSERT_TRUE(e.has_value()) << line;
+        events.push_back(*e);
+    }
+    TraceReport report = foldTrace(events);
+    ASSERT_TRUE(report.certificates.any());
+    EXPECT_EQ(report.certificates.proven, 1u);
+    EXPECT_EQ(report.certificates.refuted, 0u);
+    ASSERT_EQ(report.certificates.entries.size(), 1u);
+    EXPECT_EQ(report.certificates.entries[0].verdict, "proven");
+    EXPECT_GT(report.certificates.entries[0].obligations, 0);
+    EXPECT_NE(renderTraceReport(report).find("legality certificates"),
+              std::string::npos);
+    EXPECT_NE(traceReportJson(report).find("\"certificates\""),
+              std::string::npos);
 }
 
 TEST(TraceReport, FoldsCostModelEvents)

@@ -15,14 +15,23 @@
  *                    indices); exit 1 when the verifier reports an Error
  *   --sample <n>     verify n uniformly sampled points    (default 64)
  *   --seed <n>       sampling RNG seed                    (default 0xc11)
+ *   --certify        additionally emit a transformation-legality
+ *                    certificate (FT-DEP obligations) per point; a
+ *                    Refuted certificate gates --point mode like an Error
+ *   --strict         treat Warning-severity diagnostics as gating in
+ *                    --point mode (exit 2 when only warnings remain)
  *   --json <file>    write machine-readable results (summary + per-point
- *                    diagnostics) to <file>
+ *                    diagnostics, and certificates under --certify)
  *   --list           print all operators and cases, then exit
+ *   --help           print usage and the exit-code contract, then exit
  *
- * In sample mode the exit code is 0 (sampled spaces legitimately contain
- * resource-illegal points; the summary reports the rejection profile).
- * In --point mode the exit code mirrors the verdict so CI can gate on a
- * named schedule.
+ * Exit codes (the contract CI gates on; see also --help):
+ *   0  --point: no gating findings; sample mode: always (sampled spaces
+ *      legitimately contain resource-illegal points — the summary
+ *      reports the rejection profile)
+ *   1  --point: an Error-severity diagnostic, or a Refuted certificate
+ *      under --certify; also usage errors (unknown flag/op/case)
+ *   2  --point with --strict: Warning-severity diagnostics only
  */
 #include <cstdio>
 #include <cstring>
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "analysis/static_analyzer.h"
+#include "analysis/verify/certificate.h"
 #include "analysis/verify/verify.h"
 #include "ir/graph.h"
 #include "ir/inline.h"
@@ -60,6 +70,33 @@ parseTarget(const std::string &name)
     if (name == "vu9p")
         return Target::forFpga(vu9p());
     fatal("unknown target '", name, "' (v100|p100|titanx|xeon|vu9p)");
+}
+
+void
+printHelp()
+{
+    std::printf(
+        "usage: schedule-verify [options]\n"
+        "\n"
+        "options:\n"
+        "  --op <abbr>      operator abbreviation (default C2D)\n"
+        "  --case <id>      test-case id within the suite\n"
+        "  --target <name>  v100|p100|titanx|xeon|vu9p (default v100)\n"
+        "  --point <i,j,..> verify one explicit point\n"
+        "  --sample <n>     verify n sampled points (default 64)\n"
+        "  --seed <n>       sampling RNG seed (default 0xc11)\n"
+        "  --certify        emit a legality certificate (FT-DEP\n"
+        "                   obligations) per point\n"
+        "  --strict         warnings gate --point mode (exit 2)\n"
+        "  --json <file>    write machine-readable results\n"
+        "  --list           print operators and cases, then exit\n"
+        "  --help           print this text, then exit\n"
+        "\n"
+        "exit codes:\n"
+        "  0  --point: no gating findings; sample mode: always\n"
+        "  1  --point: Error diagnostic, or Refuted certificate under\n"
+        "     --certify; also usage errors\n"
+        "  2  --point with --strict: Warning diagnostics only\n");
 }
 
 void
@@ -141,6 +178,7 @@ struct PointResult
 {
     std::string point;
     std::string diagsJson;
+    std::string certJson; ///< empty unless --certify
     bool hasError;
 };
 
@@ -171,7 +209,10 @@ writeJson(const std::string &path, const std::string &op,
         out << "\n  {\"point\": \"" << points[i].point
             << "\", \"has_error\": "
             << (points[i].hasError ? "true" : "false")
-            << ", \"diags\": " << points[i].diagsJson << "}";
+            << ", \"diags\": " << points[i].diagsJson;
+        if (!points[i].certJson.empty())
+            out << ", \"certificate\": " << points[i].certJson;
+        out << "}";
     }
     out << "\n ]}\n";
 }
@@ -185,6 +226,7 @@ main(int argc, char **argv)
     std::string point_text, json_path;
     int samples = 64;
     uint64_t seed = 0xc11;
+    bool certify = false, strict = false;
 
     for (int i = 1; i < argc; ++i) {
         auto arg = [&](const char *flag) {
@@ -197,6 +239,13 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--list") == 0) {
             listOperators();
             return 0;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            printHelp();
+            return 0;
+        } else if (std::strcmp(argv[i], "--certify") == 0) {
+            certify = true;
+        } else if (std::strcmp(argv[i], "--strict") == 0) {
+            strict = true;
         } else if (arg("--op")) {
             op_name = argv[++i];
         } else if (arg("--case")) {
@@ -259,7 +308,8 @@ main(int argc, char **argv)
 
     std::map<std::string, int> summary;
     std::vector<PointResult> results;
-    int error_points = 0;
+    int error_points = 0, warning_points = 0, refuted_certs = 0;
+    int proven_certs = 0, unknown_certs = 0;
     for (const Point &p : points) {
         OpConfig config = space.decode(p);
         Scheduled s = generate(anchor, config, target);
@@ -269,15 +319,50 @@ main(int argc, char **argv)
             summary[d.code]++;
         if (report.hasError())
             ++error_points;
+        else if (report.warningCount() > 0)
+            ++warning_points;
         if (!point_text.empty() || report.hasError())
             printReport(p, report);
-        results.push_back(
-            {pointText(p), report.toJson(), report.hasError()});
+        PointResult result{pointText(p), report.toJson(), "",
+                           report.hasError()};
+        if (certify) {
+            verify::ScheduleCertificate cert =
+                verify::certifySchedule(s, target, &config);
+            switch (cert.verdict) {
+              case verify::Verdict::Proven: ++proven_certs; break;
+              case verify::Verdict::Refuted: ++refuted_certs; break;
+              case verify::Verdict::Unknown: ++unknown_certs; break;
+            }
+            if (!point_text.empty() ||
+                cert.verdict != verify::Verdict::Proven) {
+                std::printf("point %s: certificate %s (%d obligations, "
+                            "%d refuted, %d unknown)\n",
+                            pointText(p).c_str(),
+                            verify::verdictName(cert.verdict),
+                            static_cast<int>(cert.obligations.size()),
+                            cert.count(verify::Verdict::Refuted),
+                            cert.count(verify::Verdict::Unknown));
+                for (const auto &ob : cert.obligations) {
+                    if (ob.verdict == verify::Verdict::Proven &&
+                        point_text.empty())
+                        continue;
+                    std::printf("  [%s] %s %s: %s\n",
+                                verify::verdictName(ob.verdict),
+                                ob.code.c_str(), ob.id.c_str(),
+                                ob.detail.c_str());
+                }
+            }
+            result.certJson = cert.toJson();
+        }
+        results.push_back(std::move(result));
     }
 
     std::printf("%s:%s on %s: %zu point(s) verified, %d with errors\n",
                 op_name.c_str(), tc->id.c_str(), target_name.c_str(),
                 points.size(), error_points);
+    if (certify)
+        std::printf("certificates: %d proven, %d refuted, %d unknown\n",
+                    proven_certs, refuted_certs, unknown_certs);
     if (!summary.empty()) {
         std::printf("%-14s %s\n", "code", "count");
         for (const auto &[code, count] : summary)
@@ -287,7 +372,14 @@ main(int argc, char **argv)
         writeJson(json_path, op_name, tc->id, target_name, summary,
                   results);
 
-    if (!point_text.empty())
-        return error_points > 0 ? 1 : 0;
+    // Exit-code contract (documented in --help): sample mode is always
+    // 0; --point mode gates on errors (1), refuted certificates under
+    // --certify (1), and — with --strict — residual warnings (2).
+    if (!point_text.empty()) {
+        if (error_points > 0 || (certify && refuted_certs > 0))
+            return 1;
+        if (strict && warning_points > 0)
+            return 2;
+    }
     return 0;
 }
